@@ -1,0 +1,6 @@
+"""Figure-regeneration benchmarks (pytest-benchmark).
+
+Making this a package lets the bench modules import the shared
+``run_once`` helper from ``benchmarks.conftest`` under both ``pytest`` and
+``python -m pytest`` invocations.
+"""

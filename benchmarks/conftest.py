@@ -1,0 +1,25 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one paper figure/table at full experiment scale
+and prints the same rows the paper reports.  ``pytest benchmarks/
+--benchmark-only`` therefore doubles as the reproduction harness; set
+``REPRO_BENCH_LENGTH`` / ``REPRO_BENCH_APPS`` to shrink runs.
+
+Simulation grids are memoized in-process (see repro.experiments.matrix),
+so the figures sharing the (app × prefetcher) matrix — 7, 8, 10, headline —
+only simulate it once per session.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return ExperimentSettings()
+
+
+def run_once(benchmark, function, *args):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, rounds=1, iterations=1)

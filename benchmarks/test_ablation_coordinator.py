@@ -1,0 +1,47 @@
+"""Ablation: the decoupled coordinator vs serial (TPC-style) and parallel
+(ISB-style) coordination — Section 2 / Section 7's design argument.
+
+Decoupled ("parallel training, serial issuing") should match or beat
+serial on coverage (TLP sees the full stream) and beat parallel on
+accuracy/traffic (no duplicate low-confidence issues).
+"""
+
+from benchmarks.conftest import run_once
+from repro.sim.sweep import coordinator_variants, sweep_planaria
+
+APPS = ("CFM", "Fort")
+
+
+def _run(settings):
+    out = {}
+    for app in APPS:
+        out[app] = sweep_planaria(app, coordinator_variants(),
+                                  length=settings.trace_length,
+                                  seed=settings.seed)
+    return out
+
+
+def test_ablation_coordinator(benchmark, settings):
+    grids = run_once(benchmark, _run, settings)
+    print()
+    print("== ablation: coordinator strategy (paper section 2 / 7)")
+    header = f"{'app':5s} {'variant':10s} {'hit':>6s} {'amat':>8s} {'acc':>5s} {'cov':>5s} {'traffic':>8s}"
+    print(header)
+    for app, results in grids.items():
+        base = results["none"]
+        for label in ("decoupled", "serial", "parallel"):
+            m = results[label]
+            print(f"{app:5s} {label:10s} {m.hit_rate:6.3f} {m.amat:8.1f} "
+                  f"{m.accuracy:5.2f} {m.coverage:5.2f} "
+                  f"{m.traffic_overhead_vs(base):+8.3f}")
+    for app, results in grids.items():
+        decoupled = results["decoupled"]
+        parallel = results["parallel"]
+        # Decoupled vs parallel: same-or-better accuracy with less traffic.
+        assert decoupled.accuracy >= parallel.accuracy - 0.02, app
+        assert (decoupled.traffic_overhead_vs(results["none"])
+                <= parallel.traffic_overhead_vs(results["none"]) + 0.01), app
+    # On TLP-dependent Fort, decoupled's full-stream TLP training should
+    # give at least serial's coverage.
+    fort = grids["Fort"]
+    assert fort["decoupled"].coverage >= fort["serial"].coverage - 0.02

@@ -1,0 +1,39 @@
+"""Ablation: Planaria's key parameters — TLP distance threshold and SLP AT
+timeout (DESIGN.md section 5's sweepable design choices)."""
+
+from benchmarks.conftest import run_once
+from repro.sim.sweep import slp_timeout_variants, sweep_planaria, tlp_distance_variants
+
+
+def _run(settings):
+    distance = sweep_planaria("Fort", tlp_distance_variants((4, 16, 64, 256)),
+                              length=settings.trace_length, seed=settings.seed)
+    timeout = sweep_planaria("CFM", slp_timeout_variants((2_000, 20_000, 200_000)),
+                             length=settings.trace_length, seed=settings.seed)
+    return distance, timeout
+
+
+def test_ablation_parameters(benchmark, settings):
+    distance, timeout = run_once(benchmark, _run, settings)
+    print()
+    print("== ablation: TLP distance threshold (Fort)")
+    base = distance["none"]
+    for label, m in distance.items():
+        if label == "none":
+            continue
+        print(f"{label:14s} hit={m.hit_rate:.3f} cov={m.coverage:.3f} "
+              f"acc={m.accuracy:.3f} dTraffic={m.traffic_overhead_vs(base):+.3f}")
+    print("== ablation: SLP accumulation-table timeout (CFM)")
+    base = timeout["none"]
+    for label, m in timeout.items():
+        if label == "none":
+            continue
+        print(f"{label:15s} hit={m.hit_rate:.3f} cov={m.coverage:.3f} "
+              f"acc={m.accuracy:.3f}")
+    # Distance 64 (the paper's default) should give TLP-dependent Fort more
+    # coverage than a tiny distance-4 neighbourhood.
+    assert distance["distance=64"].coverage > distance["distance=4"].coverage
+    # The paper's 20k-cycle timeout should beat a timeout so long the AT
+    # never releases snapshots into the PT within an episode gap.
+    assert (timeout["timeout=20000"].coverage
+            >= timeout["timeout=200000"].coverage - 0.02)

@@ -1,0 +1,39 @@
+"""Ablation: PN-only signatures (SLP) vs PC-style signatures (SMS with the
+device-ID surrogate) — the paper's Section 3.2 design argument.
+
+Memory-side there is no PC; the closest available signal (device ID)
+aliases thousands of flows, so the SMS-style spatial prefetcher loses the
+accuracy that the PN-indexed SLP keeps.
+"""
+
+from benchmarks.conftest import run_once
+from repro.sim.runner import compare_prefetchers
+
+APPS = ("CFM", "HoK", "KO")
+
+
+def _run(settings):
+    return {
+        app: compare_prefetchers(app, ("none", "sms", "slp"),
+                                 length=settings.trace_length,
+                                 seed=settings.seed)
+        for app in APPS
+    }
+
+
+def test_ablation_signature(benchmark, settings):
+    grids = run_once(benchmark, _run, settings)
+    print()
+    print("== ablation: pattern signature (PN vs device-surrogate PC)")
+    print(f"{'app':5s} {'variant':6s} {'hit':>6s} {'acc':>5s} {'cov':>5s} {'traffic':>8s}")
+    for app, results in grids.items():
+        base = results["none"]
+        for label in ("sms", "slp"):
+            m = results[label]
+            print(f"{app:5s} {label:6s} {m.hit_rate:6.3f} {m.accuracy:5.2f} "
+                  f"{m.coverage:5.2f} {m.traffic_overhead_vs(base):+8.3f}")
+    for app, results in grids.items():
+        # PN-indexed SLP must beat the PC-surrogate design on accuracy.
+        assert results["slp"].accuracy > results["sms"].accuracy + 0.1, app
+        assert (results["slp"].traffic_overhead_vs(results["none"])
+                < results["sms"].traffic_overhead_vs(results["none"])), app

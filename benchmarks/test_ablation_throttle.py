@@ -1,0 +1,42 @@
+"""Ablation (extension): accuracy-feedback throttling under power budgets.
+
+Beyond the paper: wraps BOP and Planaria in the usefulness-gated throttle
+(`repro.prefetch.throttle`) and shows that a low-accuracy prefetcher's junk
+traffic is suppressed while an accurate one keeps its gains — the knob a
+power-constrained SoC would actually ship.
+"""
+
+from benchmarks.conftest import run_once
+from repro.sim.runner import compare_prefetchers
+
+
+def _run(settings):
+    return {
+        "NBA2": compare_prefetchers(
+            "NBA2", ("none", "bop", "bop-throttled"),
+            length=settings.trace_length, seed=settings.seed),
+        "CFM": compare_prefetchers(
+            "CFM", ("none", "planaria", "planaria-throttled"),
+            length=settings.trace_length, seed=settings.seed),
+    }
+
+
+def test_ablation_throttle(benchmark, settings):
+    grids = run_once(benchmark, _run, settings)
+    print()
+    print("== ablation: accuracy-feedback throttling (extension)")
+    for app, results in grids.items():
+        base = results["none"]
+        for name, metrics in results.items():
+            if name == "none":
+                continue
+            print(f"{app:5s} {name:18s} hit={metrics.hit_rate:.3f} "
+                  f"dAMAT={metrics.amat_reduction_vs(base):+.3f} "
+                  f"dTraffic={metrics.traffic_overhead_vs(base):+.3f} "
+                  f"dPower={metrics.power_overhead_vs(base):+.3f}")
+    nba2 = grids["NBA2"]
+    assert (nba2["bop-throttled"].traffic_overhead_vs(nba2["none"])
+            < nba2["bop"].traffic_overhead_vs(nba2["none"]) * 0.6)
+    cfm = grids["CFM"]
+    assert (cfm["planaria-throttled"].amat_reduction_vs(cfm["none"])
+            > cfm["planaria"].amat_reduction_vs(cfm["none"]) * 0.7)

@@ -1,0 +1,16 @@
+"""Figure 10: memory-system power overheads (paper: +0.5/+13.5/+9.7%)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_power
+
+
+def test_fig10_power(benchmark, settings):
+    report = run_once(benchmark, fig10_power.run, settings)
+    print()
+    print(report.format_table())
+    summary = report.summary
+    planaria = summary["mean power overhead [planaria] (measured)"]
+    bop = summary["mean power overhead [bop] (measured)"]
+    spp = summary["mean power overhead [spp] (measured)"]
+    assert planaria < spp < bop
+    assert planaria < 0.06  # near-free, paper: +0.5%

@@ -1,0 +1,14 @@
+"""Figure 2: footprint snapshot of a memory page (scatter + observations)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2_footprint
+
+
+def test_fig2_footprint_snapshot(benchmark, settings):
+    report = run_once(benchmark, fig2_footprint.run, settings)
+    print()
+    print(report.format_table())
+    values = {row[0]: row[1] for row in report.rows}
+    assert values["bursts (snapshot episodes)"] >= 2
+    assert values["reuse-gap / burst-span ratio"] > 1.0   # observation ②
+    assert values["across-burst order similarity"] < 0.95  # observation ③

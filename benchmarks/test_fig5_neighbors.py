@@ -1,0 +1,13 @@
+"""Figure 5: learnable-neighbour fraction per distance threshold."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_neighbors
+
+
+def test_fig5_learnable_neighbors(benchmark, settings):
+    report = run_once(benchmark, fig5_neighbors.run, settings)
+    print()
+    print(report.format_table())
+    at4 = report.summary["average fraction at distance 4 (measured)"]
+    at64 = report.summary["average fraction at distance 64 (measured)"]
+    assert 0.05 < at4 < at64 < 0.7  # monotone, right order of magnitude

@@ -1,0 +1,14 @@
+"""Figure 7: SC hit rate per application x prefetcher."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_hitrate
+
+
+def test_fig7_hit_rate(benchmark, settings):
+    report = run_once(benchmark, fig7_hitrate.run, settings)
+    print()
+    print(report.format_table())
+    summary = report.summary
+    assert summary["mean hit rate [planaria]"] > summary["mean hit rate [bop]"]
+    assert summary["mean hit rate [planaria]"] > summary["mean hit rate [spp]"]
+    assert summary["planaria minus none (pp)"] > 0.08

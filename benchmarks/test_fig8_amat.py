@@ -1,0 +1,17 @@
+"""Figure 8: AMAT per application x prefetcher (paper: Planaria -24.3%)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_amat
+
+
+def test_fig8_amat(benchmark, settings):
+    report = run_once(benchmark, fig8_amat.run, settings)
+    print()
+    print(report.format_table())
+    summary = report.summary
+    measured = summary["planaria AMAT reduction vs none (measured)"]
+    assert measured > 0.15  # paper: 0.243; shape check with headroom
+    assert measured > summary["bop AMAT reduction vs none (measured)"]
+    assert measured > summary["spp AMAT reduction vs none (measured)"]
+    assert summary["planaria AMAT reduction vs bop (measured)"] > 0.10
+    assert summary["planaria AMAT reduction vs spp (measured)"] > 0.10

@@ -1,0 +1,19 @@
+"""Figure 9: Planaria breakdown between SLP and TLP (paper: SLP ~80%)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_breakdown
+
+
+def test_fig9_breakdown(benchmark, settings):
+    report = run_once(benchmark, fig9_breakdown.run, settings)
+    print()
+    print(report.format_table())
+    overall = report.summary["overall SLP share of useful prefetches (measured)"]
+    assert 0.5 < overall < 0.95  # paper: ~0.8
+    shares = {row[0]: row[1] for row in report.rows}
+    if "Fort" in shares:
+        # TLP contributes most of the improvement for Fort.
+        assert shares["Fort"] < 0.5
+    for app in ("CFM", "QSM", "HI3", "KO", "NBA2"):
+        if app in shares:
+            assert shares[app] > 0.6, app  # SLP territory

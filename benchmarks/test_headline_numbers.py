@@ -1,0 +1,17 @@
+"""Abstract headline numbers: IPC gains, traffic overheads, storage."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import headline
+
+
+def test_headline_numbers(benchmark, settings):
+    report = run_once(benchmark, headline.run, settings)
+    print()
+    print(report.format_table())
+    summary = report.summary
+    assert summary["IPC gain vs none (measured)"] > 0.15        # paper 0.289
+    assert summary["IPC gain vs bop (measured)"] > 0.08          # paper 0.219
+    assert summary["IPC gain vs spp (measured)"] > 0.08          # paper 0.153
+    assert summary["BOP traffic overhead (measured)"] > \
+        summary["SPP traffic overhead (measured)"]
+    assert abs(summary["Planaria storage KiB (computed)"] - 345.2) < 12

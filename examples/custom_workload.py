@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Bring your own workload: define a profile, inspect it, simulate it.
+
+Shows the full user workflow for a workload that is not one of the ten
+bundled applications:
+
+1. define a :class:`WorkloadProfile` for a hypothetical AR-navigation app,
+2. generate its trace and persist/reload it through the binary trace format,
+3. check the two regularities Planaria exploits (overlap rate, learnable
+   neighbours) and draw the Figure-2 footprint scatter,
+4. simulate the prefetcher line-up on it.
+
+Usage:
+    python examples/custom_workload.py [--length N]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.analysis import learnable_neighbor_fraction, window_overlap_rate
+from repro.analysis.footprint import page_footprint_events, render_ascii
+from repro.sim.runner import compare_prefetchers, simulate
+from repro.trace import read_trace_binary, write_trace_binary
+from repro.trace.filters import hottest_pages
+from repro.trace.generator import WorkloadProfile, generate_trace
+from repro.trace.record import DeviceID
+
+AR_NAV = WorkloadProfile(
+    name="AR Navigator", abbr="ARN",
+    description="augmented-reality walking navigation",
+    num_pages=12_288, page_base=0x300_000,
+    pattern_library_size=24, cluster_size=48, pattern_run_length=6,
+    neighbor_similarity=0.8,           # map tiles: strongly tiled layouts
+    blocks_per_page_mean=30.0, pattern_scatter=0.3,
+    snapshot_stability=0.93, episode_order_entropy=0.6,
+    page_revisit_rate=0.35,            # the user keeps walking: low reuse
+    revisit_history=512, episode_concurrency=14,
+    stream_fraction=0.15, stream_length_mean=24,   # camera frames
+    noise_fraction=0.08, write_fraction=0.35,
+    device_weights={DeviceID.CPU: 0.3, DeviceID.GPU: 0.3,
+                    DeviceID.NPU: 0.15, DeviceID.ISP: 0.15,
+                    DeviceID.DSP: 0.1},
+    memory_intensity=0.9,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=50_000)
+    args = parser.parse_args()
+
+    print(f"generating {args.length} requests of {AR_NAV.name}...")
+    records = generate_trace(AR_NAV, args.length, seed=42)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "ar_nav.bin"
+        write_trace_binary(path, records)
+        print(f"trace persisted: {path.stat().st_size / 1024:.0f} KiB on disk")
+        records = read_trace_binary(path)
+
+    overlap = window_overlap_rate(records)
+    neighbours = learnable_neighbor_fraction(records, (4, 64))
+    print(f"\nintra-page regularity : overlap rate {overlap.mean_overlap:.2f} "
+          f"({overlap.num_pages} pages)")
+    print(f"inter-page regularity : {neighbours.fraction_at(4):.1%} of pages have a "
+          f"learnable neighbour at distance 4, "
+          f"{neighbours.fraction_at(64):.1%} at 64")
+
+    page = hottest_pages(records, count=1, min_blocks=10)[0]
+    print(f"\nfootprint of page {page:#x} (the paper's Figure 2 view):")
+    print(render_ascii(page_footprint_events(records, page), width=64))
+
+    print("\nsimulating the prefetcher line-up...")
+    results = {}
+    for name in ("none", "bop", "spp", "planaria"):
+        results[name] = simulate(records, name, workload_name="ARN").metrics
+    base = results["none"]
+    print(f"{'prefetcher':<10} {'hit rate':>9} {'AMAT':>9} {'dTraffic':>9}")
+    for name, metrics in results.items():
+        print(f"{name:<10} {metrics.hit_rate:>9.3f} {metrics.amat:>9.1f} "
+              f"{metrics.traffic_overhead_vs(base):>+9.1%}")
+
+    best = min(results, key=lambda name: results[name].amat)
+    print(f"\nbest AMAT: {best} — with AR-Nav's tiled map layout, the "
+          f"transfer-learning path matters (low page reuse, high neighbour "
+          f"similarity).")
+
+
+if __name__ == "__main__":
+    main()

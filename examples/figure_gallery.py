@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure and export CSV + SVG artifacts.
+
+Runs the complete experiment registry (Figures 2, 4, 5, 7, 8, 9, 10 and the
+abstract headline numbers) at a configurable scale, prints each figure's
+table, and writes ``<id>.csv`` / ``<id>.svg`` files — a one-command
+"reproduce the paper" artifact generator.
+
+Usage:
+    python examples/figure_gallery.py --out gallery/ --length 40000 --apps CFM,Fort
+    python examples/figure_gallery.py --out gallery/            # all 10 apps
+"""
+
+import argparse
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentSettings
+from repro.experiments.export import export_report
+from repro.trace.generator import list_workloads
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="gallery")
+    parser.add_argument("--length", type=int, default=40_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--apps", help="comma-separated subset (default: all ten)")
+    args = parser.parse_args()
+
+    apps = (tuple(args.apps.split(",")) if args.apps
+            else tuple(list_workloads()))
+    settings = ExperimentSettings(trace_length=args.length, seed=args.seed,
+                                  apps=apps)
+    print(f"gallery: {len(apps)} apps x {args.length} requests "
+          f"-> {args.out}/")
+
+    for experiment_id, run in ALL_EXPERIMENTS.items():
+        started = time.time()
+        report = run(settings)
+        print()
+        print(report.format_table())
+        written = export_report(report, args.out)
+        names = ", ".join(path.name for path in written)
+        print(f"[{time.time() - started:5.1f}s] exported {names}")
+
+
+if __name__ == "__main__":
+    main()

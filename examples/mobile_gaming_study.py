@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The paper's evaluation in miniature: four prefetchers × several apps.
+
+Reproduces the Figure 7/8/10 comparison on a configurable subset of the ten
+Table-2 applications, printing per-app hit rate, AMAT, traffic and power,
+then the cross-app averages against the paper's reported numbers.
+
+Usage:
+    python examples/mobile_gaming_study.py [apps...] [--length N]
+
+    python examples/mobile_gaming_study.py CFM Fort NBA2 --length 80000
+"""
+
+import argparse
+import statistics
+
+from repro.sim.metrics import ipc_speedup
+from repro.sim.runner import compare_prefetchers, simulate
+from repro.trace.generator import generate_trace, get_profile, list_workloads
+
+PREFETCHERS = ("none", "bop", "spp", "planaria")
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("apps", nargs="*", default=["CFM", "Fort", "NBA2"],
+                        help="Table-2 abbreviations (default: CFM Fort NBA2); "
+                             f"known: {', '.join(list_workloads())}")
+    parser.add_argument("--length", type=int, default=60_000,
+                        help="trace length per app (default 60000)")
+    parser.add_argument("--seed", type=int, default=7)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    aggregates = {name: {"amat": [], "traffic": [], "power": [], "ipc": []}
+                  for name in PREFETCHERS if name != "none"}
+
+    for app in args.apps:
+        profile = get_profile(app)
+        results = compare_prefetchers(app, PREFETCHERS, length=args.length,
+                                      seed=args.seed)
+        base = results["none"]
+        print(f"== {profile.name} ({app})  —  {profile.description}")
+        print(f"{'prefetcher':<10} {'hit rate':>9} {'AMAT':>9} {'accuracy':>9} "
+              f"{'dTraffic':>9} {'dPower':>8}")
+        for name in PREFETCHERS:
+            metrics = results[name]
+            traffic = metrics.traffic_overhead_vs(base)
+            power = metrics.power_overhead_vs(base)
+            accuracy = f"{metrics.accuracy:9.2f}" if name != "none" else f"{'-':>9}"
+            print(f"{name:<10} {metrics.hit_rate:>9.3f} {metrics.amat:>9.1f} "
+                  f"{accuracy} {traffic:>+9.1%} {power:>+8.1%}")
+            if name != "none":
+                aggregates[name]["amat"].append(metrics.amat_reduction_vs(base))
+                aggregates[name]["traffic"].append(traffic)
+                aggregates[name]["power"].append(power)
+                aggregates[name]["ipc"].append(ipc_speedup(
+                    metrics.amat, base.amat, profile.memory_intensity))
+        print()
+
+    # Per-device view: the SC is shared by the whole SoC, so who gains?
+    app = args.apps[0]
+    records = generate_trace(get_profile(app), args.length, seed=args.seed)
+    without = simulate(records, "none").simulator.merged_metrics()
+    with_planaria = simulate(records, "planaria").simulator.merged_metrics()
+    print(f"== per-device read latency on {app} (none -> planaria)")
+    for device in sorted(without.device_read_latency):
+        before = without.device_read_latency[device]
+        after = with_planaria.device_read_latency.get(device)
+        if after is None or before.count == 0:
+            continue
+        change = 1.0 - after.mean / before.mean if before.mean else 0.0
+        print(f"{device:<6} {before.mean:8.1f} -> {after.mean:8.1f}  "
+              f"({change:+.1%}, {before.count} reads)")
+    print()
+
+    print("== averages across", ", ".join(args.apps))
+    paper = {
+        "bop": dict(amat=0.033, traffic=0.234, power=0.135, ipc=1.289 / 1.219),
+        "spp": dict(amat=0.108, traffic=0.159, power=0.097, ipc=1.289 / 1.153),
+        "planaria": dict(amat=0.243, traffic=None, power=0.005, ipc=1.289),
+    }
+    print(f"{'prefetcher':<10} {'dAMAT':>8} {'(paper)':>8} {'dTraffic':>9} "
+          f"{'dPower':>8} {'(paper)':>8} {'IPCx':>6}")
+    for name, series in aggregates.items():
+        reference = paper[name]
+        print(f"{name:<10} {statistics.mean(series['amat']):>+8.1%} "
+              f"{reference['amat']:>+8.1%} "
+              f"{statistics.mean(series['traffic']):>+9.1%} "
+              f"{statistics.mean(series['power']):>+8.1%} "
+              f"{reference['power']:>+8.1%} "
+              f"{statistics.mean(series['ipc']):>6.3f}")
+
+
+if __name__ == "__main__":
+    main()

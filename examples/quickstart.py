@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one mobile workload with and without Planaria.
+
+Runs the Cross Fire Mobile profile through the trace-driven memory-system
+simulator twice — once with no prefetcher, once with Planaria — and prints
+the headline metrics the paper reports (hit rate, AMAT, traffic, power,
+IPC proxy).
+
+Usage:
+    python examples/quickstart.py [trace_length]
+"""
+
+import sys
+
+from repro.sim.metrics import ipc_speedup
+from repro.sim.runner import compare_prefetchers
+from repro.trace.generator import get_profile
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    app = "CFM"
+    profile = get_profile(app)
+    print(f"Simulating {profile.name} ({app}): {length} memory-bus requests")
+    print(f"(paper trace length: {profile.paper_length_millions:.2f} M requests)")
+    print()
+
+    results = compare_prefetchers(app, ("none", "planaria"), length=length)
+    base = results["none"]
+    planaria = results["planaria"]
+
+    print(f"{'metric':<28} {'no prefetcher':>14} {'planaria':>14}")
+    print("-" * 58)
+    print(f"{'SC hit rate':<28} {base.hit_rate:>14.3f} {planaria.hit_rate:>14.3f}")
+    print(f"{'AMAT (cycles)':<28} {base.amat:>14.1f} {planaria.amat:>14.1f}")
+    print(f"{'DRAM transfers':<28} {base.dram_traffic:>14d} {planaria.dram_traffic:>14d}")
+    print(f"{'memory power (mW)':<28} {base.power_mw:>14.1f} {planaria.power_mw:>14.1f}")
+    print(f"{'prefetch accuracy':<28} {'-':>14} {planaria.accuracy:>14.2f}")
+    print(f"{'prefetch coverage':<28} {'-':>14} {planaria.coverage:>14.2f}")
+    print()
+
+    amat_reduction = planaria.amat_reduction_vs(base)
+    speedup = ipc_speedup(planaria.amat, base.amat, profile.memory_intensity)
+    print(f"AMAT reduction      : {amat_reduction:+.1%}  (paper, 10-app average: -24.3%)")
+    print(f"IPC proxy speedup   : {speedup - 1:+.1%}  (paper, 10-app average: +28.9%)")
+    print(f"traffic overhead    : {planaria.traffic_overhead_vs(base):+.1%}")
+    print(f"power overhead      : {planaria.power_overhead_vs(base):+.1%}  (paper: +0.5%)")
+    print(f"metadata storage    : {planaria.storage_bits / 8 / 1024:.1f} KiB "
+          f"(paper: 345.2 KiB)")
+
+    slp = planaria.prefetch_useful_by_source.get("slp", 0)
+    tlp = planaria.prefetch_useful_by_source.get("tlp", 0)
+    if slp + tlp:
+        print(f"useful prefetches   : SLP {slp} / TLP {tlp} "
+              f"(SLP share {slp / (slp + tlp):.0%}; paper: ~80%)")
+
+
+if __name__ == "__main__":
+    main()

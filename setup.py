@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has setuptools but not the ``wheel`` package, so PEP 660
+editable installs cannot build; with this file and no [build-system] table
+``pip install -e .`` takes the legacy develop-install path, which works
+offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Trace analyses reproducing the paper's motivation experiments.
+
+* :mod:`repro.analysis.footprint` — Figure 2: the footprint snapshot of a
+  memory page over time (spatial clusters, long reuse distance,
+  non-deterministic order).
+* :mod:`repro.analysis.overlap` — Figures 3-4: window-to-window overlap
+  rate of per-page footprints (>80 % average, justifying PN-only
+  signatures).
+* :mod:`repro.analysis.neighbors` — Figure 5: fraction of pages with a
+  learnable neighbour at various distance thresholds (justifying TLP).
+"""
+
+from repro.analysis.footprint import FootprintEvent, page_footprint_events, footprint_summary
+from repro.analysis.overlap import OverlapResult, window_overlap_rate
+from repro.analysis.neighbors import NeighborResult, learnable_neighbor_fraction
+
+__all__ = [
+    "FootprintEvent",
+    "page_footprint_events",
+    "footprint_summary",
+    "OverlapResult",
+    "window_overlap_rate",
+    "NeighborResult",
+    "learnable_neighbor_fraction",
+]

@@ -1,0 +1,160 @@
+"""Footprint snapshot of a single page — the paper's Figure 2.
+
+Figure 2 plots, for one memory page, the block number of every access
+against its arrival cycle.  Three characteristics drive SLP's design:
+
+1. several blocks are touched within a brief interval (spatial clusters),
+2. the snapshot recurs after a long gap (limited temporal locality),
+3. the within-snapshot order varies between recurrences.
+
+:func:`page_footprint_events` extracts the raw (time, block) series;
+:func:`footprint_summary` quantifies the three observations; and
+:func:`render_ascii` draws the classic scatter as text for terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.geometry import AddressLayout, DEFAULT_LAYOUT
+from repro.trace.record import TraceRecord
+
+
+@dataclass(frozen=True)
+class FootprintEvent:
+    """One access to the observed page."""
+
+    time: int
+    block: int
+
+
+@dataclass(frozen=True)
+class FootprintSummary:
+    """Quantified Figure-2 observations for one page."""
+
+    num_accesses: int
+    distinct_blocks: int
+    num_bursts: int
+    mean_burst_span: float
+    mean_gap_between_bursts: float
+    order_similarity: float
+
+    @property
+    def reuse_over_burst_ratio(self) -> float:
+        """How much longer the inter-snapshot gap is than the snapshot
+        itself — 'reuse distance of the snapshots is usually long'."""
+        if self.mean_burst_span <= 0:
+            return 0.0
+        return self.mean_gap_between_bursts / self.mean_burst_span
+
+
+def page_footprint_events(
+    records: Iterable[TraceRecord],
+    page_number: int,
+    layout: AddressLayout = DEFAULT_LAYOUT,
+) -> List[FootprintEvent]:
+    """All accesses to ``page_number``, in arrival order."""
+    return [
+        FootprintEvent(time=record.arrival_time,
+                       block=layout.block_in_page(record.address))
+        for record in records
+        if layout.page_number(record.address) == page_number
+    ]
+
+
+def split_bursts(events: Sequence[FootprintEvent],
+                 gap_threshold: int = 5_000) -> List[List[FootprintEvent]]:
+    """Group events into bursts separated by quiet gaps (snapshot episodes)."""
+    bursts: List[List[FootprintEvent]] = []
+    current: List[FootprintEvent] = []
+    for event in events:
+        if current and event.time - current[-1].time > gap_threshold:
+            bursts.append(current)
+            current = []
+        current.append(event)
+    if current:
+        bursts.append(current)
+    return bursts
+
+
+def _order_similarity(bursts: Sequence[Sequence[FootprintEvent]]) -> float:
+    """Mean pairwise similarity of block *orderings* across bursts.
+
+    1.0 would mean every burst touches its blocks in the same sequence;
+    Figure 2's observation ③ expects a low value even when the block *sets*
+    are nearly identical.
+    """
+    orders = []
+    for burst in bursts:
+        seen = []
+        for event in burst:
+            if event.block not in seen:
+                seen.append(event.block)
+        orders.append(seen)
+    if len(orders) < 2:
+        return 1.0
+    total = 0.0
+    pairs = 0
+    for first, second in zip(orders, orders[1:]):
+        common = [block for block in first if block in second]
+        if len(common) < 2:
+            continue
+        first_rank = {block: rank for rank, block in enumerate(first)}
+        second_rank = {block: rank for rank, block in enumerate(second)}
+        agreements = 0
+        comparisons = 0
+        for i in range(len(common)):
+            for j in range(i + 1, len(common)):
+                a, b = common[i], common[j]
+                same_order = ((first_rank[a] < first_rank[b])
+                              == (second_rank[a] < second_rank[b]))
+                agreements += 1 if same_order else 0
+                comparisons += 1
+        if comparisons:
+            total += agreements / comparisons
+            pairs += 1
+    return total / pairs if pairs else 1.0
+
+
+def footprint_summary(events: Sequence[FootprintEvent],
+                      gap_threshold: int = 5_000) -> FootprintSummary:
+    """Quantify Figure 2's three observations for one page's events."""
+    if not events:
+        return FootprintSummary(0, 0, 0, 0.0, 0.0, 1.0)
+    bursts = split_bursts(events, gap_threshold)
+    spans = [burst[-1].time - burst[0].time for burst in bursts]
+    gaps = [
+        later[0].time - earlier[-1].time
+        for earlier, later in zip(bursts, bursts[1:])
+    ]
+    return FootprintSummary(
+        num_accesses=len(events),
+        distinct_blocks=len({event.block for event in events}),
+        num_bursts=len(bursts),
+        mean_burst_span=sum(spans) / len(spans),
+        mean_gap_between_bursts=sum(gaps) / len(gaps) if gaps else 0.0,
+        order_similarity=_order_similarity(bursts),
+    )
+
+
+def render_ascii(events: Sequence[FootprintEvent], width: int = 72,
+                 blocks_per_page: int = 64) -> str:
+    """Render the Figure-2 scatter (time × block number) as ASCII art."""
+    if not events:
+        return "(no accesses)"
+    t_min = events[0].time
+    t_max = max(event.time for event in events)
+    span = max(1, t_max - t_min)
+    grid = [[" "] * width for _ in range(blocks_per_page)]
+    for event in events:
+        column = min(width - 1, (event.time - t_min) * (width - 1) // span)
+        grid[event.block][column] = "*"
+    lines = []
+    for block in range(blocks_per_page - 1, -1, -1):
+        row = "".join(grid[block])
+        if row.strip():
+            lines.append(f"{block:3d} |{row}")
+    lines.append("    +" + "-" * width)
+    lines.append(f"     time {t_min} .. {t_max} (cycles)")
+    return "\n".join(lines)

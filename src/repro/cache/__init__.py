@@ -1,0 +1,22 @@
+"""System-cache substrate: a set-associative cache with pluggable
+replacement policies, prefetch-fill tracking, and per-channel slicing.
+
+The paper's system cache (SC) is 4 MB / 16-way / 64 B blocks in total,
+sliced per DRAM channel (Table 1, Section 3.2).  Each slice is one
+:class:`~repro.cache.cache.SetAssociativeCache`.
+"""
+
+from repro.cache.block import CacheBlock, EvictionInfo
+from repro.cache.cache import AccessResult, SetAssociativeCache
+from repro.cache.interleave import ChannelInterleaver
+from repro.cache.replacement import make_policy, REPLACEMENT_POLICIES
+
+__all__ = [
+    "CacheBlock",
+    "EvictionInfo",
+    "AccessResult",
+    "SetAssociativeCache",
+    "ChannelInterleaver",
+    "make_policy",
+    "REPLACEMENT_POLICIES",
+]

@@ -1,0 +1,66 @@
+"""Cache block (line) state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CacheBlock:
+    """One cache way's state.
+
+    Attributes:
+        tag: block address stored in this way (``None`` when invalid).
+        dirty: written since fill (needs write-back on eviction).
+        prefetched: filled by a prefetch and not yet demanded.
+        source: name of the prefetcher that issued the fill (attribution
+            for Figure 9's SLP/TLP breakdown).
+        ready_time: cycle at which the fill data actually arrives; an
+            access before this is a *delayed hit* (MSHR-style merge).
+        last_touch: policy timestamp for LRU.
+        inserted: fill timestamp for FIFO.
+        rrpv: re-reference prediction value for SRRIP/DRRIP.
+    """
+
+    __slots__ = (
+        "tag", "dirty", "prefetched", "source",
+        "ready_time", "last_touch", "inserted", "rrpv",
+    )
+
+    def __init__(self) -> None:
+        self.tag: Optional[int] = None
+        self.dirty = False
+        self.prefetched = False
+        self.source: Optional[str] = None
+        self.ready_time = 0
+        self.last_touch = 0
+        self.inserted = 0
+        self.rrpv = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.tag is not None
+
+    def invalidate(self) -> None:
+        self.tag = None
+        self.dirty = False
+        self.prefetched = False
+        self.source = None
+
+    def __repr__(self) -> str:
+        if not self.valid:
+            return "CacheBlock(invalid)"
+        return (
+            f"CacheBlock(tag={self.tag:#x}, dirty={self.dirty}, "
+            f"prefetched={self.prefetched}, source={self.source})"
+        )
+
+
+@dataclass(frozen=True)
+class EvictionInfo:
+    """What fell out of the cache on a fill."""
+
+    tag: int
+    dirty: bool
+    prefetched: bool
+    source: Optional[str]

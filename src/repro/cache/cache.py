@@ -1,0 +1,242 @@
+"""Set-associative cache with prefetch-aware fills and MSHR-style
+delayed-hit tracking.
+
+This is the per-channel slice of the paper's 4 MB system cache.  Beyond a
+textbook cache it tracks, per block, whether the block was filled by a
+prefetcher (and which one) and when the fill data becomes *ready*, so the
+simulation engine can account for:
+
+* prefetch usefulness/pollution per sub-prefetcher (Figure 9 attribution),
+* late prefetches (data still in flight when the demand arrives),
+* MSHR merges (a second miss to an in-flight block doesn't re-access DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache.block import CacheBlock, EvictionInfo
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.drrip import DRRIPPolicy
+from repro.config import CacheConfig
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one demand access.
+
+    Attributes:
+        hit: data present and ready — a true SC hit.
+        delayed: data present but still in flight (``ready_time`` in the
+            future); the access waits ``wait_cycles``.
+        wait_cycles: remaining fill latency for a delayed access.
+        prefetch_source: set when this access was served (fully or partly)
+            by a prefetched block — names the issuing prefetcher.
+        late_prefetch: the serving prefetch was in flight (delayed hit).
+    """
+
+    hit: bool
+    delayed: bool = False
+    wait_cycles: int = 0
+    prefetch_source: Optional[str] = None
+    late_prefetch: bool = False
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache slice."""
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    delayed_hits: int = 0
+    prefetch_fills: int = 0
+    demand_fills: int = 0
+    writebacks: int = 0
+    prefetch_useful: Dict[str, int] = field(default_factory=dict)
+    prefetch_late: Dict[str, int] = field(default_factory=dict)
+    prefetch_unused_evicted: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.demand_hits / self.demand_accesses
+
+    def useful_total(self) -> int:
+        return sum(self.prefetch_useful.values())
+
+    def unused_total(self) -> int:
+        return sum(self.prefetch_unused_evicted.values())
+
+
+class SetAssociativeCache:
+    """One system-cache slice.
+
+    Addresses handed to this class are *block addresses* (byte address
+    >> block bits); the engine does the shifting once.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self._sets: List[List[CacheBlock]] = [
+            [CacheBlock() for _ in range(config.associativity)]
+            for _ in range(config.num_sets)
+        ]
+        self.policy = make_policy(config.replacement_policy, config.associativity,
+                                  config.num_sets)
+        self.stats = CacheStats()
+        self._set_mask = config.num_sets - 1
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def _set_index(self, block_addr: int) -> int:
+        return block_addr & self._set_mask
+
+    def _find_way(self, ways: List[CacheBlock], block_addr: int) -> int:
+        for index, block in enumerate(ways):
+            if block.tag == block_addr:
+                return index
+        return -1
+
+    def contains(self, block_addr: int) -> bool:
+        """True if the block is present (ready or in flight)."""
+        ways = self._sets[self._set_index(block_addr)]
+        return self._find_way(ways, block_addr) >= 0
+
+    def probe(self, block_addr: int) -> Optional[CacheBlock]:
+        """Inspect a block's state without touching replacement metadata."""
+        ways = self._sets[self._set_index(block_addr)]
+        way = self._find_way(ways, block_addr)
+        return ways[way] if way >= 0 else None
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+    def access(self, block_addr: int, now: int, is_write: bool = False) -> AccessResult:
+        """Perform a demand access; updates stats and replacement state.
+
+        A miss does *not* allocate — the engine calls :meth:`fill` once it
+        has scheduled the DRAM access, because only the engine knows the
+        fill's ready time.
+        """
+        set_index = self._set_index(block_addr)
+        ways = self._sets[set_index]
+        way = self._find_way(ways, block_addr)
+        self.stats.demand_accesses += 1
+        if way < 0:
+            self.stats.demand_misses += 1
+            if isinstance(self.policy, DRRIPPolicy):
+                self.policy.record_miss(set_index)
+            return AccessResult(hit=False)
+
+        block = ways[way]
+        self.policy.on_hit(set_index, ways, way)
+        if is_write:
+            block.dirty = True
+
+        prefetch_source = None
+        late = False
+        if block.prefetched:
+            # First demand touch of a prefetched block: it was useful.
+            prefetch_source = block.source
+            block.prefetched = False
+            self.stats.prefetch_useful[prefetch_source] = (
+                self.stats.prefetch_useful.get(prefetch_source, 0) + 1
+            )
+
+        if block.ready_time > now:
+            # In-flight fill: MSHR merge / late prefetch.
+            wait = block.ready_time - now
+            self.stats.demand_misses += 1
+            self.stats.delayed_hits += 1
+            if prefetch_source is not None:
+                late = True
+                self.stats.prefetch_late[prefetch_source] = (
+                    self.stats.prefetch_late.get(prefetch_source, 0) + 1
+                )
+            return AccessResult(
+                hit=False, delayed=True, wait_cycles=wait,
+                prefetch_source=prefetch_source, late_prefetch=late,
+            )
+
+        self.stats.demand_hits += 1
+        return AccessResult(hit=True, prefetch_source=prefetch_source)
+
+    # ------------------------------------------------------------------
+    # Fill path
+    # ------------------------------------------------------------------
+    def fill(
+        self,
+        block_addr: int,
+        now: int,
+        ready_time: int,
+        prefetched: bool = False,
+        source: Optional[str] = None,
+        dirty: bool = False,
+    ) -> Optional[EvictionInfo]:
+        """Install a block; returns eviction info if a valid block fell out.
+
+        Raises:
+            SimulationError: if the block is already present (the engine
+                must dedup against :meth:`contains` first).
+        """
+        set_index = self._set_index(block_addr)
+        ways = self._sets[set_index]
+        if self._find_way(ways, block_addr) >= 0:
+            raise SimulationError(f"double fill of block {block_addr:#x}")
+        victim_way = self.policy.victim(set_index, ways)
+        victim = ways[victim_way]
+        eviction: Optional[EvictionInfo] = None
+        if victim.valid:
+            eviction = EvictionInfo(
+                tag=victim.tag, dirty=victim.dirty,
+                prefetched=victim.prefetched, source=victim.source,
+            )
+            if victim.dirty:
+                self.stats.writebacks += 1
+            if victim.prefetched and victim.source is not None:
+                self.stats.prefetch_unused_evicted[victim.source] = (
+                    self.stats.prefetch_unused_evicted.get(victim.source, 0) + 1
+                )
+        victim.tag = block_addr
+        victim.dirty = dirty
+        victim.prefetched = prefetched
+        victim.source = source if prefetched else None
+        victim.ready_time = ready_time
+        self.policy.on_fill(set_index, ways, victim_way, prefetched)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        else:
+            self.stats.demand_fills += 1
+        return eviction
+
+    def invalidate(self, block_addr: int) -> bool:
+        """Drop a block if present; returns whether anything was dropped."""
+        ways = self._sets[self._set_index(block_addr)]
+        way = self._find_way(ways, block_addr)
+        if way < 0:
+            return False
+        ways[way].invalidate()
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of valid blocks currently resident."""
+        return sum(
+            1 for ways in self._sets for block in ways if block.valid
+        )
+
+    def resident_prefetches(self) -> int:
+        """Prefetched-and-not-yet-used blocks currently resident."""
+        return sum(
+            1 for ways in self._sets for block in ways
+            if block.valid and block.prefetched
+        )

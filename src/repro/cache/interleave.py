@@ -1,0 +1,40 @@
+"""Channel interleaving: splitting the bus trace across SC slices.
+
+Section 3.2: a 4 KB page is partitioned into four 16-block segments, each
+statically mapped to one DRAM channel, so each channel's SC slice and
+prefetcher observe a 16-bit bitmap's worth of every page.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.geometry import AddressLayout, DEFAULT_LAYOUT
+from repro.trace.record import TraceRecord
+
+
+class ChannelInterleaver:
+    """Routes trace records to per-channel streams."""
+
+    def __init__(self, layout: AddressLayout = DEFAULT_LAYOUT) -> None:
+        self.layout = layout
+
+    def channel_of(self, record: TraceRecord) -> int:
+        """The channel a record's address statically maps to."""
+        return self.layout.channel(record.address)
+
+    def split(self, records: Iterable[TraceRecord]) -> List[List[TraceRecord]]:
+        """Partition records into per-channel lists, preserving order."""
+        streams: List[List[TraceRecord]] = [
+            [] for _ in range(self.layout.num_channels)
+        ]
+        for record in records:
+            streams[self.layout.channel(record.address)].append(record)
+        return streams
+
+    def balance(self, records: Iterable[TraceRecord]) -> List[int]:
+        """Per-channel record counts (load-balance check)."""
+        counts = [0] * self.layout.num_channels
+        for record in records:
+            counts[self.layout.channel(record.address)] += 1
+        return counts

@@ -1,0 +1,51 @@
+"""Replacement policies for the system cache.
+
+The paper notes that "neither state-of-the-art cache replacement policies
+nor increasing cache size significantly improve SC performance" — these
+policies exist both as the baseline LRU the experiments use and to let users
+reproduce that negative observation (see ``examples/replacement_study.py``).
+"""
+
+from typing import Dict, Type
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.fifo import FIFOPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.random_ import RandomPolicy
+from repro.cache.replacement.srrip import SRRIPPolicy
+from repro.cache.replacement.drrip import DRRIPPolicy
+from repro.errors import ConfigError
+
+REPLACEMENT_POLICIES: Dict[str, Type[ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "srrip": SRRIPPolicy,
+    "drrip": DRRIPPolicy,
+}
+
+
+def make_policy(name: str, associativity: int, num_sets: int) -> ReplacementPolicy:
+    """Instantiate a policy by name.
+
+    Raises:
+        ConfigError: for an unknown policy name.
+    """
+    try:
+        policy_class = REPLACEMENT_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(REPLACEMENT_POLICIES))
+        raise ConfigError(f"unknown replacement policy {name!r}; known: {known}") from None
+    return policy_class(associativity, num_sets)
+
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "SRRIPPolicy",
+    "DRRIPPolicy",
+    "REPLACEMENT_POLICIES",
+    "make_policy",
+]

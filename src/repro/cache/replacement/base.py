@@ -1,0 +1,52 @@
+"""Replacement policy interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.cache.block import CacheBlock
+
+
+class ReplacementPolicy(abc.ABC):
+    """Chooses victims and maintains recency state for one cache.
+
+    A policy never touches ``tag``/``dirty``/``prefetched`` — only its own
+    ordering metadata on the blocks (``last_touch``, ``inserted``, ``rrpv``).
+    """
+
+    name = "base"
+
+    def __init__(self, associativity: int, num_sets: int) -> None:
+        if associativity < 1:
+            raise ValueError(f"associativity must be >= 1, got {associativity}")
+        if num_sets < 1:
+            raise ValueError(f"num_sets must be >= 1, got {num_sets}")
+        self.associativity = associativity
+        self.num_sets = num_sets
+        self._tick = 0
+
+    def _next_tick(self) -> int:
+        """Monotonic logical time for recency ordering."""
+        self._tick += 1
+        return self._tick
+
+    @abc.abstractmethod
+    def on_hit(self, set_index: int, ways: List[CacheBlock], way: int) -> None:
+        """Called on a demand hit to ``ways[way]``."""
+
+    @abc.abstractmethod
+    def on_fill(self, set_index: int, ways: List[CacheBlock], way: int,
+                prefetched: bool) -> None:
+        """Called after a new block is installed in ``ways[way]``."""
+
+    @abc.abstractmethod
+    def victim(self, set_index: int, ways: List[CacheBlock]) -> int:
+        """Return the way index to evict; invalid ways must win first."""
+
+    @staticmethod
+    def _first_invalid(ways: List[CacheBlock]) -> int:
+        for index, block in enumerate(ways):
+            if not block.valid:
+                return index
+        return -1

@@ -1,0 +1,60 @@
+"""Dynamic re-reference interval prediction (DRRIP) with set dueling."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.srrip import SRRIPPolicy
+
+
+class DRRIPPolicy(SRRIPPolicy):
+    """DRRIP: set-dueling between SRRIP and bimodal (BRRIP) insertion.
+
+    A handful of *leader sets* are hardwired to each insertion policy; a
+    policy-selector counter (PSEL) tracks which leader group misses less and
+    steers all *follower sets*.
+    """
+
+    name = "drrip"
+    num_leader_sets = 32
+    psel_bits = 10
+    brrip_long_probability = 1 / 32
+
+    def __init__(self, associativity: int, num_sets: int) -> None:
+        super().__init__(associativity, num_sets)
+        self._psel = (1 << self.psel_bits) // 2
+        self._psel_max = (1 << self.psel_bits) - 1
+        stride = max(1, num_sets // self.num_leader_sets)
+        self._srrip_leaders = set(range(0, num_sets, stride * 2))
+        self._brrip_leaders = set(range(stride, num_sets, stride * 2))
+        self._fill_count = 0
+
+    def record_miss(self, set_index: int) -> None:
+        """Called by the cache on a demand miss, drives set dueling."""
+        if set_index in self._srrip_leaders:
+            self._psel = min(self._psel_max, self._psel + 1)
+        elif set_index in self._brrip_leaders:
+            self._psel = max(0, self._psel - 1)
+
+    def _use_srrip(self, set_index: int) -> bool:
+        if set_index in self._srrip_leaders:
+            return True
+        if set_index in self._brrip_leaders:
+            return False
+        return self._psel < (self._psel_max + 1) // 2
+
+    def on_fill(self, set_index: int, ways: List[CacheBlock], way: int,
+                prefetched: bool) -> None:
+        if prefetched:
+            ways[way].rrpv = self.max_rrpv
+            return
+        if self._use_srrip(set_index):
+            ways[way].rrpv = self.max_rrpv - 1
+            return
+        # BRRIP: mostly distant (max), occasionally long (max-1).
+        self._fill_count += 1
+        if self._fill_count % int(1 / self.brrip_long_probability) == 0:
+            ways[way].rrpv = self.max_rrpv - 1
+        else:
+            ways[way].rrpv = self.max_rrpv

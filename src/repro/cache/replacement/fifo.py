@@ -1,0 +1,33 @@
+"""First-in first-out replacement."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evicts the oldest fill regardless of subsequent hits."""
+
+    name = "fifo"
+
+    def on_hit(self, set_index: int, ways: List[CacheBlock], way: int) -> None:
+        pass  # FIFO ignores reuse
+
+    def on_fill(self, set_index: int, ways: List[CacheBlock], way: int,
+                prefetched: bool) -> None:
+        ways[way].inserted = self._next_tick()
+
+    def victim(self, set_index: int, ways: List[CacheBlock]) -> int:
+        invalid = self._first_invalid(ways)
+        if invalid >= 0:
+            return invalid
+        oldest_way = 0
+        oldest_insert = ways[0].inserted
+        for index in range(1, len(ways)):
+            if ways[index].inserted < oldest_insert:
+                oldest_insert = ways[index].inserted
+                oldest_way = index
+        return oldest_way

@@ -1,0 +1,33 @@
+"""Least-recently-used replacement — the experiments' baseline policy."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True LRU via a monotonic touch counter per block."""
+
+    name = "lru"
+
+    def on_hit(self, set_index: int, ways: List[CacheBlock], way: int) -> None:
+        ways[way].last_touch = self._next_tick()
+
+    def on_fill(self, set_index: int, ways: List[CacheBlock], way: int,
+                prefetched: bool) -> None:
+        ways[way].last_touch = self._next_tick()
+
+    def victim(self, set_index: int, ways: List[CacheBlock]) -> int:
+        invalid = self._first_invalid(ways)
+        if invalid >= 0:
+            return invalid
+        oldest_way = 0
+        oldest_touch = ways[0].last_touch
+        for index in range(1, len(ways)):
+            if ways[index].last_touch < oldest_touch:
+                oldest_touch = ways[index].last_touch
+                oldest_way = index
+        return oldest_way

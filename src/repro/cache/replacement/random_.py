@@ -1,0 +1,32 @@
+"""Random replacement (deterministically seeded for reproducibility)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evicts a uniformly random valid way."""
+
+    name = "random"
+
+    def __init__(self, associativity: int, num_sets: int, seed: int = 0xC0FFEE) -> None:
+        super().__init__(associativity, num_sets)
+        self._rng = random.Random(seed)
+
+    def on_hit(self, set_index: int, ways: List[CacheBlock], way: int) -> None:
+        pass
+
+    def on_fill(self, set_index: int, ways: List[CacheBlock], way: int,
+                prefetched: bool) -> None:
+        pass
+
+    def victim(self, set_index: int, ways: List[CacheBlock]) -> int:
+        invalid = self._first_invalid(ways)
+        if invalid >= 0:
+            return invalid
+        return self._rng.randrange(len(ways))

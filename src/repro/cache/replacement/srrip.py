@@ -1,0 +1,42 @@
+"""Static re-reference interval prediction (SRRIP, Jaleel et al. ISCA'10)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """2-bit RRPV SRRIP with hit-priority promotion.
+
+    Fills insert at ``max_rrpv - 1`` (long re-reference interval);
+    prefetch fills insert at ``max_rrpv`` so an unused prefetch is the
+    preferred victim — a standard LLC courtesy toward prefetches.
+    """
+
+    name = "srrip"
+    rrpv_bits = 2
+
+    def __init__(self, associativity: int, num_sets: int) -> None:
+        super().__init__(associativity, num_sets)
+        self.max_rrpv = (1 << self.rrpv_bits) - 1
+
+    def on_hit(self, set_index: int, ways: List[CacheBlock], way: int) -> None:
+        ways[way].rrpv = 0
+
+    def on_fill(self, set_index: int, ways: List[CacheBlock], way: int,
+                prefetched: bool) -> None:
+        ways[way].rrpv = self.max_rrpv if prefetched else self.max_rrpv - 1
+
+    def victim(self, set_index: int, ways: List[CacheBlock]) -> int:
+        invalid = self._first_invalid(ways)
+        if invalid >= 0:
+            return invalid
+        while True:
+            for index, block in enumerate(ways):
+                if block.rrpv >= self.max_rrpv:
+                    return index
+            for block in ways:
+                block.rrpv += 1

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+* ``workloads``  — list the ten Table-2 application profiles.
+* ``generate``   — synthesise a trace to a CSV or binary file.
+* ``simulate``   — run a prefetcher line-up over an app or a trace file.
+* ``figure``     — regenerate one paper figure (fig2/fig4/.../headline),
+  optionally exporting CSV/SVG artifacts.
+* ``stability``  — metric spread across generator seeds.
+* ``footprint``  — draw the Figure-2 ASCII scatter for an application.
+* ``storage``    — print Planaria's bit-level storage budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.storage import planaria_storage_budget
+from repro.errors import ReproError
+from repro.prefetch.registry import PREFETCHER_FACTORIES
+from repro.trace.generator import generate_trace, get_profile, list_workloads
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print(f"{'abbr':6s} {'name':<20} {'paper len (M)':>13}  description")
+    for abbr in list_workloads():
+        profile = get_profile(abbr)
+        print(f"{abbr:6s} {profile.name:<20} "
+              f"{profile.paper_length_millions:>13.2f}  {profile.description}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.trace.io import write_trace, write_trace_binary
+
+    profile = get_profile(args.app)
+    records = generate_trace(profile, args.length, seed=args.seed)
+    if args.output.endswith(".bin"):
+        count = write_trace_binary(args.output, records)
+    else:
+        count = write_trace(args.output, records)
+    print(f"wrote {count} records of {profile.name} to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.runner import compare_prefetchers, simulate
+
+    config = None
+    if args.sim_config:
+        from repro.config_io import load_sim_config
+
+        config = load_sim_config(args.sim_config)
+
+    prefetchers = args.prefetchers.split(",")
+    unknown = [name for name in prefetchers if name not in PREFETCHER_FACTORIES]
+    if unknown:
+        print(f"unknown prefetchers: {unknown}; "
+              f"known: {sorted(PREFETCHER_FACTORIES)}", file=sys.stderr)
+        return 2
+
+    if args.trace:
+        from repro.trace.io import read_trace, read_trace_binary
+
+        if args.trace.endswith(".bin"):
+            records = read_trace_binary(args.trace)
+        else:
+            records = list(read_trace(args.trace))
+        results = {
+            name: simulate(records, name, workload_name=args.trace,
+                           config=config).metrics
+            for name in prefetchers
+        }
+    else:
+        results = compare_prefetchers(args.app, prefetchers,
+                                      length=args.length, seed=args.seed,
+                                      config=config)
+
+    base = results.get("none") or next(iter(results.values()))
+    print(f"{'prefetcher':<12} {'hit rate':>9} {'AMAT':>9} {'accuracy':>9} "
+          f"{'coverage':>9} {'dTraffic':>9} {'dPower':>8}")
+    for name, metrics in results.items():
+        print(f"{name:<12} {metrics.hit_rate:>9.3f} {metrics.amat:>9.1f} "
+              f"{metrics.accuracy:>9.2f} {metrics.coverage:>9.2f} "
+              f"{metrics.traffic_overhead_vs(base):>+9.1%} "
+              f"{metrics.power_overhead_vs(base):>+8.1%}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS, ExperimentSettings
+
+    if args.id not in ALL_EXPERIMENTS:
+        print(f"unknown figure {args.id!r}; known: {sorted(ALL_EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    settings = ExperimentSettings(
+        trace_length=args.length, seed=args.seed,
+        apps=tuple(args.apps.split(",")) if args.apps
+        else tuple(list_workloads()),
+    )
+    report = ALL_EXPERIMENTS[args.id](settings)
+    print(report.format_table())
+    if args.export:
+        from repro.experiments.export import export_report
+
+        for written in export_report(report, args.export):
+            print(f"exported {written}")
+    return 0
+
+
+def _cmd_footprint(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentSettings, fig2_footprint
+
+    settings = ExperimentSettings(trace_length=args.length, seed=args.seed,
+                                  apps=(args.app,))
+    print(fig2_footprint.ascii_plot(settings, app=args.app))
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    from repro.experiments.stability import seed_stability
+
+    summaries = seed_stability(args.app, args.prefetcher,
+                               seeds=range(1, args.seeds + 1),
+                               length=args.length)
+    print(f"{args.prefetcher} on {args.app}, {args.seeds} seeds, "
+          f"{args.length} requests each (mean ± std [min, max]):")
+    for name, summary in summaries.items():
+        print(f"  {name:<18} {summary.format()}")
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    budget = planaria_storage_budget()
+    print(budget.format_table())
+    print(f"\nfraction of the 4 MB SC: {budget.fraction_of_cache():.1%} "
+          f"(paper: 8.4%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Planaria (DAC 2024) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("workloads", help="list application profiles"
+                        ).set_defaults(handler=_cmd_workloads)
+
+    generate = commands.add_parser("generate", help="synthesise a trace file")
+    generate.add_argument("app", choices=list_workloads())
+    generate.add_argument("output", help=".csv or .bin path")
+    generate.add_argument("--length", type=int, default=100_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    simulate = commands.add_parser("simulate", help="run prefetchers over a workload")
+    simulate.add_argument("--app", default="CFM", choices=list_workloads())
+    simulate.add_argument("--trace", help="simulate a trace file instead")
+    simulate.add_argument("--prefetchers", default="none,bop,spp,planaria")
+    simulate.add_argument("--length", type=int, default=60_000)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--sim-config", metavar="JSON",
+                          help="SimConfig JSON file (see repro.config_io)")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("id", help="fig2|fig4|fig5|fig7|fig8|fig9|fig10|headline")
+    figure.add_argument("--length", type=int, default=60_000)
+    figure.add_argument("--seed", type=int, default=7)
+    figure.add_argument("--apps", help="comma-separated subset, e.g. CFM,Fort")
+    figure.add_argument("--export", metavar="DIR",
+                        help="also write <id>.csv/<id>.svg into DIR")
+    figure.set_defaults(handler=_cmd_figure)
+
+    stability = commands.add_parser(
+        "stability", help="metric spread across generator seeds")
+    stability.add_argument("--app", default="CFM", choices=list_workloads())
+    stability.add_argument("--prefetcher", default="planaria")
+    stability.add_argument("--seeds", type=int, default=5)
+    stability.add_argument("--length", type=int, default=40_000)
+    stability.set_defaults(handler=_cmd_stability)
+
+    footprint = commands.add_parser("footprint", help="Figure-2 ASCII scatter")
+    footprint.add_argument("--app", default="CFM", choices=list_workloads())
+    footprint.add_argument("--length", type=int, default=40_000)
+    footprint.add_argument("--seed", type=int, default=7)
+    footprint.set_defaults(handler=_cmd_footprint)
+
+    commands.add_parser("storage", help="Planaria storage budget"
+                        ).set_defaults(handler=_cmd_storage)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,320 @@
+"""Configuration dataclasses for every simulated subsystem.
+
+Defaults reproduce Table 1 of the paper: a 4 MB / 16-way system cache with
+64 B blocks in front of 4 LPDDR4 channels (1 rank, 8 banks each) with the
+listed timing parameters, plus the SLP/TLP/coordinator parameters given in
+Sections 3-4.
+
+Every config validates itself in ``__post_init__`` so a bad experiment setup
+fails loudly at construction time rather than deep inside a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.geometry import AddressLayout
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One system-cache slice (per DRAM channel).
+
+    The paper's SC is 4 MB total across 4 channels, 16-way, 64 B blocks, so
+    each channel slice defaults to 1 MB.
+    """
+
+    size_bytes: int = 1 << 20
+    associativity: int = 16
+    block_size: int = 64
+    replacement_policy: str = "lru"
+    writeback: bool = True
+
+    def __post_init__(self) -> None:
+        _require(_is_power_of_two(self.block_size), f"block_size must be a power of two: {self.block_size}")
+        _require(self.associativity >= 1, f"associativity must be >= 1: {self.associativity}")
+        _require(self.size_bytes % (self.block_size * self.associativity) == 0,
+                 "cache size must be a whole number of sets")
+        _require(_is_power_of_two(self.num_sets), f"number of sets must be a power of two: {self.num_sets}")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.block_size * self.associativity)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_size
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """LPDDR4 timing parameters, in memory-controller cycles (Table 1)."""
+
+    tRAS: int = 51
+    tRCD: int = 16
+    tRRD: int = 12
+    tRC: int = 76
+    tRP: int = 16
+    tCCD: int = 8
+    tRTP: int = 9
+    tWTR: int = 12
+    tWR: int = 22
+    tRTRS: int = 2
+    tRFC: int = 216
+    tFAW: int = 48
+    tCKE: int = 9
+    tXP: int = 9
+    tCMD: int = 1
+    burst_length: int = 16
+    tCL: int = 28
+    tCWL: int = 14
+    tREFI: int = 3120
+
+    def __post_init__(self) -> None:
+        for name in ("tRAS", "tRCD", "tRP", "tRC", "tCL", "burst_length", "tREFI", "tRFC"):
+            _require(getattr(self, name) > 0, f"{name} must be positive")
+        _require(self.tRC >= self.tRAS, "tRC must be >= tRAS")
+
+    @property
+    def burst_cycles(self) -> int:
+        """Data-bus occupancy of one burst (DDR: two transfers per cycle)."""
+        return max(1, self.burst_length // 2)
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """One LPDDR4 channel: geometry, scheduling and row-buffer policy."""
+
+    timing: DRAMTiming = field(default_factory=DRAMTiming)
+    num_ranks: int = 1
+    num_banks: int = 8
+    row_size_bytes: int = 2048
+    scheduler: str = "frfcfs"
+    row_policy: str = "open"
+    queue_depth: int = 32
+    refresh_enabled: bool = True
+    prefetch_defer: int = 160
+    writeback_defer: int = 256
+
+    def __post_init__(self) -> None:
+        _require(self.num_ranks >= 1, "num_ranks must be >= 1")
+        _require(_is_power_of_two(self.num_banks), "num_banks must be a power of two")
+        _require(_is_power_of_two(self.row_size_bytes), "row_size_bytes must be a power of two")
+        _require(self.scheduler in ("frfcfs", "fcfs"), f"unknown scheduler {self.scheduler!r}")
+        _require(self.row_policy in ("open", "closed"), f"unknown row_policy {self.row_policy!r}")
+        _require(self.queue_depth >= 1, "queue_depth must be >= 1")
+        _require(self.prefetch_defer >= 0, "prefetch_defer must be >= 0")
+        _require(self.writeback_defer >= 0, "writeback_defer must be >= 0")
+
+
+@dataclass(frozen=True)
+class SLPConfig:
+    """Self-Learning directed Prefetcher (Section 3.2).
+
+    Filter Table entries promote to the Accumulation Table after
+    ``filter_threshold`` distinct offsets (paper: 3); AT entries evicted by
+    the ``at_timeout`` last-access-time mechanism transfer their bitmap to
+    the Pattern History Table.
+    """
+
+    filter_table_entries: int = 256
+    filter_threshold: int = 3
+    accumulation_table_entries: int = 256
+    at_timeout: int = 20_000
+    pattern_table_entries: int = 16_384
+    issue_on_miss_only: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.filter_table_entries >= 1, "filter_table_entries must be >= 1")
+        _require(1 <= self.filter_threshold <= 16, "filter_threshold must be in 1..16")
+        _require(self.accumulation_table_entries >= 1, "accumulation_table_entries must be >= 1")
+        _require(self.at_timeout > 0, "at_timeout must be positive")
+        _require(self.pattern_table_entries >= 1, "pattern_table_entries must be >= 1")
+
+
+@dataclass(frozen=True)
+class TLPConfig:
+    """Transfer-Learning directed Prefetcher (Section 4.2).
+
+    Two pages are learnable neighbours when their page numbers differ by at
+    most ``distance_threshold`` (paper default 64) and their bitmaps share at
+    least ``min_common_bits`` set bits (paper example: 4).
+    ``max_foreign_bits`` additionally bounds how many of the trigger page's
+    accessed blocks may be *absent* from the donor's bitmap — the Section
+    4.1 similarity test is a small bitmap difference, and without this
+    consistency bound a partially-accumulated trigger bitmap would match
+    unrelated dense patterns by chance.
+    """
+
+    rpt_entries: int = 128
+    distance_threshold: int = 64
+    min_common_bits: int = 4
+    max_foreign_bits: int = 0
+    max_transfer_bits: int = 8
+    issue_on_miss_only: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.rpt_entries >= 2, "rpt_entries must be >= 2")
+        _require(self.distance_threshold >= 1, "distance_threshold must be >= 1")
+        _require(1 <= self.min_common_bits <= 16, "min_common_bits must be in 1..16")
+        _require(0 <= self.max_foreign_bits <= 16, "max_foreign_bits must be in 0..16")
+        _require(1 <= self.max_transfer_bits <= 16, "max_transfer_bits must be in 1..16")
+
+
+@dataclass(frozen=True)
+class PlanariaConfig:
+    """The composite prefetcher: SLP + TLP + coordinator."""
+
+    slp: SLPConfig = field(default_factory=SLPConfig)
+    tlp: TLPConfig = field(default_factory=TLPConfig)
+    coordinator: str = "decoupled"
+
+    def __post_init__(self) -> None:
+        _require(self.coordinator in ("decoupled", "serial", "parallel"),
+                 f"unknown coordinator {self.coordinator!r}")
+
+
+@dataclass(frozen=True)
+class BOPConfig:
+    """Best-Offset Prefetcher (Michaud, HPCA 2016)."""
+
+    rr_table_entries: int = 256
+    score_max: int = 31
+    round_max: int = 60
+    bad_score: int = 2
+    stay_in_page: bool = True
+    chain_on_prefetch_hit: bool = False
+    offsets: tuple = (
+        1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25,
+        27, 30, 32, 36, 40, 45, 48, 50, 54, 60, 64, 72, 75, 80,
+        81, 90, 96, 100, 108, 120, 125, 128, 135, 144, 150, 160,
+        162, 180, 192, 200, 216, 225, 240, 243, 250, 256,
+    )
+
+    def __post_init__(self) -> None:
+        _require(self.rr_table_entries >= 1, "rr_table_entries must be >= 1")
+        _require(self.score_max >= 1, "score_max must be >= 1")
+        _require(self.round_max >= 1, "round_max must be >= 1")
+        _require(0 <= self.bad_score <= self.score_max, "bad_score must be in 0..score_max")
+        _require(len(self.offsets) > 0, "offsets must be non-empty")
+
+
+@dataclass(frozen=True)
+class SPPConfig:
+    """Signature Path Prefetcher (Kim et al., MICRO 2016), PC-free."""
+
+    signature_table_entries: int = 256
+    pattern_table_entries: int = 2048
+    signature_bits: int = 12
+    counter_bits: int = 4
+    lookahead_confidence: float = 0.55
+    prefetch_confidence: float = 0.35
+    min_sig_count: int = 3
+    max_lookahead_depth: int = 4
+    ghr_entries: int = 8
+    issue_on_miss_only: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.signature_table_entries >= 1, "signature_table_entries must be >= 1")
+        _require(self.pattern_table_entries >= 1, "pattern_table_entries must be >= 1")
+        _require(4 <= self.signature_bits <= 32, "signature_bits must be in 4..32")
+        _require(1 <= self.counter_bits <= 8, "counter_bits must be in 1..8")
+        _require(0.0 < self.lookahead_confidence <= 1.0, "lookahead_confidence in (0, 1]")
+        _require(0.0 < self.prefetch_confidence <= 1.0, "prefetch_confidence in (0, 1]")
+        _require(self.min_sig_count >= 1, "min_sig_count must be >= 1")
+        _require(self.max_lookahead_depth >= 1, "max_lookahead_depth must be >= 1")
+        _require(self.ghr_entries >= 0, "ghr_entries must be >= 0")
+
+
+@dataclass(frozen=True)
+class PrefetchQueueConfig:
+    """Prefetch queue shared by every prefetcher (dedup + throttling)."""
+
+    depth: int = 32
+    max_degree: int = 16
+    drop_duplicates: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.depth >= 1, "depth must be >= 1")
+        _require(self.max_degree >= 1, "max_degree must be >= 1")
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """LPDDR4 current/voltage parameters for the Micron-style power model.
+
+    Currents are in mA at ``vdd`` volts; the absolute values are
+    representative of an LPDDR4-3200 x16 part. Only *relative* power across
+    prefetchers matters for Figure 10.
+    """
+
+    vdd: float = 1.1
+    idd0: float = 55.0
+    idd2n: float = 30.0
+    idd3n: float = 40.0
+    idd4r: float = 180.0
+    idd4w: float = 175.0
+    idd5: float = 130.0
+    clock_mhz: float = 1600.0
+    sram_read_energy_pj: float = 10.0
+    sram_write_energy_pj: float = 12.0
+    sram_leakage_mw_per_kb: float = 0.01
+
+    def __post_init__(self) -> None:
+        _require(self.vdd > 0, "vdd must be positive")
+        _require(self.clock_mhz > 0, "clock_mhz must be positive")
+        for name in ("idd0", "idd2n", "idd3n", "idd4r", "idd4w", "idd5"):
+            _require(getattr(self, name) >= 0, f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Top-level trace-driven simulation configuration."""
+
+    layout: AddressLayout = field(default_factory=AddressLayout)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    queue: PrefetchQueueConfig = field(default_factory=PrefetchQueueConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+    sc_hit_latency: int = 30
+    prefetch_fill_sc: bool = True
+    warmup_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        _require(self.sc_hit_latency >= 1, "sc_hit_latency must be >= 1")
+        _require(0.0 <= self.warmup_fraction < 1.0, "warmup_fraction must be in [0, 1)")
+        _require(self.cache.block_size == self.layout.block_size,
+                 "cache block size must match the address layout block size")
+
+    @classmethod
+    def paper_scale(cls) -> "SimConfig":
+        """Table-1 fidelity: 4 MB SC total (1 MB per channel slice).
+
+        Appropriate when driving traces of tens of millions of requests,
+        like the paper's.
+        """
+        return cls(cache=CacheConfig(size_bytes=1 << 20))
+
+    @classmethod
+    def experiment_scale(cls) -> "SimConfig":
+        """Capacity-ratio-preserving scale-down for the bundled experiments.
+
+        The paper runs 66-71 M-request traces against a 4 MB SC; the
+        bundled synthetic traces are ~500x shorter, so the SC is scaled to
+        512 KB total (128 KB per channel slice) to keep the
+        footprint-to-capacity ratio — and therefore the miss behaviour the
+        prefetchers compete on — in the same regime.  All reported
+        quantities are ratios between prefetchers on identical hardware,
+        which this scaling preserves (see DESIGN.md section 2).
+        """
+        return cls(cache=CacheConfig(size_bytes=128 << 10))

@@ -1,0 +1,121 @@
+"""Config (de)serialization: SimConfig ⇄ nested dict ⇄ JSON file.
+
+Lets experiments be described by version-controllable JSON instead of
+code — `python -m repro simulate --config my_setup.json` style workflows,
+and regression baselines that pin the exact configuration they ran with.
+
+Only the types used inside the config tree are supported (dataclasses,
+numbers, strings, booleans, tuples); unknown keys fail loudly rather than
+being silently dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Type, TypeVar, Union
+
+from repro.config import (
+    BOPConfig,
+    CacheConfig,
+    DRAMConfig,
+    DRAMTiming,
+    PlanariaConfig,
+    PowerConfig,
+    PrefetchQueueConfig,
+    SLPConfig,
+    SPPConfig,
+    SimConfig,
+    TLPConfig,
+)
+from repro.errors import ConfigError
+from repro.geometry import AddressLayout
+
+ConfigT = TypeVar("ConfigT")
+
+PathLike = Union[str, Path]
+
+# Every dataclass reachable from SimConfig / PlanariaConfig.
+_KNOWN_TYPES = (
+    SimConfig, CacheConfig, DRAMConfig, DRAMTiming, PrefetchQueueConfig,
+    PowerConfig, AddressLayout, PlanariaConfig, SLPConfig, TLPConfig,
+    BOPConfig, SPPConfig,
+)
+
+
+def to_dict(config: Any) -> Dict[str, Any]:
+    """Recursively convert a config dataclass to plain dict/JSON types."""
+    if not dataclasses.is_dataclass(config):
+        raise ConfigError(f"not a config dataclass: {type(config).__name__}")
+    result: Dict[str, Any] = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if dataclasses.is_dataclass(value):
+            result[field.name] = to_dict(value)
+        elif isinstance(value, tuple):
+            result[field.name] = list(value)
+        else:
+            result[field.name] = value
+    return result
+
+
+def from_dict(config_type: Type[ConfigT], data: Dict[str, Any]) -> ConfigT:
+    """Rebuild a config dataclass (and its nested configs) from a dict.
+
+    Raises:
+        ConfigError: on unknown keys, so typos in JSON files surface.
+    """
+    if config_type not in _KNOWN_TYPES:
+        raise ConfigError(f"unsupported config type {config_type.__name__}")
+    field_map = {field.name: field for field in dataclasses.fields(config_type)}
+    unknown = set(data) - set(field_map)
+    if unknown:
+        raise ConfigError(
+            f"unknown keys for {config_type.__name__}: {sorted(unknown)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for name, value in data.items():
+        field = field_map[name]
+        nested_type = _nested_type(field)
+        if nested_type is not None and isinstance(value, dict):
+            kwargs[name] = from_dict(nested_type, value)
+        elif isinstance(value, list):
+            kwargs[name] = tuple(value)
+        else:
+            kwargs[name] = value
+    return config_type(**kwargs)
+
+
+def _nested_type(field: dataclasses.Field):
+    """The config dataclass a field holds, if any (by default factory or type)."""
+    for known in _KNOWN_TYPES:
+        if field.type == known.__name__ or field.type is known:
+            return known
+    # Fall back to the default factory's produced type.
+    if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        produced = field.default_factory()  # type: ignore[misc]
+        for known in _KNOWN_TYPES:
+            if isinstance(produced, known):
+                return known
+    return None
+
+
+def save_config(config: Any, path: PathLike) -> Path:
+    """Write a config tree as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(to_dict(config), indent=2) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_sim_config(path: PathLike) -> SimConfig:
+    """Load a :class:`SimConfig` from a JSON file (validates on build)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return from_dict(SimConfig, data)
+
+
+def load_planaria_config(path: PathLike) -> PlanariaConfig:
+    """Load a :class:`PlanariaConfig` from a JSON file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return from_dict(PlanariaConfig, data)

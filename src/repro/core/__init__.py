@@ -1,0 +1,24 @@
+"""Planaria: the paper's composite prefetcher.
+
+* :class:`~repro.core.slp.SLPPrefetcher` — intra-page self-learning
+  (Filter Table → Accumulation Table → Pattern History Table).
+* :class:`~repro.core.tlp.TLPPrefetcher` — inter-page transfer learning
+  (Recent Page Table with neighbour Ref bits).
+* :class:`~repro.core.planaria.PlanariaPrefetcher` — the coordinator that
+  trains both in parallel and lets exactly one issue per trigger.
+* :mod:`repro.core.storage` — bit-level storage accounting (the paper's
+  345.2 KB / 8.4 %-of-SC figure).
+"""
+
+from repro.core.slp import SLPPrefetcher
+from repro.core.tlp import TLPPrefetcher
+from repro.core.planaria import PlanariaPrefetcher
+from repro.core.storage import StorageBudget, planaria_storage_budget
+
+__all__ = [
+    "SLPPrefetcher",
+    "TLPPrefetcher",
+    "PlanariaPrefetcher",
+    "StorageBudget",
+    "planaria_storage_budget",
+]

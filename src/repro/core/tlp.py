@@ -1,0 +1,151 @@
+"""TLP — Transfer-Learning directed Prefetcher (paper Section 4.2).
+
+TLP lets a page without history of its own borrow the footprint of a
+*learnable neighbour*: a recently seen page whose page number differs by at
+most ``distance_threshold`` (64) and whose access bitmap shares at least
+``min_common_bits`` (4) set bits with the trigger page's bitmap so far.
+Among the candidates the most similar (most common set bits) wins, and the
+blocks set in the neighbour's bitmap but not yet accessed on the trigger
+page are prefetched (Figure 6).
+
+The hardware structure is the 128-entry Recent Page Table (RPT): each
+entry holds a 16-bit recently-accessed bitmap and 128 1-bit "Ref" fields
+precomputing which other entries are within the neighbour distance, so the
+issuing phase only compares bitmaps against Ref=1 entries.  This class
+models the Ref bits as per-entry neighbour sets maintained at
+allocation/eviction time — bit-for-bit the same reachability, evaluated
+lazily.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Set
+
+from repro.config import TLPConfig
+from repro.geometry import AddressLayout
+from repro.prefetch.base import DemandAccess, PrefetchCandidate, Prefetcher
+from repro.utils.bitops import iter_set_bits, popcount
+
+
+class _RPTEntry:
+    __slots__ = ("bitmap", "refs")
+
+    def __init__(self) -> None:
+        self.bitmap = 0
+        self.refs: Set[int] = set()
+
+
+class TLPPrefetcher(Prefetcher):
+    """Inter-page pattern-transfer prefetcher."""
+
+    name = "tlp"
+
+    def __init__(self, layout: AddressLayout, channel: int,
+                 config: Optional[TLPConfig] = None) -> None:
+        super().__init__(layout, channel)
+        self.config = config or TLPConfig()
+        self._rpt: "OrderedDict[int, _RPTEntry]" = OrderedDict()
+        self.transfers = 0
+
+    # ------------------------------------------------------------------
+    # Learning phase
+    # ------------------------------------------------------------------
+    def observe(self, access: DemandAccess) -> None:
+        page = access.page
+        entry = self._rpt.get(page)
+        self.activity.table_reads += 1
+        if entry is None:
+            entry = self._allocate(page)
+        entry.bitmap |= 1 << access.block_in_segment
+        self._rpt.move_to_end(page)
+        self.activity.table_writes += 1
+
+    def _allocate(self, page: int) -> _RPTEntry:
+        """Allocate an RPT entry, computing its Ref bits against residents."""
+        entry = _RPTEntry()
+        threshold = self.config.distance_threshold
+        for other_page, other_entry in self._rpt.items():
+            if abs(other_page - page) <= threshold:
+                entry.refs.add(other_page)
+                other_entry.refs.add(page)
+        self._rpt[page] = entry
+        while len(self._rpt) > self.config.rpt_entries:
+            victim_page, victim = self._rpt.popitem(last=False)
+            for neighbour_page in victim.refs:
+                neighbour = self._rpt.get(neighbour_page)
+                if neighbour is not None:
+                    neighbour.refs.discard(victim_page)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Issuing phase
+    # ------------------------------------------------------------------
+    def best_neighbour(self, page: int) -> Optional[int]:
+        """The most similar learnable neighbour's page number, if any.
+
+        A donor qualifies when it shares at least ``min_common_bits`` with
+        the trigger's bitmap *and* contradicts it by at most
+        ``max_foreign_bits`` (trigger blocks the donor never touched) —
+        the Section 4.1 "small bitmap difference" requirement evaluated on
+        the partially accumulated trigger bitmap.
+        """
+        entry = self._rpt.get(page)
+        if entry is None:
+            return None
+        config = self.config
+        best_page = None
+        best_difference = None
+        for neighbour_page in entry.refs:
+            neighbour = self._rpt.get(neighbour_page)
+            if neighbour is None:
+                continue
+            common = popcount(entry.bitmap & neighbour.bitmap)
+            if common < config.min_common_bits:
+                continue
+            foreign = popcount(entry.bitmap & ~neighbour.bitmap)
+            if foreign > config.max_foreign_bits:
+                continue
+            extra = popcount(neighbour.bitmap & ~entry.bitmap)
+            if extra > config.max_transfer_bits:
+                continue
+            # Section 4.1's similarity metric: smallest bitmap difference
+            # wins, so a same-size pattern beats a dense superset that
+            # would pass a bare subset test by accident.
+            difference = foreign + extra
+            if best_difference is None or difference < best_difference:
+                best_difference = difference
+                best_page = neighbour_page
+        return best_page
+
+    def issue(self, access: DemandAccess, was_hit: bool,
+              prefetched_hit: bool = False) -> List[PrefetchCandidate]:
+        if was_hit and self.config.issue_on_miss_only:
+            return []
+        page = access.page
+        entry = self._rpt.get(page)
+        self.activity.table_reads += 1
+        if entry is None:
+            return []
+        neighbour_page = self.best_neighbour(page)
+        if neighbour_page is None:
+            return []
+        neighbour = self._rpt[neighbour_page]
+        own = entry.bitmap | (1 << access.block_in_segment)
+        remaining = neighbour.bitmap & ~own
+        if remaining:
+            self.transfers += 1
+        return [self._candidate(page, offset) for offset in iter_set_bits(remaining)]
+
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        from repro.core.storage import tlp_storage_bits
+
+        return tlp_storage_bits(self.config)
+
+    def rpt_occupancy(self) -> int:
+        return len(self._rpt)
+
+    def bitmap_of(self, page: int) -> Optional[int]:
+        entry = self._rpt.get(page)
+        return entry.bitmap if entry is not None else None

@@ -1,0 +1,25 @@
+"""LPDDR4 DRAM channel model (DRAMSim2-lite).
+
+A per-request greedy timing model with per-bank row-buffer state, rank-level
+tRRD/tFAW activation constraints, shared data-bus serialization, write-to-
+read turnaround, and periodic refresh — the Table-1 timing parameters drive
+every latency.  Not cycle-stepped (Python would be far too slow for the
+paper's trace lengths), but it reproduces the first-order effects the
+evaluation depends on: row-hit vs row-miss latency, bandwidth contention
+from prefetch traffic, and activation energy.
+"""
+
+from repro.dram.request import MemRequest, RequestKind
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.bank import Bank
+from repro.dram.channel import DRAMChannel
+from repro.dram.stats import DRAMStats
+
+__all__ = [
+    "MemRequest",
+    "RequestKind",
+    "AddressMapping",
+    "Bank",
+    "DRAMChannel",
+    "DRAMStats",
+]

@@ -1,0 +1,51 @@
+"""Block address → (rank, bank, row, column) decomposition.
+
+Row-interleaved mapping: consecutive block addresses fill a row before
+moving to the next bank, which preserves the row-buffer locality that makes
+footprint-snapshot prefetching power-efficient (Figure 10's HI3/PM cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DRAMConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMapping:
+    """Row:bank:column split of a channel-local block address."""
+
+    def __init__(self, config: DRAMConfig, block_size: int = 64) -> None:
+        if block_size <= 0 or config.row_size_bytes % block_size != 0:
+            raise ConfigError(
+                f"row size {config.row_size_bytes} not a multiple of block size {block_size}"
+            )
+        self.blocks_per_row = config.row_size_bytes // block_size
+        self.num_banks = config.num_banks
+        self.num_ranks = config.num_ranks
+        self._column_mask = self.blocks_per_row - 1
+        self._column_bits = self.blocks_per_row.bit_length() - 1
+        self._bank_mask = config.num_banks - 1
+        self._bank_bits = config.num_banks.bit_length() - 1
+        self._rank_mask = config.num_ranks - 1
+        rank_bits = max(0, config.num_ranks.bit_length() - 1)
+        self._rank_bits = rank_bits
+
+    def decode(self, block_addr: int) -> DecodedAddress:
+        """Split a block address into rank/bank/row/column fields."""
+        column = block_addr & self._column_mask
+        remainder = block_addr >> self._column_bits
+        bank = remainder & self._bank_mask
+        remainder >>= self._bank_bits
+        rank = remainder & self._rank_mask if self._rank_bits else 0
+        row = remainder >> self._rank_bits
+        return DecodedAddress(rank=rank, bank=bank, row=row, column=column)

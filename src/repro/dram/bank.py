@@ -1,0 +1,93 @@
+"""Per-bank row-buffer and timing state."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import DRAMTiming
+
+
+class Bank:
+    """One DRAM bank: open row, and earliest-next-command bookkeeping.
+
+    The greedy scheduler asks a bank *when* a column access to a given row
+    could start, given the bank's current state; the bank reports the CAS
+    issue time and updates itself.
+
+    ``auto_precharge`` implements the closed-page policy: every column
+    access closes its row (read-with-auto-precharge), trading row-hit
+    opportunity for cheaper conflicts — useful under highly irregular
+    traffic.
+    """
+
+    __slots__ = ("timing", "auto_precharge", "open_row", "activate_time",
+                 "next_cas_time", "ready_time", "row_hits", "row_misses",
+                 "row_conflicts", "activates")
+
+    def __init__(self, timing: DRAMTiming, auto_precharge: bool = False) -> None:
+        self.timing = timing
+        self.auto_precharge = auto_precharge
+        self.open_row: Optional[int] = None
+        self.activate_time = -(10 ** 9)   # far in the past
+        self.next_cas_time = 0
+        self.ready_time = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.activates = 0
+
+    def block_until(self, time: int) -> None:
+        """Refresh (or power-down exit) makes the bank unusable until ``time``."""
+        self.ready_time = max(self.ready_time, time)
+        self.open_row = None
+
+    def cas_time(self, row: int, earliest: int, act_allowed_at: int) -> (int, str, int):
+        """Compute when a CAS to ``row`` can issue.
+
+        Args:
+            earliest: request arrival / controller readiness.
+            act_allowed_at: earliest activate permitted by rank-level
+                tRRD/tFAW constraints.
+
+        Returns:
+            (cas_issue_time, outcome, activate_time_or_-1) where outcome is
+            one of ``"hit"``, ``"miss"`` (bank was precharged) or
+            ``"conflict"`` (wrong row open).  ``activate_time`` is -1 when
+            no activate was needed.
+        """
+        t = self.timing
+        start = max(earliest, self.ready_time)
+        if self.open_row == row:
+            cas = max(start, self.next_cas_time)
+            self.row_hits += 1
+            self._after_cas(cas)
+            return cas, "hit", -1
+        if self.open_row is None:
+            act = max(start, act_allowed_at)
+            cas = act + t.tRCD
+            self.open_row = row
+            self.activate_time = act
+            self.activates += 1
+            self.row_misses += 1
+            self._after_cas(cas)
+            return cas, "miss", act
+        # Row conflict: precharge (respecting tRAS) then activate.
+        precharge = max(start, self.activate_time + t.tRAS)
+        act = max(precharge + t.tRP, act_allowed_at)
+        cas = act + t.tRCD
+        self.open_row = row
+        self.activate_time = act
+        self.activates += 1
+        self.row_conflicts += 1
+        self._after_cas(cas)
+        return cas, "conflict", act
+
+    def _after_cas(self, cas: int) -> None:
+        self.next_cas_time = cas + self.timing.tCCD
+        self.ready_time = max(self.ready_time, cas)
+        if self.auto_precharge:
+            # Closed-page: the row precharges tRTP after the CAS; the next
+            # access to this bank activates from a precharged state.
+            self.open_row = None
+            self.ready_time = max(self.ready_time,
+                                  cas + self.timing.tRTP + self.timing.tRP)

@@ -1,0 +1,173 @@
+"""One LPDDR4 channel: banks + rank constraints + bus + refresh.
+
+The channel services requests greedily in submission order (the engine
+submits in trace arrival order, which approximates FCFS; FR-FCFS's row-hit
+preference is partially captured because the engine batches a prefetcher's
+same-page requests back-to-back, which is where row-hit reordering pays
+off).  Configuring ``scheduler="frfcfs"`` additionally lets a submitted
+request start ahead of the bank's precharge obligations when it hits the
+currently open row — see :meth:`service`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List
+
+from repro.config import DRAMConfig
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.bank import Bank
+from repro.dram.request import MemRequest, RequestKind
+from repro.dram.stats import DRAMStats
+from repro.errors import SimulationError
+
+
+class DRAMChannel:
+    """Timing model for one channel (1 rank × 8 banks by default)."""
+
+    def __init__(self, config: DRAMConfig, block_size: int = 64) -> None:
+        self.config = config
+        self.timing = config.timing
+        self.mapping = AddressMapping(config, block_size=block_size)
+        closed_page = config.row_policy == "closed"
+        self.banks: List[Bank] = [
+            Bank(self.timing, auto_precharge=closed_page)
+            for _ in range(config.num_ranks * config.num_banks)
+        ]
+        self.stats = DRAMStats()
+        self._bus_free_time = 0
+        self._last_write_end = -(10 ** 9)
+        self._recent_activates: Deque[int] = deque(maxlen=4)  # tFAW window
+        self._last_activate_time = -(10 ** 9)
+        self._next_refresh = self.timing.tREFI
+        self._last_time = 0
+        self._last_cas_time = 0
+        # Completion times of in-flight requests (controller queue slots).
+        self._outstanding: List[int] = []
+        self.stats_queue_stalls = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _bank_for(self, block_addr: int) -> Bank:
+        decoded = self.mapping.decode(block_addr)
+        index = decoded.rank * self.config.num_banks + decoded.bank
+        return self.banks[index]
+
+    def _apply_refresh(self, now: int) -> None:
+        """Retire any refresh intervals that elapsed before ``now``."""
+        if not self.config.refresh_enabled:
+            return
+        while now >= self._next_refresh:
+            refresh_end = self._next_refresh + self.timing.tRFC
+            for bank in self.banks:
+                bank.block_until(refresh_end)
+            self.stats.refreshes += 1
+            self._next_refresh += self.timing.tREFI
+
+    def _activate_allowed_at(self, earliest: int) -> int:
+        """Earliest activate satisfying rank-level tRRD and tFAW."""
+        allowed = max(earliest, self._last_activate_time + self.timing.tRRD)
+        if len(self._recent_activates) == self._recent_activates.maxlen:
+            allowed = max(allowed, self._recent_activates[0] + self.timing.tFAW)
+        return allowed
+
+    def _record_activate(self, act_time: int) -> None:
+        self._last_activate_time = act_time
+        self._recent_activates.append(act_time)
+        self.stats.activates += 1
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def service(self, request: MemRequest) -> int:
+        """Service one request; returns its data completion cycle.
+
+        The engine must submit requests in non-decreasing arrival order.
+        """
+        now = request.arrival_time
+        if now < self._last_time - self.timing.tREFI:
+            raise SimulationError(
+                f"request at {now} submitted far out of order (last {self._last_time})"
+            )
+        self._last_time = max(self._last_time, now)
+        self._apply_refresh(now)
+
+        # Controller queue backpressure: with queue_depth requests still in
+        # flight, a new arrival stalls until the oldest completes.
+        while self._outstanding and self._outstanding[0] <= now:
+            heapq.heappop(self._outstanding)
+        if len(self._outstanding) >= self.config.queue_depth:
+            now = heapq.heappop(self._outstanding)
+            self.stats_queue_stalls += 1
+
+        timing = self.timing
+        decoded = self.mapping.decode(request.block_addr)
+        bank = self._bank_for(request.block_addr)
+
+        earliest = now
+        # Low-priority traffic is deferred into idle slots: the controller
+        # holds prefetches and write-backs briefly so demand reads arriving
+        # in the interim window do not queue behind them.
+        if request.kind == RequestKind.PREFETCH:
+            earliest += self.config.prefetch_defer
+        elif request.kind == RequestKind.WRITEBACK:
+            earliest += self.config.writeback_defer
+        if not request.is_write:
+            # Write-to-read turnaround on the shared rank.
+            earliest = max(earliest, self._last_write_end + timing.tWTR)
+
+        if self.config.scheduler == "fcfs":
+            # Strict arrival-order issue: a request cannot overtake the
+            # previously issued CAS even when its own bank is idle.
+            earliest = max(earliest, self._last_cas_time)
+
+        act_allowed = self._activate_allowed_at(earliest)
+        cas, outcome, act_time = bank.cas_time(decoded.row, earliest, act_allowed)
+        self._last_cas_time = max(self._last_cas_time, cas)
+        if act_time >= 0:
+            self._record_activate(act_time)
+        if outcome == "hit":
+            self.stats.row_hits += 1
+        elif outcome == "miss":
+            self.stats.row_misses += 1
+        else:
+            self.stats.row_conflicts += 1
+
+        cas_latency = timing.tCWL if request.is_write else timing.tCL
+        data_start = max(cas + cas_latency, self._bus_free_time)
+        data_end = data_start + timing.burst_cycles
+        self._bus_free_time = data_end
+        self.stats.data_bus_cycles += timing.burst_cycles
+
+        if request.is_write:
+            self._last_write_end = data_end + timing.tWR
+
+        heapq.heappush(self._outstanding, data_end)
+
+        latency = data_end - request.arrival_time
+        if request.kind == RequestKind.DEMAND_READ:
+            self.stats.demand_reads += 1
+            self.stats.demand_read_latency.add(latency)
+        elif request.kind == RequestKind.DEMAND_WRITE:
+            self.stats.demand_writes += 1
+        elif request.kind == RequestKind.PREFETCH:
+            self.stats.prefetch_reads += 1
+            self.stats.prefetch_latency.add(latency)
+            if request.source:
+                self.stats.prefetch_reads_by_source[request.source] = (
+                    self.stats.prefetch_reads_by_source.get(request.source, 0) + 1
+                )
+        elif request.kind == RequestKind.WRITEBACK:
+            self.stats.writebacks += 1
+        return data_end
+
+    def finish(self, end_time: int) -> None:
+        """Close the books at trace end (fixes elapsed-cycle accounting)."""
+        self.stats.elapsed_cycles = max(end_time, self._last_time, self._bus_free_time)
+
+    def idle_headroom(self, now: int) -> int:
+        """Cycles until the data bus is next free — a cheap congestion probe
+        prefetch throttles can use."""
+        return max(0, self._bus_free_time - now)

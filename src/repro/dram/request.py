@@ -1,0 +1,42 @@
+"""DRAM request descriptor."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RequestKind(enum.Enum):
+    """What a DRAM transaction is for — drives stats and priority."""
+
+    DEMAND_READ = "demand_read"
+    DEMAND_WRITE = "demand_write"
+    PREFETCH = "prefetch"
+    WRITEBACK = "writeback"
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    """One block transfer to/from DRAM.
+
+    Attributes:
+        block_addr: block-granular address (byte address >> 6).
+        arrival_time: cycle the request reaches the memory controller.
+        kind: demand read/write, prefetch fill, or dirty write-back.
+        source: issuing prefetcher name for prefetch requests.
+    """
+
+    block_addr: int
+    arrival_time: int
+    kind: RequestKind
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.block_addr < 0:
+            raise ValueError(f"negative block address {self.block_addr}")
+        if self.arrival_time < 0:
+            raise ValueError(f"negative arrival time {self.arrival_time}")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in (RequestKind.DEMAND_WRITE, RequestKind.WRITEBACK)

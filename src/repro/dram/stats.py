@@ -1,0 +1,67 @@
+"""Per-channel DRAM statistics, the power model's raw input."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.utils.statistics import RunningStats
+
+
+@dataclass
+class DRAMStats:
+    """Event counters and latency aggregates for one channel."""
+
+    demand_reads: int = 0
+    demand_writes: int = 0
+    prefetch_reads: int = 0
+    writebacks: int = 0
+    activates: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    refreshes: int = 0
+    data_bus_cycles: int = 0
+    elapsed_cycles: int = 0
+    demand_read_latency: RunningStats = field(default_factory=RunningStats)
+    prefetch_latency: RunningStats = field(default_factory=RunningStats)
+    prefetch_reads_by_source: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_reads(self) -> int:
+        return self.demand_reads + self.prefetch_reads
+
+    @property
+    def total_requests(self) -> int:
+        return self.total_reads + self.demand_writes + self.writebacks
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def bus_utilization(self) -> float:
+        if self.elapsed_cycles == 0:
+            return 0.0
+        return min(1.0, self.data_bus_cycles / self.elapsed_cycles)
+
+    def merge(self, other: "DRAMStats") -> None:
+        """Fold another channel's counters into this one."""
+        self.demand_reads += other.demand_reads
+        self.demand_writes += other.demand_writes
+        self.prefetch_reads += other.prefetch_reads
+        self.writebacks += other.writebacks
+        self.activates += other.activates
+        self.row_hits += other.row_hits
+        self.row_misses += other.row_misses
+        self.row_conflicts += other.row_conflicts
+        self.refreshes += other.refreshes
+        self.data_bus_cycles += other.data_bus_cycles
+        self.elapsed_cycles = max(self.elapsed_cycles, other.elapsed_cycles)
+        self.demand_read_latency.merge(other.demand_read_latency)
+        self.prefetch_latency.merge(other.prefetch_latency)
+        for source, count in other.prefetch_reads_by_source.items():
+            self.prefetch_reads_by_source[source] = (
+                self.prefetch_reads_by_source.get(source, 0) + count
+            )

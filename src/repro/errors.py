@@ -1,0 +1,29 @@
+"""Exception hierarchy for the Planaria reproduction.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still distinguishing configuration problems from runtime simulation
+faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation (bad sizes, thresholds...)."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or trace record is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class AddressError(ReproError):
+    """An address is out of range or violates the configured layout."""

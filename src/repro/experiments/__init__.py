@@ -1,0 +1,41 @@
+"""Experiment registry: one module per paper figure/table.
+
+Each experiment exposes ``run(settings) -> ExperimentReport`` where the
+report carries both structured rows and a ``format_table()`` matching the
+figure's layout.  The benchmark harness under ``benchmarks/`` and the
+examples both call into this package, so a figure is regenerated
+identically everywhere.
+"""
+
+from repro.experiments.settings import ExperimentSettings, DEFAULT_SETTINGS
+from repro.experiments.matrix import run_matrix, breakdown_matrix
+from repro.experiments.report import ExperimentReport
+
+from repro.experiments import fig2_footprint
+from repro.experiments import fig4_overlap
+from repro.experiments import fig5_neighbors
+from repro.experiments import fig7_hitrate
+from repro.experiments import fig8_amat
+from repro.experiments import fig9_breakdown
+from repro.experiments import fig10_power
+from repro.experiments import headline
+
+ALL_EXPERIMENTS = {
+    "fig2": fig2_footprint.run,
+    "fig4": fig4_overlap.run,
+    "fig5": fig5_neighbors.run,
+    "fig7": fig7_hitrate.run,
+    "fig8": fig8_amat.run,
+    "fig9": fig9_breakdown.run,
+    "fig10": fig10_power.run,
+    "headline": headline.run,
+}
+
+__all__ = [
+    "ExperimentSettings",
+    "DEFAULT_SETTINGS",
+    "ExperimentReport",
+    "run_matrix",
+    "breakdown_matrix",
+    "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,137 @@
+"""Export experiment reports to CSV and standalone SVG bar charts.
+
+Dependency-free: CSV via the standard library, SVG hand-rolled (grouped
+vertical bars with axis labels), so a headless CI box can publish every
+figure without matplotlib.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.experiments.report import ExperimentReport
+
+PathLike = Union[str, Path]
+
+_PALETTE = ("#4878a8", "#e49444", "#d1605e", "#85b6b2", "#6a9f58", "#e7cb60")
+
+
+def write_report_csv(report: ExperimentReport, path: PathLike) -> Path:
+    """Write a report's columns/rows (plus summary comments) as CSV."""
+    path = Path(path)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f"# {report.experiment_id}: {report.title}"])
+        for key, value in report.summary.items():
+            writer.writerow([f"# {key} = {value}"])
+        writer.writerow(report.columns)
+        writer.writerows(report.rows)
+    return path
+
+
+def _numeric_columns(report: ExperimentReport) -> List[int]:
+    """Indices of columns whose every value is numeric (skipping labels)."""
+    indices = []
+    for column in range(1, len(report.columns)):
+        if all(isinstance(row[column], (int, float)) for row in report.rows):
+            indices.append(column)
+    return indices
+
+
+def write_report_svg(report: ExperimentReport, path: PathLike,
+                     columns: Optional[Sequence[str]] = None,
+                     width: int = 900, height: int = 420) -> Path:
+    """Render the report as a grouped bar chart (one group per row).
+
+    Args:
+        columns: subset of numeric column names to plot (default: all).
+    """
+    numeric = _numeric_columns(report)
+    if columns is not None:
+        wanted = set(columns)
+        numeric = [index for index in numeric
+                   if report.columns[index] in wanted]
+    if not numeric or not report.rows:
+        raise ValueError(f"report {report.experiment_id} has nothing to plot")
+
+    values = [float(row[index]) for row in report.rows for index in numeric]
+    top = max(max(values), 0.0)
+    bottom = min(min(values), 0.0)
+    span = (top - bottom) or 1.0
+
+    margin_left, margin_bottom, margin_top = 70, 60, 50
+    plot_width = width - margin_left - 20
+    plot_height = height - margin_top - margin_bottom
+    group_width = plot_width / len(report.rows)
+    bar_width = max(2.0, group_width * 0.8 / len(numeric))
+
+    def y_of(value: float) -> float:
+        return margin_top + (top - value) / span * plot_height
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<text x="{width / 2:.0f}" y="24" text-anchor="middle" '
+        f'font-size="15">{report.experiment_id}: {report.title}</text>',
+    ]
+    # Axes and gridlines.
+    zero_y = y_of(0.0)
+    parts.append(f'<line x1="{margin_left}" y1="{zero_y:.1f}" '
+                 f'x2="{width - 20}" y2="{zero_y:.1f}" stroke="#444"/>')
+    for tick in range(5):
+        value = bottom + span * tick / 4
+        tick_y = y_of(value)
+        parts.append(f'<line x1="{margin_left}" y1="{tick_y:.1f}" '
+                     f'x2="{width - 20}" y2="{tick_y:.1f}" '
+                     f'stroke="#ddd"/>')
+        parts.append(f'<text x="{margin_left - 6}" y="{tick_y + 4:.1f}" '
+                     f'text-anchor="end">{value:.3g}</text>')
+    # Bars.
+    for row_index, row in enumerate(report.rows):
+        group_x = margin_left + row_index * group_width + group_width * 0.1
+        for series_index, column in enumerate(numeric):
+            value = float(row[column])
+            bar_x = group_x + series_index * bar_width
+            bar_top = y_of(max(value, 0.0))
+            bar_height = abs(y_of(value) - zero_y)
+            color = _PALETTE[series_index % len(_PALETTE)]
+            parts.append(
+                f'<rect x="{bar_x:.1f}" y="{bar_top:.1f}" '
+                f'width="{bar_width * 0.92:.1f}" height="{bar_height:.1f}" '
+                f'fill="{color}"/>'
+            )
+        label_x = margin_left + (row_index + 0.5) * group_width
+        parts.append(f'<text x="{label_x:.1f}" y="{height - 36}" '
+                     f'text-anchor="middle">{row[0]}</text>')
+    # Legend.
+    legend_x = margin_left
+    legend_y = height - 14
+    for series_index, column in enumerate(numeric):
+        color = _PALETTE[series_index % len(_PALETTE)]
+        parts.append(f'<rect x="{legend_x}" y="{legend_y - 10}" width="10" '
+                     f'height="10" fill="{color}"/>')
+        name = report.columns[column]
+        parts.append(f'<text x="{legend_x + 14}" y="{legend_y}">{name}</text>')
+        legend_x += 14 + 8 * len(name) + 20
+    parts.append("</svg>")
+
+    path = Path(path)
+    path.write_text("\n".join(parts), encoding="utf-8")
+    return path
+
+
+def export_report(report: ExperimentReport, directory: PathLike,
+                  svg: bool = True) -> List[Path]:
+    """Write ``<id>.csv`` (and ``<id>.svg`` when plottable) into a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = [write_report_csv(report, directory / f"{report.experiment_id}.csv")]
+    if svg:
+        try:
+            written.append(write_report_svg(
+                report, directory / f"{report.experiment_id}.svg"))
+        except ValueError:
+            pass  # nothing numeric to plot (e.g. fig2's metric/value rows)
+    return written

@@ -1,0 +1,39 @@
+"""Figure 10 — memory-system power with different prefetchers.
+
+Paper: Planaria adds only 0.5 % average power (range −3.3 % on HI3 to
++2.8 %; it *saves* power on HI3 and PM), while BOP adds 13.5 % and SPP
+adds 9.7 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.matrix import run_matrix
+from repro.experiments.report import ExperimentReport
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+
+PAPER_OVERHEAD = {"planaria": 0.005, "bop": 0.135, "spp": 0.097}
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:
+    matrix = run_matrix(settings)
+    names = [name for name in settings.prefetchers if name != "none"]
+    report = ExperimentReport(
+        experiment_id="fig10",
+        title="memory-system power overhead vs no prefetcher",
+        columns=["app", "none_mW"] + [f"{name}_overhead" for name in names],
+    )
+    sums = {name: 0.0 for name in names}
+    for app in settings.apps:
+        base = matrix[app]["none"]
+        row = [app, base.power_mw]
+        for name in names:
+            overhead = matrix[app][name].power_overhead_vs(base)
+            row.append(overhead)
+            sums[name] += overhead
+        report.add_row(row)
+    count = len(settings.apps) or 1
+    for name in names:
+        report.summary[f"mean power overhead [{name}] (measured)"] = sums[name] / count
+        if name in PAPER_OVERHEAD:
+            report.summary[f"mean power overhead [{name}] (paper)"] = PAPER_OVERHEAD[name]
+    return report

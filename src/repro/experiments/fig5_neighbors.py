@@ -1,0 +1,42 @@
+"""Figure 5 — learnable-neighbour fraction per application and distance.
+
+Paper: on average 26.95 % of pages have a learnable neighbour at distance
+threshold 4, and 39.26 % at threshold 64.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.neighbors import learnable_neighbor_fraction
+from repro.experiments.report import ExperimentReport
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.trace.generator import generate_trace, get_profile
+
+PAPER_AVG_AT_4 = 0.2695
+PAPER_AVG_AT_64 = 0.3926
+DISTANCES: Sequence[int] = (4, 8, 16, 32, 64)
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="fig5",
+        title="fraction of pages with a learnable neighbour, per distance threshold",
+        columns=["app"] + [f"d<={distance}" for distance in DISTANCES],
+    )
+    sums = {distance: 0.0 for distance in DISTANCES}
+    for app in settings.apps:
+        profile = get_profile(app)
+        records = generate_trace(profile, settings.trace_length, seed=settings.seed)
+        result = learnable_neighbor_fraction(records, DISTANCES)
+        report.add_row([app] + [result.fraction_at(distance) for distance in DISTANCES])
+        for distance in DISTANCES:
+            sums[distance] += result.fraction_at(distance)
+    count = len(settings.apps) or 1
+    report.summary = {
+        "average fraction at distance 4 (measured)": sums[4] / count,
+        "average fraction at distance 4 (paper)": PAPER_AVG_AT_4,
+        "average fraction at distance 64 (measured)": sums[64] / count,
+        "average fraction at distance 64 (paper)": PAPER_AVG_AT_64,
+    }
+    return report

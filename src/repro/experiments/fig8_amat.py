@@ -1,0 +1,55 @@
+"""Figure 8 — AMAT per application × prefetcher.
+
+Paper headline: Planaria reduces AMAT by 24.3 % vs no prefetcher, 21.3 % vs
+BOP and 15.1 % vs SPP; and on Fort/NBA2/PM, BOP *raises* AMAT despite
+raising the hit rate (superfluous prefetch traffic).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.matrix import run_matrix
+from repro.experiments.report import ExperimentReport
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+
+PAPER_REDUCTION_VS_NONE = 0.243
+PAPER_REDUCTION_VS_BOP = 0.213
+PAPER_REDUCTION_VS_SPP = 0.151
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:
+    matrix = run_matrix(settings)
+    report = ExperimentReport(
+        experiment_id="fig8",
+        title="AMAT (memory-controller cycles) with different prefetchers",
+        columns=["app"] + list(settings.prefetchers),
+    )
+    reduction_sums = {name: 0.0 for name in settings.prefetchers}
+    for app in settings.apps:
+        row = [app]
+        base = matrix[app]["none"]
+        for name in settings.prefetchers:
+            metrics = matrix[app][name]
+            row.append(metrics.amat)
+            reduction_sums[name] += metrics.amat_reduction_vs(base)
+        report.add_row(row)
+    count = len(settings.apps) or 1
+    mean_reduction = {
+        name: reduction_sums[name] / count for name in settings.prefetchers
+    }
+    report.summary = {
+        "planaria AMAT reduction vs none (measured)": mean_reduction.get("planaria", 0.0),
+        "planaria AMAT reduction vs none (paper)": PAPER_REDUCTION_VS_NONE,
+        "bop AMAT reduction vs none (measured)": mean_reduction.get("bop", 0.0),
+        "spp AMAT reduction vs none (measured)": mean_reduction.get("spp", 0.0),
+    }
+    if {"planaria", "bop", "spp"} <= set(settings.prefetchers):
+        pln = 1.0 - mean_reduction["planaria"]
+        report.summary["planaria AMAT reduction vs bop (measured)"] = (
+            1.0 - pln / (1.0 - mean_reduction["bop"])
+        )
+        report.summary["planaria AMAT reduction vs bop (paper)"] = PAPER_REDUCTION_VS_BOP
+        report.summary["planaria AMAT reduction vs spp (measured)"] = (
+            1.0 - pln / (1.0 - mean_reduction["spp"])
+        )
+        report.summary["planaria AMAT reduction vs spp (paper)"] = PAPER_REDUCTION_VS_SPP
+    return report

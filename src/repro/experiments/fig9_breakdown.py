@@ -1,0 +1,57 @@
+"""Figure 9 — Planaria performance breakdown between SLP and TLP.
+
+The paper attributes ~80 % of Planaria's overall improvement to SLP, with
+TLP mattering little on CFM/QSM/HI3/KO/NBA2 but supplying *most* of the
+improvement on Fort (whose pages rarely recur, starving SLP).
+
+Attribution here uses the useful-prefetch counts per issuing
+sub-prefetcher inside the composite run (the coordinator tags every
+request), cross-checked against SLP-only and TLP-only runs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.matrix import breakdown_matrix
+from repro.experiments.report import ExperimentReport
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+
+PAPER_SLP_SHARE = 0.80
+SLP_DOMINANT_APPS = ("CFM", "QSM", "HI3", "KO", "NBA2")
+TLP_DOMINANT_APPS = ("Fort",)
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:
+    matrix = breakdown_matrix(settings)
+    report = ExperimentReport(
+        experiment_id="fig9",
+        title="Planaria improvement breakdown: SLP vs TLP share of useful prefetches",
+        columns=["app", "slp_share", "tlp_share",
+                 "slp_only_dAMAT", "tlp_only_dAMAT", "planaria_dAMAT"],
+    )
+    weighted_slp = 0.0
+    weighted_total = 0.0
+    for app in settings.apps:
+        runs = matrix[app]
+        base = runs["none"]
+        planaria = runs["planaria"]
+        useful = planaria.prefetch_useful_by_source
+        slp_useful = useful.get("slp", 0)
+        tlp_useful = useful.get("tlp", 0)
+        total = slp_useful + tlp_useful
+        slp_share = slp_useful / total if total else 0.0
+        report.add_row([
+            app,
+            slp_share,
+            1.0 - slp_share if total else 0.0,
+            runs["slp"].amat_reduction_vs(base),
+            runs["tlp"].amat_reduction_vs(base),
+            planaria.amat_reduction_vs(base),
+        ])
+        weighted_slp += slp_useful
+        weighted_total += total
+    report.summary = {
+        "overall SLP share of useful prefetches (measured)":
+            weighted_slp / weighted_total if weighted_total else 0.0,
+        "overall SLP share (paper, ~)": PAPER_SLP_SHARE,
+    }
+    return report

@@ -1,0 +1,76 @@
+"""Abstract / Section-1 headline numbers.
+
+* IPC: +28.9 % over no prefetcher, +21.9 % over BOP, +15.3 % over SPP
+  (via the AMAT→IPC proxy with per-app memory intensities).
+* Baseline AMAT reductions: SPP −10.8 %, BOP −3.3 %.
+* Baseline traffic overheads: SPP +15.9 %, BOP +23.4 %.
+* Planaria storage: 345.2 KB, 8.4 % of the 4 MB SC.
+"""
+
+from __future__ import annotations
+
+from repro.core.storage import planaria_storage_budget
+from repro.experiments.matrix import run_matrix
+from repro.experiments.report import ExperimentReport
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.sim.metrics import ipc_speedup
+from repro.trace.generator import get_profile
+
+PAPER = {
+    "ipc gain vs none": 0.289,
+    "ipc gain vs bop": 0.219,
+    "ipc gain vs spp": 0.153,
+    "spp traffic overhead": 0.159,
+    "bop traffic overhead": 0.234,
+    "storage KiB": 345.2,
+    "storage fraction of SC": 0.084,
+}
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:
+    matrix = run_matrix(settings)
+    report = ExperimentReport(
+        experiment_id="headline",
+        title="abstract-level headline numbers",
+        columns=["app", "ipc_x_planaria", "ipc_x_bop", "ipc_x_spp",
+                 "traffic_bop", "traffic_spp"],
+    )
+    ipc = {name: 0.0 for name in ("planaria", "bop", "spp")}
+    traffic = {name: 0.0 for name in ("bop", "spp")}
+    for app in settings.apps:
+        base = matrix[app]["none"]
+        intensity = get_profile(app).memory_intensity
+        speedups = {
+            name: ipc_speedup(matrix[app][name].amat, base.amat, intensity)
+            for name in ("planaria", "bop", "spp")
+        }
+        overheads = {
+            name: matrix[app][name].traffic_overhead_vs(base)
+            for name in ("bop", "spp")
+        }
+        report.add_row([app, speedups["planaria"], speedups["bop"],
+                        speedups["spp"], overheads["bop"], overheads["spp"]])
+        for name in ipc:
+            ipc[name] += speedups[name]
+        for name in traffic:
+            traffic[name] += overheads[name]
+    count = len(settings.apps) or 1
+    mean_ipc = {name: value / count for name, value in ipc.items()}
+    budget = planaria_storage_budget()
+    report.summary = {
+        "IPC gain vs none (measured)": mean_ipc["planaria"] - 1.0,
+        "IPC gain vs none (paper)": PAPER["ipc gain vs none"],
+        "IPC gain vs bop (measured)": mean_ipc["planaria"] / mean_ipc["bop"] - 1.0,
+        "IPC gain vs bop (paper)": PAPER["ipc gain vs bop"],
+        "IPC gain vs spp (measured)": mean_ipc["planaria"] / mean_ipc["spp"] - 1.0,
+        "IPC gain vs spp (paper)": PAPER["ipc gain vs spp"],
+        "BOP traffic overhead (measured)": traffic["bop"] / count,
+        "BOP traffic overhead (paper)": PAPER["bop traffic overhead"],
+        "SPP traffic overhead (measured)": traffic["spp"] / count,
+        "SPP traffic overhead (paper)": PAPER["spp traffic overhead"],
+        "Planaria storage KiB (computed)": budget.total_kib,
+        "Planaria storage KiB (paper)": PAPER["storage KiB"],
+        "Planaria storage fraction of 4MB SC (computed)": budget.fraction_of_cache(),
+        "Planaria storage fraction (paper)": PAPER["storage fraction of SC"],
+    }
+    return report

@@ -1,0 +1,60 @@
+"""Shared, memoized simulation matrix.
+
+Figures 7, 8, 10 and the headline numbers all need the same
+(application × prefetcher) simulation grid; Figure 9 additionally needs
+SLP-only and TLP-only runs.  Running the grid once per process and caching
+by settings keeps a full ``pytest benchmarks/`` pass from re-simulating
+everything per figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.metrics import RunMetrics
+from repro.sim.runner import compare_prefetchers
+from repro.experiments.settings import ExperimentSettings
+
+_MATRIX_CACHE: Dict[tuple, Dict[str, Dict[str, RunMetrics]]] = {}
+_BREAKDOWN_CACHE: Dict[tuple, Dict[str, Dict[str, RunMetrics]]] = {}
+
+
+def run_matrix(settings: ExperimentSettings) -> Dict[str, Dict[str, RunMetrics]]:
+    """``{app: {prefetcher: RunMetrics}}`` for the settings' grid."""
+    key = settings.cache_key()
+    if key not in _MATRIX_CACHE:
+        matrix: Dict[str, Dict[str, RunMetrics]] = {}
+        for app in settings.apps:
+            matrix[app] = compare_prefetchers(
+                app, settings.prefetchers,
+                length=settings.trace_length, seed=settings.seed,
+                config=settings.sim_config(),
+            )
+        _MATRIX_CACHE[key] = matrix
+    return _MATRIX_CACHE[key]
+
+
+def breakdown_matrix(settings: ExperimentSettings) -> Dict[str, Dict[str, RunMetrics]]:
+    """Figure 9's grid: none / slp / tlp / planaria per application."""
+    key = settings.cache_key()
+    if key not in _BREAKDOWN_CACHE:
+        matrix: Dict[str, Dict[str, RunMetrics]] = {}
+        base = run_matrix(settings)
+        for app in settings.apps:
+            extra = compare_prefetchers(
+                app, ("slp", "tlp"),
+                length=settings.trace_length, seed=settings.seed,
+                config=settings.sim_config(),
+            )
+            combined = dict(extra)
+            combined["none"] = base[app]["none"]
+            combined["planaria"] = base[app]["planaria"]
+            matrix[app] = combined
+        _BREAKDOWN_CACHE[key] = matrix
+    return _BREAKDOWN_CACHE[key]
+
+
+def clear_caches() -> None:
+    """Drop memoized grids (tests use this to force fresh runs)."""
+    _MATRIX_CACHE.clear()
+    _BREAKDOWN_CACHE.clear()

@@ -1,0 +1,61 @@
+"""Experiment report container shared by all figure modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentReport:
+    """Structured result of one experiment.
+
+    Attributes:
+        experiment_id: paper figure/table id, e.g. ``"fig8"``.
+        title: one-line description.
+        columns: column headers for :meth:`format_table`.
+        rows: list of row value lists, aligned with ``columns``.
+        summary: headline key/value numbers (averages, paper targets).
+    """
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(values)} values, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append(list(values))
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    def format_table(self) -> str:
+        """Render the figure's data as an aligned text table."""
+        table = [self.columns] + [
+            [self._format_cell(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[column]) for row in table)
+            for column in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title}"]
+        for index, row in enumerate(table):
+            lines.append("  ".join(cell.rjust(width)
+                                   for cell, width in zip(row, widths)))
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                lines.append(f"{key}: {value:.4f}" if isinstance(value, float)
+                             else f"{key}: {value}")
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Shared experiment settings.
+
+``REPRO_BENCH_LENGTH`` / ``REPRO_BENCH_APPS`` environment variables let CI
+or impatient users shrink the trace length / application list without
+touching code (all reported quantities are ratios, so shapes survive
+shrinking — shapes just get noisier).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.config import SimConfig
+from repro.trace.generator import list_workloads
+
+
+def _env_length(default: int = 80_000) -> int:
+    raw = os.environ.get("REPRO_BENCH_LENGTH", "")
+    try:
+        return max(1_000, int(raw))
+    except ValueError:
+        return default
+
+
+def _env_apps() -> Tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_APPS", "")
+    if not raw:
+        return tuple(list_workloads())
+    requested = tuple(token.strip() for token in raw.split(",") if token.strip())
+    known = set(list_workloads())
+    unknown = [token for token in requested if token not in known]
+    if unknown:
+        raise ValueError(f"unknown apps in REPRO_BENCH_APPS: {unknown}")
+    return requested
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Trace length, seed, application list, and simulator scale."""
+
+    trace_length: int = field(default_factory=_env_length)
+    seed: int = 7
+    apps: Tuple[str, ...] = field(default_factory=_env_apps)
+    prefetchers: Tuple[str, ...] = ("none", "bop", "spp", "planaria")
+
+    def sim_config(self) -> SimConfig:
+        return SimConfig.experiment_scale()
+
+    def cache_key(self) -> tuple:
+        return (self.trace_length, self.seed, self.apps, self.prefetchers)
+
+
+DEFAULT_SETTINGS = ExperimentSettings()

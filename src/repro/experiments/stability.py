@@ -1,0 +1,73 @@
+"""Seed-stability analysis: are the reproduction's conclusions robust?
+
+The paper reports single numbers from fixed real traces; our traces are
+sampled, so conclusions should hold across generator seeds.  This module
+re-runs a workload across several seeds and reports mean ± population
+standard deviation of each headline metric, which the stability bench
+asserts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from repro.config import SimConfig
+from repro.sim.runner import compare_prefetchers
+from repro.utils.statistics import RunningStats
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean/std/min/max of one metric across seeds."""
+
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "MetricSummary":
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        return cls(mean=stats.mean, stddev=stats.stddev,
+                   minimum=stats.min or 0.0, maximum=stats.max or 0.0,
+                   samples=stats.count)
+
+    def format(self) -> str:
+        return f"{self.mean:+.3f} ± {self.stddev:.3f} " \
+               f"[{self.minimum:+.3f}, {self.maximum:+.3f}]"
+
+
+def seed_stability(
+    app: str,
+    prefetcher: str = "planaria",
+    seeds: Iterable[int] = (1, 2, 3, 4, 5),
+    length: int = 40_000,
+    config: SimConfig = None,
+) -> Dict[str, MetricSummary]:
+    """Distribution of a prefetcher's headline metrics across seeds.
+
+    Returns summaries for ``amat_reduction``, ``hit_rate_gain``,
+    ``traffic_overhead``, ``power_overhead``, ``accuracy`` and
+    ``coverage``, each measured against the same-seed no-prefetcher run.
+    """
+    series: Dict[str, list] = {
+        "amat_reduction": [], "hit_rate_gain": [], "traffic_overhead": [],
+        "power_overhead": [], "accuracy": [], "coverage": [],
+    }
+    for seed in seeds:
+        results = compare_prefetchers(app, ("none", prefetcher),
+                                      length=length, seed=seed, config=config)
+        base = results["none"]
+        metrics = results[prefetcher]
+        series["amat_reduction"].append(metrics.amat_reduction_vs(base))
+        series["hit_rate_gain"].append(metrics.hit_rate - base.hit_rate)
+        series["traffic_overhead"].append(metrics.traffic_overhead_vs(base))
+        series["power_overhead"].append(metrics.power_overhead_vs(base))
+        series["accuracy"].append(metrics.accuracy)
+        series["coverage"].append(metrics.coverage)
+    return {name: MetricSummary.from_values(values)
+            for name, values in series.items()}

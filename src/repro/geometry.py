@@ -1,0 +1,158 @@
+"""Address geometry of the simulated mobile memory system.
+
+The paper's system (Table 1 and Section 3.2) uses:
+
+* 64-byte cache blocks,
+* 4 KB memory pages (64 blocks per page),
+* 4 DRAM channels, each fronted by its own system-cache slice,
+* each 4 KB page partitioned into four 16-block *segments*, with segment
+  ``i`` statically mapped to channel ``i``.
+
+Consequently a per-channel prefetcher observes, for any page, only the 16
+blocks of that page's segment that maps to its channel — which is why every
+bitmap pattern in SLP/TLP is 16 bits wide.
+
+:class:`AddressLayout` centralises every address-bit manipulation so the
+cache, DRAM, prefetchers, and trace generator all agree on the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError, ConfigError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Bit-level layout of a physical address.
+
+    Parameters mirror the paper's defaults; all sizes must be powers of two.
+
+    Attributes:
+        block_size: cache block size in bytes (paper: 64).
+        page_size: memory page size in bytes (paper: 4096).
+        num_channels: number of DRAM channels / SC slices (paper: 4).
+    """
+
+    block_size: int = 64
+    page_size: int = 4096
+    num_channels: int = 4
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.block_size):
+            raise ConfigError(f"block_size must be a power of two, got {self.block_size}")
+        if not _is_power_of_two(self.page_size):
+            raise ConfigError(f"page_size must be a power of two, got {self.page_size}")
+        if not _is_power_of_two(self.num_channels):
+            raise ConfigError(f"num_channels must be a power of two, got {self.num_channels}")
+        if self.page_size < self.block_size:
+            raise ConfigError("page_size must be >= block_size")
+        if self.blocks_per_page % self.num_channels != 0:
+            raise ConfigError(
+                "blocks per page must divide evenly across channels: "
+                f"{self.blocks_per_page} blocks / {self.num_channels} channels"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def block_bits(self) -> int:
+        """Number of byte-offset bits within a block."""
+        return self.block_size.bit_length() - 1
+
+    @property
+    def page_bits(self) -> int:
+        """Number of byte-offset bits within a page."""
+        return self.page_size.bit_length() - 1
+
+    @property
+    def blocks_per_page(self) -> int:
+        """Total blocks in a page (paper: 64)."""
+        return self.page_size // self.block_size
+
+    @property
+    def blocks_per_segment(self) -> int:
+        """Blocks of a page that map to one channel (paper: 16)."""
+        return self.blocks_per_page // self.num_channels
+
+    @property
+    def segment_bits(self) -> int:
+        """Bits needed to index a block within a segment."""
+        return self.blocks_per_segment.bit_length() - 1
+
+    @property
+    def channel_bits(self) -> int:
+        """Bits needed to index a channel."""
+        return self.num_channels.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    def block_address(self, addr: int) -> int:
+        """Block-aligned index of ``addr`` (address >> block bits)."""
+        self._check(addr)
+        return addr >> self.block_bits
+
+    def page_number(self, addr: int) -> int:
+        """Page number (PN) of ``addr`` — the SLP/TLP table signature."""
+        self._check(addr)
+        return addr >> self.page_bits
+
+    def block_in_page(self, addr: int) -> int:
+        """Block offset within the page, 0..blocks_per_page-1."""
+        self._check(addr)
+        return (addr >> self.block_bits) & (self.blocks_per_page - 1)
+
+    def channel(self, addr: int) -> int:
+        """DRAM channel the address statically maps to.
+
+        Segment ``i`` of every page maps to channel ``i``: the channel index
+        is the segment index, i.e. the top bits of the in-page block offset.
+        """
+        return self.block_in_page(addr) >> self.segment_bits
+
+    def block_in_segment(self, addr: int) -> int:
+        """Block offset within the channel's segment, 0..blocks_per_segment-1.
+
+        This is the bit position used in the 16-bit SLP/TLP bitmaps.
+        """
+        return self.block_in_page(addr) & (self.blocks_per_segment - 1)
+
+    # ------------------------------------------------------------------
+    # Address composition
+    # ------------------------------------------------------------------
+    def compose(self, page_number: int, channel: int, block_in_segment: int) -> int:
+        """Rebuild a block-aligned byte address from its decomposition.
+
+        Used by prefetchers to turn (PN, bitmap bit) back into an address.
+        """
+        if not 0 <= channel < self.num_channels:
+            raise AddressError(f"channel {channel} out of range 0..{self.num_channels - 1}")
+        if not 0 <= block_in_segment < self.blocks_per_segment:
+            raise AddressError(
+                f"block_in_segment {block_in_segment} out of range "
+                f"0..{self.blocks_per_segment - 1}"
+            )
+        if page_number < 0:
+            raise AddressError(f"negative page number {page_number}")
+        block_in_page = (channel << self.segment_bits) | block_in_segment
+        return (page_number << self.page_bits) | (block_in_page << self.block_bits)
+
+    def block_align(self, addr: int) -> int:
+        """Round ``addr`` down to its block base address."""
+        self._check(addr)
+        return addr & ~(self.block_size - 1)
+
+    def _check(self, addr: int) -> None:
+        if addr < 0:
+            raise AddressError(f"negative address {addr:#x}")
+
+
+DEFAULT_LAYOUT = AddressLayout()
+"""Module-level layout with the paper's parameters (64 B / 4 KB / 4 channels)."""

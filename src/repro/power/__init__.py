@@ -1,0 +1,20 @@
+"""Memory-system power model.
+
+The paper embeds a manufacturer power model into its simulator (Section 5)
+and reports total memory-system power with each prefetcher (Figure 10).  We
+use the standard Micron-style DRAM power methodology (IDD currents ×
+voltage, per-event energies derived from current deltas over their timing
+windows) plus an SRAM energy model for prefetcher metadata tables.
+"""
+
+from repro.power.dram_power import DRAMPowerModel, DRAMPowerBreakdown
+from repro.power.prefetcher_power import PrefetcherPowerModel
+from repro.power.model import MemorySystemPower, PowerReport
+
+__all__ = [
+    "DRAMPowerModel",
+    "DRAMPowerBreakdown",
+    "PrefetcherPowerModel",
+    "MemorySystemPower",
+    "PowerReport",
+]

@@ -1,0 +1,101 @@
+"""Micron-style LPDDR4 power estimation from event counts.
+
+Per-event energies are derived from IDD current deltas over the relevant
+timing windows (the classic "Calculating Memory System Power for DDR"
+methodology):
+
+* activate/precharge pair: ``VDD × (IDD0 − IDD3N) × tRC``
+* read burst:             ``VDD × (IDD4R − IDD3N) × burst``
+* write burst:            ``VDD × (IDD4W − IDD3N) × burst``
+* refresh:                ``VDD × (IDD5 − IDD3N) × tRFC``
+* background:             ``VDD × (IDD3N·busy + IDD2N·idle)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DRAMTiming, PowerConfig
+from repro.dram.stats import DRAMStats
+
+
+@dataclass(frozen=True)
+class DRAMPowerBreakdown:
+    """Energy per component in nanojoules, plus average power in mW."""
+
+    activate_nj: float
+    read_nj: float
+    write_nj: float
+    refresh_nj: float
+    background_nj: float
+    elapsed_cycles: int
+    clock_mhz: float
+
+    @property
+    def total_nj(self) -> float:
+        return (
+            self.activate_nj + self.read_nj + self.write_nj
+            + self.refresh_nj + self.background_nj
+        )
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self.clock_mhz <= 0:
+            return 0.0
+        return self.elapsed_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def average_power_mw(self) -> float:
+        seconds = self.elapsed_seconds
+        if seconds <= 0:
+            return 0.0
+        return self.total_nj * 1e-9 / seconds * 1e3
+
+
+class DRAMPowerModel:
+    """Maps :class:`DRAMStats` event counts to energy."""
+
+    def __init__(self, power: PowerConfig, timing: DRAMTiming) -> None:
+        self.power = power
+        self.timing = timing
+        self._cycle_seconds = 1.0 / (power.clock_mhz * 1e6)
+
+    def _event_energy_nj(self, current_delta_ma: float, cycles: int) -> float:
+        """Energy of one event drawing ``current_delta_ma`` above background
+        for ``cycles`` memory cycles, in nJ."""
+        watts = current_delta_ma * 1e-3 * self.power.vdd
+        return watts * cycles * self._cycle_seconds * 1e9
+
+    def estimate(self, stats: DRAMStats) -> DRAMPowerBreakdown:
+        """Compute the channel's energy breakdown from its counters."""
+        power = self.power
+        timing = self.timing
+        activate_nj = stats.activates * self._event_energy_nj(
+            power.idd0 - power.idd3n, timing.tRC
+        )
+        reads = stats.demand_reads + stats.prefetch_reads
+        read_nj = reads * self._event_energy_nj(
+            power.idd4r - power.idd3n, timing.burst_cycles
+        )
+        writes = stats.demand_writes + stats.writebacks
+        write_nj = writes * self._event_energy_nj(
+            power.idd4w - power.idd3n, timing.burst_cycles
+        )
+        refresh_nj = stats.refreshes * self._event_energy_nj(
+            power.idd5 - power.idd3n, timing.tRFC
+        )
+        busy = min(stats.data_bus_cycles, stats.elapsed_cycles)
+        idle = max(0, stats.elapsed_cycles - busy)
+        background_nj = (
+            self._event_energy_nj(power.idd3n, busy)
+            + self._event_energy_nj(power.idd2n, idle)
+        )
+        return DRAMPowerBreakdown(
+            activate_nj=activate_nj,
+            read_nj=read_nj,
+            write_nj=write_nj,
+            refresh_nj=refresh_nj,
+            background_nj=background_nj,
+            elapsed_cycles=stats.elapsed_cycles,
+            clock_mhz=power.clock_mhz,
+        )

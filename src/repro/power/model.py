@@ -1,0 +1,61 @@
+"""Combined memory-system power: DRAM + prefetcher metadata.
+
+Produces the Figure-10 quantity: total memory-system power for a run,
+comparable across prefetcher configurations on the same trace (trace-driven
+runs share arrival times, so energy ratios equal power ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DRAMTiming, PowerConfig
+from repro.dram.stats import DRAMStats
+from repro.power.dram_power import DRAMPowerBreakdown, DRAMPowerModel
+from repro.power.prefetcher_power import PrefetcherActivity, PrefetcherPowerModel
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Total memory-system energy/power for one simulation run."""
+
+    dram: DRAMPowerBreakdown
+    prefetcher_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.dram.total_nj + self.prefetcher_nj
+
+    @property
+    def average_power_mw(self) -> float:
+        seconds = self.dram.elapsed_seconds
+        if seconds <= 0:
+            return 0.0
+        return self.total_nj * 1e-9 / seconds * 1e3
+
+    def overhead_vs(self, baseline: "PowerReport") -> float:
+        """Fractional power increase over ``baseline`` (Figure 10's metric).
+
+        Positive = more power than the baseline; Planaria's HI3/PM cases
+        come out negative (prefetching converts row conflicts to row hits,
+        saving activate energy).
+        """
+        if baseline.total_nj <= 0:
+            return 0.0
+        return self.total_nj / baseline.total_nj - 1.0
+
+
+class MemorySystemPower:
+    """Facade tying the DRAM and prefetcher power models together."""
+
+    def __init__(self, power: PowerConfig, timing: DRAMTiming) -> None:
+        self.dram_model = DRAMPowerModel(power, timing)
+        self.prefetcher_model = PrefetcherPowerModel(power)
+
+    def report(self, dram_stats: DRAMStats,
+               prefetcher_activity: PrefetcherActivity) -> PowerReport:
+        dram = self.dram_model.estimate(dram_stats)
+        prefetcher_nj = self.prefetcher_model.energy_nj(
+            prefetcher_activity, dram_stats.elapsed_cycles
+        )
+        return PowerReport(dram=dram, prefetcher_nj=prefetcher_nj)

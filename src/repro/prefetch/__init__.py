@@ -1,0 +1,44 @@
+"""Prefetcher framework and baseline prefetchers.
+
+Everything here runs *memory-side*: prefetchers see the post-SC demand
+stream (address, read/write, device, arrival time) and nothing else — in
+particular **no program counter**, which is the paper's central constraint
+(Section 1).  SPP is PC-free by construction; BOP likewise; the SMS variant
+in :mod:`repro.prefetch.sms` exists to demonstrate what happens to a
+PC-indexed spatial prefetcher when no stable PC is available.
+"""
+
+from repro.prefetch.base import (
+    DemandAccess,
+    PrefetchCandidate,
+    Prefetcher,
+    PrefetcherActivityCounters,
+)
+from repro.prefetch.queue import PrefetchQueue
+from repro.prefetch.simple import NextLinePrefetcher, NoPrefetcher, StridePrefetcher
+from repro.prefetch.bop import BestOffsetPrefetcher
+from repro.prefetch.ghb import GHBPrefetcher
+from repro.prefetch.spp import SignaturePathPrefetcher
+from repro.prefetch.sms import SMSPrefetcher
+from repro.prefetch.streamer import StreamPrefetcher
+from repro.prefetch.throttle import AccuracyThrottle
+from repro.prefetch.registry import make_prefetcher, PREFETCHER_FACTORIES
+
+__all__ = [
+    "DemandAccess",
+    "PrefetchCandidate",
+    "Prefetcher",
+    "PrefetcherActivityCounters",
+    "PrefetchQueue",
+    "NoPrefetcher",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "BestOffsetPrefetcher",
+    "GHBPrefetcher",
+    "SignaturePathPrefetcher",
+    "SMSPrefetcher",
+    "StreamPrefetcher",
+    "AccuracyThrottle",
+    "make_prefetcher",
+    "PREFETCHER_FACTORIES",
+]

@@ -1,0 +1,144 @@
+"""Prefetcher interface and the demand-access view prefetchers receive.
+
+Design note — decoupled learning and issuing (Section 2): the engine calls
+:meth:`Prefetcher.observe` for *every* demand access (the learning phase is
+always on, "full-pattern directed"), and :meth:`Prefetcher.issue`
+separately to ask for prefetch candidates.  Planaria's coordinator relies
+on this split to train both sub-prefetchers in parallel while letting only
+one issue; monolithic baselines simply implement both methods.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List
+
+from repro.geometry import AddressLayout
+from repro.trace.record import DeviceID
+
+
+@dataclass(frozen=True)
+class DemandAccess:
+    """A demand access as seen by one channel's prefetcher.
+
+    All address decomposition is done once by the engine:
+
+    Attributes:
+        block_addr: global block address (byte address >> block bits).
+        page: page number (PN) — the paper's table signature.
+        block_in_segment: 0..15 position inside this channel's segment,
+            i.e. the bit index in SLP/TLP bitmaps.
+        channel_block: channel-local *contiguous* block index
+            (``page * blocks_per_segment + block_in_segment``); gives BOP
+            and SPP a linear address space in which cross-page offsets make
+            sense.
+        time: arrival cycle.
+        is_read: demand reads vs writes.
+        device: requesting SoC device.
+    """
+
+    block_addr: int
+    page: int
+    block_in_segment: int
+    channel_block: int
+    time: int
+    is_read: bool
+    device: DeviceID
+
+
+@dataclass(frozen=True)
+class PrefetchCandidate:
+    """One block a prefetcher wants brought into the SC."""
+
+    block_addr: int
+    source: str
+
+    def __post_init__(self) -> None:
+        if self.block_addr < 0:
+            raise ValueError(f"negative block address {self.block_addr}")
+
+
+@dataclass
+class PrefetcherActivityCounters:
+    """Metadata-table activity, consumed by the power model."""
+
+    table_reads: int = 0
+    table_writes: int = 0
+
+    def merge(self, other: "PrefetcherActivityCounters") -> None:
+        self.table_reads += other.table_reads
+        self.table_writes += other.table_writes
+
+
+class Prefetcher(abc.ABC):
+    """Base class for all memory-side prefetchers.
+
+    One instance serves one channel; it sees only that channel's segment of
+    every page (``blocks_per_segment`` = 16 blocks in the default layout).
+    """
+
+    name = "base"
+
+    def __init__(self, layout: AddressLayout, channel: int) -> None:
+        if not 0 <= channel < layout.num_channels:
+            raise ValueError(
+                f"channel {channel} out of range 0..{layout.num_channels - 1}"
+            )
+        self.layout = layout
+        self.channel = channel
+        self.activity = PrefetcherActivityCounters()
+        self.issued_candidates = 0
+
+    # ------------------------------------------------------------------
+    # The learning / issuing split
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def observe(self, access: DemandAccess) -> None:
+        """Learning phase: fold one demand access into the metadata."""
+
+    @abc.abstractmethod
+    def issue(self, access: DemandAccess, was_hit: bool,
+              prefetched_hit: bool = False) -> List[PrefetchCandidate]:
+        """Issuing phase: propose prefetches triggered by this access.
+
+        Args:
+            was_hit: the access hit in the SC.
+            prefetched_hit: the hit was the first demand touch of a
+                prefetched block — the classic secondary trigger (Michaud's
+                BOP trains on misses *and* prefetched hits).
+        """
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total metadata storage in bits (for the 345.2 KB budget check)."""
+
+    # ------------------------------------------------------------------
+    # Optional engine feedback (see repro.prefetch.throttle)
+    # ------------------------------------------------------------------
+    def notify_useful(self) -> None:
+        """A fill issued by this prefetcher served a demand access."""
+
+    def notify_unused(self) -> None:
+        """A fill issued by this prefetcher was evicted untouched."""
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def compose_block_addr(self, page: int, block_in_segment: int) -> int:
+        """(PN, segment bit) → global block address on this channel."""
+        byte_addr = self.layout.compose(page, self.channel, block_in_segment)
+        return byte_addr >> self.layout.block_bits
+
+    def channel_block_to_block_addr(self, channel_block: int) -> int:
+        """Inverse of ``DemandAccess.channel_block``."""
+        per_segment = self.layout.blocks_per_segment
+        page, offset = divmod(channel_block, per_segment)
+        return self.compose_block_addr(page, offset)
+
+    def _candidate(self, page: int, block_in_segment: int) -> PrefetchCandidate:
+        self.issued_candidates += 1
+        return PrefetchCandidate(
+            block_addr=self.compose_block_addr(page, block_in_segment),
+            source=self.name,
+        )

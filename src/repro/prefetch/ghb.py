@@ -1,0 +1,141 @@
+"""GHB G/DC — Global History Buffer, delta-correlation flavour.
+
+A classic temporal/delta-correlation prefetcher (Nesbit & Smith, HPCA
+2004), adapted PC-free for the memory side: the GHB is a circular buffer
+of recent miss addresses (channel-local block indices); an index table
+maps the most recent *delta pair* to the GHB position where that pair last
+occurred, and prediction replays the deltas that followed it.
+
+Related-work context (paper §7): delta-based prefetchers "learn the
+pattern of the delta history to predict future deltas"; the paper argues
+the SC's scrambled order defeats them.  GHB G/DC is the purest delta-
+history design, so it makes a sharp extra comparison point next to BOP
+(one global delta) and SPP (compressed per-page delta paths).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry import AddressLayout
+from repro.prefetch.base import DemandAccess, PrefetchCandidate, Prefetcher
+
+
+class GHBPrefetcher(Prefetcher):
+    """Delta-correlation prefetcher over the miss stream."""
+
+    name = "ghb"
+
+    def __init__(self, layout: AddressLayout, channel: int,
+                 ghb_entries: int = 512,
+                 degree: int = 3,
+                 max_delta: int = 64) -> None:
+        super().__init__(layout, channel)
+        if ghb_entries < 4:
+            raise ValueError(f"ghb_entries must be >= 4, got {ghb_entries}")
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        if max_delta < 1:
+            raise ValueError(f"max_delta must be >= 1, got {max_delta}")
+        self.ghb_entries = ghb_entries
+        self.degree = degree
+        self.max_delta = max_delta
+        # Circular history of miss block addresses (monotonic write index).
+        self._history: List[int] = []
+        self._write_index = 0
+        # (delta1, delta2) -> monotonic GHB position of the pair's second miss.
+        self._index: Dict[Tuple[int, int], int] = {}
+        self._last_block: Optional[int] = None
+        self._last_delta: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _push(self, channel_block: int) -> int:
+        """Append a miss to the GHB; returns its monotonic position."""
+        position = self._write_index
+        if len(self._history) < self.ghb_entries:
+            self._history.append(channel_block)
+        else:
+            self._history[position % self.ghb_entries] = channel_block
+        self._write_index += 1
+        self.activity.table_writes += 1
+        return position
+
+    def _at(self, position: int) -> Optional[int]:
+        """GHB entry at a monotonic position, if it has not been overwritten."""
+        if position < 0 or position >= self._write_index:
+            return None
+        if self._write_index - position > self.ghb_entries:
+            return None
+        return self._history[position % self.ghb_entries]
+
+    def observe(self, access: DemandAccess) -> None:
+        """No-op: GHB is monolithic and trains on the miss stream in
+        :meth:`issue` (the only stream delta correlation is defined on)."""
+
+    # ------------------------------------------------------------------
+    def issue(self, access: DemandAccess, was_hit: bool,
+              prefetched_hit: bool = False) -> List[PrefetchCandidate]:
+        if was_hit:
+            return []
+        block = access.channel_block
+        candidates: List[PrefetchCandidate] = []
+
+        delta = None
+        if self._last_block is not None:
+            delta = block - self._last_block
+            if abs(delta) > self.max_delta:
+                delta = None
+
+        if delta is not None and self._last_delta is not None:
+            pair = (self._last_delta, delta)
+            previous = self._index.get(pair)
+            self.activity.table_reads += 1
+            if previous is not None:
+                candidates = self._replay(block, previous)
+
+        position = self._push(block)
+        if delta is not None and self._last_delta is not None:
+            self._index[(self._last_delta, delta)] = position
+            if len(self._index) > 4 * self.ghb_entries:
+                self._prune_index()
+        self._last_block = block
+        self._last_delta = delta
+        return candidates
+
+    def _replay(self, base: int, position: int) -> List[PrefetchCandidate]:
+        """Replay the deltas that followed the pair's previous occurrence."""
+        candidates: List[PrefetchCandidate] = []
+        current = base
+        for step in range(1, self.degree + 1):
+            earlier = self._at(position + step - 1)
+            later = self._at(position + step)
+            if earlier is None or later is None:
+                break
+            delta = later - earlier
+            if delta == 0 or abs(delta) > self.max_delta:
+                break
+            current += delta
+            if current < 0:
+                break
+            self.issued_candidates += 1
+            candidates.append(PrefetchCandidate(
+                block_addr=self.channel_block_to_block_addr(current),
+                source=self.name,
+            ))
+        return candidates
+
+    def _prune_index(self) -> None:
+        """Drop index entries pointing at overwritten GHB positions."""
+        horizon = self._write_index - self.ghb_entries
+        self._index = {
+            pair: position for pair, position in self._index.items()
+            if position >= horizon
+        }
+
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        # GHB: 32-bit block addresses; index table: 2x7-bit signed deltas
+        # tag + GHB pointer per entry (sized at 2 entries per GHB slot).
+        ghb_bits = self.ghb_entries * 32
+        index_bits = 2 * self.ghb_entries * (14 + 16)
+        return ghb_bits + index_bits

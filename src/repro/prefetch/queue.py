@@ -1,0 +1,68 @@
+"""Prefetch queue: dedup, degree throttling, and bounded depth.
+
+"The generated prefetch requests are inserted into the prefetch queue"
+(Section 2).  The queue is the last gate before DRAM: it drops duplicates
+of recently issued prefetches, caps the number of prefetches one trigger
+may emit (degree), and bounds total outstanding prefetches so a
+misbehaving prefetcher cannot flood the memory system.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, List
+
+from repro.config import PrefetchQueueConfig
+from repro.prefetch.base import PrefetchCandidate
+
+
+class PrefetchQueue:
+    """FIFO of accepted prefetch candidates with an issue filter."""
+
+    def __init__(self, config: PrefetchQueueConfig) -> None:
+        self.config = config
+        self._queue: Deque[PrefetchCandidate] = deque()
+        # Recently accepted block addresses; OrderedDict as an LRU set.
+        self._recent: OrderedDict = OrderedDict()
+        self._recent_capacity = config.depth * 8
+        self.accepted = 0
+        self.dropped_duplicate = 0
+        self.dropped_degree = 0
+        self.dropped_full = 0
+
+    def push(self, candidates: List[PrefetchCandidate]) -> List[PrefetchCandidate]:
+        """Filter and enqueue one trigger's candidates.
+
+        Returns the accepted subset, in order.
+        """
+        accepted: List[PrefetchCandidate] = []
+        for candidate in candidates:
+            if len(accepted) >= self.config.max_degree:
+                self.dropped_degree += len(candidates) - len(accepted)
+                break
+            if self.config.drop_duplicates and candidate.block_addr in self._recent:
+                self.dropped_duplicate += 1
+                continue
+            if len(self._queue) >= self.config.depth:
+                self.dropped_full += 1
+                continue
+            self._remember(candidate.block_addr)
+            self._queue.append(candidate)
+            accepted.append(candidate)
+            self.accepted += 1
+        return accepted
+
+    def _remember(self, block_addr: int) -> None:
+        self._recent[block_addr] = None
+        self._recent.move_to_end(block_addr)
+        while len(self._recent) > self._recent_capacity:
+            self._recent.popitem(last=False)
+
+    def pop_all(self) -> List[PrefetchCandidate]:
+        """Drain the queue (the engine services prefetches immediately)."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,98 @@
+"""Factory registry: prefetchers by name, as the experiment configs use.
+
+Keeps every bench/example/test building prefetchers the same way:
+
+>>> from repro.prefetch import make_prefetcher
+>>> pf = make_prefetcher("planaria", DEFAULT_LAYOUT, channel=0)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigError
+from repro.geometry import AddressLayout
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.bop import BestOffsetPrefetcher
+from repro.prefetch.simple import NextLinePrefetcher, NoPrefetcher, StridePrefetcher
+from repro.prefetch.ghb import GHBPrefetcher
+from repro.prefetch.sms import SMSPrefetcher
+from repro.prefetch.spp import SignaturePathPrefetcher
+from repro.prefetch.streamer import StreamPrefetcher
+
+
+def _make_planaria(layout: AddressLayout, channel: int) -> Prefetcher:
+    from repro.core.planaria import PlanariaPrefetcher
+
+    return PlanariaPrefetcher(layout, channel)
+
+
+def _make_slp(layout: AddressLayout, channel: int) -> Prefetcher:
+    from repro.core.slp import SLPPrefetcher
+
+    return SLPPrefetcher(layout, channel)
+
+
+def _make_tlp(layout: AddressLayout, channel: int) -> Prefetcher:
+    from repro.core.tlp import TLPPrefetcher
+
+    return TLPPrefetcher(layout, channel)
+
+
+def _make_planaria_serial(layout: AddressLayout, channel: int) -> Prefetcher:
+    from repro.config import PlanariaConfig
+    from repro.core.planaria import PlanariaPrefetcher
+
+    return PlanariaPrefetcher(layout, channel, PlanariaConfig(coordinator="serial"))
+
+
+def _make_planaria_parallel(layout: AddressLayout, channel: int) -> Prefetcher:
+    from repro.config import PlanariaConfig
+    from repro.core.planaria import PlanariaPrefetcher
+
+    return PlanariaPrefetcher(layout, channel, PlanariaConfig(coordinator="parallel"))
+
+
+def _make_bop_throttled(layout: AddressLayout, channel: int) -> Prefetcher:
+    from repro.prefetch.throttle import AccuracyThrottle
+
+    return AccuracyThrottle(BestOffsetPrefetcher(layout, channel))
+
+
+def _make_planaria_throttled(layout: AddressLayout, channel: int) -> Prefetcher:
+    from repro.prefetch.throttle import AccuracyThrottle
+
+    return AccuracyThrottle(_make_planaria(layout, channel))
+
+
+PREFETCHER_FACTORIES: Dict[str, Callable[[AddressLayout, int], Prefetcher]] = {
+    "none": NoPrefetcher,
+    "nextline": NextLinePrefetcher,
+    "stride": StridePrefetcher,
+    "bop": BestOffsetPrefetcher,
+    "spp": SignaturePathPrefetcher,
+    "ghb": GHBPrefetcher,
+    "streamer": StreamPrefetcher,
+    "sms": SMSPrefetcher,
+    "slp": _make_slp,
+    "tlp": _make_tlp,
+    "planaria": _make_planaria,
+    "planaria-serial": _make_planaria_serial,
+    "planaria-parallel": _make_planaria_parallel,
+    "bop-throttled": _make_bop_throttled,
+    "planaria-throttled": _make_planaria_throttled,
+}
+
+
+def make_prefetcher(name: str, layout: AddressLayout, channel: int) -> Prefetcher:
+    """Instantiate a prefetcher by registry name.
+
+    Raises:
+        ConfigError: unknown name (message lists the registry).
+    """
+    try:
+        factory = PREFETCHER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(PREFETCHER_FACTORIES))
+        raise ConfigError(f"unknown prefetcher {name!r}; known: {known}") from None
+    return factory(layout, channel)

@@ -1,0 +1,126 @@
+"""Trivial prefetchers: none, next-line, and per-device stride.
+
+These are sanity anchors for the evaluation — the paper's comparisons are
+against BOP and SPP, but next-line/stride make the benches' ordering easy
+to sanity-check (any real prefetcher should beat next-line on irregular
+SC traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.geometry import AddressLayout
+from repro.prefetch.base import DemandAccess, PrefetchCandidate, Prefetcher
+
+
+class NoPrefetcher(Prefetcher):
+    """The no-prefetcher baseline ("none" in every figure)."""
+
+    name = "none"
+
+    def observe(self, access: DemandAccess) -> None:
+        pass
+
+    def issue(self, access: DemandAccess, was_hit: bool,
+              prefetched_hit: bool = False) -> List[PrefetchCandidate]:
+        return []
+
+    def storage_bits(self) -> int:
+        return 0
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Prefetch the next ``degree`` sequential blocks on every miss."""
+
+    name = "nextline"
+
+    def __init__(self, layout: AddressLayout, channel: int, degree: int = 1) -> None:
+        super().__init__(layout, channel)
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+
+    def observe(self, access: DemandAccess) -> None:
+        pass
+
+    def issue(self, access: DemandAccess, was_hit: bool,
+              prefetched_hit: bool = False) -> List[PrefetchCandidate]:
+        if was_hit:
+            return []
+        candidates = []
+        for step in range(1, self.degree + 1):
+            target = access.channel_block + step
+            self.issued_candidates += 1
+            candidates.append(PrefetchCandidate(
+                block_addr=self.channel_block_to_block_addr(target),
+                source=self.name,
+            ))
+        return candidates
+
+    def storage_bits(self) -> int:
+        return 0
+
+
+class StridePrefetcher(Prefetcher):
+    """Classic per-stream stride detection, keyed by requesting device.
+
+    Memory-side there is no PC, so streams are distinguished by device ID —
+    the best a stride prefetcher can do at the SC, and a deliberately weak
+    signature (many unrelated flows share one device), which is exactly the
+    paper's point about PC-indexed designs.
+    """
+
+    name = "stride"
+
+    def __init__(self, layout: AddressLayout, channel: int,
+                 confidence_threshold: int = 2, degree: int = 2) -> None:
+        super().__init__(layout, channel)
+        if confidence_threshold < 1:
+            raise ValueError("confidence_threshold must be >= 1")
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.confidence_threshold = confidence_threshold
+        self.degree = degree
+        # device -> (last channel_block, last stride, confidence)
+        self._streams: Dict[int, List[int]] = {}
+
+    def observe(self, access: DemandAccess) -> None:
+        state = self._streams.get(int(access.device))
+        self.activity.table_reads += 1
+        if state is None:
+            self._streams[int(access.device)] = [access.channel_block, 0, 0]
+            self.activity.table_writes += 1
+            return
+        last_block, last_stride, confidence = state
+        stride = access.channel_block - last_block
+        if stride != 0 and stride == last_stride:
+            confidence = min(confidence + 1, self.confidence_threshold)
+        else:
+            confidence = 0
+        self._streams[int(access.device)] = [access.channel_block, stride, confidence]
+        self.activity.table_writes += 1
+
+    def issue(self, access: DemandAccess, was_hit: bool,
+              prefetched_hit: bool = False) -> List[PrefetchCandidate]:
+        state = self._streams.get(int(access.device))
+        if state is None:
+            return []
+        _, stride, confidence = state
+        if stride == 0 or confidence < self.confidence_threshold:
+            return []
+        candidates = []
+        for step in range(1, self.degree + 1):
+            target = access.channel_block + stride * step
+            if target < 0:
+                break
+            self.issued_candidates += 1
+            candidates.append(PrefetchCandidate(
+                block_addr=self.channel_block_to_block_addr(target),
+                source=self.name,
+            ))
+        return candidates
+
+    def storage_bits(self) -> int:
+        # 5 device streams x (block pointer 32b + stride 16b + confidence 2b)
+        return 5 * (32 + 16 + 2)

@@ -1,0 +1,131 @@
+"""Multi-stream sequential prefetcher (a classic LLC "streamer").
+
+Tracks several concurrent sequential streams by address region, in the
+style of hardware streamers (e.g. the L2 streamer in commercial cores):
+
+* a miss allocates a *tracker* for its 1 KB-ish region in "probing" state;
+* a second miss in the region sets the direction (+1/−1) and starts
+  confirming; further same-direction misses raise confidence;
+* a confirmed stream prefetches ``degree`` blocks ahead of its head, up to
+  ``distance`` blocks beyond the last demanded address.
+
+This is the strongest purely-sequential baseline the SC could ship, and a
+useful anchor between next-line (no state) and BOP (learned offset).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.geometry import AddressLayout
+from repro.prefetch.base import DemandAccess, PrefetchCandidate, Prefetcher
+
+
+class _StreamTracker:
+    __slots__ = ("last_block", "direction", "confidence", "head")
+
+    def __init__(self, block: int) -> None:
+        self.last_block = block
+        self.direction = 0
+        self.confidence = 0
+        self.head = block
+
+
+class StreamPrefetcher(Prefetcher):
+    """Region-based multi-stream sequential prefetcher."""
+
+    name = "streamer"
+
+    def __init__(self, layout: AddressLayout, channel: int,
+                 trackers: int = 32,
+                 region_blocks: int = 64,
+                 confirm_threshold: int = 2,
+                 degree: int = 4,
+                 distance: int = 16) -> None:
+        super().__init__(layout, channel)
+        if trackers < 1:
+            raise ValueError(f"trackers must be >= 1, got {trackers}")
+        if region_blocks < 2:
+            raise ValueError(f"region_blocks must be >= 2, got {region_blocks}")
+        if confirm_threshold < 1:
+            raise ValueError(f"confirm_threshold must be >= 1, got {confirm_threshold}")
+        if degree < 1 or distance < degree:
+            raise ValueError("need degree >= 1 and distance >= degree")
+        self.trackers = trackers
+        self.region_blocks = region_blocks
+        self.confirm_threshold = confirm_threshold
+        self.degree = degree
+        self.distance = distance
+        self._table: "OrderedDict[int, _StreamTracker]" = OrderedDict()
+        self.streams_confirmed = 0
+
+    def _region(self, channel_block: int) -> int:
+        return channel_block // self.region_blocks
+
+    # ------------------------------------------------------------------
+    def observe(self, access: DemandAccess) -> None:
+        """No-op: streams are defined on the miss stream seen by issue()."""
+
+    def _train(self, channel_block: int) -> Optional[_StreamTracker]:
+        region = self._region(channel_block)
+        tracker = self._table.get(region)
+        self.activity.table_reads += 1
+        if tracker is None:
+            tracker = _StreamTracker(channel_block)
+            self._table[region] = tracker
+            self._table.move_to_end(region)
+            self.activity.table_writes += 1
+            while len(self._table) > self.trackers:
+                self._table.popitem(last=False)
+            return None
+        step = channel_block - tracker.last_block
+        if step == 0:
+            return None
+        direction = 1 if step > 0 else -1
+        if tracker.direction in (0, direction):
+            previously_confirmed = tracker.confidence >= self.confirm_threshold
+            tracker.direction = direction
+            tracker.confidence += 1
+            if (tracker.confidence >= self.confirm_threshold
+                    and not previously_confirmed):
+                self.streams_confirmed += 1
+        else:
+            tracker.direction = direction
+            tracker.confidence = 1
+            tracker.head = channel_block
+        tracker.last_block = channel_block
+        tracker.head = max(tracker.head, channel_block) if direction > 0 \
+            else min(tracker.head, channel_block)
+        self._table.move_to_end(region)
+        self.activity.table_writes += 1
+        return tracker
+
+    # ------------------------------------------------------------------
+    def issue(self, access: DemandAccess, was_hit: bool,
+              prefetched_hit: bool = False) -> List[PrefetchCandidate]:
+        if was_hit and not prefetched_hit:
+            return []
+        tracker = self._train(access.channel_block)
+        if tracker is None or tracker.confidence < self.confirm_threshold:
+            return []
+        candidates: List[PrefetchCandidate] = []
+        limit = access.channel_block + tracker.direction * self.distance
+        for _ in range(self.degree):
+            target = tracker.head + tracker.direction
+            if tracker.direction > 0 and target > limit:
+                break
+            if tracker.direction < 0 and (target < limit or target < 0):
+                break
+            tracker.head = target
+            self.issued_candidates += 1
+            candidates.append(PrefetchCandidate(
+                block_addr=self.channel_block_to_block_addr(target),
+                source=self.name,
+            ))
+        return candidates
+
+    def storage_bits(self) -> int:
+        # Tracker: region tag 26b + last/head pointers 2x32b + dir 2b +
+        # confidence 3b.
+        return self.trackers * (26 + 64 + 2 + 3)

@@ -1,0 +1,21 @@
+"""Trace-driven simulation engine and metrics.
+
+Mirrors the paper's methodology (Section 5): traces drive a per-channel
+system-cache + LPDDR4 model; statistics come out as SC hit rate, AMAT,
+memory traffic, power, and an AMAT→IPC proxy.
+"""
+
+from repro.sim.engine import ChannelSimulator, SystemSimulator
+from repro.sim.metrics import MetricSet, RunMetrics, ipc_speedup
+from repro.sim.runner import RunResult, compare_prefetchers, run_workload
+
+__all__ = [
+    "ChannelSimulator",
+    "SystemSimulator",
+    "MetricSet",
+    "RunMetrics",
+    "ipc_speedup",
+    "RunResult",
+    "run_workload",
+    "compare_prefetchers",
+]

@@ -1,0 +1,262 @@
+"""The trace-driven simulation engine.
+
+One :class:`ChannelSimulator` per DRAM channel, each owning its SC slice,
+LPDDR4 channel, prefetcher instance and prefetch queue — exactly the
+paper's per-channel organisation (Figure 1).  :class:`SystemSimulator`
+splits the bus trace across channels and merges statistics.
+
+Per demand access the channel simulator:
+
+1. looks up the SC (hit / miss / MSHR-merge on an in-flight fill);
+2. on a true miss, services a DRAM read (write misses fetch-for-ownership
+   with the write posted off the critical path) and installs the fill with
+   its data-ready time;
+3. runs the prefetcher's learning phase (always) and issuing phase,
+   pushes candidates through the prefetch queue, and services accepted
+   prefetches at low cost in the DRAM model, installing prefetch fills
+   tagged with their issuing sub-prefetcher for Figure-9 attribution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.cache.cache import SetAssociativeCache
+from repro.config import SimConfig
+from repro.dram.channel import DRAMChannel
+from repro.dram.request import MemRequest, RequestKind
+from repro.errors import SimulationError
+from repro.power.model import MemorySystemPower
+from repro.power.prefetcher_power import PrefetcherActivity
+from repro.prefetch.base import DemandAccess, Prefetcher
+from repro.prefetch.queue import PrefetchQueue
+from repro.sim.metrics import MetricSet
+from repro.trace.record import TraceRecord
+
+
+class ChannelSimulator:
+    """SC slice + DRAM channel + prefetcher for one channel."""
+
+    def __init__(self, channel: int, config: SimConfig,
+                 prefetcher: Prefetcher) -> None:
+        if prefetcher.channel != channel:
+            raise SimulationError(
+                f"prefetcher built for channel {prefetcher.channel}, "
+                f"simulator is channel {channel}"
+            )
+        self.channel = channel
+        self.config = config
+        self.layout = config.layout
+        self.cache = SetAssociativeCache(config.cache)
+        self.dram = DRAMChannel(config.dram, block_size=config.cache.block_size)
+        self.prefetcher = prefetcher
+        self.queue = PrefetchQueue(config.queue)
+        self.metrics = MetricSet()
+        self._warmup_until = 0
+        self._last_time = 0
+        self._blocks_per_segment = self.layout.blocks_per_segment
+
+    def set_warmup(self, warmup_records: int, records_seen_hint: int = 0) -> None:
+        """Metrics are suppressed for the first ``warmup_records`` accesses."""
+        self._warmup_until = warmup_records
+
+    # ------------------------------------------------------------------
+    def _decompose(self, record: TraceRecord) -> DemandAccess:
+        layout = self.layout
+        block_addr = record.address >> layout.block_bits
+        page = record.address >> layout.page_bits
+        block_in_segment = block_addr & (self._blocks_per_segment - 1)
+        return DemandAccess(
+            block_addr=block_addr,
+            page=page,
+            block_in_segment=block_in_segment,
+            channel_block=page * self._blocks_per_segment + block_in_segment,
+            time=record.arrival_time,
+            is_read=record.is_read,
+            device=record.device,
+        )
+
+    def step(self, record: TraceRecord, record_metrics: bool = True) -> int:
+        """Simulate one demand access; returns its observed latency."""
+        now = record.arrival_time
+        self._last_time = max(self._last_time, now)
+        access = self._decompose(record)
+        result = self.cache.access(access.block_addr, now,
+                                   is_write=not access.is_read)
+
+        if result.hit:
+            latency = self.config.sc_hit_latency
+        elif result.delayed:
+            # Data already in flight (MSHR merge or late prefetch).
+            latency = self.config.sc_hit_latency + result.wait_cycles
+        else:
+            completion = self.dram.service(MemRequest(
+                block_addr=access.block_addr,
+                arrival_time=now,
+                kind=RequestKind.DEMAND_READ,
+            ))
+            eviction = self.cache.fill(
+                access.block_addr, now, ready_time=completion,
+                dirty=not access.is_read,
+            )
+            self._handle_eviction(eviction, now)
+            if access.is_read:
+                latency = self.config.sc_hit_latency + (completion - now)
+            else:
+                # Posted write: the requester does not wait for the fetch.
+                latency = self.config.sc_hit_latency
+
+        if record_metrics:
+            self.metrics.record(latency, access.is_read,
+                                device=access.device.name)
+
+        if result.prefetch_source is not None:
+            self.prefetcher.notify_useful()
+
+        # Learning phase: always on, sees the complete stream (Section 2).
+        self.prefetcher.observe(access)
+        # Issuing phase.  A hit that is the first demand touch of a
+        # prefetched block is the classic secondary trigger.
+        prefetched_hit = result.hit and result.prefetch_source is not None
+        candidates = self.prefetcher.issue(access, result.hit, prefetched_hit)
+        if candidates:
+            accepted = self.queue.push(candidates)
+            if accepted:
+                self._service_prefetches(now)
+        return latency
+
+    def _service_prefetches(self, now: int) -> None:
+        if not self.config.prefetch_fill_sc:
+            self.queue.pop_all()
+            return
+        for candidate in self.queue.pop_all():
+            if self.cache.contains(candidate.block_addr):
+                continue
+            completion = self.dram.service(MemRequest(
+                block_addr=candidate.block_addr,
+                arrival_time=now,
+                kind=RequestKind.PREFETCH,
+                source=candidate.source,
+            ))
+            eviction = self.cache.fill(
+                candidate.block_addr, now, ready_time=completion,
+                prefetched=True, source=candidate.source,
+            )
+            self._handle_eviction(eviction, now)
+
+    def _handle_eviction(self, eviction, now: int) -> None:
+        if eviction is None:
+            return
+        if eviction.prefetched:
+            self.prefetcher.notify_unused()
+        if eviction.dirty:
+            self.dram.service(MemRequest(
+                block_addr=eviction.tag,
+                arrival_time=now,
+                kind=RequestKind.WRITEBACK,
+            ))
+
+    def run(self, records: Iterable[TraceRecord],
+            warmup_records: int = 0) -> None:
+        """Drive a full per-channel record stream through the simulator."""
+        for index, record in enumerate(records):
+            self.step(record, record_metrics=index >= warmup_records)
+        self.finish()
+
+    def finish(self) -> None:
+        self.dram.finish(self._last_time)
+
+
+class SystemSimulator:
+    """All four channels: splits the bus trace and merges results."""
+
+    def __init__(self, config: SimConfig, prefetcher_factory) -> None:
+        """Args:
+            prefetcher_factory: callable ``(layout, channel) -> Prefetcher``.
+        """
+        self.config = config
+        self.channels: List[ChannelSimulator] = [
+            ChannelSimulator(channel, config,
+                             prefetcher_factory(config.layout, channel))
+            for channel in range(config.layout.num_channels)
+        ]
+
+    def run(self, records: List[TraceRecord],
+            warmup_fraction: Optional[float] = None) -> None:
+        """Simulate the whole trace.
+
+        Records are routed per channel in arrival order; metrics ignore the
+        warmup prefix of each channel's stream.
+        """
+        if warmup_fraction is None:
+            warmup_fraction = self.config.warmup_fraction
+        layout = self.config.layout
+        streams: List[List[TraceRecord]] = [[] for _ in self.channels]
+        for record in records:
+            streams[layout.channel(record.address)].append(record)
+        for channel_sim, stream in zip(self.channels, streams):
+            warmup = int(len(stream) * warmup_fraction)
+            channel_sim.run(stream, warmup_records=warmup)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def merged_metrics(self) -> MetricSet:
+        merged = MetricSet()
+        for channel_sim in self.channels:
+            merged.merge(channel_sim.metrics)
+        return merged
+
+    def merged_cache_stats(self):
+        from repro.cache.cache import CacheStats
+
+        merged = CacheStats()
+        for channel_sim in self.channels:
+            stats = channel_sim.cache.stats
+            merged.demand_accesses += stats.demand_accesses
+            merged.demand_hits += stats.demand_hits
+            merged.demand_misses += stats.demand_misses
+            merged.delayed_hits += stats.delayed_hits
+            merged.prefetch_fills += stats.prefetch_fills
+            merged.demand_fills += stats.demand_fills
+            merged.writebacks += stats.writebacks
+            for table in ("prefetch_useful", "prefetch_late",
+                          "prefetch_unused_evicted"):
+                merged_map = getattr(merged, table)
+                for source, count in getattr(stats, table).items():
+                    merged_map[source] = merged_map.get(source, 0) + count
+        return merged
+
+    def merged_dram_stats(self):
+        from repro.dram.stats import DRAMStats
+
+        merged = DRAMStats()
+        for channel_sim in self.channels:
+            merged.merge(channel_sim.dram.stats)
+        return merged
+
+    def power_report(self):
+        """Total memory-system power over all channels."""
+        power_model = MemorySystemPower(self.config.power,
+                                        self.config.dram.timing)
+        total_prefetcher_bits = 0
+        reads = writes = 0
+        for channel_sim in self.channels:
+            activity = channel_sim.prefetcher.activity
+            reads += activity.table_reads
+            writes += activity.table_writes
+            total_prefetcher_bits += channel_sim.prefetcher.storage_bits()
+        return power_model.report(
+            self.merged_dram_stats(),
+            PrefetcherActivity(
+                table_reads=reads,
+                table_writes=writes,
+                storage_bits=total_prefetcher_bits,
+            ),
+        )
+
+    def total_prefetch_issued(self) -> int:
+        return sum(channel.prefetcher.issued_candidates for channel in self.channels)
+
+    def storage_bits(self) -> int:
+        return sum(channel.prefetcher.storage_bits() for channel in self.channels)

@@ -1,0 +1,146 @@
+"""Simulation metrics: AMAT, hit rate, traffic, accuracy/coverage, IPC proxy.
+
+Definitions used throughout the evaluation:
+
+* **AMAT** — mean demand-*read* latency seen by the requester, in
+  memory-controller cycles (writes are posted and leave the critical path,
+  but still consume DRAM bandwidth and energy).
+* **traffic** — total DRAM data transfers (demand reads + prefetch reads +
+  writes + write-backs); the paper's "memory traffic overhead" is the
+  ratio of this against the no-prefetcher run.
+* **accuracy** — useful prefetches / prefetch fills.
+* **coverage** — useful prefetches / (useful prefetches + remaining
+  misses): the fraction of would-be misses the prefetcher absorbed.
+* **IPC proxy** — the paper converts AMAT into whole-system IPC through
+  its trace+RTL flow; we use the standard memory-stall decomposition
+  ``speedup = 1 / ((1 − μ) + μ · AMAT_new/AMAT_base)`` with a per-app
+  memory-intensity μ (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.utils.statistics import Histogram, RunningStats
+
+
+@dataclass
+class MetricSet:
+    """Raw per-channel accumulation during simulation.
+
+    Beyond the aggregate AMAT, read latency is tracked per requesting
+    device — the SC is shared by CPU/GPU/NPU/ISP/DSP (paper §1), and which
+    device a prefetcher helps is a first-class question on an SoC.
+    """
+
+    demand_reads: int = 0
+    demand_writes: int = 0
+    read_latency: RunningStats = field(default_factory=RunningStats)
+    all_latency: RunningStats = field(default_factory=RunningStats)
+    latency_histogram: Histogram = field(default_factory=lambda: Histogram(25.0))
+    device_read_latency: Dict[str, RunningStats] = field(default_factory=dict)
+
+    def record(self, latency: int, is_read: bool,
+               device: Optional[str] = None) -> None:
+        self.all_latency.add(latency)
+        if is_read:
+            self.demand_reads += 1
+            self.read_latency.add(latency)
+            self.latency_histogram.add(latency)
+            if device is not None:
+                stats = self.device_read_latency.get(device)
+                if stats is None:
+                    stats = self.device_read_latency[device] = RunningStats()
+                stats.add(latency)
+        else:
+            self.demand_writes += 1
+
+    def merge(self, other: "MetricSet") -> None:
+        self.demand_reads += other.demand_reads
+        self.demand_writes += other.demand_writes
+        self.read_latency.merge(other.read_latency)
+        self.all_latency.merge(other.all_latency)
+        for device, stats in other.device_read_latency.items():
+            mine = self.device_read_latency.get(device)
+            if mine is None:
+                mine = self.device_read_latency[device] = RunningStats()
+            mine.merge(stats)
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Condensed results of one (workload, prefetcher) simulation."""
+
+    workload: str
+    prefetcher: str
+    amat: float
+    hit_rate: float
+    demand_accesses: int
+    demand_misses: int
+    dram_traffic: int
+    prefetch_issued: int
+    prefetch_fills: int
+    prefetch_useful: int
+    prefetch_useful_by_source: Dict[str, int]
+    prefetch_unused: int
+    power_mw: float
+    energy_nj: float
+    storage_bits: int
+    p99_latency: float = 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Useful prefetches over *DRAM-fetched* prefetches.
+
+        Candidates deduplicated by the queue or already resident in the SC
+        never cost bandwidth, so accuracy is judged on actual fills.
+        """
+        fills = self.prefetch_fills
+        return self.prefetch_useful / fills if fills else 0.0
+
+    @property
+    def coverage(self) -> float:
+        base = self.prefetch_useful + self.demand_misses
+        return self.prefetch_useful / base if base else 0.0
+
+    def amat_reduction_vs(self, baseline: "RunMetrics") -> float:
+        """Fractional AMAT reduction vs a baseline run (positive = better)."""
+        if baseline.amat <= 0:
+            return 0.0
+        return 1.0 - self.amat / baseline.amat
+
+    def traffic_overhead_vs(self, baseline: "RunMetrics") -> float:
+        """Fractional extra DRAM traffic vs a baseline run."""
+        if baseline.dram_traffic <= 0:
+            return 0.0
+        return self.dram_traffic / baseline.dram_traffic - 1.0
+
+    def power_overhead_vs(self, baseline: "RunMetrics") -> float:
+        """Fractional extra memory-system power vs a baseline run."""
+        if baseline.energy_nj <= 0:
+            return 0.0
+        return self.energy_nj / baseline.energy_nj - 1.0
+
+
+def ipc_speedup(amat: float, baseline_amat: float, memory_intensity: float) -> float:
+    """AMAT→IPC proxy: memory-stall-fraction scaling.
+
+    Args:
+        amat: the configuration under evaluation.
+        baseline_amat: the reference configuration (usually no prefetcher).
+        memory_intensity: μ ∈ [0, 1], the fraction of baseline execution
+            time attributable to SC-level memory stalls.
+
+    Returns:
+        IPC(config) / IPC(baseline); >1 means faster.
+    """
+    if not 0.0 <= memory_intensity <= 1.0:
+        raise ValueError(f"memory_intensity must be in [0, 1], got {memory_intensity}")
+    if baseline_amat <= 0:
+        return 1.0
+    ratio = amat / baseline_amat
+    denominator = (1.0 - memory_intensity) + memory_intensity * ratio
+    if denominator <= 0:
+        return 1.0
+    return 1.0 / denominator

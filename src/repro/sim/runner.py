@@ -1,0 +1,115 @@
+"""High-level experiment runner: workload × prefetcher → RunMetrics.
+
+The benches and examples all funnel through :func:`run_workload` /
+:func:`compare_prefetchers`, so a figure is regenerated with a couple of
+lines:
+
+>>> results = compare_prefetchers("CFM", ["none", "bop", "spp", "planaria"])
+>>> results["planaria"].amat_reduction_vs(results["none"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import SimConfig
+from repro.prefetch.registry import make_prefetcher
+from repro.sim.engine import SystemSimulator
+from repro.sim.metrics import RunMetrics
+from repro.trace.generator import generate_trace, get_profile
+from repro.trace.generator.profile import WorkloadProfile
+from repro.trace.record import TraceRecord
+
+DEFAULT_PREFETCHERS = ("none", "bop", "spp", "planaria")
+DEFAULT_TRACE_LENGTH = 120_000
+
+
+@dataclass
+class RunResult:
+    """A RunMetrics plus the live simulator for deeper inspection."""
+
+    metrics: RunMetrics
+    simulator: SystemSimulator
+
+
+def simulate(records: List[TraceRecord], prefetcher_name: str,
+             workload_name: str = "custom",
+             config: Optional[SimConfig] = None) -> RunResult:
+    """Run one prefetcher over an explicit record list.
+
+    Defaults to :meth:`SimConfig.experiment_scale` — the scaled-down SC
+    matched to the bundled synthetic trace lengths (see DESIGN.md §2); pass
+    ``SimConfig.paper_scale()`` when driving full-length traces.
+    """
+    config = config or SimConfig.experiment_scale()
+    simulator = SystemSimulator(
+        config, lambda layout, channel: make_prefetcher(prefetcher_name,
+                                                        layout, channel)
+    )
+    simulator.run(records)
+    metrics = _collect(simulator, workload_name, prefetcher_name)
+    return RunResult(metrics=metrics, simulator=simulator)
+
+
+def _collect(simulator: SystemSimulator, workload: str,
+             prefetcher: str) -> RunMetrics:
+    cache_stats = simulator.merged_cache_stats()
+    dram_stats = simulator.merged_dram_stats()
+    channel_metrics = simulator.merged_metrics()
+    power = simulator.power_report()
+    p99 = 0.0
+    for channel_sim in simulator.channels:
+        p99 = max(p99, channel_sim.metrics.latency_histogram.percentile(0.99))
+    return RunMetrics(
+        workload=workload,
+        prefetcher=prefetcher,
+        amat=channel_metrics.read_latency.mean,
+        hit_rate=cache_stats.hit_rate,
+        demand_accesses=cache_stats.demand_accesses,
+        demand_misses=cache_stats.demand_misses,
+        dram_traffic=dram_stats.total_requests,
+        prefetch_issued=simulator.total_prefetch_issued(),
+        prefetch_fills=cache_stats.prefetch_fills,
+        prefetch_useful=cache_stats.useful_total(),
+        prefetch_useful_by_source=dict(cache_stats.prefetch_useful),
+        prefetch_unused=cache_stats.unused_total(),
+        power_mw=power.average_power_mw,
+        energy_nj=power.total_nj,
+        storage_bits=simulator.storage_bits(),
+        p99_latency=p99,
+    )
+
+
+def run_workload(abbr_or_profile, prefetcher_name: str,
+                 length: int = DEFAULT_TRACE_LENGTH, seed: int = 0,
+                 config: Optional[SimConfig] = None) -> RunMetrics:
+    """Generate a workload's trace and simulate one prefetcher over it.
+
+    Args:
+        abbr_or_profile: a Table-2 abbreviation (``"CFM"``) or a
+            :class:`WorkloadProfile`.
+    """
+    profile = (abbr_or_profile if isinstance(abbr_or_profile, WorkloadProfile)
+               else get_profile(abbr_or_profile))
+    config = config or SimConfig.experiment_scale()
+    records = generate_trace(profile, length, seed=seed, layout=config.layout)
+    return simulate(records, prefetcher_name,
+                    workload_name=profile.abbr, config=config).metrics
+
+
+def compare_prefetchers(abbr_or_profile,
+                        prefetchers: Iterable[str] = DEFAULT_PREFETCHERS,
+                        length: int = DEFAULT_TRACE_LENGTH, seed: int = 0,
+                        config: Optional[SimConfig] = None
+                        ) -> Dict[str, RunMetrics]:
+    """Run several prefetchers over the *same* generated trace."""
+    profile = (abbr_or_profile if isinstance(abbr_or_profile, WorkloadProfile)
+               else get_profile(abbr_or_profile))
+    config = config or SimConfig.experiment_scale()
+    records = generate_trace(profile, length, seed=seed, layout=config.layout)
+    results: Dict[str, RunMetrics] = {}
+    for name in prefetchers:
+        results[name] = simulate(records, name, workload_name=profile.abbr,
+                                 config=config).metrics
+    return results

@@ -1,0 +1,90 @@
+"""Parameter sweeps over prefetcher configurations.
+
+Used by the ablation benches to quantify DESIGN.md's design choices —
+TLP's thresholds, SLP's AT timeout / filter threshold — on a fixed trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.config import PlanariaConfig, SimConfig, SLPConfig, TLPConfig
+from repro.geometry import AddressLayout
+from repro.prefetch.base import Prefetcher
+from repro.sim.metrics import RunMetrics
+from repro.trace.generator import generate_trace, get_profile
+from repro.trace.record import TraceRecord
+
+PrefetcherFactory = Callable[[AddressLayout, int], Prefetcher]
+
+
+def simulate_factory(records: List[TraceRecord], factory: PrefetcherFactory,
+                     label: str, workload_name: str = "custom",
+                     config: Optional[SimConfig] = None) -> RunMetrics:
+    """Like :func:`repro.sim.runner.simulate` but with an arbitrary factory."""
+    from repro.sim.engine import SystemSimulator
+    from repro.sim.runner import _collect
+
+    config = config or SimConfig.experiment_scale()
+    simulator = SystemSimulator(config, factory)
+    simulator.run(records)
+    return _collect(simulator, workload_name, label)
+
+
+def sweep_planaria(
+    app: str,
+    variants: Dict[str, PlanariaConfig],
+    length: int = 60_000,
+    seed: int = 7,
+    config: Optional[SimConfig] = None,
+) -> Dict[str, RunMetrics]:
+    """Run several Planaria configurations over one generated trace.
+
+    Returns ``{variant_label: RunMetrics}`` plus a ``"none"`` baseline.
+    """
+    from repro.core.planaria import PlanariaPrefetcher
+    from repro.prefetch.simple import NoPrefetcher
+
+    config = config or SimConfig.experiment_scale()
+    records = generate_trace(get_profile(app), length, seed=seed,
+                             layout=config.layout)
+    results: Dict[str, RunMetrics] = {
+        "none": simulate_factory(
+            records, lambda layout, channel: NoPrefetcher(layout, channel),
+            "none", workload_name=app, config=config,
+        )
+    }
+    for label, planaria_config in variants.items():
+        results[label] = simulate_factory(
+            records,
+            lambda layout, channel, pc=planaria_config: PlanariaPrefetcher(
+                layout, channel, pc),
+            label, workload_name=app, config=config,
+        )
+    return results
+
+
+def tlp_distance_variants(distances: Iterable[int]) -> Dict[str, PlanariaConfig]:
+    """Planaria configs sweeping TLP's neighbour distance threshold."""
+    return {
+        f"distance={distance}": PlanariaConfig(tlp=TLPConfig(
+            distance_threshold=distance))
+        for distance in distances
+    }
+
+
+def slp_timeout_variants(timeouts: Iterable[int]) -> Dict[str, PlanariaConfig]:
+    """Planaria configs sweeping SLP's AT timeout."""
+    return {
+        f"timeout={timeout}": PlanariaConfig(slp=SLPConfig(at_timeout=timeout))
+        for timeout in timeouts
+    }
+
+
+def coordinator_variants() -> Dict[str, PlanariaConfig]:
+    """The three coordination strategies of Section 7's comparison."""
+    return {
+        "decoupled": PlanariaConfig(coordinator="decoupled"),
+        "serial": PlanariaConfig(coordinator="serial"),
+        "parallel": PlanariaConfig(coordinator="parallel"),
+    }

@@ -1,0 +1,24 @@
+"""Memory trace substrate: records, file I/O, filters and statistics.
+
+The paper records real traces from a bus monitor inside a mobile phone; each
+entry carries the physical address, access type (read/write), requesting
+device (CPU/GPU/DSP/...) and arrival time.  :class:`~repro.trace.record.TraceRecord`
+mirrors that format exactly; the :mod:`repro.trace.generator` subpackage
+synthesises workloads with the same statistical structure.
+"""
+
+from repro.trace.record import AccessType, DeviceID, TraceRecord
+from repro.trace.io import read_trace, write_trace, read_trace_binary, write_trace_binary
+from repro.trace.stats import TraceStats, compute_trace_stats
+
+__all__ = [
+    "AccessType",
+    "DeviceID",
+    "TraceRecord",
+    "read_trace",
+    "write_trace",
+    "read_trace_binary",
+    "write_trace_binary",
+    "TraceStats",
+    "compute_trace_stats",
+]

@@ -1,0 +1,95 @@
+"""Trace filtering and slicing utilities.
+
+Real-system traces interleave every SoC device; these helpers let analyses
+and examples carve out sub-traces (one device, one channel, one time window)
+without copying the whole record list through ad-hoc loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.geometry import AddressLayout, DEFAULT_LAYOUT
+from repro.trace.record import AccessType, DeviceID, TraceRecord
+
+
+def filter_by_device(
+    records: Iterable[TraceRecord], device: DeviceID
+) -> Iterator[TraceRecord]:
+    """Keep only accesses issued by ``device``."""
+    return (record for record in records if record.device == device)
+
+
+def filter_by_type(
+    records: Iterable[TraceRecord], access_type: AccessType
+) -> Iterator[TraceRecord]:
+    """Keep only reads or only writes."""
+    return (record for record in records if record.access_type == access_type)
+
+
+def filter_by_channel(
+    records: Iterable[TraceRecord],
+    channel: int,
+    layout: AddressLayout = DEFAULT_LAYOUT,
+) -> Iterator[TraceRecord]:
+    """Keep only accesses that map to one DRAM channel / SC slice."""
+    if not 0 <= channel < layout.num_channels:
+        raise ValueError(f"channel {channel} out of range 0..{layout.num_channels - 1}")
+    return (record for record in records if layout.channel(record.address) == channel)
+
+
+def filter_by_time_window(
+    records: Iterable[TraceRecord], start: int, end: int
+) -> Iterator[TraceRecord]:
+    """Keep accesses with ``start <= arrival_time < end``."""
+    if end < start:
+        raise ValueError(f"empty window: start={start} end={end}")
+    return (r for r in records if start <= r.arrival_time < end)
+
+
+def filter_by_page(
+    records: Iterable[TraceRecord],
+    page_number: int,
+    layout: AddressLayout = DEFAULT_LAYOUT,
+) -> Iterator[TraceRecord]:
+    """Keep accesses landing in one 4 KB page (used for Figure 2)."""
+    return (r for r in records if layout.page_number(r.address) == page_number)
+
+
+def take(records: Iterable[TraceRecord], limit: int) -> Iterator[TraceRecord]:
+    """Yield at most ``limit`` records."""
+    if limit < 0:
+        raise ValueError(f"limit must be >= 0, got {limit}")
+    for index, record in enumerate(records):
+        if index >= limit:
+            return
+        yield record
+
+
+def hottest_pages(
+    records: Sequence[TraceRecord],
+    count: int = 1,
+    layout: AddressLayout = DEFAULT_LAYOUT,
+    min_blocks: Optional[int] = None,
+) -> list:
+    """Page numbers sorted by access count, descending.
+
+    Args:
+        count: how many page numbers to return.
+        min_blocks: if given, only consider pages touching at least this
+            many distinct blocks (Figure 2 wants a page with a rich
+            footprint, not a single hot block).
+    """
+    from collections import Counter
+
+    hits: Counter = Counter()
+    blocks: dict = {}
+    for record in records:
+        page = layout.page_number(record.address)
+        hits[page] += 1
+        blocks.setdefault(page, set()).add(layout.block_in_page(record.address))
+    candidates = [
+        (page, n) for page, n in hits.most_common()
+        if min_blocks is None or len(blocks[page]) >= min_blocks
+    ]
+    return [page for page, _ in candidates[:count]]

@@ -1,0 +1,175 @@
+"""Workload profile: the knobs that shape one application's memory trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.trace.record import DeviceID
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical description of one mobile application's SC-level trace.
+
+    Attributes:
+        name: full application name (Table 2).
+        abbr: paper abbreviation (CFM, HoK, ...).
+        description: one-line description from Table 2.
+        paper_length_millions: trace length in the paper, in millions of
+            requests (Table 2); kept as metadata, actual generated length is
+            the ``length`` argument of the synthesiser.
+        num_pages: size of the page working set.
+        page_base: first page number of the working set.
+        pattern_library_size: number of distinct 64-block footprint patterns
+            shared across the working set.
+        cluster_size: contiguous pages form clusters that tend to share one
+            library pattern — this creates TLP's learnable neighbours.
+        pattern_run_length: contiguous pages within a cluster that share
+            one pattern choice (a multi-page buffer/object); drives the
+            short-distance learnable-neighbour fraction of Figure 5.
+        neighbor_similarity: probability a page adopts its cluster's pattern
+            (vs. an unrelated library pattern).  Higher → more Figure-5
+            neighbours.
+        blocks_per_page_mean: mean set bits in a page's 64-block footprint.
+        pattern_strides: candidate intra-run strides (block-granular object
+            sizes) a footprint run may use.  Stride-1-heavy tuples are
+            friendly to offset/next-line prefetchers; wider strides leave
+            only per-signature learners (SPP) and bitmap replay (SLP/TLP)
+            effective.
+        pattern_scatter: fraction of each footprint drawn as isolated random
+            blocks instead of contiguous runs.  Scattered footprints have no
+            exploitable offset/delta structure, which is what makes BOP's
+            learned offset fire blindly on the paper's Fort/NBA2/PM
+            applications; bitmap-based SLP/TLP are indifferent.
+        snapshot_stability: probability each footprint block reappears in
+            the next episode of the same page.  Directly controls the
+            Figure-4 overlap rate.
+        extra_block_rate: per-episode probability of touching one block
+            outside the footprint (snapshot jitter).
+        episode_order_entropy: how scrambled the intra-episode block order
+            is: 0.0 emits the footprint in ascending block order (a
+            delta-prefetcher's dream), 1.0 fully shuffles it (the paper's
+            observation ③: "the access order of these blocks is
+            non-deterministic").  Mid values locally perturb a sorted
+            order.  This is the single knob that governs how well BOP/SPP
+            can do on an application, while bitmap-based SLP/TLP are
+            order-blind — the paper's central contrast.
+        intra_episode_reuse: probability an episode emission re-touches a
+            block already accessed in this episode instead of a new one —
+            the short-term temporal locality that gives the SC its baseline
+            hit rate (Figure 2 shows blocks hit several times within a
+            snapshot interval).
+        page_revisit_rate: probability a new episode replays a recently
+            used page instead of a fresh one.  High → SLP-friendly
+            (patterns recur); low → first-touch dominated (TLP territory).
+        phase_length: accesses between program-phase switches; 0 disables
+            phases.  At a switch, each page re-draws its footprint pattern
+            with probability ``phase_drift`` — the §3.2 scenario where "the
+            access pattern of a memory page changes ... during program
+            phase switches".  The paper measures this drift to be small
+            (Figure 4), so drift defaults to 0; the phase-robustness bench
+            sweeps it.
+        phase_drift: per-page probability of re-drawing its pattern at a
+            phase switch.
+        revisit_history: how many past pages the revisit draw considers.
+        episode_concurrency: number of page episodes interleaved at any
+            time (models multi-device concurrency; makes intra-page order
+            non-deterministic at the bus).
+        stream_fraction: fraction of accesses from sequential streaming
+            (GPU framebuffer / video); BOP-friendly when streams are long.
+        stream_length_mean: mean stream run length in blocks before the
+            stream jumps to a random location.  Short runs bait BOP into
+            overshooting — the paper's Fort/NBA2/PM behaviour.
+        noise_fraction: fraction of uniformly random single accesses.
+        write_fraction: fraction of writes.
+        device_weights: relative weights of requesting devices.
+        interarrival_mean: mean cycles between bus transactions.
+        memory_intensity: fraction of execution time that is memory stall
+            at the SC level, used by the AMAT→IPC proxy (Section 6 / the
+            abstract's IPC numbers).
+    """
+
+    name: str
+    abbr: str
+    description: str = ""
+    paper_length_millions: float = 0.0
+    num_pages: int = 16_384
+    page_base: int = 0x40_000
+    pattern_library_size: int = 48
+    cluster_size: int = 32
+    pattern_run_length: int = 6
+    neighbor_similarity: float = 0.6
+    blocks_per_page_mean: float = 20.0
+    pattern_strides: tuple = (1, 2, 2, 3, 3, 4)
+    pattern_scatter: float = 0.25
+    snapshot_stability: float = 0.90
+    extra_block_rate: float = 0.05
+    episode_order_entropy: float = 0.50
+    intra_episode_reuse: float = 0.08
+    page_revisit_rate: float = 0.65
+    phase_length: int = 0
+    phase_drift: float = 0.0
+    revisit_history: int = 2048
+    episode_concurrency: int = 12
+    stream_fraction: float = 0.10
+    stream_length_mean: int = 24
+    noise_fraction: float = 0.08
+    write_fraction: float = 0.30
+    device_weights: Dict[DeviceID, float] = field(
+        default_factory=lambda: {
+            DeviceID.CPU: 0.5,
+            DeviceID.GPU: 0.3,
+            DeviceID.NPU: 0.05,
+            DeviceID.ISP: 0.05,
+            DeviceID.DSP: 0.1,
+        }
+    )
+    interarrival_mean: int = 16
+    memory_intensity: float = 0.92
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "name must be non-empty")
+        _require(self.num_pages >= 2, "num_pages must be >= 2")
+        _require(self.page_base >= 0, "page_base must be >= 0")
+        _require(self.pattern_library_size >= 1, "pattern_library_size must be >= 1")
+        _require(self.cluster_size >= 1, "cluster_size must be >= 1")
+        _require(self.pattern_run_length >= 1, "pattern_run_length must be >= 1")
+        for prob_name in (
+            "neighbor_similarity",
+            "pattern_scatter",
+            "snapshot_stability",
+            "extra_block_rate",
+            "episode_order_entropy",
+            "intra_episode_reuse",
+            "page_revisit_rate",
+            "phase_drift",
+            "stream_fraction",
+            "noise_fraction",
+            "write_fraction",
+            "memory_intensity",
+        ):
+            value = getattr(self, prob_name)
+            _require(0.0 <= value <= 1.0, f"{prob_name} must be in [0, 1], got {value}")
+        _require(self.stream_fraction + self.noise_fraction < 1.0,
+                 "stream_fraction + noise_fraction must leave room for episodes")
+        _require(1.0 <= self.blocks_per_page_mean <= 64.0,
+                 "blocks_per_page_mean must be in 1..64")
+        _require(len(self.pattern_strides) > 0, "pattern_strides must be non-empty")
+        _require(all(1 <= s <= 16 for s in self.pattern_strides),
+                 "pattern strides must be in 1..16")
+        _require(self.episode_concurrency >= 1, "episode_concurrency must be >= 1")
+        _require(self.stream_length_mean >= 1, "stream_length_mean must be >= 1")
+        _require(self.revisit_history >= 1, "revisit_history must be >= 1")
+        _require(self.phase_length >= 0, "phase_length must be >= 0")
+        _require(self.interarrival_mean >= 1, "interarrival_mean must be >= 1")
+        _require(self.device_weights, "device_weights must be non-empty")
+        _require(all(weight >= 0 for weight in self.device_weights.values()),
+                 "device weights must be non-negative")
+        _require(sum(self.device_weights.values()) > 0, "device weights must sum > 0")

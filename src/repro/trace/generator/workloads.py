@@ -1,0 +1,200 @@
+"""The ten target applications (Table 2) as calibrated workload profiles.
+
+Knob choices encode what the paper reports about each app:
+
+* **CFM, QSM, HI3, KO, NBA2** — SLP's home turf (Figure 9: SLP supplies
+  almost all of Planaria's gain): high page-revisit rates so footprint
+  snapshots recur and land in SLP's pattern history table.
+* **Fort** — TLP-dominated (Figure 9): a battle-royale world streamed once,
+  so pages rarely recur (SLP starves) but neighbouring pages share
+  footprints (TLP transfers).
+* **Fort, NBA2, PM** — BOP raises the SC hit rate yet *worsens* AMAT
+  (Section 6) because its offset stream overshoots: these profiles carry
+  short stream runs and more irregular noise.
+* **HI3, PM** — Planaria slightly *reduces* memory power (Figure 10):
+  dense footprints, so whole-snapshot prefetching converts row misses into
+  row hits.
+
+Per-app overlap-rate targets (Figure 4, all >≈80 %) come from
+``snapshot_stability``; learnable-neighbour fractions (Figure 5) from
+``neighbor_similarity`` and ``cluster_size``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.trace.generator.profile import WorkloadProfile
+from repro.trace.record import DeviceID
+
+_GAME_DEVICES = {
+    DeviceID.CPU: 0.45,
+    DeviceID.GPU: 0.40,
+    DeviceID.NPU: 0.03,
+    DeviceID.ISP: 0.02,
+    DeviceID.DSP: 0.10,
+}
+
+_VIDEO_DEVICES = {
+    DeviceID.CPU: 0.30,
+    DeviceID.GPU: 0.30,
+    DeviceID.NPU: 0.10,
+    DeviceID.ISP: 0.20,
+    DeviceID.DSP: 0.10,
+}
+
+WORKLOADS: Dict[str, WorkloadProfile] = {}
+
+
+def _register(profile: WorkloadProfile) -> WorkloadProfile:
+    WORKLOADS[profile.abbr] = profile
+    return WORKLOADS[profile.abbr]
+
+
+CFM = _register(WorkloadProfile(
+    name="Cross Fire Mobile", abbr="CFM",
+    description="First-person shooter", paper_length_millions=67.48,
+    num_pages=16_384, page_base=0x40_000,
+    pattern_library_size=40, cluster_size=24, neighbor_similarity=0.45,
+    blocks_per_page_mean=30.0, pattern_strides=(2, 3, 3, 4), pattern_scatter=0.30, snapshot_stability=0.96,
+    episode_order_entropy=0.35,
+    page_revisit_rate=0.80, revisit_history=768, episode_concurrency=12,
+    stream_fraction=0.08, stream_length_mean=24,
+    noise_fraction=0.06, write_fraction=0.28,
+    device_weights=_GAME_DEVICES, memory_intensity=0.93,
+))
+
+HOK = _register(WorkloadProfile(
+    name="Honor of Kings", abbr="HoK",
+    description="Multiplayer MOBA", paper_length_millions=71.37,
+    num_pages=20_480, page_base=0x80_000,
+    pattern_library_size=56, cluster_size=32, neighbor_similarity=0.60,
+    blocks_per_page_mean=26.0, pattern_strides=(1, 2, 3, 3), pattern_scatter=0.30, snapshot_stability=0.93,
+    episode_order_entropy=0.35,
+    page_revisit_rate=0.68, revisit_history=640, episode_concurrency=16,
+    stream_fraction=0.10, stream_length_mean=20,
+    noise_fraction=0.08, write_fraction=0.30,
+    device_weights=_GAME_DEVICES, interarrival_mean=18, memory_intensity=0.92,
+))
+
+IDV = _register(WorkloadProfile(
+    name="Identity V", abbr="Id-V",
+    description="Asymmetric battle arena", paper_length_millions=68.27,
+    num_pages=18_432, page_base=0xC0_000,
+    pattern_library_size=48, cluster_size=40, neighbor_similarity=0.65,
+    blocks_per_page_mean=24.0, pattern_strides=(1, 2, 3, 3), pattern_scatter=0.35, snapshot_stability=0.91,
+    episode_order_entropy=0.40,
+    page_revisit_rate=0.60, revisit_history=576, episode_concurrency=14,
+    stream_fraction=0.12, stream_length_mean=18,
+    noise_fraction=0.09, write_fraction=0.32,
+    device_weights=_GAME_DEVICES, interarrival_mean=18, memory_intensity=0.91,
+))
+
+QSM = _register(WorkloadProfile(
+    name="QQ Speed Mobile", abbr="QSM",
+    description="3D racing mobile game", paper_length_millions=69.45,
+    num_pages=16_384, page_base=0x100_000,
+    pattern_library_size=36, cluster_size=24, neighbor_similarity=0.50,
+    blocks_per_page_mean=32.0, pattern_strides=(1, 1, 2), pattern_scatter=0.15, snapshot_stability=0.96,
+    episode_order_entropy=0.25,
+    page_revisit_rate=0.82, revisit_history=768, episode_concurrency=10,
+    stream_fraction=0.14, stream_length_mean=32,
+    noise_fraction=0.05, write_fraction=0.26,
+    device_weights=_GAME_DEVICES, memory_intensity=0.94,
+))
+
+TIKT = _register(WorkloadProfile(
+    name="TikTok", abbr="TikT",
+    description="Short video sharing app", paper_length_millions=70.82,
+    num_pages=24_576, page_base=0x140_000,
+    pattern_library_size=64, cluster_size=48, neighbor_similarity=0.70,
+    blocks_per_page_mean=28.0, pattern_strides=(1, 2, 3), pattern_scatter=0.25, snapshot_stability=0.90,
+    episode_order_entropy=0.45,
+    page_revisit_rate=0.45, revisit_history=512, episode_concurrency=18,
+    stream_fraction=0.18, stream_length_mean=40,
+    noise_fraction=0.10, write_fraction=0.38,
+    device_weights=_VIDEO_DEVICES, interarrival_mean=18, memory_intensity=0.90,
+))
+
+FORT = _register(WorkloadProfile(
+    name="Fortnite", abbr="Fort",
+    description="Multiplayer battle royale", paper_length_millions=66.71,
+    num_pages=32_768, page_base=0x180_000,
+    pattern_library_size=32, cluster_size=64, neighbor_similarity=0.90,
+    blocks_per_page_mean=30.0, pattern_strides=(2, 3, 4, 5), pattern_scatter=0.75, snapshot_stability=0.90,
+    episode_order_entropy=0.95,
+    page_revisit_rate=0.12, revisit_history=256, episode_concurrency=12,
+    stream_fraction=0.04, stream_length_mean=8,
+    noise_fraction=0.15, write_fraction=0.30,
+    device_weights=_GAME_DEVICES, interarrival_mean=18, memory_intensity=0.92,
+))
+
+HI3 = _register(WorkloadProfile(
+    name="Honkai Impact 3", abbr="HI3",
+    description="3D action game", paper_length_millions=67.65,
+    num_pages=14_336, page_base=0x1C0_000,
+    pattern_library_size=32, cluster_size=24, neighbor_similarity=0.45,
+    blocks_per_page_mean=36.0, pattern_strides=(2, 2, 3, 4), pattern_scatter=0.20, snapshot_stability=0.97,
+    episode_order_entropy=0.35,
+    page_revisit_rate=0.84, revisit_history=768, episode_concurrency=10,
+    stream_fraction=0.08, stream_length_mean=24,
+    noise_fraction=0.04, write_fraction=0.25,
+    device_weights=_GAME_DEVICES, memory_intensity=0.94,
+))
+
+KO = _register(WorkloadProfile(
+    name="Knives Out", abbr="KO",
+    description="Multiplayer battle royale", paper_length_millions=68.00,
+    num_pages=18_432, page_base=0x200_000,
+    pattern_library_size=44, cluster_size=32, neighbor_similarity=0.50,
+    blocks_per_page_mean=28.0, pattern_strides=(2, 3, 3, 4), pattern_scatter=0.30, snapshot_stability=0.95,
+    episode_order_entropy=0.35,
+    page_revisit_rate=0.76, revisit_history=704, episode_concurrency=12,
+    stream_fraction=0.10, stream_length_mean=20,
+    noise_fraction=0.07, write_fraction=0.30,
+    device_weights=_GAME_DEVICES, memory_intensity=0.92,
+))
+
+NBA2 = _register(WorkloadProfile(
+    name="NBA 2K19", abbr="NBA2",
+    description="Basketball game", paper_length_millions=67.71,
+    num_pages=16_384, page_base=0x240_000,
+    pattern_library_size=40, cluster_size=28, neighbor_similarity=0.48,
+    blocks_per_page_mean=30.0, pattern_strides=(2, 3, 4, 5), pattern_scatter=0.70, snapshot_stability=0.96,
+    episode_order_entropy=0.90,
+    page_revisit_rate=0.78, revisit_history=768, episode_concurrency=12,
+    stream_fraction=0.05, stream_length_mean=5,
+    noise_fraction=0.13, write_fraction=0.28,
+    device_weights=_GAME_DEVICES, memory_intensity=0.93,
+))
+
+PM = _register(WorkloadProfile(
+    name="PUBG Mobile", abbr="PM",
+    description="Multiplayer battle royale", paper_length_millions=67.71,
+    num_pages=22_528, page_base=0x280_000,
+    pattern_library_size=40, cluster_size=48, neighbor_similarity=0.72,
+    blocks_per_page_mean=34.0, pattern_strides=(2, 3, 4, 5), pattern_scatter=0.65, snapshot_stability=0.94,
+    episode_order_entropy=0.85,
+    page_revisit_rate=0.55, revisit_history=512, episode_concurrency=14,
+    stream_fraction=0.07, stream_length_mean=7,
+    noise_fraction=0.11, write_fraction=0.30,
+    device_weights=_GAME_DEVICES, interarrival_mean=19, memory_intensity=0.92,
+))
+
+
+def list_workloads() -> List[str]:
+    """Paper-order list of application abbreviations."""
+    return ["CFM", "HoK", "Id-V", "QSM", "TikT", "Fort", "HI3", "KO", "NBA2", "PM"]
+
+
+def get_profile(abbr: str) -> WorkloadProfile:
+    """Look up a profile by its Table-2 abbreviation.
+
+    Raises:
+        KeyError: with the list of known abbreviations.
+    """
+    try:
+        return WORKLOADS[abbr]
+    except KeyError:
+        known = ", ".join(list_workloads())
+        raise KeyError(f"unknown workload {abbr!r}; known: {known}") from None

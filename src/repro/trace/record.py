@@ -1,0 +1,114 @@
+"""Trace record format, mirroring the paper's bus-monitor entries.
+
+Each entry records the physical access address, the access type (read or
+write), the requesting device ID (CPU, GPU, DSP, ...) and the access arrival
+time (Section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TraceFormatError
+
+
+class AccessType(enum.IntEnum):
+    """Demand access direction on the memory bus."""
+
+    READ = 0
+    WRITE = 1
+
+    @classmethod
+    def parse(cls, text: str) -> "AccessType":
+        normalized = text.strip().upper()
+        if normalized in ("R", "READ", "0"):
+            return cls.READ
+        if normalized in ("W", "WRITE", "1"):
+            return cls.WRITE
+        raise TraceFormatError(f"unknown access type {text!r}")
+
+
+class DeviceID(enum.IntEnum):
+    """Requesting device on the heterogeneous SoC.
+
+    The system cache is shared among all of these (Section 1); the absence
+    of a usable per-device PC is exactly why Planaria indexes by page number.
+    """
+
+    CPU = 0
+    GPU = 1
+    NPU = 2
+    ISP = 3
+    DSP = 4
+
+    @classmethod
+    def parse(cls, text: str) -> "DeviceID":
+        normalized = text.strip().upper()
+        try:
+            return cls[normalized]
+        except KeyError:
+            try:
+                return cls(int(normalized))
+            except (ValueError, KeyError) as exc:
+                raise TraceFormatError(f"unknown device {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory-bus transaction.
+
+    Attributes:
+        address: physical byte address.
+        access_type: read or write.
+        device: requesting device.
+        arrival_time: arrival time in memory-controller cycles.
+    """
+
+    address: int
+    access_type: AccessType = AccessType.READ
+    device: DeviceID = DeviceID.CPU
+    arrival_time: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise TraceFormatError(f"negative address {self.address:#x}")
+        if self.arrival_time < 0:
+            raise TraceFormatError(f"negative arrival time {self.arrival_time}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.access_type == AccessType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.access_type == AccessType.WRITE
+
+    def to_csv_row(self) -> str:
+        """Serialize as the canonical CSV line (hex address)."""
+        return (
+            f"{self.address:#x},{self.access_type.name},"
+            f"{self.device.name},{self.arrival_time}"
+        )
+
+    @classmethod
+    def from_csv_row(cls, line: str) -> "TraceRecord":
+        """Parse one canonical CSV line; raises TraceFormatError on junk."""
+        parts = line.strip().split(",")
+        if len(parts) != 4:
+            raise TraceFormatError(f"expected 4 fields, got {len(parts)}: {line!r}")
+        address_text, type_text, device_text, time_text = parts
+        try:
+            address = int(address_text, 0)
+        except ValueError as exc:
+            raise TraceFormatError(f"bad address field {address_text!r}") from exc
+        try:
+            arrival_time = int(time_text)
+        except ValueError as exc:
+            raise TraceFormatError(f"bad arrival time {time_text!r}") from exc
+        return cls(
+            address=address,
+            access_type=AccessType.parse(type_text),
+            device=DeviceID.parse(device_text),
+            arrival_time=arrival_time,
+        )

@@ -1,0 +1,90 @@
+"""Aggregate statistics over a memory trace.
+
+Used by tests to validate generator calibration and by examples to summarise
+workloads the way Table 2 of the paper does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.geometry import AddressLayout, DEFAULT_LAYOUT
+from repro.trace.record import DeviceID, TraceRecord
+
+
+@dataclass
+class TraceStats:
+    """Summary of a trace: volume, footprint, device/type mix, locality."""
+
+    num_records: int = 0
+    num_reads: int = 0
+    num_writes: int = 0
+    unique_blocks: int = 0
+    unique_pages: int = 0
+    duration: int = 0
+    device_mix: Dict[str, int] = field(default_factory=dict)
+    channel_mix: Dict[int, int] = field(default_factory=dict)
+    mean_blocks_per_page: float = 0.0
+
+    @property
+    def read_fraction(self) -> float:
+        return self.num_reads / self.num_records if self.num_records else 0.0
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Distinct bytes touched, at block granularity."""
+        return self.unique_blocks * 64
+
+    def format_table(self) -> str:
+        """Render a small human-readable report."""
+        lines = [
+            f"records          : {self.num_records}",
+            f"reads / writes   : {self.num_reads} / {self.num_writes}",
+            f"unique pages     : {self.unique_pages}",
+            f"unique blocks    : {self.unique_blocks}",
+            f"footprint        : {self.footprint_bytes / (1 << 20):.2f} MiB",
+            f"duration (cyc)   : {self.duration}",
+            f"blocks per page  : {self.mean_blocks_per_page:.2f}",
+        ]
+        for device, count in sorted(self.device_mix.items()):
+            lines.append(f"device {device:<10}: {count}")
+        return "\n".join(lines)
+
+
+def compute_trace_stats(
+    records: Iterable[TraceRecord],
+    layout: AddressLayout = DEFAULT_LAYOUT,
+) -> TraceStats:
+    """Single pass over ``records`` producing a :class:`TraceStats`."""
+    stats = TraceStats()
+    blocks = set()
+    page_blocks: Dict[int, set] = {}
+    devices: Counter = Counter()
+    channels: Counter = Counter()
+    first_time = None
+    last_time = 0
+    for record in records:
+        stats.num_records += 1
+        if record.is_read:
+            stats.num_reads += 1
+        else:
+            stats.num_writes += 1
+        block = layout.block_address(record.address)
+        blocks.add(block)
+        page = layout.page_number(record.address)
+        page_blocks.setdefault(page, set()).add(layout.block_in_page(record.address))
+        devices[DeviceID(record.device).name] += 1
+        channels[layout.channel(record.address)] += 1
+        if first_time is None:
+            first_time = record.arrival_time
+        last_time = max(last_time, record.arrival_time)
+    stats.unique_blocks = len(blocks)
+    stats.unique_pages = len(page_blocks)
+    stats.duration = (last_time - first_time) if first_time is not None else 0
+    stats.device_mix = dict(devices)
+    stats.channel_mix = dict(channels)
+    if page_blocks:
+        stats.mean_blocks_per_page = sum(len(v) for v in page_blocks.values()) / len(page_blocks)
+    return stats

@@ -1,0 +1,22 @@
+"""Shared low-level utilities: bit manipulation, statistics, counters."""
+
+from repro.utils.bitops import (
+    bitmap_from_offsets,
+    bitmap_overlap,
+    hamming_distance,
+    iter_set_bits,
+    popcount,
+)
+from repro.utils.counters import SaturatingCounter
+from repro.utils.statistics import Histogram, RunningStats
+
+__all__ = [
+    "bitmap_from_offsets",
+    "bitmap_overlap",
+    "hamming_distance",
+    "iter_set_bits",
+    "popcount",
+    "SaturatingCounter",
+    "Histogram",
+    "RunningStats",
+]

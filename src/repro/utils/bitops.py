@@ -1,0 +1,71 @@
+"""Bitmap helpers for footprint-snapshot patterns.
+
+SLP and TLP represent a page segment's footprint as a 16-bit integer bitmap
+(bit ``i`` set means block ``i`` of the segment was accessed).  These helpers
+keep all bit twiddling in one audited place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+def popcount(bitmap: int) -> int:
+    """Number of set bits in ``bitmap`` (must be non-negative)."""
+    if bitmap < 0:
+        raise ValueError(f"popcount of negative value {bitmap}")
+    return bin(bitmap).count("1")
+
+
+def iter_set_bits(bitmap: int) -> Iterator[int]:
+    """Yield the positions of set bits in ascending order.
+
+    >>> list(iter_set_bits(0b1010))
+    [1, 3]
+    """
+    if bitmap < 0:
+        raise ValueError(f"iter_set_bits of negative value {bitmap}")
+    position = 0
+    while bitmap:
+        if bitmap & 1:
+            yield position
+        bitmap >>= 1
+        position += 1
+
+
+def bitmap_from_offsets(offsets: Iterable[int], width: int = 16) -> int:
+    """Build a bitmap with the given bit positions set.
+
+    Args:
+        offsets: bit positions; each must be in ``0..width-1``.
+        width: bitmap width in bits (16 for segment bitmaps).
+    """
+    bitmap = 0
+    for offset in offsets:
+        if not 0 <= offset < width:
+            raise ValueError(f"offset {offset} out of range 0..{width - 1}")
+        bitmap |= 1 << offset
+    return bitmap
+
+
+def bitmap_overlap(a: int, b: int) -> int:
+    """Number of bit positions set in both bitmaps (``popcount(a & b)``)."""
+    return popcount(a & b)
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bit positions between two bitmaps.
+
+    TLP's neighbour test declares two pages learnable neighbours when the
+    Hamming distance of their bitmaps is below a threshold (paper: 4 bits).
+    """
+    return popcount(a ^ b)
+
+
+def bitmap_to_string(bitmap: int, width: int = 16) -> str:
+    """Render a bitmap MSB-first as a fixed-width 0/1 string for debugging."""
+    if bitmap < 0:
+        raise ValueError(f"bitmap_to_string of negative value {bitmap}")
+    if bitmap >> width:
+        raise ValueError(f"bitmap {bitmap:#x} wider than {width} bits")
+    return format(bitmap, f"0{width}b")

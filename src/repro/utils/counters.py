@@ -1,0 +1,49 @@
+"""Saturating counters, as used throughout hardware prefetcher metadata."""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-bit saturating up/down counter.
+
+    Used by SPP's pattern-table confidence counters and BOP's offset scores.
+    The counter clamps at ``0`` and ``max_value`` instead of wrapping.
+    """
+
+    __slots__ = ("_value", "max_value")
+
+    def __init__(self, bits: int = 2, initial: int = 0) -> None:
+        if bits < 1:
+            raise ValueError(f"counter needs at least 1 bit, got {bits}")
+        self.max_value = (1 << bits) - 1
+        if not 0 <= initial <= self.max_value:
+            raise ValueError(f"initial {initial} out of range 0..{self.max_value}")
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount``, saturating at the maximum; returns the new value."""
+        self._value = min(self.max_value, self._value + amount)
+        return self._value
+
+    def decrement(self, amount: int = 1) -> int:
+        """Subtract ``amount``, saturating at zero; returns the new value."""
+        self._value = max(0, self._value - amount)
+        return self._value
+
+    def reset(self, value: int = 0) -> None:
+        if not 0 <= value <= self.max_value:
+            raise ValueError(f"reset value {value} out of range 0..{self.max_value}")
+        self._value = value
+
+    def is_saturated(self) -> bool:
+        return self._value == self.max_value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(value={self._value}, max={self.max_value})"

@@ -1,0 +1,120 @@
+"""Streaming statistics containers used by every simulator component.
+
+Both classes accept one sample at a time so simulators never need to retain
+full latency traces in memory (paper traces are tens of millions of
+requests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+
+class RunningStats:
+    """Welford single-pass mean/variance with min/max tracking."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, sample: float) -> None:
+        """Fold one sample into the running aggregate."""
+        self.count += 1
+        delta = sample - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (sample - self._mean)
+        if self.min is None or sample < self.min:
+            self.min = sample
+        if self.max is None or sample > self.max:
+            self.max = sample
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        return self._mean * self.count
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another aggregate into this one (parallel-channel merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min, self.max = other.min, other.max
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean += delta * other.count / combined
+        self.count = combined
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def __repr__(self) -> str:
+        return f"RunningStats(count={self.count}, mean={self.mean:.3f}, stddev={self.stddev:.3f})"
+
+
+class Histogram:
+    """Fixed-width bucket histogram for latency / reuse-distance profiles."""
+
+    def __init__(self, bucket_width: float = 1.0) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        self.bucket_width = bucket_width
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+
+    def add(self, sample: float) -> None:
+        bucket = int(sample // self.bucket_width)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Sorted (bucket lower bound, count) pairs."""
+        return [
+            (bucket * self.bucket_width, count)
+            for bucket, count in sorted(self._buckets.items())
+        ]
+
+    def percentile(self, fraction: float) -> float:
+        """Lower bound of the bucket containing the given percentile.
+
+        Args:
+            fraction: in ``[0, 1]``; e.g. ``0.99`` for p99.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        seen = 0
+        lower_bound = 0.0
+        for lower_bound, count in self.buckets():
+            seen += count
+            if seen >= target:
+                return lower_bound
+        return lower_bound
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, buckets={len(self._buckets)})"

@@ -1,0 +1,145 @@
+"""Trace analyses: overlap rate, learnable neighbours, footprint summaries."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    footprint_summary,
+    learnable_neighbor_fraction,
+    page_footprint_events,
+    window_overlap_rate,
+)
+from repro.analysis.footprint import FootprintEvent, render_ascii, split_bursts
+from repro.analysis.neighbors import page_bitmaps
+from repro.trace.generator import generate_trace, get_profile
+from repro.trace.record import TraceRecord
+
+
+def record(page, block, time):
+    return TraceRecord((page << 12) | (block << 6), arrival_time=time)
+
+
+class TestOverlap:
+    def test_identical_windows_full_overlap(self):
+        # Page 1 accessed as {0,1,2} twice: window size 3, overlap 1.0.
+        records = [record(1, block, time * 10)
+                   for time, block in enumerate([0, 1, 2, 0, 1, 2, 0, 1, 2])]
+        result = window_overlap_rate(records, min_accesses=6)
+        assert result.mean_overlap == pytest.approx(1.0)
+        assert result.num_pages == 1
+
+    def test_disjoint_windows_zero_overlap(self):
+        sequence = [0, 1, 2, 3, 4, 5]  # first window {0,1,2}, second {3,4,5}
+        records = [record(1, block, time * 10)
+                   for time, block in enumerate(sequence + sequence[3:] + sequence[:3])]
+        # Build a simpler case: distinct set is 6, so craft 12 accesses.
+        records = [record(1, block, time * 10) for time, block in enumerate(
+            [0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5])]
+        result = window_overlap_rate(records, min_accesses=6)
+        assert result.mean_overlap == pytest.approx(1.0)
+
+    def test_sparse_pages_skipped(self):
+        records = [record(1, 0, 0), record(1, 1, 10)]
+        result = window_overlap_rate(records, min_accesses=8)
+        assert result.num_pages == 0
+        assert result.mean_overlap == 0.0
+
+    def test_generator_overlap_in_paper_band(self):
+        records = generate_trace(get_profile("CFM"), 40_000, seed=3)
+        result = window_overlap_rate(records)
+        assert 0.70 <= result.mean_overlap <= 0.95
+
+    def test_all_profiles_in_calibration_band(self):
+        # Figure 4's qualitative claim: snapshots are stable across
+        # program phases for every application.
+        for app in ("HoK", "QSM", "KO"):
+            records = generate_trace(get_profile(app), 30_000, seed=4)
+            result = window_overlap_rate(records)
+            assert result.mean_overlap > 0.65, app
+
+
+class TestNeighbors:
+    def test_page_bitmaps(self):
+        records = [record(1, 0, 0), record(1, 5, 10), record(2, 0, 20)]
+        bitmaps = page_bitmaps(records, min_blocks=1)
+        assert bitmaps[1] == 0b100001
+        assert bitmaps[2] == 0b1
+
+    def test_identical_adjacent_pages_are_neighbours(self):
+        records = []
+        for page in (10, 11):
+            for block in (0, 3, 7, 9):
+                records.append(record(page, block, len(records) * 5))
+        result = learnable_neighbor_fraction(records, (4, 64))
+        assert result.fraction_at(4) == pytest.approx(1.0)
+
+    def test_dissimilar_pages_are_not(self):
+        records = []
+        for block in (0, 3, 7, 9, 12):
+            records.append(record(10, block, len(records) * 5))
+        for block in (1, 2, 5, 14, 15):
+            records.append(record(11, block, len(records) * 5))
+        result = learnable_neighbor_fraction(records, (4,))
+        assert result.fraction_at(4) == 0.0
+
+    def test_distance_gate(self):
+        records = []
+        for page in (10, 200):  # identical patterns, far apart
+            for block in (0, 3, 7):
+                records.append(record(page, block, len(records) * 5))
+        result = learnable_neighbor_fraction(records, (4, 64))
+        assert result.fraction_at(4) == 0.0
+        assert result.fraction_at(64) == 0.0
+
+    def test_fraction_monotone_in_distance(self):
+        records = generate_trace(get_profile("Fort"), 30_000, seed=5)
+        result = learnable_neighbor_fraction(records, (4, 8, 16, 32, 64))
+        fractions = [result.fraction_at(distance) for distance in (4, 8, 16, 32, 64)]
+        assert fractions == sorted(fractions)
+
+    def test_unknown_distance_raises(self):
+        result = learnable_neighbor_fraction([], (4,))
+        with pytest.raises(KeyError):
+            result.fraction_at(64)
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            learnable_neighbor_fraction([], ())
+
+
+class TestFootprint:
+    def test_event_extraction(self):
+        records = [record(3, 1, 0), record(4, 2, 10), record(3, 5, 20)]
+        events = page_footprint_events(records, 3)
+        assert [event.block for event in events] == [1, 5]
+
+    def test_split_bursts(self):
+        events = [FootprintEvent(0, 1), FootprintEvent(100, 2),
+                  FootprintEvent(50_000, 1), FootprintEvent(50_100, 3)]
+        bursts = split_bursts(events, gap_threshold=5_000)
+        assert len(bursts) == 2
+        assert [event.block for event in bursts[0]] == [1, 2]
+
+    def test_summary_quantifies_observations(self):
+        events = []
+        # Two bursts of the same block set in different orders.
+        for start, order in ((0, [1, 5, 9, 12]), (100_000, [12, 1, 9, 5])):
+            for index, block in enumerate(order):
+                events.append(FootprintEvent(start + index * 10, block))
+        summary = footprint_summary(events, gap_threshold=5_000)
+        assert summary.num_bursts == 2
+        assert summary.distinct_blocks == 4
+        assert summary.reuse_over_burst_ratio > 100  # huge gap vs 30-cycle span
+        assert summary.order_similarity < 1.0  # observation ③
+
+    def test_empty_summary(self):
+        summary = footprint_summary([])
+        assert summary.num_accesses == 0
+        assert summary.order_similarity == 1.0
+
+    def test_render_ascii(self):
+        events = [FootprintEvent(0, 1), FootprintEvent(100, 5)]
+        art = render_ascii(events, width=20)
+        assert "*" in art and "time" in art
+        assert render_ascii([]) == "(no accesses)"

@@ -1,0 +1,276 @@
+"""Baseline prefetchers: BOP, SPP, SMS, next-line, stride, registry, queue."""
+
+import pytest
+
+from repro.config import BOPConfig, PrefetchQueueConfig, SPPConfig
+from repro.errors import ConfigError
+from repro.geometry import DEFAULT_LAYOUT
+from repro.prefetch import (
+    BestOffsetPrefetcher,
+    NextLinePrefetcher,
+    NoPrefetcher,
+    PrefetchQueue,
+    SMSPrefetcher,
+    SignaturePathPrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+    PREFETCHER_FACTORIES,
+)
+from repro.prefetch.base import DemandAccess, PrefetchCandidate
+from repro.trace.record import DeviceID
+
+
+def access(page, offset, time, device=DeviceID.CPU, is_read=True):
+    return DemandAccess(
+        block_addr=(page << 6) | offset, page=page, block_in_segment=offset,
+        channel_block=page * 16 + offset, time=time, is_read=is_read,
+        device=device,
+    )
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in PREFETCHER_FACTORIES:
+            prefetcher = make_prefetcher(name, DEFAULT_LAYOUT, 0)
+            assert prefetcher.storage_bits() >= 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown prefetcher"):
+            make_prefetcher("oracle", DEFAULT_LAYOUT, 0)
+
+    def test_channel_bound_checked(self):
+        with pytest.raises(ValueError):
+            make_prefetcher("none", DEFAULT_LAYOUT, 4)
+
+
+class TestNoPrefetcher:
+    def test_never_issues(self):
+        none = NoPrefetcher(DEFAULT_LAYOUT, 0)
+        trigger = access(1, 1, 0)
+        none.observe(trigger)
+        assert none.issue(trigger, was_hit=False) == []
+        assert none.storage_bits() == 0
+
+
+class TestNextLine:
+    def test_issues_next_blocks_on_miss(self):
+        nextline = NextLinePrefetcher(DEFAULT_LAYOUT, 0, degree=2)
+        trigger = access(1, 5, 0)
+        candidates = nextline.issue(trigger, was_hit=False)
+        assert len(candidates) == 2
+        assert candidates[0].block_addr == nextline.channel_block_to_block_addr(
+            trigger.channel_block + 1
+        )
+
+    def test_quiet_on_hit(self):
+        nextline = NextLinePrefetcher(DEFAULT_LAYOUT, 0)
+        assert nextline.issue(access(1, 5, 0), was_hit=True) == []
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(DEFAULT_LAYOUT, 0, degree=0)
+
+
+class TestStride:
+    def test_learns_per_device_stride(self):
+        stride = StridePrefetcher(DEFAULT_LAYOUT, 0, confidence_threshold=2)
+        for index in range(4):
+            stride.observe(access(1, index * 3, index * 10))
+        candidates = stride.issue(access(1, 9, 40), was_hit=False)
+        assert candidates
+        assert candidates[0].block_addr == stride.channel_block_to_block_addr(
+            1 * 16 + 9 + 3
+        )
+
+    def test_devices_do_not_alias(self):
+        stride = StridePrefetcher(DEFAULT_LAYOUT, 0)
+        for index in range(4):
+            stride.observe(access(1, index * 2, index * 10, DeviceID.CPU))
+            stride.observe(access(2, 15 - index, index * 10 + 5, DeviceID.GPU))
+        # CPU stream unaffected by interleaved GPU accesses.
+        assert stride.issue(access(1, 8, 100, DeviceID.CPU), was_hit=False)
+
+    def test_no_confidence_no_prefetch(self):
+        stride = StridePrefetcher(DEFAULT_LAYOUT, 0)
+        stride.observe(access(1, 0, 0))
+        stride.observe(access(1, 7, 10))
+        assert stride.issue(access(1, 7, 10), was_hit=False) == []
+
+
+class TestBOP:
+    def test_learns_dominant_offset(self):
+        config = BOPConfig(round_max=4, score_max=8)
+        bop = BestOffsetPrefetcher(DEFAULT_LAYOUT, 0, config)
+        bop.rr_insert_delay = 0  # immediate RR for the unit test
+        # Feed a pure stride-2 miss stream until a phase completes.
+        block = 0
+        time = 0
+        while bop.learning_phases_completed == 0:
+            trigger = access(block // 16, block % 16, time)
+            bop.issue(trigger, was_hit=False)
+            block += 2
+            time += 30
+        assert bop.best_offset == 2
+
+    def test_bad_score_disables(self):
+        config = BOPConfig(round_max=1, bad_score=2)
+        bop = BestOffsetPrefetcher(DEFAULT_LAYOUT, 0, config)
+        # Random-looking addresses: no offset ever scores.
+        import random
+
+        rng = random.Random(0)
+        time = 0
+        while bop.learning_phases_completed == 0:
+            page = rng.randrange(10_000)
+            bop.issue(access(page, rng.randrange(16), time), was_hit=False)
+            time += 30
+        assert bop.best_offset is None
+        assert bop.issue(access(1, 1, time + 10), was_hit=False) == []
+
+    def test_prefetched_hit_trigger_follows_config(self):
+        trigger = access(1, 1, 0)
+        quiet = BestOffsetPrefetcher(DEFAULT_LAYOUT, 0)
+        assert quiet.issue(trigger, was_hit=True) == []
+        assert quiet.issue(trigger, was_hit=True, prefetched_hit=True) == []
+        chaining = BestOffsetPrefetcher(
+            DEFAULT_LAYOUT, 0, BOPConfig(chain_on_prefetch_hit=True)
+        )
+        candidates = chaining.issue(trigger, was_hit=True, prefetched_hit=True)
+        assert len(candidates) == 1
+
+    def test_rr_insert_delayed(self):
+        bop = BestOffsetPrefetcher(DEFAULT_LAYOUT, 0)
+        bop.issue(access(1, 1, 0), was_hit=False)
+        # The inserted address only lands in RR after the fill delay.
+        assert not bop._rr_contains(1 * 16 + 1)
+        bop.issue(access(50, 0, bop.rr_insert_delay + 1), was_hit=False)
+        assert bop._rr_contains(1 * 16 + 1)
+
+    def test_storage_accounts_rr_and_scores(self):
+        bop = BestOffsetPrefetcher(DEFAULT_LAYOUT, 0)
+        assert bop.storage_bits() > bop.config.rr_table_entries * 32
+
+
+class TestSPP:
+    def feed_regular_pages(self, spp, pages, offsets):
+        time = 0
+        for page in pages:
+            for offset in offsets:
+                trigger = access(page, offset, time)
+                spp._learn(trigger)
+                time += 20
+
+    def test_predicts_learned_deltas(self):
+        spp = SignaturePathPrefetcher(DEFAULT_LAYOUT, 0)
+        offsets = [1, 3, 5, 7, 9]
+        self.feed_regular_pages(spp, range(100, 160), offsets)
+        trigger = access(200, 1, 10_000)
+        spp._learn(trigger)
+        spp._learn(access(200, 3, 10_020))
+        candidates = spp.issue(access(200, 3, 10_040), was_hit=False)
+        predicted = {c.block_addr & 0xF for c in candidates}
+        assert 5 in predicted  # the next stride-2 block
+
+    def test_quiet_without_signature(self):
+        spp = SignaturePathPrefetcher(DEFAULT_LAYOUT, 0)
+        assert spp.issue(access(1, 1, 0), was_hit=False) == []
+
+    def test_counter_halving_keeps_ratios(self):
+        from repro.prefetch.spp import _PatternEntry
+
+        entry = _PatternEntry()
+        # Alternating deltas: each should converge near 50% confidence,
+        # not saturate to 1.0 as a never-halved counter would.
+        for _ in range(100):
+            entry.update(+2, counter_max=15)
+            entry.update(+5, counter_max=15)
+        best_delta, confidence = entry.best()
+        assert 0.3 < confidence < 0.8
+
+    def test_delta_slot_replacement(self):
+        from repro.prefetch.spp import _PatternEntry
+
+        entry = _PatternEntry()
+        for delta in (1, 2, 3, 4):
+            entry.update(delta, counter_max=15)
+        entry.update(5, counter_max=15)  # evicts the weakest slot
+        assert len(entry.deltas) == 4
+        assert 5 in entry.deltas
+
+    def test_st_capacity(self):
+        config = SPPConfig(signature_table_entries=4)
+        spp = SignaturePathPrefetcher(DEFAULT_LAYOUT, 0, config)
+        for page in range(10):
+            spp._learn(access(page, 1, page * 10))
+        assert len(spp._signature_table) == 4
+
+
+class TestSMS:
+    def test_learns_and_replays_by_surrogate_signature(self):
+        sms = SMSPrefetcher(DEFAULT_LAYOUT, 0, generation_timeout=100)
+        for offset in (2, 5, 9):
+            sms.observe(access(10, offset, offset))
+        # Expire the generation.
+        sms.observe(access(999, 0, 10_000))
+        trigger = access(20, 2, 10_100)  # same device + trigger offset
+        sms.observe(trigger)
+        candidates = sms.issue(trigger, was_hit=False)
+        offsets = {c.block_addr & 0xF for c in candidates}
+        assert {5, 9} <= offsets
+
+    def test_device_aliasing_is_lossy(self):
+        # Two different flows on the same device overwrite each other's
+        # pattern: the ablation's core failure mode.
+        sms = SMSPrefetcher(DEFAULT_LAYOUT, 0, generation_timeout=100)
+        for offset in (2, 5, 9):
+            sms.observe(access(10, offset, offset, DeviceID.CPU))
+        sms.observe(access(999, 0, 10_000))
+        for offset in (2, 11, 13):
+            sms.observe(access(30, offset, 10_100 + offset, DeviceID.CPU))
+        sms.observe(access(998, 0, 30_000))
+        trigger = access(40, 2, 30_100, DeviceID.CPU)
+        sms.observe(trigger)
+        candidates = sms.issue(trigger, was_hit=False)
+        offsets = {c.block_addr & 0xF for c in candidates}
+        assert offsets == {11, 13}  # first flow's pattern was clobbered
+
+
+class TestPrefetchQueue:
+    def make_queue(self, **kwargs):
+        return PrefetchQueue(PrefetchQueueConfig(**kwargs))
+
+    def candidates(self, *blocks):
+        return [PrefetchCandidate(block_addr=block, source="x") for block in blocks]
+
+    def test_accepts_and_drains(self):
+        queue = self.make_queue()
+        accepted = queue.push(self.candidates(1, 2, 3))
+        assert len(accepted) == 3
+        assert len(queue.pop_all()) == 3
+        assert len(queue) == 0
+
+    def test_drops_duplicates(self):
+        queue = self.make_queue()
+        queue.push(self.candidates(1, 2))
+        queue.pop_all()
+        accepted = queue.push(self.candidates(2, 3))
+        assert [c.block_addr for c in accepted] == [3]
+        assert queue.dropped_duplicate == 1
+
+    def test_degree_cap(self):
+        queue = self.make_queue(max_degree=2)
+        accepted = queue.push(self.candidates(1, 2, 3, 4))
+        assert len(accepted) == 2
+        assert queue.dropped_degree > 0
+
+    def test_depth_cap(self):
+        queue = self.make_queue(depth=2, max_degree=16)
+        accepted = queue.push(self.candidates(1, 2, 3))
+        assert len(accepted) == 2
+        assert queue.dropped_full == 1
+
+    def test_duplicates_allowed_when_disabled(self):
+        queue = self.make_queue(drop_duplicates=False)
+        queue.push(self.candidates(1))
+        queue.pop_all()
+        assert len(queue.push(self.candidates(1))) == 1

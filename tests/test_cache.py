@@ -1,0 +1,163 @@
+"""Set-associative cache: hits, fills, evictions, prefetch tracking."""
+
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.cache import SetAssociativeCache
+from repro.config import CacheConfig
+from repro.errors import SimulationError
+
+
+def small_cache(policy="lru", sets=4, ways=2):
+    return SetAssociativeCache(CacheConfig(
+        size_bytes=sets * ways * 64, associativity=ways,
+        replacement_policy=policy,
+    ))
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        result = cache.access(0x10, now=0)
+        assert not result.hit
+        cache.fill(0x10, now=0, ready_time=0)
+        assert cache.access(0x10, now=1).hit
+
+    def test_miss_does_not_allocate(self):
+        cache = small_cache()
+        cache.access(0x10, now=0)
+        assert not cache.contains(0x10)
+
+    def test_double_fill_rejected(self):
+        cache = small_cache()
+        cache.fill(0x10, now=0, ready_time=0)
+        with pytest.raises(SimulationError):
+            cache.fill(0x10, now=1, ready_time=1)
+
+    def test_set_mapping_conflicts(self):
+        cache = small_cache(sets=4, ways=2)
+        # Blocks 0, 4, 8 all map to set 0 in a 4-set cache.
+        cache.fill(0, now=0, ready_time=0)
+        cache.fill(4, now=1, ready_time=1)
+        eviction = cache.fill(8, now=2, ready_time=2)
+        assert eviction is not None
+        assert eviction.tag == 0  # LRU victim
+
+    def test_occupancy(self):
+        cache = small_cache()
+        assert cache.occupancy() == 0
+        cache.fill(1, now=0, ready_time=0)
+        cache.fill(2, now=0, ready_time=0)
+        assert cache.occupancy() == 2
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(7, now=0, ready_time=0)
+        assert cache.invalidate(7)
+        assert not cache.contains(7)
+        assert not cache.invalidate(7)
+
+    def test_probe_does_not_touch_lru(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.fill(0, now=0, ready_time=0)
+        cache.fill(1, now=1, ready_time=1)
+        cache.probe(0)  # must NOT refresh block 0
+        eviction = cache.fill(2, now=2, ready_time=2)
+        assert eviction.tag == 0
+
+
+class TestDirtyAndWriteback:
+    def test_write_sets_dirty(self):
+        cache = small_cache()
+        cache.fill(3, now=0, ready_time=0)
+        cache.access(3, now=1, is_write=True)
+        assert cache.probe(3).dirty
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.fill(0, now=0, ready_time=0, dirty=True)
+        eviction = cache.fill(1, now=1, ready_time=1)
+        assert eviction.dirty
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.fill(0, now=0, ready_time=0)
+        cache.fill(1, now=1, ready_time=1)
+        assert cache.stats.writebacks == 0
+
+
+class TestPrefetchTracking:
+    def test_useful_prefetch_attribution(self):
+        cache = small_cache()
+        cache.fill(5, now=0, ready_time=0, prefetched=True, source="slp")
+        result = cache.access(5, now=1)
+        assert result.hit
+        assert result.prefetch_source == "slp"
+        assert cache.stats.prefetch_useful == {"slp": 1}
+        # Second touch is an ordinary hit.
+        assert cache.access(5, now=2).prefetch_source is None
+
+    def test_unused_prefetch_eviction(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.fill(0, now=0, ready_time=0, prefetched=True, source="tlp")
+        cache.fill(1, now=1, ready_time=1)
+        assert cache.stats.prefetch_unused_evicted == {"tlp": 1}
+
+    def test_late_prefetch_is_delayed_miss(self):
+        cache = small_cache()
+        cache.fill(9, now=0, ready_time=100, prefetched=True, source="slp")
+        result = cache.access(9, now=40)
+        assert not result.hit
+        assert result.delayed
+        assert result.wait_cycles == 60
+        assert result.late_prefetch
+        assert cache.stats.prefetch_late == {"slp": 1}
+        assert cache.stats.delayed_hits == 1
+
+    def test_mshr_merge_on_demand_fill(self):
+        cache = small_cache()
+        cache.fill(9, now=0, ready_time=100)  # demand fill in flight
+        result = cache.access(9, now=50)
+        assert result.delayed and result.wait_cycles == 50
+        assert result.prefetch_source is None
+        # After the data lands it is a plain hit.
+        assert cache.access(9, now=150).hit
+
+    def test_resident_prefetches(self):
+        cache = small_cache()
+        cache.fill(1, now=0, ready_time=0, prefetched=True, source="slp")
+        cache.fill(2, now=0, ready_time=0)
+        assert cache.resident_prefetches() == 1
+        cache.access(1, now=1)
+        assert cache.resident_prefetches() == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.fill(1, now=0, ready_time=0)
+        cache.access(1, now=1)
+        cache.access(2, now=2)
+        assert cache.stats.demand_accesses == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_empty_hit_rate(self):
+        assert small_cache().stats.hit_rate == 0.0
+
+
+class TestCapacityInvariant:
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=200))
+    @hsettings(max_examples=30, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, blocks):
+        cache = small_cache(sets=4, ways=2)
+        now = 0
+        for block in blocks:
+            now += 1
+            if not cache.contains(block):
+                cache.fill(block, now=now, ready_time=now)
+        assert cache.occupancy() <= 8
+        # Every block filled and not evicted must be findable.
+        resident = sum(1 for block in set(blocks) if cache.contains(block))
+        assert resident == cache.occupancy()

@@ -1,0 +1,86 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloads:
+    def test_lists_all_apps(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for abbr in ("CFM", "HoK", "PM"):
+            assert abbr in out
+
+
+class TestGenerate:
+    def test_csv(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        assert main(["generate", "CFM", str(path), "--length", "100"]) == 0
+        assert "wrote 100 records" in capsys.readouterr().out
+        assert path.exists()
+
+    def test_binary(self, tmp_path):
+        path = tmp_path / "t.bin"
+        assert main(["generate", "HoK", str(path), "--length", "50"]) == 0
+        from repro.trace.io import read_trace_binary
+
+        assert len(read_trace_binary(path)) == 50
+
+
+class TestSimulate:
+    def test_by_app(self, capsys):
+        assert main(["simulate", "--app", "CFM", "--length", "3000",
+                     "--prefetchers", "none,nextline"]) == 0
+        out = capsys.readouterr().out
+        assert "nextline" in out and "hit rate" in out
+
+    def test_from_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "t.bin"
+        main(["generate", "KO", str(path), "--length", "2000"])
+        capsys.readouterr()
+        assert main(["simulate", "--trace", str(path),
+                     "--prefetchers", "none"]) == 0
+        assert "none" in capsys.readouterr().out
+
+    def test_unknown_prefetcher(self, capsys):
+        assert main(["simulate", "--prefetchers", "oracle"]) == 2
+        assert "unknown prefetchers" in capsys.readouterr().err
+
+
+class TestFigure:
+    def test_fig4_subset(self, capsys):
+        assert main(["figure", "fig4", "--length", "5000",
+                     "--apps", "CFM"]) == 0
+        out = capsys.readouterr().out
+        assert "overlap" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+
+class TestOthers:
+    def test_storage(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out and "8.4%" in out
+
+    def test_footprint(self, capsys):
+        assert main(["footprint", "--app", "CFM", "--length", "8000"]) == 0
+        assert "time" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSimConfigFile:
+    def test_simulate_with_config_file(self, tmp_path, capsys):
+        from repro.config import SimConfig
+        from repro.config_io import save_config
+
+        path = save_config(SimConfig.experiment_scale(), tmp_path / "c.json")
+        assert main(["simulate", "--app", "CFM", "--length", "2000",
+                     "--prefetchers", "none", "--sim-config", str(path)]) == 0
+        assert "none" in capsys.readouterr().out

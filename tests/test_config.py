@@ -1,0 +1,160 @@
+"""Configuration validation for every subsystem config."""
+
+import pytest
+
+from repro.config import (
+    BOPConfig,
+    CacheConfig,
+    DRAMConfig,
+    DRAMTiming,
+    PlanariaConfig,
+    PowerConfig,
+    PrefetchQueueConfig,
+    SLPConfig,
+    SPPConfig,
+    SimConfig,
+    TLPConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_paper_slice(self):
+        config = CacheConfig()
+        assert config.size_bytes == 1 << 20
+        assert config.associativity == 16
+        assert config.num_sets == 1024
+        assert config.num_blocks == 16384
+
+    def test_rejects_partial_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000)
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(block_size=96)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(associativity=0)
+
+
+class TestDRAMTiming:
+    def test_table1_values(self):
+        timing = DRAMTiming()
+        assert (timing.tRAS, timing.tRCD, timing.tRRD) == (51, 16, 12)
+        assert (timing.tRC, timing.tRP, timing.tCCD) == (76, 16, 8)
+        assert (timing.tRTP, timing.tWTR, timing.tWR) == (9, 12, 22)
+        assert (timing.tRTRS, timing.tRFC, timing.tFAW) == (2, 216, 48)
+        assert (timing.tCKE, timing.tXP, timing.tCMD) == (9, 9, 1)
+        assert timing.burst_length == 16
+
+    def test_burst_cycles(self):
+        assert DRAMTiming().burst_cycles == 8
+
+    def test_rejects_tRC_less_than_tRAS(self):
+        with pytest.raises(ConfigError):
+            DRAMTiming(tRC=10, tRAS=51)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            DRAMTiming(tRCD=0)
+
+
+class TestDRAMConfig:
+    def test_paper_geometry(self):
+        config = DRAMConfig()
+        assert config.num_ranks == 1
+        assert config.num_banks == 8
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ConfigError):
+            DRAMConfig(scheduler="magic")
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ConfigError):
+            DRAMConfig(num_banks=6)
+
+
+class TestPrefetcherConfigs:
+    def test_slp_defaults(self):
+        config = SLPConfig()
+        assert config.filter_threshold == 3  # paper: three offsets promote
+        assert config.pattern_table_entries == 16_384
+
+    def test_slp_rejects_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            SLPConfig(filter_threshold=0)
+        with pytest.raises(ConfigError):
+            SLPConfig(filter_threshold=17)
+
+    def test_tlp_paper_defaults(self):
+        config = TLPConfig()
+        assert config.rpt_entries == 128
+        assert config.distance_threshold == 64
+        assert config.min_common_bits == 4
+
+    def test_tlp_rejects_tiny_rpt(self):
+        with pytest.raises(ConfigError):
+            TLPConfig(rpt_entries=1)
+
+    def test_planaria_coordinator_modes(self):
+        for mode in ("decoupled", "serial", "parallel"):
+            assert PlanariaConfig(coordinator=mode).coordinator == mode
+        with pytest.raises(ConfigError):
+            PlanariaConfig(coordinator="hybrid")
+
+    def test_bop_offsets_non_empty(self):
+        with pytest.raises(ConfigError):
+            BOPConfig(offsets=())
+
+    def test_bop_bad_score_bounds(self):
+        with pytest.raises(ConfigError):
+            BOPConfig(bad_score=100)
+
+    def test_spp_confidence_bounds(self):
+        with pytest.raises(ConfigError):
+            SPPConfig(prefetch_confidence=0.0)
+        with pytest.raises(ConfigError):
+            SPPConfig(lookahead_confidence=1.5)
+
+    def test_queue_config(self):
+        with pytest.raises(ConfigError):
+            PrefetchQueueConfig(depth=0)
+        with pytest.raises(ConfigError):
+            PrefetchQueueConfig(max_degree=0)
+
+
+class TestPowerConfig:
+    def test_rejects_negative_current(self):
+        with pytest.raises(ConfigError):
+            PowerConfig(idd4r=-1.0)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ConfigError):
+            PowerConfig(clock_mhz=0.0)
+
+
+class TestSimConfig:
+    def test_default_total_capacity_matches_table1(self):
+        config = SimConfig()
+        total = config.cache.size_bytes * config.layout.num_channels
+        assert total == 4 << 20  # 4 MB SC
+
+    def test_paper_scale(self):
+        config = SimConfig.paper_scale()
+        assert config.cache.size_bytes == 1 << 20
+
+    def test_experiment_scale_preserves_geometry(self):
+        config = SimConfig.experiment_scale()
+        assert config.cache.size_bytes == 128 << 10
+        assert config.cache.associativity == 16
+        assert config.layout.num_channels == 4
+
+    def test_block_size_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(cache=CacheConfig(block_size=128))
+
+    def test_warmup_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            SimConfig(warmup_fraction=1.0)

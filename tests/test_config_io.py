@@ -1,0 +1,104 @@
+"""Config JSON (de)serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    DRAMTiming,
+    PlanariaConfig,
+    SimConfig,
+    SLPConfig,
+    TLPConfig,
+)
+from repro.config_io import (
+    from_dict,
+    load_planaria_config,
+    load_sim_config,
+    save_config,
+    to_dict,
+)
+from repro.errors import ConfigError
+
+
+class TestToDict:
+    def test_flat(self):
+        data = to_dict(CacheConfig())
+        assert data["size_bytes"] == 1 << 20
+        assert data["replacement_policy"] == "lru"
+
+    def test_nested(self):
+        data = to_dict(SimConfig())
+        assert data["dram"]["timing"]["tRAS"] == 51
+        assert data["cache"]["associativity"] == 16
+        assert data["layout"]["num_channels"] == 4
+
+    def test_tuples_become_lists(self):
+        data = to_dict(PlanariaConfig())
+        assert isinstance(to_dict(SimConfig()), dict)
+        from repro.config import BOPConfig
+
+        assert isinstance(to_dict(BOPConfig())["offsets"], list)
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(ConfigError):
+            to_dict({"not": "a dataclass"})
+
+
+class TestFromDict:
+    def test_roundtrip_sim(self):
+        original = SimConfig.experiment_scale()
+        rebuilt = from_dict(SimConfig, to_dict(original))
+        assert rebuilt == original
+
+    def test_roundtrip_planaria(self):
+        original = PlanariaConfig(
+            slp=SLPConfig(at_timeout=12_345),
+            tlp=TLPConfig(distance_threshold=32),
+            coordinator="parallel",
+        )
+        rebuilt = from_dict(PlanariaConfig, to_dict(original))
+        assert rebuilt == original
+
+    def test_partial_dict_uses_defaults(self):
+        rebuilt = from_dict(CacheConfig, {"size_bytes": 64 * 1024})
+        assert rebuilt.size_bytes == 64 * 1024
+        assert rebuilt.associativity == 16
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            from_dict(CacheConfig, {"size_byte": 1024})
+
+    def test_validation_still_runs(self):
+        with pytest.raises(ConfigError):
+            from_dict(CacheConfig, {"size_bytes": 999})
+
+    def test_unsupported_type_rejected(self):
+        class Strange:
+            pass
+
+        with pytest.raises(ConfigError):
+            from_dict(Strange, {})
+
+
+class TestFiles:
+    def test_save_and_load_sim(self, tmp_path):
+        path = save_config(SimConfig.experiment_scale(), tmp_path / "sim.json")
+        loaded = load_sim_config(path)
+        assert loaded == SimConfig.experiment_scale()
+        # The file is real, human-editable JSON.
+        data = json.loads(path.read_text())
+        assert data["sc_hit_latency"] == 30
+
+    def test_save_and_load_planaria(self, tmp_path):
+        original = PlanariaConfig(tlp=TLPConfig(rpt_entries=64))
+        path = save_config(original, tmp_path / "planaria.json")
+        assert load_planaria_config(path) == original
+
+    def test_edited_file_round_trips(self, tmp_path):
+        path = save_config(SimConfig(), tmp_path / "sim.json")
+        data = json.loads(path.read_text())
+        data["cache"]["size_bytes"] = 256 * 1024
+        path.write_text(json.dumps(data))
+        assert load_sim_config(path).cache.size_bytes == 256 * 1024

@@ -1,0 +1,52 @@
+"""Smoke tests: every bundled example runs end to end.
+
+These keep the examples honest as the API evolves — each runs at a tiny
+scale via the real interpreter.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "6000")
+        assert "AMAT reduction" in out
+        assert "planaria" in out
+
+    def test_prefetcher_anatomy(self):
+        out = run_example("prefetcher_anatomy.py")
+        assert "PT[0x100]" in out
+        assert "transfer prefetch" in out
+
+    def test_mobile_gaming_study(self):
+        out = run_example("mobile_gaming_study.py", "CFM", "--length", "6000")
+        assert "averages across CFM" in out
+
+    def test_replacement_study(self):
+        out = run_example("replacement_study.py", "--length", "4000")
+        assert "drrip" in out and "planaria" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py", "--length", "6000")
+        assert "AR Navigator" in out or "intra-page regularity" in out
+
+    def test_figure_gallery(self, tmp_path):
+        out = run_example("figure_gallery.py", "--out", str(tmp_path),
+                          "--length", "5000", "--apps", "CFM")
+        assert (tmp_path / "fig8.csv").exists()
+        assert "exported" in out

@@ -1,0 +1,147 @@
+"""Experiment registry: every figure module runs and reports sane shapes.
+
+These run at a deliberately small trace length — the full-size numbers are
+produced by ``pytest benchmarks/``; here we verify the machinery and the
+qualitative direction of each result.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentSettings,
+    run_matrix,
+)
+from repro.experiments.matrix import breakdown_matrix, clear_caches
+from repro.experiments.report import ExperimentReport
+
+SMALL = ExperimentSettings(trace_length=15_000, seed=13,
+                           apps=("CFM", "Fort"))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestReportContainer:
+    def test_row_arity_enforced(self):
+        report = ExperimentReport("x", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            report.add_row([1])
+
+    def test_format_table(self):
+        report = ExperimentReport("x", "t", ["a", "b"])
+        report.add_row([1, 2.5])
+        report.summary["note"] = 3.0
+        text = report.format_table()
+        assert "== x: t" in text
+        assert "2.500" in text
+        assert "note" in text
+
+
+class TestSettings:
+    def test_defaults_cover_all_apps(self):
+        settings = ExperimentSettings()
+        assert len(settings.apps) == 10
+
+    def test_cache_key_stable(self):
+        assert SMALL.cache_key() == ExperimentSettings(
+            trace_length=15_000, seed=13, apps=("CFM", "Fort")).cache_key()
+
+
+class TestMatrix:
+    def test_matrix_covers_grid(self):
+        matrix = run_matrix(SMALL)
+        assert set(matrix) == {"CFM", "Fort"}
+        for app in matrix:
+            assert set(matrix[app]) == set(SMALL.prefetchers)
+
+    def test_matrix_cached(self):
+        first = run_matrix(SMALL)
+        second = run_matrix(SMALL)
+        assert first is second
+
+    def test_breakdown_adds_subprefetchers(self):
+        matrix = breakdown_matrix(SMALL)
+        assert set(matrix["CFM"]) == {"none", "slp", "tlp", "planaria"}
+
+
+class TestFigureRuns:
+    def test_fig2(self):
+        report = ALL_EXPERIMENTS["fig2"](SMALL)
+        assert report.experiment_id == "fig2"
+        values = dict((row[0], row[1]) for row in report.rows)
+        assert values["bursts (snapshot episodes)"] >= 2
+
+    def test_fig4(self):
+        report = ALL_EXPERIMENTS["fig4"](SMALL)
+        assert len(report.rows) == 2
+        assert report.summary["average overlap rate (measured)"] > 0.6
+
+    def test_fig5(self):
+        report = ALL_EXPERIMENTS["fig5"](SMALL)
+        measured_4 = report.summary["average fraction at distance 4 (measured)"]
+        measured_64 = report.summary["average fraction at distance 64 (measured)"]
+        assert 0.0 < measured_4 <= measured_64 <= 1.0
+
+    def test_fig7_planaria_wins_hit_rate(self):
+        report = ALL_EXPERIMENTS["fig7"](SMALL)
+        assert report.summary["planaria minus none (pp)"] > 0
+        columns = report.columns
+        for row in report.rows:
+            none_hit = row[columns.index("none")]
+            planaria_hit = row[columns.index("planaria")]
+            assert planaria_hit > none_hit
+
+    def test_fig8_planaria_reduces_amat(self):
+        report = ALL_EXPERIMENTS["fig8"](SMALL)
+        assert report.summary["planaria AMAT reduction vs none (measured)"] > 0
+
+    def test_fig9_fort_is_tlp_territory(self):
+        report = ALL_EXPERIMENTS["fig9"](SMALL)
+        shares = {row[0]: row[1] for row in report.rows}
+        assert shares["CFM"] > shares["Fort"]  # SLP dominates CFM, not Fort
+
+    def test_fig10_planaria_cheapest(self):
+        report = ALL_EXPERIMENTS["fig10"](SMALL)
+        summary = report.summary
+        planaria = summary["mean power overhead [planaria] (measured)"]
+        bop = summary["mean power overhead [bop] (measured)"]
+        spp = summary["mean power overhead [spp] (measured)"]
+        assert planaria < spp < bop
+
+    def test_headline_numbers(self):
+        report = ALL_EXPERIMENTS["headline"](SMALL)
+        summary = report.summary
+        assert summary["IPC gain vs none (measured)"] > 0
+        assert summary["Planaria storage KiB (computed)"] == pytest.approx(
+            345.2, rel=0.03)
+        assert summary["BOP traffic overhead (measured)"] > \
+            summary["SPP traffic overhead (measured)"] > 0
+
+
+class TestSettingsEnv:
+    def test_env_length(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_LENGTH", "12345")
+        settings = ExperimentSettings()
+        assert settings.trace_length == 12345
+
+    def test_env_length_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_LENGTH", "10")
+        assert ExperimentSettings().trace_length == 1_000
+
+    def test_env_length_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_LENGTH", "lots")
+        assert ExperimentSettings().trace_length == 80_000
+
+    def test_env_apps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_APPS", "CFM, Fort")
+        assert ExperimentSettings().apps == ("CFM", "Fort")
+
+    def test_env_apps_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_APPS", "CFM,WoW")
+        with pytest.raises(ValueError, match="WoW"):
+            ExperimentSettings()

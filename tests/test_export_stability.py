@@ -1,0 +1,102 @@
+"""Report export (CSV/SVG) and seed-stability analysis."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    export_report,
+    write_report_csv,
+    write_report_svg,
+)
+from repro.experiments.report import ExperimentReport
+from repro.experiments.stability import MetricSummary, seed_stability
+
+
+def sample_report():
+    report = ExperimentReport("figX", "sample", ["app", "hit", "amat"])
+    report.add_row(["CFM", 0.5, 120.0])
+    report.add_row(["Fort", 0.2, 300.0])
+    report.summary["note"] = 1.0
+    return report
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        path = write_report_csv(sample_report(), tmp_path / "r.csv")
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0].startswith("# figX")
+        header_index = next(i for i, row in enumerate(rows)
+                            if row and row[0] == "app")
+        assert rows[header_index] == ["app", "hit", "amat"]
+        assert rows[header_index + 1][0] == "CFM"
+        assert float(rows[header_index + 1][1]) == 0.5
+
+
+class TestSVG:
+    def test_renders_bars_and_legend(self, tmp_path):
+        path = write_report_svg(sample_report(), tmp_path / "r.svg")
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert text.count("<rect") >= 4  # 2 rows x 2 series + legend boxes
+        assert "CFM" in text and "Fort" in text
+        assert "hit" in text and "amat" in text
+
+    def test_column_subset(self, tmp_path):
+        path = write_report_svg(sample_report(), tmp_path / "r.svg",
+                                columns=["hit"])
+        text = path.read_text()
+        assert "amat</text>" not in text
+
+    def test_nothing_to_plot(self, tmp_path):
+        report = ExperimentReport("figY", "labels only", ["a", "b"])
+        report.add_row(["x", "y"])
+        with pytest.raises(ValueError):
+            write_report_svg(report, tmp_path / "r.svg")
+
+    def test_negative_values_handled(self, tmp_path):
+        report = ExperimentReport("figZ", "signed", ["app", "delta"])
+        report.add_row(["A", -0.4])
+        report.add_row(["B", 0.6])
+        text = write_report_svg(report, tmp_path / "r.svg").read_text()
+        assert text.count("<rect") >= 2
+
+
+class TestExportReport:
+    def test_writes_both(self, tmp_path):
+        written = export_report(sample_report(), tmp_path / "out")
+        names = {path.name for path in written}
+        assert names == {"figX.csv", "figX.svg"}
+
+    def test_skips_unplottable_svg(self, tmp_path):
+        report = ExperimentReport("figY", "labels", ["a", "b"])
+        report.add_row(["x", "y"])
+        written = export_report(report, tmp_path)
+        assert {path.suffix for path in written} == {".csv"}
+
+
+class TestStability:
+    def test_metric_summary_math(self):
+        summary = MetricSummary.from_values([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+        assert summary.samples == 3
+        assert "±" in summary.format()
+
+    def test_seed_stability_shapes(self):
+        summaries = seed_stability("CFM", "nextline", seeds=(1, 2),
+                                   length=6_000)
+        assert set(summaries) == {
+            "amat_reduction", "hit_rate_gain", "traffic_overhead",
+            "power_overhead", "accuracy", "coverage",
+        }
+        assert all(s.samples == 2 for s in summaries.values())
+
+    def test_planaria_conclusions_stable(self):
+        summaries = seed_stability("CFM", "planaria", seeds=(1, 2, 3),
+                                   length=15_000)
+        # The headline conclusion must hold for EVERY seed, not on average.
+        assert summaries["amat_reduction"].minimum > 0
+        assert summaries["hit_rate_gain"].minimum > 0
+        assert summaries["accuracy"].minimum > 0.5

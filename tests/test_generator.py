@@ -1,0 +1,251 @@
+"""Synthetic workload generator: determinism, calibration properties."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.errors import ConfigError
+from repro.geometry import DEFAULT_LAYOUT
+from repro.trace.generator import (
+    WORKLOADS,
+    TraceSynthesizer,
+    WorkloadProfile,
+    generate_trace,
+    get_profile,
+    list_workloads,
+)
+from repro.trace.generator.patterns import (
+    BLOCKS_PER_PAGE,
+    DENSITY_CAP,
+    assign_page_patterns,
+    build_pattern_library,
+    make_pattern,
+)
+import random
+
+
+class TestWorkloadRegistry:
+    def test_all_ten_applications(self):
+        assert list_workloads() == [
+            "CFM", "HoK", "Id-V", "QSM", "TikT",
+            "Fort", "HI3", "KO", "NBA2", "PM",
+        ]
+        assert set(WORKLOADS) == set(list_workloads())
+
+    def test_table2_metadata(self):
+        assert get_profile("CFM").paper_length_millions == pytest.approx(67.48)
+        assert get_profile("HoK").name == "Honor of Kings"
+        assert get_profile("TikT").description == "Short video sharing app"
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="CFM"):
+            get_profile("WoW")
+
+    def test_disjoint_address_spaces(self):
+        ranges = []
+        for abbr in list_workloads():
+            profile = get_profile(abbr)
+            ranges.append((profile.page_base, profile.page_base + profile.num_pages))
+        ranges.sort()
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end <= start
+
+
+class TestProfileValidation:
+    def test_bad_probability(self):
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="x", abbr="x", snapshot_stability=1.5)
+
+    def test_noise_plus_stream_bound(self):
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="x", abbr="x", noise_fraction=0.6,
+                            stream_fraction=0.5)
+
+    def test_stride_bounds(self):
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="x", abbr="x", pattern_strides=(0,))
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="x", abbr="x", pattern_strides=())
+
+
+class TestPatterns:
+    def test_density_cap(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            pattern = make_pattern(rng, mean_blocks=60.0)
+            assert bin(pattern).count("1") <= DENSITY_CAP
+
+    def test_pattern_nonempty(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            assert make_pattern(rng, mean_blocks=2.0) != 0
+
+    def test_pattern_fits_page(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            assert make_pattern(rng, mean_blocks=30.0) < (1 << BLOCKS_PER_PAGE)
+
+    def test_assignment_covers_all_pages(self):
+        profile = get_profile("CFM")
+        rng = random.Random(3)
+        library = build_pattern_library(profile, rng)
+        assert len(library) == profile.pattern_library_size
+        assignments = assign_page_patterns(profile, library, rng)
+        assert len(assignments) == profile.num_pages
+        assert all(pattern in library for pattern in assignments[:200])
+
+    def test_sub_run_sharing(self):
+        # Contiguous sub-runs share one pattern choice.
+        profile = dataclasses.replace(get_profile("CFM"), pattern_run_length=6)
+        rng = random.Random(4)
+        library = build_pattern_library(profile, rng)
+        assignments = assign_page_patterns(profile, library, rng)
+        run = profile.pattern_run_length
+        cluster = profile.cluster_size
+        # Check sub-runs inside the first few clusters.
+        for cluster_start in range(0, 5 * cluster, cluster):
+            for run_start in range(cluster_start, cluster_start + cluster - run, run):
+                segment = assignments[run_start:run_start + run]
+                assert len(set(segment)) == 1
+
+
+class TestSynthesizer:
+    def test_deterministic(self):
+        profile = get_profile("CFM")
+        first = generate_trace(profile, 2000, seed=5)
+        second = generate_trace(profile, 2000, seed=5)
+        assert first == second
+
+    def test_seed_changes_trace(self):
+        profile = get_profile("CFM")
+        assert generate_trace(profile, 2000, seed=1) != generate_trace(profile, 2000, seed=2)
+
+    def test_length(self):
+        assert len(generate_trace(get_profile("HoK"), 1234, seed=0)) == 1234
+        assert generate_trace(get_profile("HoK"), 0, seed=0) == []
+
+    def test_negative_length_rejected(self):
+        synthesizer = TraceSynthesizer(get_profile("HoK"), seed=0)
+        with pytest.raises(ConfigError):
+            list(synthesizer.records(-1))
+
+    def test_arrival_times_monotonic(self):
+        records = generate_trace(get_profile("QSM"), 3000, seed=9)
+        times = [record.arrival_time for record in records]
+        assert all(earlier < later for earlier, later in zip(times, times[1:]))
+
+    def test_addresses_block_aligned_in_working_set(self):
+        profile = get_profile("KO")
+        records = generate_trace(profile, 3000, seed=2)
+        low = profile.page_base
+        high = profile.page_base + profile.num_pages
+        for record in records:
+            assert record.address % 64 == 0
+            assert low <= DEFAULT_LAYOUT.page_number(record.address) < high
+
+    def test_write_fraction_roughly_matches(self):
+        profile = get_profile("CFM")
+        records = generate_trace(profile, 20_000, seed=3)
+        writes = sum(1 for record in records if record.is_write)
+        assert writes / len(records) == pytest.approx(profile.write_fraction, abs=0.05)
+
+    def test_channel_balance(self):
+        records = generate_trace(get_profile("CFM"), 20_000, seed=4)
+        counts = [0] * 4
+        for record in records:
+            counts[DEFAULT_LAYOUT.channel(record.address)] += 1
+        for count in counts:
+            assert count > len(records) * 0.15
+
+    def test_page_pattern_lookup_wraps(self):
+        synthesizer = TraceSynthesizer(get_profile("CFM"), seed=0)
+        profile = get_profile("CFM")
+        assert synthesizer.page_pattern(0) == synthesizer.page_pattern(profile.num_pages)
+
+    def test_order_entropy_zero_is_sorted(self):
+        profile = dataclasses.replace(
+            get_profile("CFM"), episode_order_entropy=0.0,
+            episode_concurrency=1, noise_fraction=0.0, stream_fraction=0.0,
+            intra_episode_reuse=0.0,
+        )
+        records = generate_trace(profile, 500, seed=6)
+        # With a single episode at a time and zero entropy, block offsets
+        # within one page visit are non-decreasing; a drop only happens
+        # when the page is immediately revisited (a new episode starts).
+        last_page, last_block = None, -1
+        transitions = violations = 0
+        for record in records:
+            page = DEFAULT_LAYOUT.page_number(record.address)
+            block = DEFAULT_LAYOUT.block_in_page(record.address)
+            if page == last_page:
+                transitions += 1
+                if block < last_block:
+                    violations += 1
+            last_page, last_block = page, block
+        assert transitions > 50
+        assert violations / transitions < 0.1
+
+    def test_layout_mismatch_rejected(self):
+        from repro.geometry import AddressLayout
+
+        small_pages = AddressLayout(page_size=2048)
+        with pytest.raises(ConfigError):
+            TraceSynthesizer(get_profile("CFM"), layout=small_pages)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @hsettings(max_examples=10, deadline=None)
+    def test_any_seed_generates_valid_records(self, seed):
+        records = generate_trace(get_profile("PM"), 300, seed=seed)
+        assert len(records) == 300
+        for record in records:
+            assert record.address >= 0
+            assert record.arrival_time >= 0
+
+
+class TestPhases:
+    def test_no_phases_by_default(self):
+        synthesizer = TraceSynthesizer(get_profile("CFM"), seed=1)
+        list(synthesizer.records(2000))
+        assert synthesizer.phase_switches == 0
+
+    def test_switch_count(self):
+        profile = dataclasses.replace(get_profile("CFM"), phase_length=500)
+        synthesizer = TraceSynthesizer(profile, seed=1)
+        list(synthesizer.records(2600))
+        assert synthesizer.phase_switches == 5
+
+    def test_zero_drift_keeps_patterns(self):
+        profile = dataclasses.replace(get_profile("CFM"), phase_length=500,
+                                      phase_drift=0.0)
+        synthesizer = TraceSynthesizer(profile, seed=1)
+        before = [synthesizer.page_pattern(page) for page in range(100)]
+        list(synthesizer.records(3000))
+        after = [synthesizer.page_pattern(page) for page in range(100)]
+        assert before == after
+
+    def test_full_drift_changes_patterns(self):
+        profile = dataclasses.replace(get_profile("CFM"), phase_length=500,
+                                      phase_drift=1.0)
+        synthesizer = TraceSynthesizer(profile, seed=1)
+        before = [synthesizer.page_pattern(page) for page in range(400)]
+        list(synthesizer.records(1000))
+        after = [synthesizer.page_pattern(page) for page in range(400)]
+        assert before != after
+
+    def test_drift_preserves_sub_run_sharing(self):
+        profile = dataclasses.replace(get_profile("CFM"), phase_length=500,
+                                      phase_drift=1.0, pattern_run_length=6)
+        synthesizer = TraceSynthesizer(profile, seed=1)
+        list(synthesizer.records(1000))
+        run = profile.pattern_run_length
+        for run_start in range(0, 5 * run, run):
+            patterns = {synthesizer.page_pattern(page)
+                        for page in range(run_start, run_start + run)}
+            assert len(patterns) == 1
+
+    def test_drift_probability_validated(self):
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="x", abbr="x", phase_drift=1.5)
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="x", abbr="x", phase_length=-1)

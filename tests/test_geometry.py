@@ -1,0 +1,123 @@
+"""Address geometry: decomposition, composition, channel mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError, ConfigError
+from repro.geometry import AddressLayout, DEFAULT_LAYOUT
+
+
+class TestDefaults:
+    def test_paper_parameters(self):
+        layout = DEFAULT_LAYOUT
+        assert layout.block_size == 64
+        assert layout.page_size == 4096
+        assert layout.num_channels == 4
+
+    def test_derived_sizes(self):
+        layout = DEFAULT_LAYOUT
+        assert layout.block_bits == 6
+        assert layout.page_bits == 12
+        assert layout.blocks_per_page == 64
+        assert layout.blocks_per_segment == 16
+        assert layout.segment_bits == 4
+        assert layout.channel_bits == 2
+
+
+class TestDecomposition:
+    def test_block_address(self):
+        assert DEFAULT_LAYOUT.block_address(0) == 0
+        assert DEFAULT_LAYOUT.block_address(63) == 0
+        assert DEFAULT_LAYOUT.block_address(64) == 1
+        assert DEFAULT_LAYOUT.block_address(0x1000) == 64
+
+    def test_page_number(self):
+        assert DEFAULT_LAYOUT.page_number(0xFFF) == 0
+        assert DEFAULT_LAYOUT.page_number(0x1000) == 1
+        assert DEFAULT_LAYOUT.page_number(0x12345678) == 0x12345
+
+    def test_block_in_page(self):
+        assert DEFAULT_LAYOUT.block_in_page(0) == 0
+        assert DEFAULT_LAYOUT.block_in_page(64) == 1
+        assert DEFAULT_LAYOUT.block_in_page(0x1000 - 64) == 63
+        assert DEFAULT_LAYOUT.block_in_page(0x1000) == 0
+
+    def test_channel_segment_mapping(self):
+        # Blocks 0-15 of a page -> channel 0; 16-31 -> channel 1; etc.
+        for block in range(64):
+            addr = block * 64
+            assert DEFAULT_LAYOUT.channel(addr) == block // 16
+            assert DEFAULT_LAYOUT.block_in_segment(addr) == block % 16
+
+    def test_channel_is_page_independent(self):
+        for page in (0, 1, 17, 12345):
+            addr = page * 4096 + 20 * 64  # block 20 -> channel 1
+            assert DEFAULT_LAYOUT.channel(addr) == 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(AddressError):
+            DEFAULT_LAYOUT.page_number(-1)
+
+    def test_block_align(self):
+        assert DEFAULT_LAYOUT.block_align(0x1234) == 0x1200
+        assert DEFAULT_LAYOUT.block_align(0x1200) == 0x1200
+
+
+class TestComposition:
+    def test_compose_roundtrip_simple(self):
+        addr = DEFAULT_LAYOUT.compose(page_number=5, channel=2, block_in_segment=3)
+        assert DEFAULT_LAYOUT.page_number(addr) == 5
+        assert DEFAULT_LAYOUT.channel(addr) == 2
+        assert DEFAULT_LAYOUT.block_in_segment(addr) == 3
+
+    def test_compose_rejects_bad_channel(self):
+        with pytest.raises(AddressError):
+            DEFAULT_LAYOUT.compose(1, 4, 0)
+
+    def test_compose_rejects_bad_offset(self):
+        with pytest.raises(AddressError):
+            DEFAULT_LAYOUT.compose(1, 0, 16)
+
+    def test_compose_rejects_negative_page(self):
+        with pytest.raises(AddressError):
+            DEFAULT_LAYOUT.compose(-1, 0, 0)
+
+    @given(
+        page=st.integers(min_value=0, max_value=1 << 24),
+        channel=st.integers(min_value=0, max_value=3),
+        offset=st.integers(min_value=0, max_value=15),
+    )
+    def test_compose_decompose_roundtrip(self, page, channel, offset):
+        addr = DEFAULT_LAYOUT.compose(page, channel, offset)
+        assert DEFAULT_LAYOUT.page_number(addr) == page
+        assert DEFAULT_LAYOUT.channel(addr) == channel
+        assert DEFAULT_LAYOUT.block_in_segment(addr) == offset
+        assert addr % 64 == 0
+
+    @given(addr=st.integers(min_value=0, max_value=1 << 40))
+    def test_decompose_compose_roundtrip(self, addr):
+        layout = DEFAULT_LAYOUT
+        rebuilt = layout.compose(
+            layout.page_number(addr), layout.channel(addr),
+            layout.block_in_segment(addr),
+        )
+        assert rebuilt == layout.block_align(addr)
+
+
+class TestValidation:
+    def test_non_power_of_two_block(self):
+        with pytest.raises(ConfigError):
+            AddressLayout(block_size=48)
+
+    def test_non_power_of_two_page(self):
+        with pytest.raises(ConfigError):
+            AddressLayout(page_size=5000)
+
+    def test_page_smaller_than_block(self):
+        with pytest.raises(ConfigError):
+            AddressLayout(block_size=4096, page_size=64)
+
+    def test_alternative_geometry(self):
+        layout = AddressLayout(block_size=64, page_size=8192, num_channels=2)
+        assert layout.blocks_per_page == 128
+        assert layout.blocks_per_segment == 64

@@ -1,0 +1,145 @@
+"""RunMetrics derived quantities and the AMAT→IPC proxy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.metrics import MetricSet, RunMetrics, ipc_speedup
+
+
+def metrics(**overrides):
+    defaults = dict(
+        workload="X", prefetcher="p", amat=100.0, hit_rate=0.5,
+        demand_accesses=1000, demand_misses=500, dram_traffic=800,
+        prefetch_issued=300, prefetch_fills=200, prefetch_useful=100,
+        prefetch_useful_by_source={"p": 100}, prefetch_unused=50,
+        power_mw=50.0, energy_nj=5000.0, storage_bits=1000,
+    )
+    defaults.update(overrides)
+    return RunMetrics(**defaults)
+
+
+class TestRunMetrics:
+    def test_accuracy_uses_fills(self):
+        assert metrics().accuracy == pytest.approx(0.5)
+        assert metrics(prefetch_fills=0).accuracy == 0.0
+
+    def test_coverage(self):
+        # 100 covered out of (100 useful + 500 remaining misses).
+        assert metrics().coverage == pytest.approx(100 / 600)
+        assert metrics(prefetch_useful=0, demand_misses=0).coverage == 0.0
+
+    def test_amat_reduction(self):
+        base = metrics(amat=200.0)
+        better = metrics(amat=150.0)
+        assert better.amat_reduction_vs(base) == pytest.approx(0.25)
+        assert base.amat_reduction_vs(base) == 0.0
+        assert metrics(amat=100).amat_reduction_vs(metrics(amat=0)) == 0.0
+
+    def test_traffic_overhead(self):
+        base = metrics(dram_traffic=1000)
+        heavy = metrics(dram_traffic=1234)
+        assert heavy.traffic_overhead_vs(base) == pytest.approx(0.234)
+        assert metrics().traffic_overhead_vs(metrics(dram_traffic=0)) == 0.0
+
+    def test_power_overhead(self):
+        base = metrics(energy_nj=1000.0)
+        frugal = metrics(energy_nj=967.0)
+        assert frugal.power_overhead_vs(base) == pytest.approx(-0.033)
+
+
+class TestMetricSet:
+    def test_records_reads_and_writes(self):
+        bundle = MetricSet()
+        bundle.record(100, is_read=True)
+        bundle.record(30, is_read=False)
+        assert bundle.demand_reads == 1
+        assert bundle.demand_writes == 1
+        assert bundle.read_latency.mean == pytest.approx(100.0)
+        assert bundle.all_latency.count == 2
+
+    def test_merge(self):
+        left, right = MetricSet(), MetricSet()
+        left.record(100, True)
+        right.record(200, True)
+        left.merge(right)
+        assert left.demand_reads == 2
+        assert left.read_latency.mean == pytest.approx(150.0)
+
+
+class TestIPCProxy:
+    def test_paper_consistency(self):
+        # AMAT -24.3% at the paper's implied memory intensity should land
+        # near the abstract's +28.9% IPC.
+        speedup = ipc_speedup(amat=75.7, baseline_amat=100.0,
+                              memory_intensity=0.924)
+        assert speedup == pytest.approx(1.289, rel=0.01)
+
+    def test_no_change_no_speedup(self):
+        assert ipc_speedup(100.0, 100.0, 0.9) == pytest.approx(1.0)
+
+    def test_zero_intensity_insensitive(self):
+        assert ipc_speedup(10.0, 100.0, 0.0) == pytest.approx(1.0)
+
+    def test_degradation_slows(self):
+        assert ipc_speedup(150.0, 100.0, 0.9) < 1.0
+
+    def test_bad_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            ipc_speedup(100.0, 100.0, 1.5)
+
+    def test_zero_baseline_neutral(self):
+        assert ipc_speedup(100.0, 0.0, 0.9) == 1.0
+
+    @given(
+        amat=st.floats(min_value=1.0, max_value=1e4),
+        base=st.floats(min_value=1.0, max_value=1e4),
+        intensity=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_speedup_direction_matches_amat(self, amat, base, intensity):
+        speedup = ipc_speedup(amat, base, intensity)
+        assert speedup > 0
+        if amat < base:
+            assert speedup >= 1.0
+        elif amat > base:
+            assert speedup <= 1.0
+
+    @given(
+        base=st.floats(min_value=10.0, max_value=1e4),
+        intensity=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_monotone_in_amat(self, base, intensity):
+        fast = ipc_speedup(base * 0.5, base, intensity)
+        slow = ipc_speedup(base * 0.9, base, intensity)
+        assert fast >= slow
+
+
+class TestPerDeviceMetrics:
+    def test_records_per_device(self):
+        bundle = MetricSet()
+        bundle.record(100, True, device="CPU")
+        bundle.record(300, True, device="GPU")
+        bundle.record(200, True, device="CPU")
+        assert bundle.device_read_latency["CPU"].mean == pytest.approx(150.0)
+        assert bundle.device_read_latency["GPU"].count == 1
+
+    def test_merge_per_device(self):
+        left, right = MetricSet(), MetricSet()
+        left.record(100, True, device="CPU")
+        right.record(300, True, device="CPU")
+        right.record(50, True, device="DSP")
+        left.merge(right)
+        assert left.device_read_latency["CPU"].count == 2
+        assert left.device_read_latency["DSP"].count == 1
+
+    def test_engine_populates_devices(self):
+        from repro.sim.runner import simulate
+        from repro.trace.generator import generate_trace, get_profile
+
+        records = generate_trace(get_profile("CFM"), 4_000, seed=1)
+        result = simulate(records, "none")
+        merged = result.simulator.merged_metrics()
+        assert "CPU" in merged.device_read_latency
+        assert "GPU" in merged.device_read_latency
+        total = sum(stats.count
+                    for stats in merged.device_read_latency.values())
+        assert total == merged.demand_reads

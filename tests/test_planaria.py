@@ -1,0 +1,148 @@
+"""Planaria coordinator: parallel learning, serial SLP-first issuing."""
+
+import pytest
+
+from repro.config import PlanariaConfig, SLPConfig
+from repro.core.planaria import PlanariaPrefetcher
+from repro.core.storage import planaria_storage_budget
+from repro.geometry import DEFAULT_LAYOUT
+from repro.prefetch.base import DemandAccess
+from repro.trace.record import DeviceID
+
+
+def access(page, offset, time):
+    return DemandAccess(
+        block_addr=(page << 6) | offset, page=page, block_in_segment=offset,
+        channel_block=page * 16 + offset, time=time, is_read=True,
+        device=DeviceID.CPU,
+    )
+
+
+def teach_slp_pattern(planaria, page, offsets, start=0):
+    time = start
+    for offset in offsets:
+        planaria.observe(access(page, offset, time))
+        time += 10
+    timeout = planaria.slp.config.at_timeout
+    planaria.observe(access(page + 50_000, 0, time + timeout + 1))
+    return time + timeout + 1
+
+
+class TestCoordinator:
+    def test_both_subprefetchers_learn_in_parallel(self):
+        planaria = PlanariaPrefetcher(DEFAULT_LAYOUT, 0)
+        planaria.observe(access(5, 1, 0))
+        assert planaria.tlp.bitmap_of(5) is not None
+        assert planaria.slp.table_sizes()["filter"] == 1
+
+    def test_slp_issues_when_it_has_history(self):
+        planaria = PlanariaPrefetcher(DEFAULT_LAYOUT, 0)
+        time = teach_slp_pattern(planaria, page=9, offsets=[1, 4, 6, 9])
+        trigger = access(9, 4, time + 100)
+        planaria.observe(trigger)
+        candidates = planaria.issue(trigger, was_hit=False)
+        assert candidates
+        assert all(c.source == "slp" for c in candidates)
+        assert planaria.slp_issues == len(candidates)
+        assert planaria.tlp_issues == 0
+
+    def test_tlp_issues_when_slp_has_no_history(self):
+        planaria = PlanariaPrefetcher(DEFAULT_LAYOUT, 0)
+        # Give TLP a donor but keep SLP's PT empty for the trigger page.
+        for offset in (1, 3, 5, 7, 9, 11):
+            planaria.observe(access(0x101, offset, offset))
+        for offset in (1, 3, 5, 7):
+            planaria.observe(access(0x100, offset, 100 + offset))
+        trigger = access(0x100, 7, 200)
+        candidates = planaria.issue(trigger, was_hit=False)
+        assert candidates
+        assert all(c.source == "tlp" for c in candidates)
+        assert planaria.tlp_issues == len(candidates)
+
+    def test_slp_preferred_over_tlp(self):
+        planaria = PlanariaPrefetcher(DEFAULT_LAYOUT, 0)
+        time = teach_slp_pattern(planaria, page=0x100, offsets=[1, 4, 6])
+        # Also create a plausible TLP donor.
+        for offset in (1, 4, 6, 8, 10):
+            planaria.observe(access(0x101, offset, time + offset))
+        trigger = access(0x100, 1, time + 100)
+        planaria.observe(trigger)
+        candidates = planaria.issue(trigger, was_hit=False)
+        assert candidates and all(c.source == "slp" for c in candidates)
+
+    def test_issued_candidates_counter(self):
+        planaria = PlanariaPrefetcher(DEFAULT_LAYOUT, 0)
+        time = teach_slp_pattern(planaria, page=9, offsets=[1, 4, 6, 9])
+        trigger = access(9, 4, time + 100)
+        planaria.observe(trigger)
+        planaria.issue(trigger, was_hit=False)
+        assert planaria.issued_candidates == planaria.slp_issues + planaria.tlp_issues
+
+
+class TestAblationModes:
+    def test_parallel_mode_unions_both(self):
+        config = PlanariaConfig(coordinator="parallel")
+        planaria = PlanariaPrefetcher(DEFAULT_LAYOUT, 0, config)
+        # SLP learns {1,4,6,9} for page 0x100; its RPT bitmap keeps the
+        # same bits.  The donor page shares those four and adds {10,12}.
+        time = teach_slp_pattern(planaria, page=0x100, offsets=[1, 4, 6, 9])
+        for offset in (1, 4, 6, 9, 10, 12):
+            planaria.observe(access(0x101, offset, time + offset))
+        trigger = access(0x100, 1, time + 100)
+        planaria.observe(trigger)
+        candidates = planaria.issue(trigger, was_hit=False)
+        sources = {c.source for c in candidates}
+        assert sources == {"slp", "tlp"}
+
+    def test_serial_mode_still_issues(self):
+        config = PlanariaConfig(coordinator="serial")
+        planaria = PlanariaPrefetcher(DEFAULT_LAYOUT, 0, config)
+        time = teach_slp_pattern(planaria, page=9, offsets=[1, 4, 6, 9])
+        trigger = access(9, 4, time + 100)
+        planaria.observe(trigger)
+        assert planaria.issue(trigger, was_hit=False)
+
+    def test_custom_sub_configs_propagate(self):
+        config = PlanariaConfig(slp=SLPConfig(filter_threshold=5))
+        planaria = PlanariaPrefetcher(DEFAULT_LAYOUT, 0, config)
+        assert planaria.slp.config.filter_threshold == 5
+
+
+class TestActivityAndStorage:
+    def test_activity_aggregates_subprefetchers(self):
+        planaria = PlanariaPrefetcher(DEFAULT_LAYOUT, 0)
+        planaria.observe(access(1, 1, 0))
+        merged = planaria.activity
+        assert merged.table_reads == (planaria.slp.activity.table_reads
+                                      + planaria.tlp.activity.table_reads)
+
+    def test_storage_is_sum_of_parts(self):
+        planaria = PlanariaPrefetcher(DEFAULT_LAYOUT, 0)
+        assert planaria.storage_bits() == (
+            planaria.slp.storage_bits() + planaria.tlp.storage_bits()
+        )
+
+
+class TestStorageBudget:
+    def test_total_close_to_paper(self):
+        budget = planaria_storage_budget()
+        # Paper: 345.2 KB total, 8.4% of the 4 MB SC.
+        assert budget.total_kib == pytest.approx(345.2, rel=0.03)
+        assert budget.fraction_of_cache() == pytest.approx(0.084, rel=0.03)
+
+    def test_per_channel_structure(self):
+        budget = planaria_storage_budget()
+        assert budget.num_channels == 4
+        assert budget.total_bits == budget.per_channel_bits * 4
+        assert set(budget.per_table_bits) == {
+            "SLP filter (FT)", "SLP accumulation (AT)",
+            "SLP pattern (PT)", "TLP recent-page (RPT)",
+        }
+
+    def test_format_table(self):
+        text = planaria_storage_budget().format_table()
+        assert "TOTAL" in text and "RPT" in text
+
+    def test_fraction_rejects_bad_cache(self):
+        with pytest.raises(ValueError):
+            planaria_storage_budget().fraction_of_cache(0)

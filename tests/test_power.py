@@ -1,0 +1,120 @@
+"""Power model: DRAM event energies, prefetcher SRAM energy, reports."""
+
+import pytest
+
+from repro.config import DRAMTiming, PowerConfig
+from repro.dram.stats import DRAMStats
+from repro.power import (
+    DRAMPowerModel,
+    MemorySystemPower,
+    PrefetcherPowerModel,
+)
+from repro.power.prefetcher_power import PrefetcherActivity
+
+
+def stats_with(**kwargs):
+    stats = DRAMStats()
+    for name, value in kwargs.items():
+        setattr(stats, name, value)
+    return stats
+
+
+class TestDRAMPower:
+    def setup_method(self):
+        self.model = DRAMPowerModel(PowerConfig(), DRAMTiming())
+
+    def test_idle_channel_only_background(self):
+        breakdown = self.model.estimate(stats_with(elapsed_cycles=10_000))
+        assert breakdown.activate_nj == 0.0
+        assert breakdown.read_nj == 0.0
+        assert breakdown.background_nj > 0.0
+        assert breakdown.total_nj == pytest.approx(breakdown.background_nj)
+
+    def test_energy_scales_with_events(self):
+        one = self.model.estimate(stats_with(activates=1, elapsed_cycles=1000))
+        ten = self.model.estimate(stats_with(activates=10, elapsed_cycles=1000))
+        assert ten.activate_nj == pytest.approx(10 * one.activate_nj)
+
+    def test_reads_and_prefetches_cost_the_same(self):
+        demand = self.model.estimate(stats_with(demand_reads=5, elapsed_cycles=100))
+        prefetch = self.model.estimate(stats_with(prefetch_reads=5, elapsed_cycles=100))
+        assert demand.read_nj == pytest.approx(prefetch.read_nj)
+
+    def test_average_power(self):
+        breakdown = self.model.estimate(stats_with(
+            demand_reads=100, activates=50, elapsed_cycles=100_000,
+            data_bus_cycles=800,
+        ))
+        assert breakdown.average_power_mw > 0
+        assert breakdown.elapsed_seconds == pytest.approx(100_000 / 1.6e9)
+
+    def test_zero_elapsed(self):
+        breakdown = self.model.estimate(stats_with())
+        assert breakdown.average_power_mw == 0.0
+
+    def test_refresh_energy(self):
+        breakdown = self.model.estimate(stats_with(refreshes=3, elapsed_cycles=10_000))
+        assert breakdown.refresh_nj > 0
+
+
+class TestPrefetcherPower:
+    def test_dynamic_energy(self):
+        model = PrefetcherPowerModel(PowerConfig())
+        quiet = model.energy_nj(PrefetcherActivity(), elapsed_cycles=1000)
+        busy = model.energy_nj(
+            PrefetcherActivity(table_reads=1000, table_writes=500),
+            elapsed_cycles=1000,
+        )
+        assert busy > quiet
+
+    def test_leakage_scales_with_storage(self):
+        model = PrefetcherPowerModel(PowerConfig())
+        small = model.energy_nj(PrefetcherActivity(storage_bits=8 * 1024),
+                                elapsed_cycles=1_000_000)
+        large = model.energy_nj(PrefetcherActivity(storage_bits=8 * 1024 * 100),
+                                elapsed_cycles=1_000_000)
+        assert large > small
+
+
+class TestMemorySystemPower:
+    def test_report_composition(self):
+        system = MemorySystemPower(PowerConfig(), DRAMTiming())
+        report = system.report(
+            stats_with(demand_reads=100, activates=40, elapsed_cycles=50_000),
+            PrefetcherActivity(table_reads=200, table_writes=100,
+                               storage_bits=1 << 20),
+        )
+        assert report.total_nj == pytest.approx(
+            report.dram.total_nj + report.prefetcher_nj
+        )
+        assert report.average_power_mw > 0
+
+    def test_overhead_vs_baseline(self):
+        system = MemorySystemPower(PowerConfig(), DRAMTiming())
+        baseline = system.report(
+            stats_with(demand_reads=100, elapsed_cycles=50_000),
+            PrefetcherActivity(),
+        )
+        heavier = system.report(
+            stats_with(demand_reads=100, prefetch_reads=50, activates=20,
+                       elapsed_cycles=50_000),
+            PrefetcherActivity(table_reads=1000, storage_bits=1 << 20),
+        )
+        assert heavier.overhead_vs(baseline) > 0
+        assert baseline.overhead_vs(heavier) < 0
+        assert baseline.overhead_vs(baseline) == pytest.approx(0.0)
+
+    def test_prefetching_can_reduce_power_via_row_hits(self):
+        # Same read volume; the prefetched run needs half the activates.
+        system = MemorySystemPower(PowerConfig(), DRAMTiming())
+        scattered = system.report(
+            stats_with(demand_reads=2000, activates=1800, elapsed_cycles=200_000),
+            PrefetcherActivity(),
+        )
+        bursty = system.report(
+            stats_with(demand_reads=1000, prefetch_reads=1040, activates=700,
+                       elapsed_cycles=200_000),
+            PrefetcherActivity(table_reads=2000, table_writes=1000,
+                               storage_bits=2_800_000),
+        )
+        assert bursty.overhead_vs(scattered) < 0  # the HI3/PM effect

@@ -1,0 +1,157 @@
+"""Cross-cutting property-based invariants (hypothesis)."""
+
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.cache import SetAssociativeCache
+from repro.config import CacheConfig, DRAMConfig
+from repro.dram import DRAMChannel, MemRequest, RequestKind
+from repro.geometry import DEFAULT_LAYOUT
+from repro.prefetch.base import DemandAccess
+from repro.prefetch.registry import make_prefetcher
+from repro.trace.record import DeviceID
+
+# A stream of (page, offset) pairs within a small page neighbourhood, so
+# TLP's distance threshold and SLP's tables all get exercised.
+streams = st.lists(
+    st.tuples(st.integers(min_value=0x100, max_value=0x180),
+              st.integers(min_value=0, max_value=15)),
+    min_size=1, max_size=150,
+)
+
+
+def build_access(page, offset, time, channel=0):
+    block_addr = (page << 6) | (channel << 4) | offset
+    return DemandAccess(
+        block_addr=block_addr, page=page, block_in_segment=offset,
+        channel_block=page * 16 + offset, time=time, is_read=True,
+        device=DeviceID.CPU,
+    )
+
+
+class TestPrefetcherInvariants:
+    @given(stream=streams, name=st.sampled_from(
+        ["slp", "tlp", "planaria", "sms"]))
+    @hsettings(max_examples=25, deadline=None)
+    def test_spatial_prefetchers_stay_on_page_and_channel(self, stream, name):
+        """SLP/TLP/SMS candidates always target the trigger's page, on the
+        prefetcher's own channel — the bitmap designs cannot reach
+        elsewhere."""
+        channel = 2
+        prefetcher = make_prefetcher(name, DEFAULT_LAYOUT, channel)
+        time = 0
+        for page, offset in stream:
+            time += 40
+            trigger = build_access(page, offset, time, channel)
+            prefetcher.observe(trigger)
+            for candidate in prefetcher.issue(trigger, was_hit=False):
+                byte_addr = candidate.block_addr << DEFAULT_LAYOUT.block_bits
+                assert DEFAULT_LAYOUT.page_number(byte_addr) == page
+                assert DEFAULT_LAYOUT.channel(byte_addr) == channel
+
+    @given(stream=streams)
+    @hsettings(max_examples=25, deadline=None)
+    def test_slp_never_prefetches_accessed_blocks(self, stream):
+        """Within one generation, SLP only proposes blocks the page has
+        not yet touched."""
+        prefetcher = make_prefetcher("slp", DEFAULT_LAYOUT, 0)
+        touched = {}
+        time = 0
+        for page, offset in stream:
+            time += 40  # well under the AT timeout: one generation
+            trigger = build_access(page, offset, time)
+            prefetcher.observe(trigger)
+            touched.setdefault(page, set()).add(offset)
+            for candidate in prefetcher.issue(trigger, was_hit=False):
+                assert (candidate.block_addr & 0xF) not in touched[page]
+
+    @given(stream=streams)
+    @hsettings(max_examples=25, deadline=None)
+    def test_planaria_sources_are_exclusive_per_trigger(self, stream):
+        """The decoupled coordinator lets exactly one sub-prefetcher issue
+        per trigger."""
+        prefetcher = make_prefetcher("planaria", DEFAULT_LAYOUT, 0)
+        time = 0
+        for page, offset in stream:
+            time += 40
+            trigger = build_access(page, offset, time)
+            prefetcher.observe(trigger)
+            sources = {c.source for c in prefetcher.issue(trigger, was_hit=False)}
+            assert len(sources) <= 1
+
+    @given(stream=streams)
+    @hsettings(max_examples=15, deadline=None)
+    def test_tlp_rpt_capacity_invariant(self, stream):
+        prefetcher = make_prefetcher("tlp", DEFAULT_LAYOUT, 0)
+        time = 0
+        for page, offset in stream:
+            time += 40
+            prefetcher.observe(build_access(page, offset, time))
+            assert prefetcher.rpt_occupancy() <= prefetcher.config.rpt_entries
+
+
+class TestCacheAgainstReferenceModel:
+    @given(st.lists(st.integers(min_value=0, max_value=31),
+                    min_size=1, max_size=120))
+    @hsettings(max_examples=40, deadline=None)
+    def test_lru_matches_reference(self, blocks):
+        """The set-associative LRU cache agrees with a per-set reference
+        model built from plain ordered lists."""
+        sets, ways = 4, 2
+        cache = SetAssociativeCache(CacheConfig(
+            size_bytes=sets * ways * 64, associativity=ways))
+        reference = {index: [] for index in range(sets)}  # MRU at the end
+        now = 0
+        for block in blocks:
+            now += 1
+            set_index = block % sets
+            resident = reference[set_index]
+            hit = cache.access(block, now).hit
+            assert hit == (block in resident)
+            if hit:
+                resident.remove(block)
+                resident.append(block)
+            else:
+                cache.fill(block, now, ready_time=now)
+                if len(resident) == ways:
+                    resident.pop(0)
+                resident.append(block)
+        for set_index, resident in reference.items():
+            for block in resident:
+                assert cache.contains(block)
+
+
+class TestDRAMInvariants:
+    request_lists = st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2047),
+                  st.integers(min_value=1, max_value=200),
+                  st.sampled_from(list(RequestKind))),
+        min_size=1, max_size=60,
+    )
+
+    @given(requests=request_lists)
+    @hsettings(max_examples=30, deadline=None)
+    def test_completion_after_arrival(self, requests):
+        channel = DRAMChannel(DRAMConfig())
+        timing = channel.timing
+        time = 0
+        for block, gap, kind in requests:
+            time += gap
+            completion = channel.service(MemRequest(block, time, kind,
+                                                    source="x"))
+            assert completion > time
+            # Nothing completes faster than CAS latency + burst.
+            floor = min(timing.tCL, timing.tCWL) + timing.burst_cycles
+            assert completion - time >= floor
+
+    @given(requests=request_lists)
+    @hsettings(max_examples=20, deadline=None)
+    def test_stats_account_every_request(self, requests):
+        channel = DRAMChannel(DRAMConfig())
+        time = 0
+        for block, gap, kind in requests:
+            time += gap
+            channel.service(MemRequest(block, time, kind, source="x"))
+        stats = channel.stats
+        assert stats.total_requests == len(requests)
+        outcomes = stats.row_hits + stats.row_misses + stats.row_conflicts
+        assert outcomes == len(requests)

@@ -1,0 +1,147 @@
+"""Replacement policies: LRU, FIFO, Random, SRRIP, DRRIP."""
+
+import pytest
+
+from repro.cache import SetAssociativeCache, make_policy, REPLACEMENT_POLICIES
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.drrip import DRRIPPolicy
+from repro.cache.replacement.srrip import SRRIPPolicy
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+
+
+def cache_with(policy, sets=1, ways=4):
+    return SetAssociativeCache(CacheConfig(
+        size_bytes=sets * ways * 64, associativity=ways,
+        replacement_policy=policy,
+    ))
+
+
+class TestFactory:
+    def test_all_policies_constructible(self):
+        for name in REPLACEMENT_POLICIES:
+            policy = make_policy(name, associativity=4, num_sets=8)
+            assert policy.associativity == 4
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError, match="unknown replacement policy"):
+            make_policy("belady", 4, 8)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            make_policy("lru", 0, 8)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = cache_with("lru")
+        for block in range(4):
+            cache.fill(block * 1, now=block, ready_time=block)
+        cache.access(0, now=10)  # refresh block 0
+        eviction = cache.fill(100, now=11, ready_time=11)
+        assert eviction.tag == 1
+
+    def test_prefers_invalid_ways(self):
+        cache = cache_with("lru")
+        cache.fill(0, now=0, ready_time=0)
+        assert cache.fill(1, now=1, ready_time=1) is None
+
+
+class TestFIFO:
+    def test_ignores_hits(self):
+        cache = cache_with("fifo")
+        for block in range(4):
+            cache.fill(block, now=block, ready_time=block)
+        cache.access(0, now=10)  # does NOT protect block 0 under FIFO
+        eviction = cache.fill(100, now=11, ready_time=11)
+        assert eviction.tag == 0
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        def run():
+            cache = cache_with("random")
+            evictions = []
+            for block in range(20):
+                eviction = cache.fill(block, now=block, ready_time=block)
+                if eviction:
+                    evictions.append(eviction.tag)
+            return evictions
+
+        assert run() == run()
+
+    def test_evicts_valid_block(self):
+        cache = cache_with("random")
+        for block in range(4):
+            cache.fill(block, now=block, ready_time=block)
+        eviction = cache.fill(50, now=50, ready_time=50)
+        assert eviction is not None and 0 <= eviction.tag < 4
+
+
+class TestSRRIP:
+    def test_prefetch_inserted_as_preferred_victim(self):
+        cache = cache_with("srrip", ways=2)
+        cache.fill(0, now=0, ready_time=0, prefetched=True, source="x")
+        cache.fill(1, now=1, ready_time=1)
+        eviction = cache.fill(2, now=2, ready_time=2)
+        assert eviction.tag == 0  # untouched prefetch leaves first
+
+    def test_hit_promotes(self):
+        policy = SRRIPPolicy(2, 1)
+        ways = [CacheBlock(), CacheBlock()]
+        ways[0].tag, ways[1].tag = 10, 11
+        policy.on_fill(0, ways, 0, prefetched=False)
+        policy.on_fill(0, ways, 1, prefetched=False)
+        policy.on_hit(0, ways, 0)
+        assert ways[0].rrpv == 0
+        # Victim search ages everyone until an rrpv hits max; way 1 wins.
+        assert policy.victim(0, ways) == 1
+
+    def test_aging_terminates(self):
+        policy = SRRIPPolicy(4, 1)
+        ways = [CacheBlock() for _ in range(4)]
+        for index, block in enumerate(ways):
+            block.tag = index
+            policy.on_fill(0, ways, index, prefetched=False)
+            policy.on_hit(0, ways, index)
+        assert policy.victim(0, ways) in range(4)
+
+
+class TestDRRIP:
+    def test_leader_sets_disjoint(self):
+        policy = DRRIPPolicy(16, 1024)
+        assert not (policy._srrip_leaders & policy._brrip_leaders)
+        assert policy._srrip_leaders and policy._brrip_leaders
+
+    def test_psel_moves_on_leader_misses(self):
+        policy = DRRIPPolicy(16, 1024)
+        start = policy._psel
+        leader = next(iter(policy._srrip_leaders))
+        policy.record_miss(leader)
+        assert policy._psel == start + 1
+        brrip_leader = next(iter(policy._brrip_leaders))
+        policy.record_miss(brrip_leader)
+        policy.record_miss(brrip_leader)
+        assert policy._psel == start - 1
+
+    def test_follower_uses_winning_policy(self):
+        policy = DRRIPPolicy(16, 1024)
+        follower = next(
+            index for index in range(1024)
+            if index not in policy._srrip_leaders
+            and index not in policy._brrip_leaders
+        )
+        # Hammer the SRRIP leaders with misses -> PSEL rises -> BRRIP wins.
+        leader = next(iter(policy._srrip_leaders))
+        for _ in range(600):
+            policy.record_miss(leader)
+        assert not policy._use_srrip(follower)
+
+    def test_runs_in_cache(self):
+        cache = cache_with("drrip", sets=64, ways=4)
+        now = 0
+        for block in range(512):
+            now += 1
+            if not cache.contains(block):
+                cache.fill(block, now=now, ready_time=now)
+        assert cache.occupancy() <= 256

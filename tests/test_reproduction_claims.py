@@ -1,0 +1,116 @@
+"""End-to-end guards on the paper's qualitative claims.
+
+One moderately sized multi-app simulation (module-scoped) backs several
+assertions about *who wins and why* — the properties that must survive any
+future refactoring of the simulator or generator.  Absolute magnitudes are
+checked loosely; EXPERIMENTS.md records the precise paper-vs-measured
+numbers from the full-size benchmark runs.
+"""
+
+import pytest
+
+from repro.sim.metrics import ipc_speedup
+from repro.sim.runner import compare_prefetchers
+from repro.trace.generator import get_profile
+
+LENGTH = 40_000
+APPS = ("CFM", "Fort", "NBA2")
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return {
+        app: compare_prefetchers(
+            app, ("none", "bop", "spp", "slp", "tlp", "planaria"),
+            length=LENGTH, seed=21,
+        )
+        for app in APPS
+    }
+
+
+class TestPlanariaWins:
+    def test_best_amat_everywhere(self, grid):
+        for app, results in grid.items():
+            best_baseline = min(results[name].amat
+                                for name in ("none", "bop", "spp"))
+            assert results["planaria"].amat < best_baseline, app
+
+    def test_best_hit_rate_everywhere(self, grid):
+        for app, results in grid.items():
+            assert results["planaria"].hit_rate == max(
+                metrics.hit_rate for metrics in results.values()), app
+
+    def test_ipc_gain_positive(self, grid):
+        for app, results in grid.items():
+            intensity = get_profile(app).memory_intensity
+            speedup = ipc_speedup(results["planaria"].amat,
+                                  results["none"].amat, intensity)
+            assert speedup > 1.05, app
+
+    def test_composite_beats_both_parts(self, grid):
+        # Coordination pays: Planaria's coverage exceeds either
+        # sub-prefetcher running alone.
+        for app, results in grid.items():
+            assert results["planaria"].coverage >= max(
+                results["slp"].coverage, results["tlp"].coverage) - 0.02, app
+
+
+class TestAccuracyAndTraffic:
+    def test_planaria_most_accurate(self, grid):
+        for app, results in grid.items():
+            for baseline in ("bop", "spp"):
+                assert results["planaria"].accuracy > results[baseline].accuracy, (
+                    app, baseline)
+
+    def test_planaria_lowest_traffic_overhead(self, grid):
+        for app, results in grid.items():
+            base = results["none"]
+            planaria_traffic = results["planaria"].traffic_overhead_vs(base)
+            assert planaria_traffic < results["bop"].traffic_overhead_vs(base), app
+            assert planaria_traffic < results["spp"].traffic_overhead_vs(base), app
+
+    def test_bop_traffic_exceeds_spp(self, grid):
+        # Abstract: BOP +23.4% vs SPP +15.9%.
+        for app, results in grid.items():
+            base = results["none"]
+            assert (results["bop"].traffic_overhead_vs(base)
+                    > results["spp"].traffic_overhead_vs(base)), app
+
+
+class TestPowerOrdering:
+    def test_planaria_cheapest_power(self, grid):
+        for app, results in grid.items():
+            base = results["none"]
+            planaria_power = results["planaria"].power_overhead_vs(base)
+            assert planaria_power < results["bop"].power_overhead_vs(base), app
+            assert planaria_power < results["spp"].power_overhead_vs(base), app
+
+    def test_planaria_power_small(self, grid):
+        # Paper: +0.5% average, per-app -3.3%..+2.8%; allow a loose band.
+        for app, results in grid.items():
+            overhead = results["planaria"].power_overhead_vs(results["none"])
+            assert -0.05 < overhead < 0.08, app
+
+
+class TestBreakdownShape:
+    def test_slp_dominates_on_slp_apps(self, grid):
+        useful = grid["CFM"]["planaria"].prefetch_useful_by_source
+        assert useful.get("slp", 0) > useful.get("tlp", 0)
+
+    def test_tlp_dominates_on_fort(self, grid):
+        # Fort's pages rarely recur: SLP starves, TLP transfers (Figure 9).
+        useful = grid["Fort"]["planaria"].prefetch_useful_by_source
+        assert useful.get("tlp", 0) > useful.get("slp", 0)
+
+    def test_slp_alone_weak_on_fort(self, grid):
+        results = grid["Fort"]
+        assert results["tlp"].coverage > results["slp"].coverage
+
+
+class TestBOPAnomaly:
+    def test_nba2_hit_rate_up_amat_not_better(self, grid):
+        # Section 6: on Fort/NBA2/PM, BOP raises the hit rate yet does not
+        # improve AMAT (superfluous prefetch traffic).
+        results = grid["NBA2"]
+        assert results["bop"].hit_rate > results["none"].hit_rate
+        assert results["bop"].amat_reduction_vs(results["none"]) < 0.05

@@ -1,0 +1,81 @@
+"""High-level runner and cross-module integration checks."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.sim.runner import RunResult, compare_prefetchers, run_workload, simulate
+from repro.trace.generator import generate_trace, get_profile
+
+LENGTH = 20_000
+
+
+@pytest.fixture(scope="module")
+def cfm_comparison():
+    return compare_prefetchers("CFM", ("none", "nextline", "planaria"),
+                               length=LENGTH, seed=13)
+
+
+class TestRunWorkload:
+    def test_by_abbreviation(self):
+        metrics = run_workload("CFM", "none", length=5_000, seed=1)
+        assert metrics.workload == "CFM"
+        assert metrics.prefetcher == "none"
+        assert metrics.demand_accesses > 0
+        assert metrics.amat > 0
+
+    def test_by_profile_object(self):
+        metrics = run_workload(get_profile("HoK"), "none", length=5_000, seed=1)
+        assert metrics.workload == "HoK"
+
+    def test_simulate_custom_records(self):
+        records = generate_trace(get_profile("KO"), 5_000, seed=2)
+        result = simulate(records, "none", workload_name="custom")
+        assert isinstance(result, RunResult)
+        assert result.metrics.workload == "custom"
+        assert len(result.simulator.channels) == 4
+
+    def test_deterministic(self):
+        first = run_workload("CFM", "none", length=5_000, seed=3)
+        second = run_workload("CFM", "none", length=5_000, seed=3)
+        assert first.amat == second.amat
+        assert first.dram_traffic == second.dram_traffic
+
+
+class TestComparison:
+    def test_same_trace_across_prefetchers(self, cfm_comparison):
+        accesses = {m.demand_accesses for m in cfm_comparison.values()}
+        assert len(accesses) == 1  # identical demand stream
+
+    def test_none_issues_nothing(self, cfm_comparison):
+        base = cfm_comparison["none"]
+        assert base.prefetch_issued == 0
+        assert base.prefetch_fills == 0
+        assert base.accuracy == 0.0
+
+    def test_planaria_improves_over_none(self, cfm_comparison):
+        base = cfm_comparison["none"]
+        planaria = cfm_comparison["planaria"]
+        assert planaria.hit_rate > base.hit_rate
+        assert planaria.amat < base.amat
+        assert planaria.prefetch_useful > 0
+
+    def test_planaria_attribution_present(self, cfm_comparison):
+        useful = cfm_comparison["planaria"].prefetch_useful_by_source
+        assert useful.get("slp", 0) > 0
+        assert set(useful) <= {"slp", "tlp"}
+
+    def test_planaria_storage_in_budget(self, cfm_comparison):
+        planaria = cfm_comparison["planaria"]
+        # ~345 KB across 4 channels (bit-level accounting).
+        assert planaria.storage_bits == pytest.approx(345.2 * 8192, rel=0.03)
+
+    def test_traffic_and_power_consistent(self, cfm_comparison):
+        base = cfm_comparison["none"]
+        planaria = cfm_comparison["planaria"]
+        assert planaria.dram_traffic >= base.demand_misses
+        assert planaria.energy_nj > 0
+
+    def test_paper_scale_config_accepted(self):
+        results = compare_prefetchers("CFM", ("none",), length=3_000, seed=1,
+                                      config=SimConfig.paper_scale())
+        assert results["none"].demand_accesses > 0

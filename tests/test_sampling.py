@@ -1,0 +1,99 @@
+"""Trace sampling utilities."""
+
+import pytest
+
+from repro.geometry import DEFAULT_LAYOUT
+from repro.trace.generator import generate_trace, get_profile
+from repro.trace.sampling import (
+    downsample_preserving_pages,
+    interval_samples,
+    time_slice,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return generate_trace(get_profile("CFM"), 10_000, seed=2)
+
+
+class TestIntervalSamples:
+    def test_systematic_selection(self, records):
+        samples = interval_samples(records, interval_length=1_000,
+                                   keep_every=5, warmup_length=500)
+        assert len(samples) == 2  # 10k records / (1k * 5)
+        assert all(len(sample.measured) == 1_000 for sample in samples)
+
+    def test_first_interval_has_no_warmup(self, records):
+        samples = interval_samples(records, interval_length=1_000,
+                                   keep_every=5, warmup_length=500)
+        assert samples[0].warmup_count == 0
+        assert samples[1].warmup_count == 500
+
+    def test_warmup_immediately_precedes_measured(self, records):
+        samples = interval_samples(records, interval_length=1_000,
+                                   keep_every=5, warmup_length=500)
+        sample = samples[1]
+        boundary = records.index(sample.measured[0])
+        assert sample.warmup == records[boundary - 500:boundary]
+        assert sample.records == sample.warmup + sample.measured
+
+    def test_short_tail_kept(self, records):
+        samples = interval_samples(records[:1_500], interval_length=1_000,
+                                   keep_every=1, warmup_length=0)
+        assert [len(sample.measured) for sample in samples] == [1_000, 500]
+
+    def test_validation(self, records):
+        with pytest.raises(ValueError):
+            interval_samples(records, interval_length=0)
+        with pytest.raises(ValueError):
+            interval_samples(records, keep_every=0)
+        with pytest.raises(ValueError):
+            interval_samples(records, warmup_length=-1)
+
+
+class TestTimeSlice:
+    def test_slices_window(self, records):
+        start = records[100].arrival_time
+        sliced = time_slice(records, start, duration=5_000)
+        assert sliced
+        assert all(start <= record.arrival_time < start + 5_000
+                   for record in sliced)
+
+    def test_empty_window(self, records):
+        assert time_slice(records, 0, 0) == []
+        with pytest.raises(ValueError):
+            time_slice(records, 0, -1)
+
+
+class TestPagePreservingDownsample:
+    def test_keeps_whole_pages(self, records):
+        kept = downsample_preserving_pages(records, 0.3, seed=1)
+        kept_pages = {DEFAULT_LAYOUT.page_number(r.address) for r in kept}
+        all_pages = {DEFAULT_LAYOUT.page_number(r.address) for r in records}
+        assert 0 < len(kept_pages) < len(all_pages)
+        # Every surviving page keeps ALL of its accesses.
+        for page in kept_pages:
+            original = [r for r in records
+                        if DEFAULT_LAYOUT.page_number(r.address) == page]
+            surviving = [r for r in kept
+                         if DEFAULT_LAYOUT.page_number(r.address) == page]
+            assert original == surviving
+
+    def test_fraction_one_is_identity(self, records):
+        assert downsample_preserving_pages(records, 1.0) == list(records)
+
+    def test_deterministic(self, records):
+        first = downsample_preserving_pages(records, 0.2, seed=5)
+        second = downsample_preserving_pages(records, 0.2, seed=5)
+        assert first == second
+
+    def test_validation(self, records):
+        with pytest.raises(ValueError):
+            downsample_preserving_pages(records, 0.0)
+        with pytest.raises(ValueError):
+            downsample_preserving_pages(records, 1.5)
+
+    def test_preserves_order(self, records):
+        kept = downsample_preserving_pages(records, 0.4, seed=3)
+        times = [record.arrival_time for record in kept]
+        assert times == sorted(times)

@@ -1,0 +1,171 @@
+"""SLP: the FT → AT → PT pipeline and PN-indexed issuing (paper §3.2)."""
+
+import pytest
+
+from repro.config import SLPConfig
+from repro.core.slp import SLPPrefetcher
+from repro.geometry import DEFAULT_LAYOUT
+from repro.prefetch.base import DemandAccess
+from repro.trace.record import DeviceID
+from repro.utils.bitops import bitmap_from_offsets
+
+
+def access(page, offset, time, channel=0):
+    block_addr = (page << 6) | (channel << 4) | offset
+    return DemandAccess(
+        block_addr=block_addr, page=page, block_in_segment=offset,
+        channel_block=page * 16 + offset, time=time, is_read=True,
+        device=DeviceID.CPU,
+    )
+
+
+def teach_pattern(slp, page, offsets, start_time=0, step=10):
+    """Run one full generation for a page and expire it into the PT."""
+    time = start_time
+    for offset in offsets:
+        slp.observe(access(page, offset, time))
+        time += step
+    # A far-future access to another page triggers the AT timeout sweep.
+    slp.observe(access(page + 10_000, 0, time + slp.config.at_timeout + 1))
+    return time + slp.config.at_timeout + 1
+
+
+class TestLearningPipeline:
+    def test_filter_threshold_gates_at(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        slp.observe(access(7, 1, 0))
+        slp.observe(access(7, 2, 10))
+        assert slp.table_sizes()["accumulation"] == 0  # only 2 offsets
+        slp.observe(access(7, 3, 20))
+        assert slp.table_sizes()["accumulation"] == 1  # third promotes
+        assert slp.ft_promotions == 1
+
+    def test_repeated_offset_does_not_promote(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        for time in range(5):
+            slp.observe(access(7, 1, time * 10))
+        assert slp.table_sizes()["accumulation"] == 0
+
+    def test_timeout_moves_snapshot_to_pt(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        teach_pattern(slp, page=9, offsets=[1, 4, 6, 9])
+        assert slp.has_pattern(9)
+        assert slp.pattern_of(9) == bitmap_from_offsets([1, 4, 6, 9])
+        assert slp.snapshots_learned == 1
+
+    def test_no_pattern_before_timeout(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        for index, offset in enumerate((1, 4, 6, 9)):
+            slp.observe(access(9, offset, index * 10))
+        assert not slp.has_pattern(9)
+
+    def test_sparse_page_filtered_out(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        slp.observe(access(3, 5, 0))
+        slp.observe(access(3, 8, 10))
+        # Time out: page 3 never reached AT, so nothing is learned.
+        slp.observe(access(99, 0, slp.config.at_timeout * 2))
+        assert not slp.has_pattern(3)
+
+    def test_ft_capacity_eviction(self):
+        config = SLPConfig(filter_table_entries=2)
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0, config)
+        slp.observe(access(1, 0, 0))
+        slp.observe(access(2, 0, 1))
+        slp.observe(access(3, 0, 2))  # evicts page 1 silently
+        assert slp.table_sizes()["filter"] == 2
+
+    def test_at_capacity_eviction_learns(self):
+        config = SLPConfig(accumulation_table_entries=1, at_timeout=10 ** 9)
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0, config)
+        for offset in (1, 2, 3):
+            slp.observe(access(1, offset, offset))
+        for offset in (4, 5, 6):
+            slp.observe(access(2, offset, 100 + offset))
+        # Page 1 was forced out of the single-entry AT -> learned.
+        assert slp.has_pattern(1)
+
+    def test_pt_capacity_lru(self):
+        config = SLPConfig(pattern_table_entries=2, at_timeout=50)
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0, config)
+        time = 0
+        for page in (1, 2, 3):
+            for offset in (1, 2, 3):
+                slp.observe(access(page, offset, time))
+                time += 5
+            time += 200  # expire into PT
+        slp.observe(access(50, 0, time + 200))
+        assert not slp.has_pattern(1)  # oldest pattern evicted
+        assert slp.has_pattern(2) and slp.has_pattern(3)
+
+
+class TestIssuing:
+    def test_prefetches_remaining_pattern_on_miss(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        time = teach_pattern(slp, page=9, offsets=[1, 4, 6, 9])
+        trigger = access(9, 4, time + 100)
+        slp.observe(trigger)
+        candidates = slp.issue(trigger, was_hit=False)
+        offsets = sorted(c.block_addr & 0xF for c in candidates)
+        assert offsets == [1, 6, 9]  # everything but the trigger
+
+    def test_prefetch_addresses_on_same_page_and_channel(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, channel=2)
+        time = teach_pattern(slp, page=9, offsets=[2, 5])
+        # Need >= filter_threshold offsets to learn; use 3.
+        slp2 = SLPPrefetcher(DEFAULT_LAYOUT, channel=2)
+        time = teach_pattern(slp2, page=9, offsets=[2, 5, 7])
+        trigger = access(9, 2, time + 100, channel=2)
+        slp2.observe(trigger)
+        candidates = slp2.issue(trigger, was_hit=False)
+        for candidate in candidates:
+            byte_addr = candidate.block_addr << 6
+            assert DEFAULT_LAYOUT.page_number(byte_addr) == 9
+            assert DEFAULT_LAYOUT.channel(byte_addr) == 2
+            assert candidate.source == "slp"
+
+    def test_no_issue_on_hit(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        time = teach_pattern(slp, page=9, offsets=[1, 4, 6])
+        trigger = access(9, 4, time + 100)
+        slp.observe(trigger)
+        assert slp.issue(trigger, was_hit=True) == []
+
+    def test_no_issue_without_pattern(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        trigger = access(77, 3, 0)
+        slp.observe(trigger)
+        assert slp.issue(trigger, was_hit=False) == []
+
+    def test_already_accessed_blocks_not_reissued(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        time = teach_pattern(slp, page=9, offsets=[1, 4, 6, 9])
+        # New generation: touch 1 and 4, then miss on 6.
+        slp.observe(access(9, 1, time + 100))
+        slp.observe(access(9, 4, time + 110))
+        trigger = access(9, 6, time + 120)
+        slp.observe(trigger)
+        candidates = slp.issue(trigger, was_hit=False)
+        assert [c.block_addr & 0xF for c in candidates] == [9]
+
+    def test_pattern_updates_on_relearn(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        time = teach_pattern(slp, page=9, offsets=[1, 4, 6])
+        teach_pattern(slp, page=9, offsets=[2, 3, 5], start_time=time + 1000)
+        assert slp.pattern_of(9) == bitmap_from_offsets([2, 3, 5])
+
+
+class TestAccounting:
+    def test_storage_bits_positive_and_pt_dominated(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        total = slp.storage_bits()
+        config = slp.config
+        pt_bits = config.pattern_table_entries * (24 + 16)
+        assert total > pt_bits
+        assert pt_bits / total > 0.8  # PT dominates the budget
+
+    def test_activity_counted(self):
+        slp = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        slp.observe(access(1, 2, 0))
+        assert slp.activity.table_reads >= 1
+        assert slp.activity.table_writes >= 1

@@ -1,0 +1,57 @@
+"""Parameter-sweep helpers."""
+
+import pytest
+
+from repro.config import PlanariaConfig
+from repro.sim.sweep import (
+    coordinator_variants,
+    simulate_factory,
+    slp_timeout_variants,
+    sweep_planaria,
+    tlp_distance_variants,
+)
+from repro.trace.generator import generate_trace, get_profile
+
+
+class TestVariantBuilders:
+    def test_tlp_distance(self):
+        variants = tlp_distance_variants((4, 64))
+        assert set(variants) == {"distance=4", "distance=64"}
+        assert variants["distance=4"].tlp.distance_threshold == 4
+
+    def test_slp_timeout(self):
+        variants = slp_timeout_variants((1000,))
+        assert variants["timeout=1000"].slp.at_timeout == 1000
+
+    def test_coordinators(self):
+        variants = coordinator_variants()
+        assert set(variants) == {"decoupled", "serial", "parallel"}
+        assert all(isinstance(v, PlanariaConfig) for v in variants.values())
+
+
+class TestSweep:
+    def test_sweep_includes_baseline_and_variants(self):
+        results = sweep_planaria("CFM", coordinator_variants(),
+                                 length=5_000, seed=3)
+        assert set(results) == {"none", "decoupled", "serial", "parallel"}
+        assert results["none"].prefetch_fills == 0
+        for label in ("decoupled", "serial", "parallel"):
+            assert results[label].prefetcher == label
+
+    def test_same_trace_across_variants(self):
+        results = sweep_planaria("CFM", tlp_distance_variants((4,)),
+                                 length=5_000, seed=3)
+        accesses = {m.demand_accesses for m in results.values()}
+        assert len(accesses) == 1
+
+    def test_simulate_factory_custom(self):
+        from repro.prefetch.simple import NextLinePrefetcher
+
+        records = generate_trace(get_profile("KO"), 4_000, seed=1)
+        metrics = simulate_factory(
+            records,
+            lambda layout, channel: NextLinePrefetcher(layout, channel),
+            "my-nextline", workload_name="KO",
+        )
+        assert metrics.prefetcher == "my-nextline"
+        assert metrics.prefetch_fills > 0

@@ -1,0 +1,121 @@
+"""Accuracy-feedback throttling wrapper."""
+
+import pytest
+
+from repro.geometry import DEFAULT_LAYOUT
+from repro.prefetch import NextLinePrefetcher, make_prefetcher
+from repro.prefetch.base import DemandAccess
+from repro.prefetch.throttle import AccuracyThrottle
+from repro.trace.record import DeviceID
+
+
+def access(page, offset, time):
+    return DemandAccess(
+        block_addr=(page << 6) | offset, page=page, block_in_segment=offset,
+        channel_block=page * 16 + offset, time=time, is_read=True,
+        device=DeviceID.CPU,
+    )
+
+
+def make_throttle(**kwargs):
+    inner = NextLinePrefetcher(DEFAULT_LAYOUT, 0)
+    defaults = dict(window=16, low_watermark=0.4, high_watermark=0.6,
+                    min_samples=4)
+    defaults.update(kwargs)
+    return AccuracyThrottle(inner, **defaults)
+
+
+class TestConstruction:
+    def test_name_composes(self):
+        assert make_throttle().name == "nextline+throttle"
+
+    def test_bad_watermarks(self):
+        with pytest.raises(ValueError):
+            make_throttle(low_watermark=0.7, high_watermark=0.5)
+        with pytest.raises(ValueError):
+            make_throttle(low_watermark=-0.1)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            make_throttle(window=0)
+        with pytest.raises(ValueError):
+            make_throttle(min_samples=0)
+
+    def test_registry_variants(self):
+        for name in ("bop-throttled", "planaria-throttled"):
+            prefetcher = make_prefetcher(name, DEFAULT_LAYOUT, 0)
+            assert isinstance(prefetcher, AccuracyThrottle)
+
+
+class TestGating:
+    def test_passes_through_before_min_samples(self):
+        throttle = make_throttle()
+        assert throttle.usefulness is None
+        assert throttle.issue(access(1, 1, 0), was_hit=False)
+
+    def test_suspends_on_low_usefulness(self):
+        throttle = make_throttle()
+        for _ in range(8):
+            throttle.notify_unused()
+        assert throttle.suspended
+        assert throttle.issue(access(1, 1, 0), was_hit=False) == []
+        assert throttle.dropped_while_suspended > 0
+        assert throttle.suspensions == 1
+
+    def test_recovers_on_high_usefulness(self):
+        throttle = make_throttle()
+        for _ in range(8):
+            throttle.notify_unused()
+        assert throttle.suspended
+        for _ in range(16):
+            throttle.notify_useful()
+        assert not throttle.suspended
+        assert throttle.issue(access(1, 1, 0), was_hit=False)
+
+    def test_hysteresis_between_watermarks(self):
+        throttle = make_throttle(window=10, low_watermark=0.3,
+                                 high_watermark=0.7, min_samples=10)
+        # Land the estimate at 0.5: above low, below high.
+        for index in range(10):
+            (throttle.notify_useful if index % 2 else throttle.notify_unused)()
+        assert not throttle.suspended  # never dipped below low
+
+    def test_learning_never_suspended(self):
+        from repro.core.slp import SLPPrefetcher
+
+        inner = SLPPrefetcher(DEFAULT_LAYOUT, 0)
+        throttle = AccuracyThrottle(inner, min_samples=2, window=8)
+        throttle.notify_unused()
+        throttle.notify_unused()
+        assert throttle.suspended
+        throttle.observe(access(5, 1, 0))
+        assert inner.table_sizes()["filter"] == 1  # still learning
+
+    def test_storage_and_activity_delegate(self):
+        throttle = make_throttle()
+        assert throttle.storage_bits() >= throttle.inner.storage_bits()
+        assert throttle.activity is throttle.inner.activity
+
+
+class TestEndToEnd:
+    def test_throttling_cuts_wasteful_traffic(self):
+        from repro.sim.runner import compare_prefetchers
+
+        results = compare_prefetchers(
+            "NBA2", ("none", "bop", "bop-throttled"), length=20_000, seed=7)
+        base = results["none"]
+        raw = results["bop"].traffic_overhead_vs(base)
+        throttled = results["bop-throttled"].traffic_overhead_vs(base)
+        assert throttled < raw * 0.6  # most junk traffic suppressed
+
+    def test_throttling_keeps_planaria_gains(self):
+        from repro.sim.runner import compare_prefetchers
+
+        results = compare_prefetchers(
+            "CFM", ("none", "planaria", "planaria-throttled"),
+            length=20_000, seed=7)
+        base = results["none"]
+        accurate = results["planaria"].amat_reduction_vs(base)
+        throttled = results["planaria-throttled"].amat_reduction_vs(base)
+        # An accurate prefetcher should rarely be suspended.
+        assert throttled > accurate * 0.7

@@ -1,0 +1,202 @@
+"""Trace records, file I/O, filters and statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.geometry import DEFAULT_LAYOUT
+from repro.trace import (
+    AccessType,
+    DeviceID,
+    TraceRecord,
+    compute_trace_stats,
+    read_trace,
+    read_trace_binary,
+    write_trace,
+    write_trace_binary,
+)
+from repro.trace.filters import (
+    filter_by_channel,
+    filter_by_device,
+    filter_by_page,
+    filter_by_time_window,
+    filter_by_type,
+    hottest_pages,
+    take,
+)
+
+
+def make_records():
+    return [
+        TraceRecord(0x1000, AccessType.READ, DeviceID.CPU, 10),
+        TraceRecord(0x1040, AccessType.WRITE, DeviceID.GPU, 20),
+        TraceRecord(0x2000, AccessType.READ, DeviceID.DSP, 30),
+        TraceRecord(0x2400, AccessType.READ, DeviceID.CPU, 40),
+    ]
+
+
+class TestRecord:
+    def test_defaults(self):
+        record = TraceRecord(0x1000)
+        assert record.is_read and not record.is_write
+        assert record.device == DeviceID.CPU
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(-1)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(0, arrival_time=-5)
+
+    def test_csv_roundtrip(self):
+        record = TraceRecord(0xDEADBEEF, AccessType.WRITE, DeviceID.ISP, 999)
+        assert TraceRecord.from_csv_row(record.to_csv_row()) == record
+
+    def test_csv_parse_variants(self):
+        record = TraceRecord.from_csv_row("0x100,R,GPU,5")
+        assert record.access_type == AccessType.READ
+        assert record.device == DeviceID.GPU
+        record = TraceRecord.from_csv_row("256,WRITE,1,5")
+        assert record.address == 256
+        assert record.access_type == AccessType.WRITE
+
+    def test_csv_parse_errors(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord.from_csv_row("0x100,R,GPU")
+        with pytest.raises(TraceFormatError):
+            TraceRecord.from_csv_row("xyz,R,GPU,5")
+        with pytest.raises(TraceFormatError):
+            TraceRecord.from_csv_row("0x100,Q,GPU,5")
+        with pytest.raises(TraceFormatError):
+            TraceRecord.from_csv_row("0x100,R,XPU,5")
+        with pytest.raises(TraceFormatError):
+            TraceRecord.from_csv_row("0x100,R,GPU,soon")
+
+
+class TestIO:
+    def test_csv_roundtrip(self, tmp_path):
+        records = make_records()
+        path = tmp_path / "trace.csv"
+        assert write_trace(path, records) == len(records)
+        assert list(read_trace(path)) == records
+
+    def test_csv_skips_comments(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("# comment\n\n0x1000,R,CPU,1\n")
+        assert len(list(read_trace(path))) == 1
+
+    def test_csv_error_carries_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0x1000,R,CPU,1\ngarbage line\n")
+        with pytest.raises(TraceFormatError, match="bad.csv:2"):
+            list(read_trace(path))
+
+    def test_binary_roundtrip(self, tmp_path):
+        records = make_records()
+        path = tmp_path / "trace.bin"
+        assert write_trace_binary(path, records) == len(records)
+        assert read_trace_binary(path) == records
+
+    def test_binary_detects_truncation(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_trace_binary(path, make_records())
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with pytest.raises(TraceFormatError, match="expected"):
+            read_trace_binary(path)
+
+    def test_binary_detects_bad_magic(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 8)
+        with pytest.raises(TraceFormatError, match="magic"):
+            read_trace_binary(path)
+
+    @given(st.lists(
+        st.builds(
+            TraceRecord,
+            address=st.integers(min_value=0, max_value=(1 << 48) - 1),
+            access_type=st.sampled_from(AccessType),
+            device=st.sampled_from(DeviceID),
+            arrival_time=st.integers(min_value=0, max_value=(1 << 40) - 1),
+        ),
+        max_size=32,
+    ))
+    def test_binary_roundtrip_property(self, records):
+        import os
+        import tempfile
+
+        handle, path = tempfile.mkstemp(suffix=".bin")
+        os.close(handle)
+        try:
+            write_trace_binary(path, records)
+            assert read_trace_binary(path) == records
+        finally:
+            os.unlink(path)
+
+
+class TestFilters:
+    def test_by_device(self):
+        cpu = list(filter_by_device(make_records(), DeviceID.CPU))
+        assert len(cpu) == 2
+
+    def test_by_type(self):
+        writes = list(filter_by_type(make_records(), AccessType.WRITE))
+        assert len(writes) == 1
+
+    def test_by_channel(self):
+        records = make_records()
+        by_channel = [
+            len(list(filter_by_channel(records, channel)))
+            for channel in range(4)
+        ]
+        assert sum(by_channel) == len(records)
+        with pytest.raises(ValueError):
+            list(filter_by_channel(records, 9))
+
+    def test_by_time_window(self):
+        window = list(filter_by_time_window(make_records(), 15, 35))
+        assert [record.arrival_time for record in window] == [20, 30]
+        with pytest.raises(ValueError):
+            list(filter_by_time_window(make_records(), 10, 5))
+
+    def test_by_page(self):
+        page1 = list(filter_by_page(make_records(), 1))
+        assert len(page1) == 2
+
+    def test_take(self):
+        assert len(list(take(make_records(), 2))) == 2
+        assert len(list(take(make_records(), 100))) == 4
+        with pytest.raises(ValueError):
+            list(take(make_records(), -1))
+
+    def test_hottest_pages(self):
+        records = make_records()
+        pages = hottest_pages(records, count=2)
+        assert pages[0] in (1, 2)
+        filtered = hottest_pages(records, count=2, min_blocks=2)
+        assert all(page in (1, 2) for page in filtered)
+
+
+class TestStats:
+    def test_compute(self):
+        stats = compute_trace_stats(make_records())
+        assert stats.num_records == 4
+        assert stats.num_reads == 3
+        assert stats.num_writes == 1
+        assert stats.unique_pages == 2
+        assert stats.unique_blocks == 4
+        assert stats.duration == 30
+        assert stats.read_fraction == pytest.approx(0.75)
+        assert stats.device_mix["CPU"] == 2
+
+    def test_empty_trace(self):
+        stats = compute_trace_stats([])
+        assert stats.num_records == 0
+        assert stats.read_fraction == 0.0
+        assert stats.duration == 0
+
+    def test_format_table_mentions_counts(self):
+        text = compute_trace_stats(make_records()).format_table()
+        assert "records" in text
+        assert "unique pages" in text

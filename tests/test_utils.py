@@ -1,0 +1,180 @@
+"""Bit manipulation, saturating counters, and streaming statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import (
+    bitmap_from_offsets,
+    bitmap_overlap,
+    bitmap_to_string,
+    hamming_distance,
+    iter_set_bits,
+    popcount,
+)
+from repro.utils.counters import SaturatingCounter
+from repro.utils.statistics import Histogram, RunningStats
+
+bitmaps16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestBitops:
+    def test_popcount_basics(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(0xFFFF) == 16
+
+    def test_popcount_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_iter_set_bits(self):
+        assert list(iter_set_bits(0)) == []
+        assert list(iter_set_bits(0b10110)) == [1, 2, 4]
+
+    def test_bitmap_from_offsets_roundtrip(self):
+        offsets = [0, 3, 7, 15]
+        bitmap = bitmap_from_offsets(offsets)
+        assert list(iter_set_bits(bitmap)) == offsets
+
+    def test_bitmap_from_offsets_range_check(self):
+        with pytest.raises(ValueError):
+            bitmap_from_offsets([16])
+        with pytest.raises(ValueError):
+            bitmap_from_offsets([-1])
+
+    def test_overlap_and_hamming(self):
+        assert bitmap_overlap(0b1100, 0b1010) == 1
+        assert hamming_distance(0b1100, 0b1010) == 2
+        assert hamming_distance(0xFFFF, 0) == 16
+
+    def test_bitmap_to_string(self):
+        assert bitmap_to_string(0b101, width=4) == "0101"
+        with pytest.raises(ValueError):
+            bitmap_to_string(0x10000, width=16)
+
+    @given(a=bitmaps16, b=bitmaps16)
+    def test_hamming_symmetry(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(a=bitmaps16, b=bitmaps16, c=bitmaps16)
+    def test_hamming_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+
+    @given(a=bitmaps16, b=bitmaps16)
+    def test_inclusion_exclusion(self, a, b):
+        assert popcount(a | b) == popcount(a) + popcount(b) - bitmap_overlap(a, b)
+
+    @given(bitmap=bitmaps16)
+    def test_iter_set_bits_matches_popcount(self, bitmap):
+        assert len(list(iter_set_bits(bitmap))) == popcount(bitmap)
+
+
+class TestSaturatingCounter:
+    def test_saturates_high(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+        assert counter.is_saturated()
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(bits=2, initial=1)
+        for _ in range(10):
+            counter.decrement()
+        assert counter.value == 0
+
+    def test_increment_amount(self):
+        counter = SaturatingCounter(bits=4)
+        assert counter.increment(20) == 15
+
+    def test_reset_bounds(self):
+        counter = SaturatingCounter(bits=3)
+        counter.reset(7)
+        assert counter.value == 7
+        with pytest.raises(ValueError):
+            counter.reset(8)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=4)
+
+    def test_int_conversion(self):
+        assert int(SaturatingCounter(bits=2, initial=2)) == 2
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.min is None
+
+    def test_known_values(self):
+        stats = RunningStats()
+        for sample in (2.0, 4.0, 6.0):
+            stats.add(sample)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.variance == pytest.approx(8.0 / 3.0)
+        assert stats.min == 2.0
+        assert stats.max == 6.0
+        assert stats.total == pytest.approx(12.0)
+
+    def test_merge_matches_pooled(self):
+        left, right, pooled = RunningStats(), RunningStats(), RunningStats()
+        samples_left = [1.0, 5.0, 2.5]
+        samples_right = [10.0, -3.0]
+        for sample in samples_left:
+            left.add(sample); pooled.add(sample)
+        for sample in samples_right:
+            right.add(sample); pooled.add(sample)
+        left.merge(right)
+        assert left.count == pooled.count
+        assert left.mean == pytest.approx(pooled.mean)
+        assert left.variance == pytest.approx(pooled.variance)
+        assert left.min == pooled.min and left.max == pooled.max
+
+    def test_merge_empty(self):
+        stats = RunningStats()
+        stats.add(3.0)
+        stats.merge(RunningStats())
+        assert stats.count == 1
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_mean_matches_math(self, samples):
+        stats = RunningStats()
+        for sample in samples:
+            stats.add(sample)
+        assert stats.mean == pytest.approx(sum(samples) / len(samples), abs=1e-6)
+        assert not math.isnan(stats.stddev)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram(bucket_width=10.0)
+        for sample in (1, 5, 12, 25, 27):
+            hist.add(sample)
+        assert hist.count == 5
+        assert hist.buckets() == [(0.0, 2), (10.0, 1), (20.0, 2)]
+
+    def test_percentile(self):
+        hist = Histogram(bucket_width=1.0)
+        for sample in range(100):
+            hist.add(sample)
+        assert hist.percentile(0.5) == pytest.approx(49.0)
+        assert hist.percentile(0.99) == pytest.approx(98.0)
+
+    def test_percentile_bounds(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+        assert hist.percentile(0.5) == 0.0  # empty histogram
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            Histogram(bucket_width=0)
