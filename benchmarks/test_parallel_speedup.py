@@ -1,0 +1,61 @@
+"""Wall-clock benchmark for the parallel experiment executor.
+
+Runs the default 4-prefetcher ``compare_prefetchers`` sweep serially and
+with ``parallelism="auto"``, asserts the results are bit-identical (the
+executor's contract), and — on a multi-core runner with a working process
+pool — asserts the parallel sweep is actually faster.
+
+    PYTHONPATH=src python -m pytest benchmarks/test_parallel_speedup.py -s
+
+The 4 tasks are embarrassingly parallel and each regenerates its trace
+from the seed in-worker, so the expected speedup approaches
+``min(cores, len(prefetchers))`` minus pool start-up and result
+unpickling overhead.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sim.executor import pool_available
+from repro.sim.runner import DEFAULT_PREFETCHERS, compare_prefetchers
+
+APP = "CFM"
+LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", 30_000))
+SEED = 7
+
+
+def _timed_sweep(parallelism):
+    start = time.perf_counter()
+    results = compare_prefetchers(APP, DEFAULT_PREFETCHERS, length=LENGTH,
+                                  seed=SEED, parallelism=parallelism)
+    return results, time.perf_counter() - start
+
+
+def test_parallel_sweep_speedup():
+    serial_results, serial_seconds = _timed_sweep("serial")
+    parallel_results, parallel_seconds = _timed_sweep("auto")
+
+    # The contract first: identical output regardless of execution mode.
+    assert list(serial_results) == list(parallel_results)
+    for name in serial_results:
+        assert serial_results[name] == parallel_results[name], name
+
+    cores = os.cpu_count() or 1
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    print(f"\n  {APP} x {len(DEFAULT_PREFETCHERS)} prefetchers, "
+          f"{LENGTH} records, {cores} core(s): "
+          f"serial {serial_seconds:.2f}s, auto {parallel_seconds:.2f}s "
+          f"({speedup:.2f}x)")
+
+    if cores < 2:
+        pytest.skip("single-core runner: equivalence verified, "
+                    "speedup not measurable")
+    if not pool_available():
+        pytest.skip("process pool unavailable: serial fallback exercised")
+    # Conservative bound: even 2 cores should beat serial comfortably on
+    # 4 independent tasks; the margin absorbs pool start-up noise.
+    assert parallel_seconds < serial_seconds, (
+        f"parallel sweep slower than serial on {cores} cores "
+        f"({parallel_seconds:.2f}s vs {serial_seconds:.2f}s)")

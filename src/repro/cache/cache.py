@@ -71,6 +71,21 @@ class CacheStats:
     def unused_total(self) -> int:
         return sum(self.prefetch_unused_evicted.values())
 
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another slice's counters in (channel → system aggregation)."""
+        self.demand_accesses += other.demand_accesses
+        self.demand_hits += other.demand_hits
+        self.demand_misses += other.demand_misses
+        self.delayed_hits += other.delayed_hits
+        self.prefetch_fills += other.prefetch_fills
+        self.demand_fills += other.demand_fills
+        self.writebacks += other.writebacks
+        for table in ("prefetch_useful", "prefetch_late",
+                      "prefetch_unused_evicted"):
+            mine = getattr(self, table)
+            for source, count in getattr(other, table).items():
+                mine[source] = mine.get(source, 0) + count
+
 
 class SetAssociativeCache:
     """One system-cache slice.

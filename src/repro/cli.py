@@ -72,13 +72,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             records = list(read_trace(args.trace))
         results = {
             name: simulate(records, name, workload_name=args.trace,
-                           config=config).metrics
+                           config=config,
+                           parallelism=args.parallelism).metrics
             for name in prefetchers
         }
     else:
         results = compare_prefetchers(args.app, prefetchers,
                                       length=args.length, seed=args.seed,
-                                      config=config)
+                                      config=config,
+                                      parallelism=args.parallelism)
 
     base = results.get("none") or next(iter(results.values()))
     print(f"{'prefetcher':<12} {'hit rate':>9} {'AMAT':>9} {'accuracy':>9} "
@@ -102,6 +104,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         trace_length=args.length, seed=args.seed,
         apps=tuple(args.apps.split(",")) if args.apps
         else tuple(list_workloads()),
+        parallelism=args.parallelism,
     )
     report = ALL_EXPERIMENTS[args.id](settings)
     print(report.format_table())
@@ -143,6 +146,14 @@ def _cmd_storage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_parallelism_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallelism", default="auto", metavar="MODE",
+        help="'auto' (default: one worker per core), 'serial', or a worker "
+             "count; results are bit-identical across modes "
+             "(docs/parallelism.md)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -169,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=7)
     simulate.add_argument("--sim-config", metavar="JSON",
                           help="SimConfig JSON file (see repro.config_io)")
+    _add_parallelism_argument(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     figure = commands.add_parser("figure", help="regenerate a paper figure")
@@ -178,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--apps", help="comma-separated subset, e.g. CFM,Fort")
     figure.add_argument("--export", metavar="DIR",
                         help="also write <id>.csv/<id>.svg into DIR")
+    _add_parallelism_argument(figure)
     figure.set_defaults(handler=_cmd_figure)
 
     stability = commands.add_parser(

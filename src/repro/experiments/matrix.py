@@ -29,6 +29,7 @@ def run_matrix(settings: ExperimentSettings) -> Dict[str, Dict[str, RunMetrics]]
                 app, settings.prefetchers,
                 length=settings.trace_length, seed=settings.seed,
                 config=settings.sim_config(),
+                parallelism=settings.parallelism,
             )
         _MATRIX_CACHE[key] = matrix
     return _MATRIX_CACHE[key]
@@ -45,6 +46,7 @@ def breakdown_matrix(settings: ExperimentSettings) -> Dict[str, Dict[str, RunMet
                 app, ("slp", "tlp"),
                 length=settings.trace_length, seed=settings.seed,
                 config=settings.sim_config(),
+                parallelism=settings.parallelism,
             )
             combined = dict(extra)
             combined["none"] = base[app]["none"]

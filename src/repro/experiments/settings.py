@@ -36,14 +36,27 @@ def _env_apps() -> Tuple[str, ...]:
     return requested
 
 
+def _env_parallelism(default: str = "serial") -> str:
+    raw = os.environ.get("REPRO_PARALLELISM", "").strip()
+    return raw if raw else default
+
+
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Trace length, seed, application list, and simulator scale."""
+    """Trace length, seed, application list, and simulator scale.
+
+    ``parallelism`` selects the execution mode for the simulation grid
+    (``"serial"``, ``"auto"`` or a worker count; also settable via the
+    ``REPRO_PARALLELISM`` environment variable).  It is deliberately
+    excluded from :meth:`cache_key`: parallel results are bit-identical
+    to serial ones, so the mode must never fork the memo cache.
+    """
 
     trace_length: int = field(default_factory=_env_length)
     seed: int = 7
     apps: Tuple[str, ...] = field(default_factory=_env_apps)
     prefetchers: Tuple[str, ...] = ("none", "bop", "spp", "planaria")
+    parallelism: str = field(default_factory=_env_parallelism)
 
     def sim_config(self) -> SimConfig:
         return SimConfig.experiment_scale()

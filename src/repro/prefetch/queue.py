@@ -10,10 +10,35 @@ misbehaving prefetcher cannot flood the memory system.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
+from dataclasses import dataclass
 from typing import Deque, List
 
 from repro.config import PrefetchQueueConfig
 from repro.prefetch.base import PrefetchCandidate
+
+
+@dataclass
+class QueueStats:
+    """Accept/drop accounting for one prefetch queue.
+
+    Lives in its own mergeable container so per-channel counts survive
+    system-level aggregation (and process-boundary round trips) the same
+    way ``MetricSet`` / ``CacheStats`` / ``DRAMStats`` do.
+    """
+
+    accepted: int = 0
+    dropped_duplicate: int = 0
+    dropped_degree: int = 0
+    dropped_full: int = 0
+
+    def merge(self, other: "QueueStats") -> None:
+        self.accepted += other.accepted
+        self.dropped_duplicate += other.dropped_duplicate
+        self.dropped_degree += other.dropped_degree
+        self.dropped_full += other.dropped_full
+
+    def dropped_total(self) -> int:
+        return self.dropped_duplicate + self.dropped_degree + self.dropped_full
 
 
 class PrefetchQueue:
@@ -25,10 +50,24 @@ class PrefetchQueue:
         # Recently accepted block addresses; OrderedDict as an LRU set.
         self._recent: OrderedDict = OrderedDict()
         self._recent_capacity = config.depth * 8
-        self.accepted = 0
-        self.dropped_duplicate = 0
-        self.dropped_degree = 0
-        self.dropped_full = 0
+        self.stats = QueueStats()
+
+    # Counter attributes kept as properties for existing callers.
+    @property
+    def accepted(self) -> int:
+        return self.stats.accepted
+
+    @property
+    def dropped_duplicate(self) -> int:
+        return self.stats.dropped_duplicate
+
+    @property
+    def dropped_degree(self) -> int:
+        return self.stats.dropped_degree
+
+    @property
+    def dropped_full(self) -> int:
+        return self.stats.dropped_full
 
     def push(self, candidates: List[PrefetchCandidate]) -> List[PrefetchCandidate]:
         """Filter and enqueue one trigger's candidates.
@@ -36,20 +75,22 @@ class PrefetchQueue:
         Returns the accepted subset, in order.
         """
         accepted: List[PrefetchCandidate] = []
-        for candidate in candidates:
+        for index, candidate in enumerate(candidates):
             if len(accepted) >= self.config.max_degree:
-                self.dropped_degree += len(candidates) - len(accepted)
+                # Only the not-yet-examined tail is degree-dropped; earlier
+                # duplicate/full drops are already counted in their own bins.
+                self.stats.dropped_degree += len(candidates) - index
                 break
             if self.config.drop_duplicates and candidate.block_addr in self._recent:
-                self.dropped_duplicate += 1
+                self.stats.dropped_duplicate += 1
                 continue
             if len(self._queue) >= self.config.depth:
-                self.dropped_full += 1
+                self.stats.dropped_full += 1
                 continue
             self._remember(candidate.block_addr)
             self._queue.append(candidate)
             accepted.append(candidate)
-            self.accepted += 1
+            self.stats.accepted += 1
         return accepted
 
     def _remember(self, block_addr: int) -> None:

@@ -6,12 +6,18 @@ memory traffic, power, and an AMAT→IPC proxy.
 """
 
 from repro.sim.engine import ChannelSimulator, SystemSimulator
+from repro.sim.executor import (ParallelExecutor, SimulationTask,
+                                pool_available, resolve_parallelism)
 from repro.sim.metrics import MetricSet, RunMetrics, ipc_speedup
 from repro.sim.runner import RunResult, compare_prefetchers, run_workload
 
 __all__ = [
     "ChannelSimulator",
     "SystemSimulator",
+    "ParallelExecutor",
+    "SimulationTask",
+    "pool_available",
+    "resolve_parallelism",
     "MetricSet",
     "RunMetrics",
     "ipc_speedup",

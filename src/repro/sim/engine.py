@@ -29,7 +29,8 @@ from repro.errors import SimulationError
 from repro.power.model import MemorySystemPower
 from repro.power.prefetcher_power import PrefetcherActivity
 from repro.prefetch.base import DemandAccess, Prefetcher
-from repro.prefetch.queue import PrefetchQueue
+from repro.prefetch.queue import PrefetchQueue, QueueStats
+from repro.sim.executor import ParallelExecutor, Parallelism
 from repro.sim.metrics import MetricSet
 from repro.trace.record import TraceRecord
 
@@ -53,12 +54,23 @@ class ChannelSimulator:
         self.queue = PrefetchQueue(config.queue)
         self.metrics = MetricSet()
         self._warmup_until = 0
+        self._records_seen = 0
         self._last_time = 0
         self._blocks_per_segment = self.layout.blocks_per_segment
 
     def set_warmup(self, warmup_records: int, records_seen_hint: int = 0) -> None:
-        """Metrics are suppressed for the first ``warmup_records`` accesses."""
+        """Metrics are suppressed until ``warmup_records`` accesses were seen.
+
+        Args:
+            warmup_records: accesses (counted from the stream's start) whose
+                metrics are suppressed.
+            records_seen_hint: how many accesses this simulator has already
+                stepped through — lets a caller resume a partially driven
+                channel (e.g. after state was shipped across a process
+                boundary) without restarting the warmup window.
+        """
         self._warmup_until = warmup_records
+        self._records_seen = records_seen_hint
 
     # ------------------------------------------------------------------
     def _decompose(self, record: TraceRecord) -> DemandAccess:
@@ -76,8 +88,16 @@ class ChannelSimulator:
             device=record.device,
         )
 
-    def step(self, record: TraceRecord, record_metrics: bool = True) -> int:
-        """Simulate one demand access; returns its observed latency."""
+    def step(self, record: TraceRecord,
+             record_metrics: Optional[bool] = None) -> int:
+        """Simulate one demand access; returns its observed latency.
+
+        ``record_metrics=None`` (the default) consults the warmup state
+        configured by :meth:`set_warmup`; an explicit bool overrides it.
+        """
+        if record_metrics is None:
+            record_metrics = self._records_seen >= self._warmup_until
+        self._records_seen += 1
         now = record.arrival_time
         self._last_time = max(self._last_time, now)
         access = self._decompose(record)
@@ -159,8 +179,9 @@ class ChannelSimulator:
     def run(self, records: Iterable[TraceRecord],
             warmup_records: int = 0) -> None:
         """Drive a full per-channel record stream through the simulator."""
-        for index, record in enumerate(records):
-            self.step(record, record_metrics=index >= warmup_records)
+        self.set_warmup(warmup_records, records_seen_hint=self._records_seen)
+        for record in records:
+            self.step(record)
         self.finish()
 
     def finish(self) -> None:
@@ -182,11 +203,20 @@ class SystemSimulator:
         ]
 
     def run(self, records: List[TraceRecord],
-            warmup_fraction: Optional[float] = None) -> None:
+            warmup_fraction: Optional[float] = None,
+            parallelism: "Parallelism" = "serial") -> None:
         """Simulate the whole trace.
 
         Records are routed per channel in arrival order; metrics ignore the
         warmup prefix of each channel's stream.
+
+        ``parallelism`` selects the channel-grain execution mode
+        (``"serial"``, ``"auto"`` or a worker count): channel simulators
+        share no mutable state once the trace is split, so each stream may
+        run in its own process and the driven simulator shipped back.
+        Results are bit-identical to serial execution (see
+        ``docs/parallelism.md``); the serial path is used deterministically
+        whenever one worker resolves or no pool is available.
         """
         if warmup_fraction is None:
             warmup_fraction = self.config.warmup_fraction
@@ -194,9 +224,17 @@ class SystemSimulator:
         streams: List[List[TraceRecord]] = [[] for _ in self.channels]
         for record in records:
             streams[layout.channel(record.address)].append(record)
-        for channel_sim, stream in zip(self.channels, streams):
-            warmup = int(len(stream) * warmup_fraction)
-            channel_sim.run(stream, warmup_records=warmup)
+        jobs = [
+            (channel_sim, stream, int(len(stream) * warmup_fraction))
+            for channel_sim, stream in zip(self.channels, streams)
+        ]
+        executor = ParallelExecutor(parallelism)
+        if executor.workers_for(len(jobs)) > 1:
+            # Workers mutate pickled copies; adopt them as the live channels.
+            self.channels = executor.run_channels(jobs)
+        else:
+            for channel_sim, stream, warmup in jobs:
+                channel_sim.run(stream, warmup_records=warmup)
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -212,19 +250,14 @@ class SystemSimulator:
 
         merged = CacheStats()
         for channel_sim in self.channels:
-            stats = channel_sim.cache.stats
-            merged.demand_accesses += stats.demand_accesses
-            merged.demand_hits += stats.demand_hits
-            merged.demand_misses += stats.demand_misses
-            merged.delayed_hits += stats.delayed_hits
-            merged.prefetch_fills += stats.prefetch_fills
-            merged.demand_fills += stats.demand_fills
-            merged.writebacks += stats.writebacks
-            for table in ("prefetch_useful", "prefetch_late",
-                          "prefetch_unused_evicted"):
-                merged_map = getattr(merged, table)
-                for source, count in getattr(stats, table).items():
-                    merged_map[source] = merged_map.get(source, 0) + count
+            merged.merge(channel_sim.cache.stats)
+        return merged
+
+    def merged_queue_stats(self) -> QueueStats:
+        """Prefetch-queue accept/drop accounting summed over channels."""
+        merged = QueueStats()
+        for channel_sim in self.channels:
+            merged.merge(channel_sim.queue.stats)
         return merged
 
     def merged_dram_stats(self):

@@ -61,6 +61,7 @@ class MetricSet:
         self.demand_writes += other.demand_writes
         self.read_latency.merge(other.read_latency)
         self.all_latency.merge(other.all_latency)
+        self.latency_histogram.merge(other.latency_histogram)
         for device, stats in other.device_read_latency.items():
             mine = self.device_read_latency.get(device)
             if mine is None:

@@ -16,6 +16,8 @@ from typing import Dict, Iterable, List, Optional
 from repro.config import SimConfig
 from repro.prefetch.registry import make_prefetcher
 from repro.sim.engine import SystemSimulator
+from repro.sim.executor import (ParallelExecutor, Parallelism,
+                                SimulationTask)
 from repro.sim.metrics import RunMetrics
 from repro.trace.generator import generate_trace, get_profile
 from repro.trace.generator.profile import WorkloadProfile
@@ -35,19 +37,22 @@ class RunResult:
 
 def simulate(records: List[TraceRecord], prefetcher_name: str,
              workload_name: str = "custom",
-             config: Optional[SimConfig] = None) -> RunResult:
+             config: Optional[SimConfig] = None,
+             parallelism: Parallelism = "serial") -> RunResult:
     """Run one prefetcher over an explicit record list.
 
     Defaults to :meth:`SimConfig.experiment_scale` — the scaled-down SC
     matched to the bundled synthetic trace lengths (see DESIGN.md §2); pass
     ``SimConfig.paper_scale()`` when driving full-length traces.
+    ``parallelism`` selects channel-grain execution (bit-identical to
+    serial; see docs/parallelism.md).
     """
     config = config or SimConfig.experiment_scale()
     simulator = SystemSimulator(
         config, lambda layout, channel: make_prefetcher(prefetcher_name,
                                                         layout, channel)
     )
-    simulator.run(records)
+    simulator.run(records, parallelism=parallelism)
     metrics = _collect(simulator, workload_name, prefetcher_name)
     return RunResult(metrics=metrics, simulator=simulator)
 
@@ -83,33 +88,54 @@ def _collect(simulator: SystemSimulator, workload: str,
 
 def run_workload(abbr_or_profile, prefetcher_name: str,
                  length: int = DEFAULT_TRACE_LENGTH, seed: int = 0,
-                 config: Optional[SimConfig] = None) -> RunMetrics:
+                 config: Optional[SimConfig] = None,
+                 parallelism: Parallelism = "serial") -> RunMetrics:
     """Generate a workload's trace and simulate one prefetcher over it.
 
     Args:
         abbr_or_profile: a Table-2 abbreviation (``"CFM"``) or a
             :class:`WorkloadProfile`.
+        parallelism: ``"serial"`` (default), ``"auto"`` or a worker count;
+            a single run parallelises at the channel grain, bit-identically
+            to serial execution.
     """
     profile = (abbr_or_profile if isinstance(abbr_or_profile, WorkloadProfile)
                else get_profile(abbr_or_profile))
     config = config or SimConfig.experiment_scale()
     records = generate_trace(profile, length, seed=seed, layout=config.layout)
     return simulate(records, prefetcher_name,
-                    workload_name=profile.abbr, config=config).metrics
+                    workload_name=profile.abbr, config=config,
+                    parallelism=parallelism).metrics
 
 
 def compare_prefetchers(abbr_or_profile,
                         prefetchers: Iterable[str] = DEFAULT_PREFETCHERS,
                         length: int = DEFAULT_TRACE_LENGTH, seed: int = 0,
-                        config: Optional[SimConfig] = None
+                        config: Optional[SimConfig] = None,
+                        parallelism: Parallelism = "serial"
                         ) -> Dict[str, RunMetrics]:
-    """Run several prefetchers over the *same* generated trace."""
+    """Run several prefetchers over the *same* generated trace.
+
+    With ``parallelism`` other than ``"serial"``, each (workload,
+    prefetcher) pair becomes an independent task on a process pool: the
+    worker regenerates the trace from ``(profile, length, seed)`` — the
+    generator is seed-deterministic, so every worker sees the records a
+    serial run would, and the returned ``RunMetrics`` are bit-identical
+    to serial mode (enforced by ``tests/test_parallel_equivalence.py``).
+    """
     profile = (abbr_or_profile if isinstance(abbr_or_profile, WorkloadProfile)
                else get_profile(abbr_or_profile))
     config = config or SimConfig.experiment_scale()
+    names = list(prefetchers)
+    executor = ParallelExecutor(parallelism)
+    if executor.workers_for(len(names)) > 1:
+        tasks = [SimulationTask(profile=profile, prefetcher=name,
+                                length=length, seed=seed, config=config)
+                 for name in names]
+        return dict(zip(names, executor.run_tasks(tasks)))
     records = generate_trace(profile, length, seed=seed, layout=config.layout)
     results: Dict[str, RunMetrics] = {}
-    for name in prefetchers:
+    for name in names:
         results[name] = simulate(records, name, workload_name=profile.abbr,
                                  config=config).metrics
     return results

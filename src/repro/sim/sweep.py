@@ -11,6 +11,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.config import PlanariaConfig, SimConfig, SLPConfig, TLPConfig
 from repro.geometry import AddressLayout
 from repro.prefetch.base import Prefetcher
+from repro.sim.executor import ParallelExecutor, Parallelism, SimulationTask
 from repro.sim.metrics import RunMetrics
 from repro.trace.generator import generate_trace, get_profile
 from repro.trace.record import TraceRecord
@@ -20,14 +21,20 @@ PrefetcherFactory = Callable[[AddressLayout, int], Prefetcher]
 
 def simulate_factory(records: List[TraceRecord], factory: PrefetcherFactory,
                      label: str, workload_name: str = "custom",
-                     config: Optional[SimConfig] = None) -> RunMetrics:
-    """Like :func:`repro.sim.runner.simulate` but with an arbitrary factory."""
+                     config: Optional[SimConfig] = None,
+                     parallelism: Parallelism = "serial") -> RunMetrics:
+    """Like :func:`repro.sim.runner.simulate` but with an arbitrary factory.
+
+    Channel-grain parallelism works with any factory (even a lambda): the
+    engine pickles the *constructed* per-channel simulators, never the
+    factory itself.
+    """
     from repro.sim.engine import SystemSimulator
     from repro.sim.runner import _collect
 
     config = config or SimConfig.experiment_scale()
     simulator = SystemSimulator(config, factory)
-    simulator.run(records)
+    simulator.run(records, parallelism=parallelism)
     return _collect(simulator, workload_name, label)
 
 
@@ -37,16 +44,35 @@ def sweep_planaria(
     length: int = 60_000,
     seed: int = 7,
     config: Optional[SimConfig] = None,
+    parallelism: Parallelism = "serial",
 ) -> Dict[str, RunMetrics]:
     """Run several Planaria configurations over one generated trace.
 
     Returns ``{variant_label: RunMetrics}`` plus a ``"none"`` baseline.
+    With ``parallelism`` other than ``"serial"``, each variant becomes a
+    process-pool task carrying its (picklable) ``PlanariaConfig``; the
+    worker regenerates the trace from the seed, so results are
+    bit-identical to a serial sweep.
     """
     from repro.core.planaria import PlanariaPrefetcher
     from repro.prefetch.simple import NoPrefetcher
 
     config = config or SimConfig.experiment_scale()
-    records = generate_trace(get_profile(app), length, seed=seed,
+    profile = get_profile(app)
+    labels = ["none"] + list(variants)
+    executor = ParallelExecutor(parallelism)
+    if executor.workers_for(len(labels)) > 1:
+        tasks = [SimulationTask(profile=profile, prefetcher="none",
+                                length=length, seed=seed, config=config)]
+        tasks.extend(
+            SimulationTask(profile=profile, prefetcher=label, length=length,
+                           seed=seed, config=config,
+                           planaria_variant=planaria_config)
+            for label, planaria_config in variants.items()
+        )
+        return dict(zip(labels, executor.run_tasks(tasks)))
+
+    records = generate_trace(profile, length, seed=seed,
                              layout=config.layout)
     results: Dict[str, RunMetrics] = {
         "none": simulate_factory(

@@ -90,6 +90,20 @@ class Histogram:
         self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
         self.count += 1
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (parallel-channel merge).
+
+        Both histograms must use the same bucket width — merging
+        differently-quantised histograms would silently mis-bin samples.
+        """
+        if other.bucket_width != self.bucket_width:
+            raise ValueError(
+                f"cannot merge histograms with bucket widths "
+                f"{self.bucket_width} and {other.bucket_width}")
+        for bucket, count in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+        self.count += other.count
+
     def buckets(self) -> List[Tuple[float, int]]:
         """Sorted (bucket lower bound, count) pairs."""
         return [

@@ -1,0 +1,9 @@
+"""Shared pytest configuration for the unit-test suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/expected_metrics.json from the "
+             "committed golden trace instead of comparing against it",
+    )

@@ -1,0 +1,78 @@
+"""Golden-trace regression fixtures.
+
+A small committed trace (``tests/golden/trace_CFM_4k.csv``) is driven
+through every default prefetcher and the resulting :class:`RunMetrics`
+are compared *field-for-field, bit-for-bit* against the committed
+expectations in ``tests/golden/expected_metrics.json``.  Any drift in
+cache behaviour, DRAM timing, prefetcher decisions, power modelling or
+metric plumbing shows up here as a precise per-field diff.
+
+When a behaviour change is intentional, regenerate the expectations:
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+
+and commit the updated JSON together with the change that caused it
+(see docs/calibration.md).
+"""
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.config import SimConfig
+from repro.sim.runner import DEFAULT_PREFETCHERS, simulate
+from repro.trace.io import read_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+TRACE_PATH = GOLDEN_DIR / "trace_CFM_4k.csv"
+EXPECTED_PATH = GOLDEN_DIR / "expected_metrics.json"
+
+
+def compute_golden_metrics() -> dict:
+    """``{prefetcher: {field: value}}`` over the committed golden trace."""
+    records = list(read_trace(TRACE_PATH))
+    config = SimConfig.experiment_scale()
+    results = {}
+    for name in DEFAULT_PREFETCHERS:
+        metrics = simulate(records, name, workload_name="golden-CFM",
+                           config=config).metrics
+        results[name] = asdict(metrics)
+    return results
+
+
+def update_golden_file() -> dict:
+    expected = compute_golden_metrics()
+    EXPECTED_PATH.write_text(json.dumps(expected, indent=2, sort_keys=True)
+                             + "\n")
+    return expected
+
+
+def test_golden_trace_metrics(request):
+    if request.config.getoption("--update-golden"):
+        update_golden_file()
+        pytest.skip("regenerated tests/golden/expected_metrics.json")
+    assert EXPECTED_PATH.exists(), (
+        "missing golden expectations; run pytest tests/test_golden.py "
+        "--update-golden once and commit the JSON")
+    expected = json.loads(EXPECTED_PATH.read_text())
+    actual = compute_golden_metrics()
+    assert sorted(actual) == sorted(expected)
+    for prefetcher in expected:
+        for field_name, want in expected[prefetcher].items():
+            got = actual[prefetcher][field_name]
+            assert got == want, (
+                f"{prefetcher}.{field_name} drifted: "
+                f"expected {want!r}, got {got!r}")
+
+
+def test_golden_trace_is_committed_verbatim():
+    """Guard against the fixture being silently regenerated: pin its size
+    and first data record (generator output for CFM, length=4000,
+    seed=11).  If the trace *must* change, update these literals and the
+    expectations JSON together."""
+    lines = TRACE_PATH.read_text().splitlines()
+    assert len(lines) == 4001  # header + 4000 records
+    assert lines[0] == "# address,access_type,device,arrival_time"
+    assert lines[1] == "0x40f2d3c0,WRITE,DSP,7"

@@ -65,6 +65,66 @@ class TestMetricSet:
         assert left.demand_reads == 2
         assert left.read_latency.mean == pytest.approx(150.0)
 
+    def test_merge_empty_channel_is_identity(self):
+        """A channel that saw no records (all its addresses map elsewhere)
+        must not perturb the system aggregate."""
+        merged, empty = MetricSet(), MetricSet()
+        merged.record(100, True, device="CPU")
+        merged.record(40, False)
+        before = (merged.demand_reads, merged.demand_writes,
+                  merged.read_latency.mean, merged.read_latency.variance,
+                  merged.latency_histogram.count)
+        merged.merge(empty)
+        after = (merged.demand_reads, merged.demand_writes,
+                 merged.read_latency.mean, merged.read_latency.variance,
+                 merged.latency_histogram.count)
+        assert after == before
+        # ... and merging *into* an empty set copies the other side exactly.
+        empty.merge(merged)
+        assert empty.demand_reads == merged.demand_reads
+        assert empty.read_latency.mean == merged.read_latency.mean
+        assert empty.latency_histogram.count == merged.latency_histogram.count
+        assert empty.device_read_latency["CPU"].count == 1
+
+    def test_merge_warmup_only_channel(self):
+        """A channel whose whole stream fell inside the warmup window has
+        recorded nothing; merging it must be a no-op even though the
+        channel did simulate traffic."""
+        from repro.config import SimConfig
+        from repro.prefetch.registry import make_prefetcher
+        from repro.sim.engine import ChannelSimulator
+        from repro.trace.record import TraceRecord
+
+        config = SimConfig.experiment_scale()
+        channel_sim = ChannelSimulator(
+            0, config, make_prefetcher("none", config.layout, 0))
+        records = [TraceRecord(address=index * 64, arrival_time=100 * index)
+                   for index in range(8)]
+        channel_sim.run(records, warmup_records=len(records))
+        assert channel_sim.metrics.demand_reads == 0
+        merged = MetricSet()
+        merged.record(100, True)
+        merged.merge(channel_sim.metrics)
+        assert merged.demand_reads == 1
+        assert merged.read_latency.mean == pytest.approx(100.0)
+        assert merged.latency_histogram.count == 1
+
+    def test_merge_includes_histogram(self):
+        left, right = MetricSet(), MetricSet()
+        left.record(10, True)
+        right.record(10, True)
+        right.record(500, True)
+        left.merge(right)
+        assert left.latency_histogram.count == 3
+        assert left.latency_histogram.percentile(0.99) == 500 // 25 * 25
+
+    def test_histogram_merge_rejects_mismatched_widths(self):
+        from repro.utils.statistics import Histogram
+
+        left, right = Histogram(25.0), Histogram(10.0)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
 
 class TestIPCProxy:
     def test_paper_consistency(self):

@@ -1,0 +1,118 @@
+"""Property-based invariants for the SLP/TLP cores and the bitmap helpers.
+
+Complements tests/test_properties.py (engine-level invariants) with the
+algebra the prefetchers are built on: footprint bitmaps must round-trip
+through utils/bitops, the RPT similarity measures must be symmetric and
+bounded, and neither SLP nor TLP may ever prefetch the block that
+triggered the issue — that block is being demand-fetched already.
+"""
+
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.geometry import DEFAULT_LAYOUT
+from repro.prefetch.base import DemandAccess
+from repro.prefetch.registry import make_prefetcher
+from repro.trace.record import DeviceID
+from repro.utils.bitops import (bitmap_from_offsets, bitmap_overlap,
+                                bitmap_to_string, hamming_distance,
+                                iter_set_bits, popcount)
+
+bitmaps = st.integers(min_value=0, max_value=0xFFFF)
+offset_sets = st.frozensets(st.integers(min_value=0, max_value=15),
+                            max_size=16)
+streams = st.lists(
+    st.tuples(st.integers(min_value=0x200, max_value=0x260),
+              st.integers(min_value=0, max_value=15)),
+    min_size=1, max_size=120,
+)
+
+
+class TestBitmapRoundTrip:
+    @given(offsets=offset_sets)
+    def test_offsets_to_bitmap_and_back(self, offsets):
+        bitmap = bitmap_from_offsets(offsets)
+        assert list(iter_set_bits(bitmap)) == sorted(offsets)
+        assert popcount(bitmap) == len(offsets)
+
+    @given(bitmap=bitmaps)
+    def test_bitmap_to_offsets_and_back(self, bitmap):
+        assert bitmap_from_offsets(iter_set_bits(bitmap)) == bitmap
+
+    @given(bitmap=bitmaps)
+    def test_string_rendering_round_trips(self, bitmap):
+        text = bitmap_to_string(bitmap)
+        assert len(text) == 16
+        assert int(text, 2) == bitmap
+
+
+class TestSimilarityMeasures:
+    """The measures TLP's learnable-neighbour test is built from."""
+
+    @given(a=bitmaps, b=bitmaps)
+    def test_symmetry(self, a, b):
+        assert bitmap_overlap(a, b) == bitmap_overlap(b, a)
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(a=bitmaps, b=bitmaps)
+    def test_bounds(self, a, b):
+        assert 0 <= bitmap_overlap(a, b) <= min(popcount(a), popcount(b))
+        assert 0 <= hamming_distance(a, b) <= 16
+
+    @given(a=bitmaps)
+    def test_identity(self, a):
+        assert hamming_distance(a, a) == 0
+        assert bitmap_overlap(a, a) == popcount(a)
+
+    @given(a=bitmaps, b=bitmaps, c=bitmaps)
+    def test_triangle_inequality(self, a, b, c):
+        assert (hamming_distance(a, c)
+                <= hamming_distance(a, b) + hamming_distance(b, c))
+
+    @given(a=bitmaps, b=bitmaps)
+    def test_overlap_and_distance_partition_the_union(self, a, b):
+        # |a ∪ b| = |a ∩ b| + |a Δ b|
+        assert (popcount(a | b)
+                == bitmap_overlap(a, b) + hamming_distance(a, b))
+
+
+def build_access(page, offset, time):
+    block_addr = (page << 6) | offset
+    return DemandAccess(
+        block_addr=block_addr, page=page, block_in_segment=offset,
+        channel_block=page * 16 + offset, time=time, is_read=True,
+        device=DeviceID.CPU,
+    )
+
+
+class TestNoSelfPrefetch:
+    """A prefetcher must never issue the block that triggered it: the
+    demand fetch for that block is already in flight."""
+
+    @given(stream=streams, name=st.sampled_from(["slp", "tlp", "planaria"]))
+    @hsettings(max_examples=30, deadline=None)
+    def test_trigger_block_never_issued(self, stream, name):
+        prefetcher = make_prefetcher(name, DEFAULT_LAYOUT, 0)
+        time = 0
+        for page, offset in stream:
+            time += 40
+            trigger = build_access(page, offset, time)
+            prefetcher.observe(trigger)
+            for was_hit in (False, True):
+                for candidate in prefetcher.issue(trigger, was_hit=was_hit):
+                    assert candidate.block_addr != trigger.block_addr
+
+    @given(stream=streams)
+    @hsettings(max_examples=20, deadline=None)
+    def test_tlp_rpt_neighbour_relation_is_symmetric(self, stream):
+        """The Ref precomputation must stay consistent under allocation
+        and eviction: A lists B as a neighbour iff B lists A."""
+        prefetcher = make_prefetcher("tlp", DEFAULT_LAYOUT, 0)
+        time = 0
+        for page, offset in stream:
+            time += 40
+            prefetcher.observe(build_access(page, offset, time))
+            rpt = prefetcher._rpt
+            for page_a, entry in rpt.items():
+                for page_b in entry.refs:
+                    if page_b in rpt:
+                        assert page_a in rpt[page_b].refs

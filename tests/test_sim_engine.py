@@ -68,6 +68,47 @@ class TestChannelSimulator:
         sim.run(records, warmup_records=5)
         assert sim.metrics.demand_reads == 5
 
+    def test_set_warmup_drives_default_step(self):
+        """step() with no explicit record_metrics honours set_warmup."""
+        sim = channel_sim()
+        sim.set_warmup(3)
+        for index in range(10):
+            sim.step(read(index * 64, 100 + index * 200))
+        assert sim.metrics.demand_reads == 7
+
+    def test_set_warmup_records_seen_hint_resumes_window(self):
+        """A simulator resumed mid-stream (records_seen_hint > 0) counts
+        warmup from the stream's absolute start, not from the resume."""
+        sim = channel_sim()
+        records = [read(index * 64, 100 + index * 200) for index in range(10)]
+        sim.set_warmup(5)
+        for record in records[:4]:
+            sim.step(record)
+        # Resume: 4 already seen, warmup window of 5 still has 1 to go.
+        sim.set_warmup(5, records_seen_hint=4)
+        for record in records[4:]:
+            sim.step(record)
+        assert sim.metrics.demand_reads == 5
+
+    def test_run_resumes_after_partial_stepping(self):
+        """run() after manual step()s keeps counting from where the
+        stream left off instead of restarting the warmup window."""
+        sim = channel_sim()
+        records = [read(index * 64, 100 + index * 200) for index in range(10)]
+        sim.set_warmup(5)
+        for record in records[:4]:
+            sim.step(record)
+        sim.run(records[4:], warmup_records=5)
+        assert sim.metrics.demand_reads == 5
+
+    def test_explicit_record_metrics_overrides_warmup(self):
+        sim = channel_sim()
+        sim.set_warmup(100)
+        sim.step(read(0, 100), record_metrics=True)
+        assert sim.metrics.demand_reads == 1
+        sim.step(read(64, 300), record_metrics=False)
+        assert sim.metrics.demand_reads == 1
+
     def test_prefetcher_channel_mismatch_rejected(self):
         config = tiny_config()
         prefetcher = make_prefetcher("none", config.layout, 1)
@@ -156,6 +197,28 @@ class TestSystemSimulator:
         system = self.make_system("planaria")
         single = system.channels[0].prefetcher.storage_bits()
         assert system.storage_bits() == 4 * single
+
+    def test_merged_queue_stats_sum_channels(self):
+        system = self.make_system("planaria")
+        records = generate_trace(get_profile("CFM"), 10_000, seed=1)
+        system.run(records)
+        merged = system.merged_queue_stats()
+        assert merged.accepted == sum(
+            channel.queue.stats.accepted for channel in system.channels)
+        assert merged.dropped_total() == sum(
+            channel.queue.stats.dropped_total()
+            for channel in system.channels)
+        assert merged.accepted > 0
+
+    def test_queue_stats_merge_empty_channel(self):
+        from repro.prefetch.queue import QueueStats
+
+        merged = QueueStats(accepted=5, dropped_duplicate=2,
+                            dropped_degree=1, dropped_full=3)
+        merged.merge(QueueStats())  # channel that never pushed a candidate
+        assert merged == QueueStats(accepted=5, dropped_duplicate=2,
+                                    dropped_degree=1, dropped_full=3)
+        assert merged.dropped_total() == 6
 
     def test_warmup_fraction_default_from_config(self):
         config = SimConfig(cache=CacheConfig(size_bytes=16 * 1024),
