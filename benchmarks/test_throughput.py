@@ -1,0 +1,129 @@
+"""Records/sec throughput baseline for the simulation hot path.
+
+Measures end-to-end simulation throughput (trace records simulated per
+wall-clock second) through three execution modes —
+
+* the columnar fast loop, serial (the default path),
+* the columnar fast loop under channel-grain parallelism (``"auto"``),
+* the legacy per-record-object loop (``columnar=False``),
+
+— per workload and prefetcher, asserts all three produce bit-identical
+``RunMetrics`` (performance work must never change results), and writes
+the numbers to ``BENCH_throughput.json`` at the repo root.  The committed
+JSON is the performance baseline future changes are compared against:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_throughput.py -s
+
+Set ``REPRO_BENCH_LENGTH`` / ``REPRO_BENCH_APPS`` to shrink runs (the CI
+smoke step does); the committed baseline uses the defaults below.
+"""
+
+import json
+import os
+import platform
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.config import SimConfig
+from repro.prefetch.registry import make_prefetcher
+from repro.sim.engine import SystemSimulator
+from repro.sim.runner import _collect
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", 60_000))
+APPS = [app for app in os.environ.get("REPRO_BENCH_APPS", "CFM").split(",")
+        if app]
+SEED = 7
+PREFETCHERS = ("none", "planaria")
+ROUNDS = 3
+
+#: Object-record-loop throughput at the commit immediately before the
+#: columnar pipeline landed (median of interleaved best-of-3 runs on the
+#: baseline machine; CFM, 60k records, seed 7, experiment_scale config).
+#: Kept as a fixed reference so the committed baseline documents the
+#: speedup of the fast loop over the code it replaced — the in-tree
+#: object loop also got faster (cache/DRAM/replacement optimisations are
+#: shared), so comparing against it alone would understate the change.
+PRE_PR_REFERENCE_RPS = {"none": 46_815, "planaria": 33_172}
+
+
+def _simulate(buffer, prefetcher_name, columnar, parallelism="serial"):
+    config = SimConfig.experiment_scale()
+    simulator = SystemSimulator(
+        config, lambda layout, channel: make_prefetcher(prefetcher_name,
+                                                        layout, channel))
+    simulator.run(buffer, parallelism=parallelism, columnar=columnar)
+    return asdict(_collect(simulator, "throughput", prefetcher_name))
+
+
+def _best_rps(buffer, prefetcher_name, columnar, parallelism="serial"):
+    """(records/sec of the fastest round, metrics of the last round)."""
+    best = None
+    metrics = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        metrics = _simulate(buffer, prefetcher_name, columnar, parallelism)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return len(buffer) / best, metrics
+
+
+def test_throughput_baseline():
+    config = SimConfig.experiment_scale()
+    report = {
+        "benchmark": "simulation throughput (trace records / second)",
+        "trace_length": LENGTH,
+        "seed": SEED,
+        "rounds_per_mode": ROUNDS,
+        "python": platform.python_version(),
+        "workloads": {},
+    }
+    print()
+    for app in APPS:
+        buffer = generate_trace_buffer(get_profile(app), LENGTH, seed=SEED,
+                                       layout=config.layout)
+        per_app = {}
+        for name in PREFETCHERS:
+            serial_rps, serial_metrics = _best_rps(buffer, name,
+                                                   columnar=True)
+            parallel_rps, parallel_metrics = _best_rps(buffer, name,
+                                                       columnar=True,
+                                                       parallelism="auto")
+            object_rps, object_metrics = _best_rps(buffer, name,
+                                                   columnar=False)
+            # The contract before the numbers: all three modes must agree
+            # on every RunMetrics field, bit for bit.
+            assert serial_metrics == object_metrics, name
+            assert parallel_metrics == object_metrics, name
+            per_app[name] = {
+                "columnar_serial_rps": round(serial_rps),
+                "columnar_parallel_rps": round(parallel_rps),
+                "object_loop_rps": round(object_rps),
+                "columnar_vs_object_speedup": round(serial_rps / object_rps,
+                                                    2),
+            }
+            print(f"  {app}/{name}: columnar {serial_rps:,.0f} rec/s "
+                  f"(parallel {parallel_rps:,.0f}), object loop "
+                  f"{object_rps:,.0f} rec/s")
+        report["workloads"][app] = per_app
+
+    if "CFM" in report["workloads"]:
+        cfm = report["workloads"]["CFM"]
+        report["pre_pr_reference"] = {
+            "description": (
+                "object-record loop at the commit before the columnar "
+                "pipeline (median best-of-3, same machine, CFM, 60k "
+                "records, seed 7)"),
+            "rps": PRE_PR_REFERENCE_RPS,
+            "speedup_columnar_vs_pre_pr": {
+                name: round(cfm[name]["columnar_serial_rps"]
+                            / PRE_PR_REFERENCE_RPS[name], 2)
+                for name in PREFETCHERS if name in cfm
+            },
+        }
+
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  wrote {RESULT_PATH}")

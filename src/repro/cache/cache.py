@@ -44,6 +44,14 @@ class AccessResult:
     late_prefetch: bool = False
 
 
+#: Shared results for the two overwhelmingly common outcomes.  AccessResult
+#: is frozen, so handing every plain hit/miss the same instance is safe and
+#: keeps the demand fast path allocation-free (delayed hits and
+#: prefetch-served accesses still build a bespoke result).
+_PLAIN_HIT = AccessResult(hit=True)
+_PLAIN_MISS = AccessResult(hit=False)
+
+
 @dataclass
 class CacheStats:
     """Counters for one cache slice."""
@@ -106,6 +114,15 @@ class SetAssociativeCache:
                                   config.num_sets)
         self.stats = CacheStats()
         self._set_mask = config.num_sets - 1
+        # Per-set tag → way index.  Lookups on the demand path are O(1)
+        # instead of an O(associativity) scan over the 16 ways; fill() and
+        # invalidate() keep it coherent with the way array (the linear scan
+        # survives as _find_way_linear for the coherence property test).
+        self._tag_to_way: List[Dict[int, int]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self._drrip = (self.policy if isinstance(self.policy, DRRIPPolicy)
+                       else None)
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -113,7 +130,8 @@ class SetAssociativeCache:
     def _set_index(self, block_addr: int) -> int:
         return block_addr & self._set_mask
 
-    def _find_way(self, ways: List[CacheBlock], block_addr: int) -> int:
+    def _find_way_linear(self, ways: List[CacheBlock], block_addr: int) -> int:
+        """Reference O(associativity) lookup, kept for coherence tests."""
         for index, block in enumerate(ways):
             if block.tag == block_addr:
                 return index
@@ -121,14 +139,13 @@ class SetAssociativeCache:
 
     def contains(self, block_addr: int) -> bool:
         """True if the block is present (ready or in flight)."""
-        ways = self._sets[self._set_index(block_addr)]
-        return self._find_way(ways, block_addr) >= 0
+        return block_addr in self._tag_to_way[block_addr & self._set_mask]
 
     def probe(self, block_addr: int) -> Optional[CacheBlock]:
         """Inspect a block's state without touching replacement metadata."""
-        ways = self._sets[self._set_index(block_addr)]
-        way = self._find_way(ways, block_addr)
-        return ways[way] if way >= 0 else None
+        set_index = block_addr & self._set_mask
+        way = self._tag_to_way[set_index].get(block_addr)
+        return self._sets[set_index][way] if way is not None else None
 
     # ------------------------------------------------------------------
     # Demand path
@@ -140,16 +157,17 @@ class SetAssociativeCache:
         has scheduled the DRAM access, because only the engine knows the
         fill's ready time.
         """
-        set_index = self._set_index(block_addr)
-        ways = self._sets[set_index]
-        way = self._find_way(ways, block_addr)
-        self.stats.demand_accesses += 1
+        set_index = block_addr & self._set_mask
+        way = self._tag_to_way[set_index].get(block_addr, -1)
+        stats = self.stats
+        stats.demand_accesses += 1
         if way < 0:
-            self.stats.demand_misses += 1
-            if isinstance(self.policy, DRRIPPolicy):
-                self.policy.record_miss(set_index)
-            return AccessResult(hit=False)
+            stats.demand_misses += 1
+            if self._drrip is not None:
+                self._drrip.record_miss(set_index)
+            return _PLAIN_MISS
 
+        ways = self._sets[set_index]
         block = ways[way]
         self.policy.on_hit(set_index, ways, way)
         if is_write:
@@ -161,26 +179,28 @@ class SetAssociativeCache:
             # First demand touch of a prefetched block: it was useful.
             prefetch_source = block.source
             block.prefetched = False
-            self.stats.prefetch_useful[prefetch_source] = (
-                self.stats.prefetch_useful.get(prefetch_source, 0) + 1
+            stats.prefetch_useful[prefetch_source] = (
+                stats.prefetch_useful.get(prefetch_source, 0) + 1
             )
 
         if block.ready_time > now:
             # In-flight fill: MSHR merge / late prefetch.
             wait = block.ready_time - now
-            self.stats.demand_misses += 1
-            self.stats.delayed_hits += 1
+            stats.demand_misses += 1
+            stats.delayed_hits += 1
             if prefetch_source is not None:
                 late = True
-                self.stats.prefetch_late[prefetch_source] = (
-                    self.stats.prefetch_late.get(prefetch_source, 0) + 1
+                stats.prefetch_late[prefetch_source] = (
+                    stats.prefetch_late.get(prefetch_source, 0) + 1
                 )
             return AccessResult(
                 hit=False, delayed=True, wait_cycles=wait,
                 prefetch_source=prefetch_source, late_prefetch=late,
             )
 
-        self.stats.demand_hits += 1
+        stats.demand_hits += 1
+        if prefetch_source is None:
+            return _PLAIN_HIT
         return AccessResult(hit=True, prefetch_source=prefetch_source)
 
     # ------------------------------------------------------------------
@@ -201,14 +221,16 @@ class SetAssociativeCache:
             SimulationError: if the block is already present (the engine
                 must dedup against :meth:`contains` first).
         """
-        set_index = self._set_index(block_addr)
+        set_index = block_addr & self._set_mask
         ways = self._sets[set_index]
-        if self._find_way(ways, block_addr) >= 0:
+        tag_map = self._tag_to_way[set_index]
+        if block_addr in tag_map:
             raise SimulationError(f"double fill of block {block_addr:#x}")
         victim_way = self.policy.victim(set_index, ways)
         victim = ways[victim_way]
         eviction: Optional[EvictionInfo] = None
         if victim.valid:
+            del tag_map[victim.tag]
             eviction = EvictionInfo(
                 tag=victim.tag, dirty=victim.dirty,
                 prefetched=victim.prefetched, source=victim.source,
@@ -220,6 +242,7 @@ class SetAssociativeCache:
                     self.stats.prefetch_unused_evicted.get(victim.source, 0) + 1
                 )
         victim.tag = block_addr
+        tag_map[block_addr] = victim_way
         victim.dirty = dirty
         victim.prefetched = prefetched
         victim.source = source if prefetched else None
@@ -233,11 +256,11 @@ class SetAssociativeCache:
 
     def invalidate(self, block_addr: int) -> bool:
         """Drop a block if present; returns whether anything was dropped."""
-        ways = self._sets[self._set_index(block_addr)]
-        way = self._find_way(ways, block_addr)
-        if way < 0:
+        set_index = block_addr & self._set_mask
+        way = self._tag_to_way[set_index].pop(block_addr, None)
+        if way is None:
             return False
-        ways[way].invalidate()
+        self._sets[set_index][way].invalidate()
         return True
 
     # ------------------------------------------------------------------

@@ -14,20 +14,25 @@ class LRUPolicy(ReplacementPolicy):
     name = "lru"
 
     def on_hit(self, set_index: int, ways: List[CacheBlock], way: int) -> None:
-        ways[way].last_touch = self._next_tick()
+        self._tick += 1
+        ways[way].last_touch = self._tick
 
     def on_fill(self, set_index: int, ways: List[CacheBlock], way: int,
                 prefetched: bool) -> None:
-        ways[way].last_touch = self._next_tick()
+        self._tick += 1
+        ways[way].last_touch = self._tick
 
     def victim(self, set_index: int, ways: List[CacheBlock]) -> int:
-        invalid = self._first_invalid(ways)
-        if invalid >= 0:
-            return invalid
+        # Single pass: the first invalid way wins outright; otherwise the
+        # lowest-index way with the minimum last_touch (strict <) — the
+        # same choice the old invalid-scan + min-scan pair made.
         oldest_way = 0
-        oldest_touch = ways[0].last_touch
-        for index in range(1, len(ways)):
-            if ways[index].last_touch < oldest_touch:
-                oldest_touch = ways[index].last_touch
+        oldest_touch = None
+        for index, block in enumerate(ways):
+            if block.tag is None:
+                return index
+            touch = block.last_touch
+            if oldest_touch is None or touch < oldest_touch:
+                oldest_touch = touch
                 oldest_way = index
         return oldest_way

@@ -11,6 +11,10 @@ Commands
 * ``stability``  — metric spread across generator seeds.
 * ``footprint``  — draw the Figure-2 ASCII scatter for an application.
 * ``storage``    — print Planaria's bit-level storage budget.
+
+``simulate``, ``figure`` and ``stability`` accept ``--profile [FILE]`` to
+run under :mod:`cProfile` and dump a cumulative-time top-25 to stderr or a
+file (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from typing import List, Optional
 from repro.core.storage import planaria_storage_budget
 from repro.errors import ReproError
 from repro.prefetch.registry import PREFETCHER_FACTORIES
-from repro.trace.generator import generate_trace, get_profile, list_workloads
+from repro.trace.generator import get_profile, list_workloads
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -35,14 +39,15 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    from repro.trace.io import write_trace, write_trace_binary
+    from repro.trace.generator import generate_trace_buffer
+    from repro.trace.io import write_trace_binary_buffer, write_trace_buffer
 
     profile = get_profile(args.app)
-    records = generate_trace(profile, args.length, seed=args.seed)
+    buffer = generate_trace_buffer(profile, args.length, seed=args.seed)
     if args.output.endswith(".bin"):
-        count = write_trace_binary(args.output, records)
+        count = write_trace_binary_buffer(args.output, buffer)
     else:
-        count = write_trace(args.output, records)
+        count = write_trace_buffer(args.output, buffer)
     print(f"wrote {count} records of {profile.name} to {args.output}")
     return 0
 
@@ -64,12 +69,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 2
 
     if args.trace:
-        from repro.trace.io import read_trace, read_trace_binary
+        from repro.trace.io import read_trace_binary_buffer, read_trace_buffer
 
         if args.trace.endswith(".bin"):
-            records = read_trace_binary(args.trace)
+            records = read_trace_binary_buffer(args.trace)
         else:
-            records = list(read_trace(args.trace))
+            records = read_trace_buffer(args.trace)
         results = {
             name: simulate(records, name, workload_name=args.trace,
                            config=config,
@@ -154,6 +159,45 @@ def _add_parallelism_argument(parser: argparse.ArgumentParser) -> None:
              "(docs/parallelism.md)")
 
 
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="FILE",
+        help="run the command under cProfile and dump the top functions "
+             "by cumulative time to stderr (no argument) or FILE "
+             "(docs/performance.md)")
+
+
+_PROFILE_TOP_N = 25
+
+
+def _run_profiled(handler, args: argparse.Namespace) -> int:
+    """Run a command handler under cProfile, then dump sorted stats.
+
+    The profile never changes the command's exit code or output; the
+    report goes to stderr (``--profile``) or a file (``--profile FILE``)
+    so stdout stays parseable.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return handler(args)
+    finally:
+        profiler.disable()
+        text = io.StringIO()
+        stats = pstats.Stats(profiler, stream=text)
+        stats.sort_stats("cumulative").print_stats(_PROFILE_TOP_N)
+        if args.profile == "-":
+            sys.stderr.write(text.getvalue())
+        else:
+            with open(args.profile, "w", encoding="utf-8") as handle:
+                handle.write(text.getvalue())
+            print(f"profile written to {args.profile}", file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -181,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--sim-config", metavar="JSON",
                           help="SimConfig JSON file (see repro.config_io)")
     _add_parallelism_argument(simulate)
+    _add_profile_argument(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     figure = commands.add_parser("figure", help="regenerate a paper figure")
@@ -191,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--export", metavar="DIR",
                         help="also write <id>.csv/<id>.svg into DIR")
     _add_parallelism_argument(figure)
+    _add_profile_argument(figure)
     figure.set_defaults(handler=_cmd_figure)
 
     stability = commands.add_parser(
@@ -199,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     stability.add_argument("--prefetcher", default="planaria")
     stability.add_argument("--seeds", type=int, default=5)
     stability.add_argument("--length", type=int, default=40_000)
+    _add_profile_argument(stability)
     stability.set_defaults(handler=_cmd_stability)
 
     footprint = commands.add_parser("footprint", help="Figure-2 ASCII scatter")
@@ -217,6 +264,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "profile", None) is not None:
+            return _run_profiled(args.handler, args)
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

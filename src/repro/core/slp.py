@@ -102,12 +102,16 @@ class SLPPrefetcher(Prefetcher):
 
     def _expire_accumulation(self, now: int) -> None:
         """Step ④: timed-out AT entries carry a complete snapshot to PT."""
+        table = self._accumulation_table
+        if not table:
+            return
         timeout = self.config.at_timeout
-        while self._accumulation_table:
-            page, entry = next(iter(self._accumulation_table.items()))
+        while table:
+            page = next(iter(table))
+            entry = table[page]
             if now - entry.last_time <= timeout:
                 break
-            del self._accumulation_table[page]
+            del table[page]
             self._learn_snapshot(page, entry.bitmap)
 
     def _learn_snapshot(self, page: int, bitmap: int) -> None:

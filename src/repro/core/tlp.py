@@ -25,7 +25,7 @@ from typing import List, Optional, Set
 from repro.config import TLPConfig
 from repro.geometry import AddressLayout
 from repro.prefetch.base import DemandAccess, PrefetchCandidate, Prefetcher
-from repro.utils.bitops import iter_set_bits, popcount
+from repro.utils.bitops import iter_set_bits
 
 
 class _RPTEntry:
@@ -65,9 +65,12 @@ class TLPPrefetcher(Prefetcher):
         """Allocate an RPT entry, computing its Ref bits against residents."""
         entry = _RPTEntry()
         threshold = self.config.distance_threshold
+        low = page - threshold
+        high = page + threshold
+        refs_add = entry.refs.add
         for other_page, other_entry in self._rpt.items():
-            if abs(other_page - page) <= threshold:
-                entry.refs.add(other_page)
+            if low <= other_page <= high:
+                refs_add(other_page)
                 other_entry.refs.add(page)
         self._rpt[page] = entry
         while len(self._rpt) > self.config.rpt_entries:
@@ -94,20 +97,29 @@ class TLPPrefetcher(Prefetcher):
         if entry is None:
             return None
         config = self.config
+        min_common = config.min_common_bits
+        max_foreign = config.max_foreign_bits
+        max_transfer = config.max_transfer_bits
+        rpt_get = self._rpt.get
+        bitmap = entry.bitmap
         best_page = None
         best_difference = None
         for neighbour_page in entry.refs:
-            neighbour = self._rpt.get(neighbour_page)
+            neighbour = rpt_get(neighbour_page)
             if neighbour is None:
                 continue
-            common = popcount(entry.bitmap & neighbour.bitmap)
-            if common < config.min_common_bits:
+            # int.bit_count() directly — bitmaps are non-negative by
+            # construction, so utils.bitops.popcount's guard is redundant
+            # on this per-candidate path.
+            neighbour_bitmap = neighbour.bitmap
+            common = (bitmap & neighbour_bitmap).bit_count()
+            if common < min_common:
                 continue
-            foreign = popcount(entry.bitmap & ~neighbour.bitmap)
-            if foreign > config.max_foreign_bits:
+            foreign = (bitmap & ~neighbour_bitmap).bit_count()
+            if foreign > max_foreign:
                 continue
-            extra = popcount(neighbour.bitmap & ~entry.bitmap)
-            if extra > config.max_transfer_bits:
+            extra = (neighbour_bitmap & ~bitmap).bit_count()
+            if extra > max_transfer:
                 continue
             # Section 4.1's similarity metric: smallest bitmap difference
             # wins, so a same-size pattern beats a dense superset that

@@ -46,6 +46,31 @@ class DRAMChannel:
         # Completion times of in-flight requests (controller queue slots).
         self._outstanding: List[int] = []
         self.stats_queue_stalls = 0
+        # Hoisted per-request constants — service() runs once per DRAM
+        # transaction (tens of thousands per channel per run), so derived
+        # properties and config indirections are resolved here once.
+        mapping = self.mapping
+        self._column_bits = mapping._column_bits
+        self._bank_mask = mapping._bank_mask
+        self._bank_bits = mapping._bank_bits
+        self._rank_mask = mapping._rank_mask
+        self._rank_bits = mapping._rank_bits
+        self._num_banks = config.num_banks
+        self._burst_cycles = self.timing.burst_cycles
+        self._refresh_enabled = config.refresh_enabled
+        self._queue_depth = config.queue_depth
+        self._prefetch_defer = config.prefetch_defer
+        self._writeback_defer = config.writeback_defer
+        self._fcfs = config.scheduler == "fcfs"
+        self._faw_window = self._recent_activates.maxlen
+        timing = self.timing
+        self._tREFI = timing.tREFI
+        self._tWTR = timing.tWTR
+        self._tRRD = timing.tRRD
+        self._tFAW = timing.tFAW
+        self._tCL = timing.tCL
+        self._tCWL = timing.tCWL
+        self._tWR = timing.tWR
 
     # ------------------------------------------------------------------
     # Internals
@@ -86,81 +111,139 @@ class DRAMChannel:
 
         The engine must submit requests in non-decreasing arrival order.
         """
-        now = request.arrival_time
-        if now < self._last_time - self.timing.tREFI:
+        return self.service_scalar(request.block_addr, request.arrival_time,
+                                   request.kind, request.source)
+
+    def service_scalar(self, block_addr: int, arrival_time: int,
+                       kind: RequestKind, source: str = "") -> int:
+        """Allocation-free :meth:`service`: same model, scalar arguments.
+
+        The engine's demand fast loop calls this once per cache miss /
+        prefetch / write-back, so the request is passed as four scalars
+        (no :class:`MemRequest` construction) and the address is decoded
+        inline (no :class:`DecodedAddress` allocation).  Behaviour is
+        bit-identical to ``service(MemRequest(...))``, which delegates
+        here.  Arguments are trusted to be non-negative — callers that
+        build a ``MemRequest`` get its validation; the engine generates
+        addresses and times that are non-negative by construction.
+        """
+        now = arrival_time
+        if now < self._last_time - self._tREFI:
             raise SimulationError(
                 f"request at {now} submitted far out of order (last {self._last_time})"
             )
-        self._last_time = max(self._last_time, now)
-        self._apply_refresh(now)
+        if now > self._last_time:
+            self._last_time = now
+        if self._refresh_enabled and now >= self._next_refresh:
+            self._apply_refresh(now)
 
         # Controller queue backpressure: with queue_depth requests still in
         # flight, a new arrival stalls until the oldest completes.
-        while self._outstanding and self._outstanding[0] <= now:
-            heapq.heappop(self._outstanding)
-        if len(self._outstanding) >= self.config.queue_depth:
-            now = heapq.heappop(self._outstanding)
+        outstanding = self._outstanding
+        while outstanding and outstanding[0] <= now:
+            heapq.heappop(outstanding)
+        if len(outstanding) >= self._queue_depth:
+            now = heapq.heappop(outstanding)
             self.stats_queue_stalls += 1
 
-        timing = self.timing
-        decoded = self.mapping.decode(request.block_addr)
-        bank = self._bank_for(request.block_addr)
+        # Inline address decode (see AddressMapping.decode).
+        remainder = block_addr >> self._column_bits
+        bank_index = remainder & self._bank_mask
+        remainder >>= self._bank_bits
+        if self._rank_bits:
+            rank = remainder & self._rank_mask
+            row = remainder >> self._rank_bits
+        else:
+            rank = 0
+            row = remainder
+        bank = self.banks[rank * self._num_banks + bank_index]
 
+        is_write = (kind is RequestKind.DEMAND_WRITE
+                    or kind is RequestKind.WRITEBACK)
         earliest = now
         # Low-priority traffic is deferred into idle slots: the controller
         # holds prefetches and write-backs briefly so demand reads arriving
         # in the interim window do not queue behind them.
-        if request.kind == RequestKind.PREFETCH:
-            earliest += self.config.prefetch_defer
-        elif request.kind == RequestKind.WRITEBACK:
-            earliest += self.config.writeback_defer
-        if not request.is_write:
+        if kind is RequestKind.PREFETCH:
+            earliest += self._prefetch_defer
+        elif kind is RequestKind.WRITEBACK:
+            earliest += self._writeback_defer
+        if not is_write:
             # Write-to-read turnaround on the shared rank.
-            earliest = max(earliest, self._last_write_end + timing.tWTR)
+            turnaround = self._last_write_end + self._tWTR
+            if turnaround > earliest:
+                earliest = turnaround
 
-        if self.config.scheduler == "fcfs":
+        if self._fcfs and self._last_cas_time > earliest:
             # Strict arrival-order issue: a request cannot overtake the
             # previously issued CAS even when its own bank is idle.
-            earliest = max(earliest, self._last_cas_time)
+            earliest = self._last_cas_time
 
-        act_allowed = self._activate_allowed_at(earliest)
-        cas, outcome, act_time = bank.cas_time(decoded.row, earliest, act_allowed)
-        self._last_cas_time = max(self._last_cas_time, cas)
+        # Rank-level activate constraints (tRRD + tFAW window).
+        act_allowed = self._last_activate_time + self._tRRD
+        if act_allowed < earliest:
+            act_allowed = earliest
+        recent = self._recent_activates
+        if len(recent) == self._faw_window:
+            faw_bound = recent[0] + self._tFAW
+            if faw_bound > act_allowed:
+                act_allowed = faw_bound
+
+        cas, outcome, act_time = bank.cas_time(row, earliest, act_allowed)
+        if cas > self._last_cas_time:
+            self._last_cas_time = cas
+        stats = self.stats
         if act_time >= 0:
-            self._record_activate(act_time)
+            self._last_activate_time = act_time
+            recent.append(act_time)
+            stats.activates += 1
         if outcome == "hit":
-            self.stats.row_hits += 1
+            stats.row_hits += 1
         elif outcome == "miss":
-            self.stats.row_misses += 1
+            stats.row_misses += 1
         else:
-            self.stats.row_conflicts += 1
+            stats.row_conflicts += 1
 
-        cas_latency = timing.tCWL if request.is_write else timing.tCL
-        data_start = max(cas + cas_latency, self._bus_free_time)
-        data_end = data_start + timing.burst_cycles
+        data_start = cas + (self._tCWL if is_write else self._tCL)
+        if data_start < self._bus_free_time:
+            data_start = self._bus_free_time
+        burst = self._burst_cycles
+        data_end = data_start + burst
         self._bus_free_time = data_end
-        self.stats.data_bus_cycles += timing.burst_cycles
+        stats.data_bus_cycles += burst
 
-        if request.is_write:
-            self._last_write_end = data_end + timing.tWR
+        if is_write:
+            self._last_write_end = data_end + self._tWR
 
-        heapq.heappush(self._outstanding, data_end)
+        heapq.heappush(outstanding, data_end)
 
-        latency = data_end - request.arrival_time
-        if request.kind == RequestKind.DEMAND_READ:
-            self.stats.demand_reads += 1
-            self.stats.demand_read_latency.add(latency)
-        elif request.kind == RequestKind.DEMAND_WRITE:
-            self.stats.demand_writes += 1
-        elif request.kind == RequestKind.PREFETCH:
-            self.stats.prefetch_reads += 1
-            self.stats.prefetch_latency.add(latency)
-            if request.source:
-                self.stats.prefetch_reads_by_source[request.source] = (
-                    self.stats.prefetch_reads_by_source.get(request.source, 0) + 1
+        latency = data_end - arrival_time
+        if kind is RequestKind.DEMAND_READ:
+            stats.demand_reads += 1
+            # Inlined RunningStats.add (same operations, same order — the
+            # per-demand-read call overhead is measurable at trace scale).
+            read_stats = stats.demand_read_latency
+            count = read_stats.count + 1
+            read_stats.count = count
+            delta = latency - read_stats._mean
+            mean = read_stats._mean + delta / count
+            read_stats._mean = mean
+            read_stats._m2 += delta * (latency - mean)
+            if read_stats.min is None or latency < read_stats.min:
+                read_stats.min = latency
+            if read_stats.max is None or latency > read_stats.max:
+                read_stats.max = latency
+        elif kind is RequestKind.DEMAND_WRITE:
+            stats.demand_writes += 1
+        elif kind is RequestKind.PREFETCH:
+            stats.prefetch_reads += 1
+            stats.prefetch_latency.add(latency)
+            if source:
+                stats.prefetch_reads_by_source[source] = (
+                    stats.prefetch_reads_by_source.get(source, 0) + 1
                 )
-        elif request.kind == RequestKind.WRITEBACK:
-            self.stats.writebacks += 1
+        else:
+            stats.writebacks += 1
         return data_end
 
     def finish(self, end_time: int) -> None:

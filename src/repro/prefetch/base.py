@@ -80,6 +80,12 @@ class Prefetcher(abc.ABC):
 
     name = "base"
 
+    #: True when ``observe``/``issue`` are pure no-ops (no state, no
+    #: counters, no candidates) — the engine's columnar fast loop then
+    #: skips the prefetcher machinery per record entirely.  Only set this
+    #: on a subclass whose learning and issuing phases touch nothing.
+    passive = False
+
     def __init__(self, layout: AddressLayout, channel: int) -> None:
         if not 0 <= channel < layout.num_channels:
             raise ValueError(

@@ -18,6 +18,7 @@ class NoPrefetcher(Prefetcher):
     """The no-prefetcher baseline ("none" in every figure)."""
 
     name = "none"
+    passive = True  # observe()/issue() are pure no-ops
 
     def observe(self, access: DemandAccess) -> None:
         pass

@@ -19,9 +19,9 @@ Per demand access the channel simulator:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence, Union
 
-from repro.cache.cache import SetAssociativeCache
+from repro.cache.cache import _PLAIN_HIT, _PLAIN_MISS, SetAssociativeCache
 from repro.config import SimConfig
 from repro.dram.channel import DRAMChannel
 from repro.dram.request import MemRequest, RequestKind
@@ -32,7 +32,28 @@ from repro.prefetch.base import DemandAccess, Prefetcher
 from repro.prefetch.queue import PrefetchQueue, QueueStats
 from repro.sim.executor import ParallelExecutor, Parallelism
 from repro.sim.metrics import MetricSet
+from repro.trace.buffer import TraceBuffer, _DEVICE_BY_VALUE
 from repro.trace.record import TraceRecord
+
+#: Records accepted anywhere the engine takes a trace: the columnar form
+#: or the legacy object-record list.
+TraceLike = Union[TraceBuffer, Sequence[TraceRecord]]
+
+
+class _FastDemandAccess:
+    """Mutable, reused stand-in for :class:`DemandAccess` on the fast path.
+
+    The columnar demand loop overwrites one instance per record instead of
+    allocating a frozen dataclass 120k+ times per channel.  Safe because
+    every prefetcher reads the scalar fields synchronously during
+    ``observe``/``issue`` and none retains the object (audited; any new
+    prefetcher that wants to keep state must copy the fields it needs,
+    exactly as it must with the frozen object, which is also reused
+    conceptually — one per ``step`` call).
+    """
+
+    __slots__ = ("block_addr", "page", "block_in_segment", "channel_block",
+                 "time", "is_read", "device")
 
 
 class ChannelSimulator:
@@ -152,12 +173,9 @@ class ChannelSimulator:
         for candidate in self.queue.pop_all():
             if self.cache.contains(candidate.block_addr):
                 continue
-            completion = self.dram.service(MemRequest(
-                block_addr=candidate.block_addr,
-                arrival_time=now,
-                kind=RequestKind.PREFETCH,
-                source=candidate.source,
-            ))
+            completion = self.dram.service_scalar(
+                candidate.block_addr, now, RequestKind.PREFETCH,
+                candidate.source)
             eviction = self.cache.fill(
                 candidate.block_addr, now, ready_time=completion,
                 prefetched=True, source=candidate.source,
@@ -170,18 +188,177 @@ class ChannelSimulator:
         if eviction.prefetched:
             self.prefetcher.notify_unused()
         if eviction.dirty:
-            self.dram.service(MemRequest(
-                block_addr=eviction.tag,
-                arrival_time=now,
-                kind=RequestKind.WRITEBACK,
-            ))
+            self.dram.service_scalar(eviction.tag, now, RequestKind.WRITEBACK)
 
-    def run(self, records: Iterable[TraceRecord],
+    def run(self, records: Union[TraceBuffer, Iterable[TraceRecord]],
             warmup_records: int = 0) -> None:
-        """Drive a full per-channel record stream through the simulator."""
+        """Drive a full per-channel record stream through the simulator.
+
+        A :class:`TraceBuffer` stream goes through the columnar fast loop
+        (:meth:`run_buffer`); an object-record iterable goes through
+        :meth:`step` per record.  Both produce bit-identical state
+        (``tests/test_fastpath_equivalence.py``).
+        """
+        if isinstance(records, TraceBuffer):
+            self.run_buffer(records, warmup_records=warmup_records)
+            return
         self.set_warmup(warmup_records, records_seen_hint=self._records_seen)
         for record in records:
             self.step(record)
+        self.finish()
+
+    def run_buffer(self, buffer: TraceBuffer,
+                   warmup_records: int = 0) -> None:
+        """Columnar fast path: :meth:`run` over a :class:`TraceBuffer`.
+
+        Semantically identical to calling :meth:`step` per record, but
+        iterates the columns directly — no ``TraceRecord``/``DemandAccess``
+        allocation per access — with every attribute and config lookup
+        hoisted out of the loop.  Keep this in lockstep with :meth:`step`.
+        """
+        self.set_warmup(warmup_records, records_seen_hint=self._records_seen)
+        addresses, access_types, device_values, arrival_times = (
+            buffer.columns_as_lists())
+
+        # Hoisted state and bound methods (each saves one or more
+        # attribute lookups per record; together ~2x on the demand loop).
+        records_seen = self._records_seen
+        warmup_until = self._warmup_until
+        last_time = self._last_time
+        layout = self.layout
+        block_bits = layout.block_bits
+        page_bits = layout.page_bits
+        blocks_per_segment = self._blocks_per_segment
+        segment_mask = blocks_per_segment - 1
+        sc_hit_latency = self.config.sc_hit_latency
+        cache_access = self.cache.access
+        cache_fill = self.cache.fill
+        dram_service = self.dram.service_scalar
+        metrics_record = self.metrics.record
+        prefetcher = self.prefetcher
+        observe = prefetcher.observe
+        issue = prefetcher.issue
+        notify_useful = prefetcher.notify_useful
+        queue_push = self.queue.push
+        handle_eviction = self._handle_eviction
+        service_prefetches = self._service_prefetches
+        demand_read = RequestKind.DEMAND_READ
+        devices = [_DEVICE_BY_VALUE[value] for value in range(
+            max(_DEVICE_BY_VALUE) + 1)]
+        device_names = [device.name for device in devices]
+        access = _FastDemandAccess()
+
+        if prefetcher.passive:
+            # Demand-only loop: a passive prefetcher (observe/issue are
+            # pure no-ops) never fills, so prefetch_source is always None
+            # and the access decomposition beyond the block address is
+            # never consumed — skip all of it.  State and metrics are
+            # bit-identical to the full loop below.
+            for address, access_type, device_value, now in zip(
+                    addresses, access_types, device_values, arrival_times):
+                record_metrics = records_seen >= warmup_until
+                records_seen += 1
+                if now > last_time:
+                    last_time = now
+                is_read = access_type == 0  # AccessType.READ
+                block_addr = address >> block_bits
+                result = cache_access(block_addr, now, is_write=not is_read)
+                if result is _PLAIN_HIT:
+                    latency = sc_hit_latency
+                elif result is _PLAIN_MISS:
+                    completion = dram_service(block_addr, now, demand_read)
+                    eviction = cache_fill(block_addr, now, completion,
+                                          False, None, not is_read)
+                    if eviction is not None:
+                        handle_eviction(eviction, now)
+                    if is_read:
+                        latency = sc_hit_latency + (completion - now)
+                    else:
+                        latency = sc_hit_latency
+                else:
+                    # Delayed hit (MSHR merge of an in-flight demand fill).
+                    latency = sc_hit_latency + result.wait_cycles
+                if record_metrics:
+                    metrics_record(latency, is_read,
+                                   device=device_names[device_value])
+            self._records_seen = records_seen
+            self._last_time = last_time
+            self.finish()
+            return
+
+        for address, access_type, device_value, now in zip(
+                addresses, access_types, device_values, arrival_times):
+            record_metrics = records_seen >= warmup_until
+            records_seen += 1
+            if now > last_time:
+                last_time = now
+            is_read = access_type == 0  # AccessType.READ
+            block_addr = address >> block_bits
+            page = address >> page_bits
+            block_in_segment = block_addr & segment_mask
+            access.block_addr = block_addr
+            access.page = page
+            access.block_in_segment = block_in_segment
+            access.channel_block = page * blocks_per_segment + block_in_segment
+            access.time = now
+            access.is_read = is_read
+            access.device = devices[device_value]
+
+            result = cache_access(block_addr, now, is_write=not is_read)
+            # The cache hands back the shared singleton for the two
+            # overwhelmingly common outcomes; an identity check skips the
+            # dataclass field loads on those.
+            if result is _PLAIN_HIT:
+                hit = True
+                prefetch_source = None
+                latency = sc_hit_latency
+            elif result is _PLAIN_MISS:
+                hit = False
+                prefetch_source = None
+                completion = dram_service(block_addr, now, demand_read)
+                eviction = cache_fill(block_addr, now, completion,
+                                      False, None, not is_read)
+                if eviction is not None:
+                    handle_eviction(eviction, now)
+                if is_read:
+                    latency = sc_hit_latency + (completion - now)
+                else:
+                    latency = sc_hit_latency
+            else:
+                # Delayed hits and prefetch-served accesses: the general
+                # decode, mirroring step().
+                hit = result.hit
+                prefetch_source = result.prefetch_source
+                if hit:
+                    latency = sc_hit_latency
+                elif result.delayed:
+                    latency = sc_hit_latency + result.wait_cycles
+                else:
+                    completion = dram_service(block_addr, now, demand_read)
+                    eviction = cache_fill(block_addr, now, completion,
+                                          False, None, not is_read)
+                    if eviction is not None:
+                        handle_eviction(eviction, now)
+                    if is_read:
+                        latency = sc_hit_latency + (completion - now)
+                    else:
+                        latency = sc_hit_latency
+
+            if record_metrics:
+                metrics_record(latency, is_read,
+                               device=device_names[device_value])
+
+            if prefetch_source is not None:
+                notify_useful()
+
+            observe(access)
+            candidates = issue(access, hit, hit and prefetch_source is not None)
+            if candidates:
+                if queue_push(candidates):
+                    service_prefetches(now)
+
+        self._records_seen = records_seen
+        self._last_time = last_time
         self.finish()
 
     def finish(self) -> None:
@@ -202,28 +379,45 @@ class SystemSimulator:
             for channel in range(config.layout.num_channels)
         ]
 
-    def run(self, records: List[TraceRecord],
+    def run(self, records: TraceLike,
             warmup_fraction: Optional[float] = None,
-            parallelism: "Parallelism" = "serial") -> None:
+            parallelism: "Parallelism" = "serial",
+            columnar: bool = True) -> None:
         """Simulate the whole trace.
 
         Records are routed per channel in arrival order; metrics ignore the
-        warmup prefix of each channel's stream.
+        warmup prefix of each channel's stream.  ``records`` may be a
+        :class:`TraceBuffer` (canonical) or an object-record list; with
+        ``columnar`` (the default) a record list is packed into a buffer,
+        the routing loop becomes one vectorized
+        :meth:`TraceBuffer.split_channels` pass, and each channel runs the
+        columnar fast loop.  ``columnar=False`` forces the legacy
+        per-record-object path — same results, kept for the throughput
+        benchmark and the fast-path equivalence suite.
 
         ``parallelism`` selects the channel-grain execution mode
         (``"serial"``, ``"auto"`` or a worker count): channel simulators
         share no mutable state once the trace is split, so each stream may
-        run in its own process and the driven simulator shipped back.
-        Results are bit-identical to serial execution (see
+        run in its own process and the driven simulator shipped back — as
+        compact column arrays, not pickled record objects, on the columnar
+        path.  Results are bit-identical to serial execution (see
         ``docs/parallelism.md``); the serial path is used deterministically
         whenever one worker resolves or no pool is available.
         """
         if warmup_fraction is None:
             warmup_fraction = self.config.warmup_fraction
         layout = self.config.layout
-        streams: List[List[TraceRecord]] = [[] for _ in self.channels]
-        for record in records:
-            streams[layout.channel(record.address)].append(record)
+        if columnar:
+            buffer = (records if isinstance(records, TraceBuffer)
+                      else TraceBuffer.from_records(records))
+            streams: List[TraceLike] = buffer.split_channels(layout)
+        else:
+            record_list = (records.to_records()
+                           if isinstance(records, TraceBuffer) else records)
+            object_streams: List[List[TraceRecord]] = [[] for _ in self.channels]
+            for record in record_list:
+                object_streams[layout.channel(record.address)].append(record)
+            streams = object_streams
         jobs = [
             (channel_sim, stream, int(len(stream) * warmup_fraction))
             for channel_sim, stream in zip(self.channels, streams)

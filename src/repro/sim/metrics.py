@@ -43,11 +43,40 @@ class MetricSet:
 
     def record(self, latency: int, is_read: bool,
                device: Optional[str] = None) -> None:
-        self.all_latency.add(latency)
+        # The two unconditional RunningStats updates and the histogram are
+        # inlined (same Welford operations in the same order as
+        # RunningStats.add / Histogram.add, so results are bit-identical):
+        # record() runs once per post-warmup access and the method-call
+        # overhead of the delegating form shows up in profiles.
+        stats = self.all_latency
+        count = stats.count + 1
+        stats.count = count
+        delta = latency - stats._mean
+        mean = stats._mean + delta / count
+        stats._mean = mean
+        stats._m2 += delta * (latency - mean)
+        if stats.min is None or latency < stats.min:
+            stats.min = latency
+        if stats.max is None or latency > stats.max:
+            stats.max = latency
         if is_read:
             self.demand_reads += 1
-            self.read_latency.add(latency)
-            self.latency_histogram.add(latency)
+            stats = self.read_latency
+            count = stats.count + 1
+            stats.count = count
+            delta = latency - stats._mean
+            mean = stats._mean + delta / count
+            stats._mean = mean
+            stats._m2 += delta * (latency - mean)
+            if stats.min is None or latency < stats.min:
+                stats.min = latency
+            if stats.max is None or latency > stats.max:
+                stats.max = latency
+            histogram = self.latency_histogram
+            bucket = int(latency // histogram.bucket_width)
+            buckets = histogram._buckets
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+            histogram.count += 1
             if device is not None:
                 stats = self.device_read_latency.get(device)
                 if stats is None:

@@ -11,17 +11,16 @@ lines:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.config import SimConfig
 from repro.prefetch.registry import make_prefetcher
-from repro.sim.engine import SystemSimulator
+from repro.sim.engine import SystemSimulator, TraceLike
 from repro.sim.executor import (ParallelExecutor, Parallelism,
                                 SimulationTask)
 from repro.sim.metrics import RunMetrics
-from repro.trace.generator import generate_trace, get_profile
+from repro.trace.generator import generate_trace_buffer, get_profile
 from repro.trace.generator.profile import WorkloadProfile
-from repro.trace.record import TraceRecord
 
 DEFAULT_PREFETCHERS = ("none", "bop", "spp", "planaria")
 DEFAULT_TRACE_LENGTH = 120_000
@@ -35,14 +34,17 @@ class RunResult:
     simulator: SystemSimulator
 
 
-def simulate(records: List[TraceRecord], prefetcher_name: str,
+def simulate(records: TraceLike, prefetcher_name: str,
              workload_name: str = "custom",
              config: Optional[SimConfig] = None,
              parallelism: Parallelism = "serial") -> RunResult:
-    """Run one prefetcher over an explicit record list.
+    """Run one prefetcher over an explicit trace.
 
-    Defaults to :meth:`SimConfig.experiment_scale` — the scaled-down SC
-    matched to the bundled synthetic trace lengths (see DESIGN.md §2); pass
+    ``records`` may be a columnar :class:`~repro.trace.buffer.TraceBuffer`
+    (canonical, fastest) or a ``TraceRecord`` list (converted internally);
+    results are bit-identical either way.  Defaults to
+    :meth:`SimConfig.experiment_scale` — the scaled-down SC matched to the
+    bundled synthetic trace lengths (see DESIGN.md §2); pass
     ``SimConfig.paper_scale()`` when driving full-length traces.
     ``parallelism`` selects channel-grain execution (bit-identical to
     serial; see docs/parallelism.md).
@@ -102,7 +104,8 @@ def run_workload(abbr_or_profile, prefetcher_name: str,
     profile = (abbr_or_profile if isinstance(abbr_or_profile, WorkloadProfile)
                else get_profile(abbr_or_profile))
     config = config or SimConfig.experiment_scale()
-    records = generate_trace(profile, length, seed=seed, layout=config.layout)
+    records = generate_trace_buffer(profile, length, seed=seed,
+                                    layout=config.layout)
     return simulate(records, prefetcher_name,
                     workload_name=profile.abbr, config=config,
                     parallelism=parallelism).metrics
@@ -133,7 +136,8 @@ def compare_prefetchers(abbr_or_profile,
                                 length=length, seed=seed, config=config)
                  for name in names]
         return dict(zip(names, executor.run_tasks(tasks)))
-    records = generate_trace(profile, length, seed=seed, layout=config.layout)
+    records = generate_trace_buffer(profile, length, seed=seed,
+                                    layout=config.layout)
     results: Dict[str, RunMetrics] = {}
     for name in names:
         results[name] = simulate(records, name, workload_name=profile.abbr,

@@ -6,25 +6,26 @@ TLP's thresholds, SLP's AT timeout / filter threshold — on a fixed trace.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.config import PlanariaConfig, SimConfig, SLPConfig, TLPConfig
 from repro.geometry import AddressLayout
 from repro.prefetch.base import Prefetcher
 from repro.sim.executor import ParallelExecutor, Parallelism, SimulationTask
 from repro.sim.metrics import RunMetrics
-from repro.trace.generator import generate_trace, get_profile
-from repro.trace.record import TraceRecord
+from repro.trace.generator import generate_trace_buffer, get_profile
 
 PrefetcherFactory = Callable[[AddressLayout, int], Prefetcher]
 
 
-def simulate_factory(records: List[TraceRecord], factory: PrefetcherFactory,
+def simulate_factory(records, factory: PrefetcherFactory,
                      label: str, workload_name: str = "custom",
                      config: Optional[SimConfig] = None,
                      parallelism: Parallelism = "serial") -> RunMetrics:
     """Like :func:`repro.sim.runner.simulate` but with an arbitrary factory.
 
+    ``records`` may be a :class:`~repro.trace.buffer.TraceBuffer` or a
+    record list, as with :func:`~repro.sim.runner.simulate`.
     Channel-grain parallelism works with any factory (even a lambda): the
     engine pickles the *constructed* per-channel simulators, never the
     factory itself.
@@ -72,8 +73,8 @@ def sweep_planaria(
         )
         return dict(zip(labels, executor.run_tasks(tasks)))
 
-    records = generate_trace(profile, length, seed=seed,
-                             layout=config.layout)
+    records = generate_trace_buffer(profile, length, seed=seed,
+                                    layout=config.layout)
     results: Dict[str, RunMetrics] = {
         "none": simulate_factory(
             records, lambda layout, channel: NoPrefetcher(layout, channel),

@@ -8,17 +8,32 @@ synthesises workloads with the same statistical structure.
 """
 
 from repro.trace.record import AccessType, DeviceID, TraceRecord
-from repro.trace.io import read_trace, write_trace, read_trace_binary, write_trace_binary
+from repro.trace.buffer import TraceBuffer
+from repro.trace.io import (
+    read_trace,
+    read_trace_binary,
+    read_trace_buffer,
+    read_trace_binary_buffer,
+    write_trace,
+    write_trace_binary,
+    write_trace_buffer,
+    write_trace_binary_buffer,
+)
 from repro.trace.stats import TraceStats, compute_trace_stats
 
 __all__ = [
     "AccessType",
     "DeviceID",
     "TraceRecord",
+    "TraceBuffer",
     "read_trace",
     "write_trace",
     "read_trace_binary",
     "write_trace_binary",
+    "read_trace_buffer",
+    "write_trace_buffer",
+    "read_trace_binary_buffer",
+    "write_trace_binary_buffer",
     "TraceStats",
     "compute_trace_stats",
 ]

@@ -19,7 +19,11 @@ calibrated so the analysis benches land near the paper's figures.
 """
 
 from repro.trace.generator.profile import WorkloadProfile
-from repro.trace.generator.synthesis import TraceSynthesizer, generate_trace
+from repro.trace.generator.synthesis import (
+    TraceSynthesizer,
+    generate_trace,
+    generate_trace_buffer,
+)
 from repro.trace.generator.workloads import (
     WORKLOADS,
     get_profile,
@@ -30,6 +34,7 @@ __all__ = [
     "WorkloadProfile",
     "TraceSynthesizer",
     "generate_trace",
+    "generate_trace_buffer",
     "WORKLOADS",
     "get_profile",
     "list_workloads",

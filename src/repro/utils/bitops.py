@@ -14,23 +14,25 @@ def popcount(bitmap: int) -> int:
     """Number of set bits in ``bitmap`` (must be non-negative)."""
     if bitmap < 0:
         raise ValueError(f"popcount of negative value {bitmap}")
-    return bin(bitmap).count("1")
+    return bitmap.bit_count()
 
 
 def iter_set_bits(bitmap: int) -> Iterator[int]:
     """Yield the positions of set bits in ascending order.
+
+    Extracts the lowest set bit with ``bitmap & -bitmap`` each step, so
+    the cost scales with the number of *set* bits, not the bitmap width
+    — these run on every SLP/TLP observe/issue.
 
     >>> list(iter_set_bits(0b1010))
     [1, 3]
     """
     if bitmap < 0:
         raise ValueError(f"iter_set_bits of negative value {bitmap}")
-    position = 0
     while bitmap:
-        if bitmap & 1:
-            yield position
-        bitmap >>= 1
-        position += 1
+        lowest = bitmap & -bitmap
+        yield lowest.bit_length() - 1
+        bitmap ^= lowest
 
 
 def bitmap_from_offsets(offsets: Iterable[int], width: int = 16) -> int:

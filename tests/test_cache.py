@@ -161,3 +161,43 @@ class TestCapacityInvariant:
         # Every block filled and not evicted must be findable.
         resident = sum(1 for block in set(blocks) if cache.contains(block))
         assert resident == cache.occupancy()
+
+
+class TestTagIndexCoherence:
+    """The O(1) per-set tag→way index vs the reference linear way scan.
+
+    ``contains``/``probe``/``access`` consult ``_tag_to_way``; ``fill`` and
+    ``invalidate`` are the only writers.  Under random interleavings of all
+    three operations the dict must stay coherent with the way arrays in
+    both directions, and agree with ``_find_way_linear`` for every
+    resident tag.
+    """
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["access", "fill", "invalidate"]),
+                      st.integers(min_value=0, max_value=63)),
+            min_size=1, max_size=150),
+        st.sampled_from(["lru", "fifo", "srrip", "drrip"]),
+    )
+    @hsettings(max_examples=40, deadline=None)
+    def test_dict_matches_linear_scan(self, operations, policy):
+        cache = small_cache(policy=policy, sets=4, ways=2)
+        now = 0
+        for operation, block in operations:
+            now += 1
+            if operation == "access":
+                cache.access(block, now=now)
+            elif operation == "fill":
+                if not cache.contains(block):
+                    cache.fill(block, now=now, ready_time=now)
+            else:
+                cache.invalidate(block)
+        for set_index in range(cache.num_sets):
+            ways = cache._sets[set_index]
+            tag_map = cache._tag_to_way[set_index]
+            for tag, way in tag_map.items():
+                assert ways[way].tag == tag
+                assert cache._find_way_linear(ways, tag) == way
+            assert {block.tag for block in ways
+                    if block.tag is not None} == set(tag_map)

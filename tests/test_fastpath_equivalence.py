@@ -1,0 +1,66 @@
+"""Columnar fast loop ⇔ object-record path equivalence.
+
+``SystemSimulator.run`` accepts the same trace in two forms: the columnar
+:class:`TraceBuffer` driven through ``ChannelSimulator.run_buffer`` (the
+default) and the legacy per-record-object loop (``columnar=False``).  The
+fast loop skips every per-record allocation, so this suite is the proof
+that it cut *work*, not *behaviour*: every RunMetrics field must be
+bit-identical between the two paths, serially and under channel-grain
+parallelism, on a generated trace and on the committed golden fixture.
+"""
+
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.config import SimConfig
+from repro.prefetch.registry import make_prefetcher
+from repro.sim.engine import SystemSimulator
+from repro.sim.runner import _collect
+from repro.trace.generator import generate_trace_buffer, get_profile
+from repro.trace.io import read_trace
+
+PREFETCHERS = ("none", "bop", "spp", "planaria")
+GOLDEN_TRACE = Path(__file__).parent / "golden" / "trace_CFM_4k.csv"
+
+
+def _run(records, prefetcher_name, columnar, parallelism="serial"):
+    config = SimConfig.experiment_scale()
+    simulator = SystemSimulator(
+        config, lambda layout, channel: make_prefetcher(prefetcher_name,
+                                                        layout, channel))
+    simulator.run(records, parallelism=parallelism, columnar=columnar)
+    return asdict(_collect(simulator, "equivalence", prefetcher_name))
+
+
+@pytest.fixture(scope="module")
+def buffer():
+    return generate_trace_buffer(get_profile("CFM"), 8_000, seed=11)
+
+
+@pytest.mark.parametrize("name", PREFETCHERS)
+def test_columnar_matches_object_path(buffer, name):
+    assert _run(buffer, name, columnar=True) == _run(buffer, name,
+                                                     columnar=False)
+
+
+@pytest.mark.parametrize("name", PREFETCHERS)
+def test_columnar_parallel_matches_object_serial(buffer, name):
+    """Fast loop under channel-grain parallelism vs the serial object loop."""
+    assert _run(buffer, name, columnar=True, parallelism="auto") == _run(
+        buffer, name, columnar=False, parallelism="serial")
+
+
+@pytest.mark.parametrize("name", PREFETCHERS)
+def test_golden_trace_identical_through_both_paths(name):
+    records = list(read_trace(GOLDEN_TRACE))
+    assert _run(records, name, columnar=True) == _run(records, name,
+                                                      columnar=False)
+
+
+def test_passive_fast_loop_matches_object_path(buffer):
+    """The demand-only loop (passive prefetcher specialisation) is exact."""
+    metrics = _run(buffer, "none", columnar=True)
+    assert metrics == _run(buffer, "none", columnar=False)
+    assert metrics["demand_accesses"] == len(buffer)

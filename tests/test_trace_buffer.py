@@ -1,0 +1,163 @@
+"""TraceBuffer: the columnar trace form and its compatibility layer.
+
+The buffer is the canonical in-memory trace; these tests pin down the
+lossless round-trips against the object-record API (``from_records`` /
+``to_records``), the CSV/binary I/O equivalence with the legacy record
+readers/writers, and the vectorized per-channel split against the
+per-record routing the engine used to do.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.geometry import DEFAULT_LAYOUT
+from repro.trace import (
+    AccessType,
+    DeviceID,
+    TraceBuffer,
+    TraceRecord,
+    read_trace,
+    read_trace_binary_buffer,
+    read_trace_buffer,
+    write_trace,
+    write_trace_binary_buffer,
+    write_trace_buffer,
+)
+from repro.trace.generator import (
+    generate_trace,
+    generate_trace_buffer,
+    get_profile,
+)
+from repro.trace.filters import filter_by_channel
+
+
+@pytest.fixture(scope="module")
+def records():
+    return generate_trace(get_profile("CFM"), 2_000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def buffer(records):
+    return TraceBuffer.from_records(records)
+
+
+class TestRoundTrips:
+    def test_records_to_buffer_to_records_is_lossless(self, records, buffer):
+        assert buffer.to_records() == records
+
+    def test_generator_columns_match_generator_records(self, records):
+        generated = generate_trace_buffer(get_profile("CFM"), 2_000, seed=3)
+        assert generated.to_records() == records
+
+    def test_record_indexing_matches_iteration(self, records, buffer):
+        assert len(buffer) == len(records)
+        assert buffer[0] == records[0]
+        assert buffer[-1] == records[-1]
+        assert buffer.record(17) == records[17]
+
+    def test_slice_returns_buffer(self, records, buffer):
+        window = buffer[100:200]
+        assert isinstance(window, TraceBuffer)
+        assert window.to_records() == records[100:200]
+
+    def test_column_lists_are_exact_python_ints(self, records, buffer):
+        addresses, types, devices, times = buffer.columns_as_lists()
+        assert all(type(value) is int for value in addresses[:10])
+        assert addresses == [record.address for record in records]
+        assert types == [int(record.access_type) for record in records]
+        assert devices == [int(record.device) for record in records]
+        assert times == [record.arrival_time for record in records]
+
+    def test_equality_and_nbytes(self, records, buffer):
+        assert buffer == TraceBuffer.from_records(records)
+        assert buffer != buffer[:-1]
+        # 8 + 1 + 1 + 8 bytes per record.
+        assert buffer.nbytes == 18 * len(buffer)
+
+    def test_empty_buffer(self):
+        empty = TraceBuffer.empty()
+        assert len(empty) == 0
+        assert empty.to_records() == []
+
+
+class TestValidation:
+    def test_column_length_mismatch(self):
+        with pytest.raises(TraceFormatError, match="length mismatch"):
+            TraceBuffer.from_columns([0, 64], [0], [0], [0, 1])
+
+    def test_negative_arrival_time(self):
+        with pytest.raises(TraceFormatError, match="arrival"):
+            TraceBuffer.from_columns([0], [0], [0], [-1])
+
+    def test_unknown_access_type_value(self):
+        with pytest.raises(TraceFormatError, match="access type"):
+            TraceBuffer.from_columns([0], [250], [0], [0])
+
+    def test_unknown_device_value(self):
+        with pytest.raises(TraceFormatError, match="device"):
+            TraceBuffer.from_columns([0], [0], [251], [0])
+
+    def test_address_overflow(self):
+        with pytest.raises(TraceFormatError, match="address"):
+            TraceBuffer.from_columns([2 ** 64], [0], [0], [0])
+
+
+class TestIO:
+    def test_csv_writer_matches_legacy_writer(self, tmp_path, records, buffer):
+        legacy = tmp_path / "legacy.csv"
+        columnar = tmp_path / "columnar.csv"
+        assert write_trace(legacy, records) == len(records)
+        assert write_trace_buffer(columnar, buffer) == len(records)
+        assert columnar.read_bytes() == legacy.read_bytes()
+
+    def test_csv_reader_matches_legacy_reader(self, tmp_path, records, buffer):
+        path = tmp_path / "trace.csv"
+        write_trace_buffer(path, buffer)
+        assert read_trace_buffer(path) == buffer
+        assert list(read_trace(path)) == records
+
+    def test_csv_reader_tolerates_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "# address,access_type,device,arrival_time\n"
+            "\n"
+            "0x1000,READ,CPU,5\n"
+        )
+        loaded = read_trace_buffer(path)
+        assert loaded.to_records() == [TraceRecord(
+            address=0x1000, access_type=AccessType.READ,
+            device=DeviceID.CPU, arrival_time=5)]
+
+    def test_csv_reader_reports_path_and_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# header\n0x0,READ\n")
+        with pytest.raises(TraceFormatError, match="bad.csv:2"):
+            read_trace_buffer(path)
+
+    def test_binary_round_trip(self, tmp_path, buffer):
+        path = tmp_path / "trace.bin"
+        assert write_trace_binary_buffer(path, buffer) == len(buffer)
+        # 8-byte magic + u32 count header, then 18 bytes per record.
+        assert path.stat().st_size == 12 + 18 * len(buffer)
+        assert read_trace_binary_buffer(path) == buffer
+
+
+class TestChannelSplit:
+    def test_split_matches_per_record_routing(self, records, buffer):
+        streams = buffer.split_channels(DEFAULT_LAYOUT)
+        assert len(streams) == DEFAULT_LAYOUT.num_channels
+        for channel, stream in enumerate(streams):
+            expected = list(filter_by_channel(records, channel,
+                                              layout=DEFAULT_LAYOUT))
+            assert stream.to_records() == expected
+
+    def test_split_is_a_partition(self, buffer):
+        streams = buffer.split_channels(DEFAULT_LAYOUT)
+        assert sum(len(stream) for stream in streams) == len(buffer)
+
+    def test_channel_indices_match_layout(self, records, buffer):
+        channels = buffer.channel_indices(DEFAULT_LAYOUT)
+        expected = np.array([DEFAULT_LAYOUT.channel(record.address)
+                             for record in records])
+        assert np.array_equal(channels, expected)
