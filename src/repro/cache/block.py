@@ -41,6 +41,19 @@ class CacheBlock:
     def valid(self) -> bool:
         return self.tag is not None
 
+    def snapshot(self) -> tuple:
+        """Compact per-way state tuple (checkpoint support).
+
+        A tuple rather than a dict: a cache slice snapshots thousands of
+        ways, and every field is a scalar.
+        """
+        return (self.tag, self.dirty, self.prefetched, self.source,
+                self.ready_time, self.last_touch, self.inserted, self.rrpv)
+
+    def restore(self, state: tuple) -> None:
+        (self.tag, self.dirty, self.prefetched, self.source,
+         self.ready_time, self.last_touch, self.inserted, self.rrpv) = state
+
     def invalidate(self) -> None:
         self.tag = None
         self.dirty = False

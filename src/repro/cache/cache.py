@@ -79,6 +79,33 @@ class CacheStats:
     def unused_total(self) -> int:
         return sum(self.prefetch_unused_evicted.values())
 
+    def state_dict(self) -> dict:
+        """Snapshot every counter table (checkpoint support)."""
+        return {
+            "demand_accesses": self.demand_accesses,
+            "demand_hits": self.demand_hits,
+            "demand_misses": self.demand_misses,
+            "delayed_hits": self.delayed_hits,
+            "prefetch_fills": self.prefetch_fills,
+            "demand_fills": self.demand_fills,
+            "writebacks": self.writebacks,
+            "prefetch_useful": dict(self.prefetch_useful),
+            "prefetch_late": dict(self.prefetch_late),
+            "prefetch_unused_evicted": dict(self.prefetch_unused_evicted),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.demand_accesses = state["demand_accesses"]
+        self.demand_hits = state["demand_hits"]
+        self.demand_misses = state["demand_misses"]
+        self.delayed_hits = state["delayed_hits"]
+        self.prefetch_fills = state["prefetch_fills"]
+        self.demand_fills = state["demand_fills"]
+        self.writebacks = state["writebacks"]
+        self.prefetch_useful = dict(state["prefetch_useful"])
+        self.prefetch_late = dict(state["prefetch_late"])
+        self.prefetch_unused_evicted = dict(state["prefetch_unused_evicted"])
+
     def merge(self, other: "CacheStats") -> None:
         """Fold another slice's counters in (channel → system aggregation)."""
         self.demand_accesses += other.demand_accesses
@@ -253,6 +280,42 @@ class SetAssociativeCache:
         else:
             self.stats.demand_fills += 1
         return eviction
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot block contents, policy state and counters.
+
+        The tag→way index is *not* stored — :meth:`load_state` rebuilds it
+        from the block array, which both keeps the checkpoint minimal and
+        re-exercises the same coherence invariant the property suite
+        checks.
+        """
+        return {
+            "blocks": [[block.snapshot() for block in ways]
+                       for ways in self._sets],
+            "policy": self.policy.state_dict(),
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a same-shaped cache."""
+        blocks = state["blocks"]
+        if (len(blocks) != self.num_sets
+                or any(len(ways) != self.associativity for ways in blocks)):
+            raise SimulationError(
+                f"checkpoint cache geometry mismatch: expected "
+                f"{self.num_sets}x{self.associativity}")
+        for ways, saved_ways, tag_map in zip(self._sets, blocks,
+                                             self._tag_to_way):
+            tag_map.clear()
+            for way_index, (block, saved) in enumerate(zip(ways, saved_ways)):
+                block.restore(saved)
+                if block.tag is not None:
+                    tag_map[block.tag] = way_index
+        self.policy.load_state(state["policy"])
+        self.stats.load_state(state["stats"])
 
     def invalidate(self, block_addr: int) -> bool:
         """Drop a block if present; returns whether anything was dropped."""

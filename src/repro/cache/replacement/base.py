@@ -31,6 +31,18 @@ class ReplacementPolicy(abc.ABC):
         self._tick += 1
         return self._tick
 
+    # ------------------------------------------------------------------
+    # Checkpoint support — per-block ordering metadata lives on the
+    # blocks themselves and is captured by the cache; the policy only
+    # snapshots its own counters.  Subclasses with extra mutable state
+    # (DRRIP's PSEL, random's RNG) extend both methods.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"tick": self._tick}
+
+    def load_state(self, state: dict) -> None:
+        self._tick = state["tick"]
+
     @abc.abstractmethod
     def on_hit(self, set_index: int, ways: List[CacheBlock], way: int) -> None:
         """Called on a demand hit to ``ways[way]``."""

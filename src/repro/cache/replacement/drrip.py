@@ -30,6 +30,17 @@ class DRRIPPolicy(SRRIPPolicy):
         self._brrip_leaders = set(range(stride, num_sets, stride * 2))
         self._fill_count = 0
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["psel"] = self._psel
+        state["fill_count"] = self._fill_count
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._psel = state["psel"]
+        self._fill_count = state["fill_count"]
+
     def record_miss(self, set_index: int) -> None:
         """Called by the cache on a demand miss, drives set dueling."""
         if set_index in self._srrip_leaders:

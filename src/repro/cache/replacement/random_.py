@@ -18,6 +18,15 @@ class RandomPolicy(ReplacementPolicy):
         super().__init__(associativity, num_sets)
         self._rng = random.Random(seed)
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["rng"] = self._rng.getstate()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._rng.setstate(state["rng"])
+
     def on_hit(self, set_index: int, ways: List[CacheBlock], way: int) -> None:
         pass
 

@@ -11,6 +11,11 @@ Commands
 * ``stability``  — metric spread across generator seeds.
 * ``footprint``  — draw the Figure-2 ASCII scatter for an application.
 * ``storage``    — print Planaria's bit-level storage budget.
+* ``serve``      — run the streaming simulation service (docs/service.md).
+* ``bench-serve``— benchmark the service path, writing BENCH_service.json.
+
+All commands exit 130 on Ctrl-C (the conventional SIGINT code); ``serve``
+additionally drains and checkpoints open sessions on SIGTERM.
 
 ``simulate``, ``figure`` and ``stability`` accept ``--profile [FILE]`` to
 run under :mod:`cProfile` and dump a cumulative-time top-25 to stderr or a
@@ -143,6 +148,41 @@ def _cmd_stability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_server
+
+    stats = run_server(
+        host=args.host, port=args.port,
+        checkpoint_dir=args.checkpoint_dir,
+        max_inflight_chunks=args.max_inflight,
+        workers=args.workers,
+        parallelism=args.parallelism,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    print(f"server drained: {stats}")
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.bench import run_service_bench
+
+    report = run_service_bench(
+        sessions=args.sessions, length=args.length, seed=args.seed,
+        app=args.app, chunk_records=args.chunk_records,
+        max_inflight_chunks=args.max_inflight, workers=args.workers,
+        output=Path(args.output) if args.output else None,
+    )
+    print(f"{report['sessions']} sessions x {report['trace_length']} records "
+          f"in {report['elapsed_seconds']}s: "
+          f"{report['aggregate_records_per_second']:,} rec/s aggregate, "
+          f"{report['backpressure_waits']} backpressure waits")
+    if "written_to" in report:
+        print(f"wrote {report['written_to']}")
+    return 0
+
+
 def _cmd_storage(args: argparse.Namespace) -> int:
     budget = planaria_storage_budget()
     print(budget.format_table())
@@ -256,6 +296,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("storage", help="Planaria storage budget"
                         ).set_defaults(handler=_cmd_storage)
+
+    serve = commands.add_parser(
+        "serve", help="run the streaming simulation service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="enable eviction/resume; sessions checkpoint "
+                            "here on drain")
+    serve.add_argument("--max-inflight", type=int, default=4,
+                       help="per-session queued-chunk bound (backpressure)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="thread-pool size shared by all sessions")
+    serve.add_argument("--checkpoint-interval", type=int, default=0,
+                       help="auto-checkpoint every N chunks (0 disables)")
+    _add_parallelism_argument(serve)
+    serve.set_defaults(handler=_cmd_serve, parallelism="serial")
+
+    bench_serve = commands.add_parser(
+        "bench-serve", help="benchmark the service path end to end")
+    bench_serve.add_argument("--sessions", type=int, default=8)
+    bench_serve.add_argument("--length", type=int, default=20_000)
+    bench_serve.add_argument("--seed", type=int, default=7)
+    bench_serve.add_argument("--app", default="CFM", choices=list_workloads())
+    bench_serve.add_argument("--chunk-records", type=int, default=1024)
+    bench_serve.add_argument("--max-inflight", type=int, default=2)
+    bench_serve.add_argument("--workers", type=int, default=4)
+    bench_serve.add_argument("--output", default="BENCH_service.json",
+                             metavar="FILE", help="report path ('' skips)")
+    bench_serve.set_defaults(handler=_cmd_bench_serve)
     return parser
 
 
@@ -267,6 +337,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if getattr(args, "profile", None) is not None:
             return _run_profiled(args.handler, args)
         return args.handler(args)
+    except KeyboardInterrupt:
+        # 128 + SIGINT: the conventional "killed by Ctrl-C" exit code.
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -36,6 +36,33 @@ class Bank:
         self.row_conflicts = 0
         self.activates = 0
 
+    def state_dict(self) -> dict:
+        """Snapshot the mutable bank state (checkpoint support).
+
+        ``timing`` and ``auto_precharge`` are configuration, owned by the
+        channel that rebuilds the bank.
+        """
+        return {
+            "open_row": self.open_row,
+            "activate_time": self.activate_time,
+            "next_cas_time": self.next_cas_time,
+            "ready_time": self.ready_time,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_conflicts": self.row_conflicts,
+            "activates": self.activates,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.open_row = state["open_row"]
+        self.activate_time = state["activate_time"]
+        self.next_cas_time = state["next_cas_time"]
+        self.ready_time = state["ready_time"]
+        self.row_hits = state["row_hits"]
+        self.row_misses = state["row_misses"]
+        self.row_conflicts = state["row_conflicts"]
+        self.activates = state["activates"]
+
     def block_until(self, time: int) -> None:
         """Refresh (or power-down exit) makes the bank unusable until ``time``."""
         self.ready_time = max(self.ready_time, time)

@@ -246,6 +246,51 @@ class DRAMChannel:
             stats.writebacks += 1
         return data_end
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot all mutable channel state (checkpoint support).
+
+        Config-derived constants (timing, masks, scheduler mode) are not
+        stored; :meth:`load_state` targets a channel built from the same
+        :class:`~repro.config.DRAMConfig`.
+        """
+        return {
+            "banks": [bank.state_dict() for bank in self.banks],
+            "stats": self.stats.state_dict(),
+            "bus_free_time": self._bus_free_time,
+            "last_write_end": self._last_write_end,
+            "recent_activates": list(self._recent_activates),
+            "last_activate_time": self._last_activate_time,
+            "next_refresh": self._next_refresh,
+            "last_time": self._last_time,
+            "last_cas_time": self._last_cas_time,
+            # A heap-ordered list copies as a heap-ordered list.
+            "outstanding": list(self._outstanding),
+            "queue_stalls": self.stats_queue_stalls,
+        }
+
+    def load_state(self, state: dict) -> None:
+        banks = state["banks"]
+        if len(banks) != len(self.banks):
+            raise SimulationError(
+                f"checkpoint bank count mismatch: expected {len(self.banks)}, "
+                f"got {len(banks)}")
+        for bank, saved in zip(self.banks, banks):
+            bank.load_state(saved)
+        self.stats.load_state(state["stats"])
+        self._bus_free_time = state["bus_free_time"]
+        self._last_write_end = state["last_write_end"]
+        self._recent_activates = deque(state["recent_activates"],
+                                       maxlen=self._faw_window)
+        self._last_activate_time = state["last_activate_time"]
+        self._next_refresh = state["next_refresh"]
+        self._last_time = state["last_time"]
+        self._last_cas_time = state["last_cas_time"]
+        self._outstanding = list(state["outstanding"])
+        self.stats_queue_stalls = state["queue_stalls"]
+
     def finish(self, end_time: int) -> None:
         """Close the books at trace end (fixes elapsed-cycle accounting)."""
         self.stats.elapsed_cycles = max(end_time, self._last_time, self._bus_free_time)

@@ -46,6 +46,41 @@ class DRAMStats:
             return 0.0
         return min(1.0, self.data_bus_cycles / self.elapsed_cycles)
 
+    def state_dict(self) -> dict:
+        """Snapshot every counter and latency aggregate (checkpoints)."""
+        return {
+            "demand_reads": self.demand_reads,
+            "demand_writes": self.demand_writes,
+            "prefetch_reads": self.prefetch_reads,
+            "writebacks": self.writebacks,
+            "activates": self.activates,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_conflicts": self.row_conflicts,
+            "refreshes": self.refreshes,
+            "data_bus_cycles": self.data_bus_cycles,
+            "elapsed_cycles": self.elapsed_cycles,
+            "demand_read_latency": self.demand_read_latency.state_dict(),
+            "prefetch_latency": self.prefetch_latency.state_dict(),
+            "prefetch_reads_by_source": dict(self.prefetch_reads_by_source),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.demand_reads = state["demand_reads"]
+        self.demand_writes = state["demand_writes"]
+        self.prefetch_reads = state["prefetch_reads"]
+        self.writebacks = state["writebacks"]
+        self.activates = state["activates"]
+        self.row_hits = state["row_hits"]
+        self.row_misses = state["row_misses"]
+        self.row_conflicts = state["row_conflicts"]
+        self.refreshes = state["refreshes"]
+        self.data_bus_cycles = state["data_bus_cycles"]
+        self.elapsed_cycles = state["elapsed_cycles"]
+        self.demand_read_latency.load_state(state["demand_read_latency"])
+        self.prefetch_latency.load_state(state["prefetch_latency"])
+        self.prefetch_reads_by_source = dict(state["prefetch_reads_by_source"])
+
     def merge(self, other: "DRAMStats") -> None:
         """Fold another channel's counters into this one."""
         self.demand_reads += other.demand_reads

@@ -27,3 +27,46 @@ class SimulationError(ReproError):
 
 class AddressError(ReproError):
     """An address is out of range or violates the configured layout."""
+
+
+class UnknownPrefetcherError(ConfigError, KeyError):
+    """A prefetcher name is not in the registry.
+
+    Subclasses :class:`KeyError` too, since the registry is a mapping and
+    many callers probe it like one; the message names the unknown
+    prefetcher and lists every registered name.
+    """
+
+    def __init__(self, name: str, known: "tuple[str, ...]") -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown prefetcher {name!r}; registered: {', '.join(self.known)}"
+        )
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the lone argument; keep the message.
+        return self.args[0]
+
+
+class ServiceError(ReproError):
+    """The streaming simulation service hit a protocol or session fault."""
+
+
+class SessionNotFoundError(ServiceError, KeyError):
+    """A service request named a session that is not open (or checkpointed)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"no open session {name!r} and no checkpoint to resume")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class SessionExistsError(ServiceError):
+    """``open`` named a session that is already live."""
+
+
+class CheckpointError(ServiceError):
+    """A checkpoint file is missing, corrupt, or from a different setup."""

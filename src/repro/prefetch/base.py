@@ -11,6 +11,7 @@ one issue; monolithic baselines simply implement both methods.
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass
 from typing import List
 
@@ -118,6 +119,38 @@ class Prefetcher(abc.ABC):
     @abc.abstractmethod
     def storage_bits(self) -> int:
         """Total metadata storage in bits (for the 345.2 KB budget check)."""
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    #: Instance attributes excluded from :meth:`state_dict` — immutable
+    #: construction parameters a freshly built prefetcher already carries.
+    _STATE_EXCLUDE = ("layout",)
+
+    def state_dict(self) -> dict:
+        """Deep snapshot of all mutable prefetcher state.
+
+        The default implementation captures the whole instance dict (minus
+        :attr:`_STATE_EXCLUDE`) in one :func:`copy.deepcopy` pass — one
+        memo, so intra-state sharing (e.g. a composite prefetcher holding
+        its sub-prefetchers both as attributes and in a list) survives the
+        round trip.  The parallel executor already relies on these objects
+        pickling bit-exactly, so a deep copy is a faithful snapshot for
+        every registered prefetcher, wrappers included.
+        """
+        return copy.deepcopy({
+            key: value for key, value in self.__dict__.items()
+            if key not in self._STATE_EXCLUDE
+        })
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        Must be called on an instance built with the same layout/channel/
+        configuration as the snapshot's source (the registry factory
+        guarantees this for checkpoint restores).
+        """
+        self.__dict__.update(copy.deepcopy(state))
 
     # ------------------------------------------------------------------
     # Optional engine feedback (see repro.prefetch.throttle)

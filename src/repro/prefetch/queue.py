@@ -31,6 +31,18 @@ class QueueStats:
     dropped_degree: int = 0
     dropped_full: int = 0
 
+    def state_dict(self) -> dict:
+        return {"accepted": self.accepted,
+                "dropped_duplicate": self.dropped_duplicate,
+                "dropped_degree": self.dropped_degree,
+                "dropped_full": self.dropped_full}
+
+    def load_state(self, state: dict) -> None:
+        self.accepted = state["accepted"]
+        self.dropped_duplicate = state["dropped_duplicate"]
+        self.dropped_degree = state["dropped_degree"]
+        self.dropped_full = state["dropped_full"]
+
     def merge(self, other: "QueueStats") -> None:
         self.accepted += other.accepted
         self.dropped_duplicate += other.dropped_duplicate
@@ -98,6 +110,23 @@ class PrefetchQueue:
         self._recent.move_to_end(block_addr)
         while len(self._recent) > self._recent_capacity:
             self._recent.popitem(last=False)
+
+    def state_dict(self) -> dict:
+        """Snapshot pending candidates, the dedup LRU and counters."""
+        return {
+            "pending": [(candidate.block_addr, candidate.source)
+                        for candidate in self._queue],
+            "recent": list(self._recent),
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._queue = deque(
+            PrefetchCandidate(block_addr=addr, source=source)
+            for addr, source in state["pending"]
+        )
+        self._recent = OrderedDict((addr, None) for addr in state["recent"])
+        self.stats.load_state(state["stats"])
 
     def pop_all(self) -> List[PrefetchCandidate]:
         """Drain the queue (the engine services prefetches immediately)."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.errors import ConfigError
+from repro.errors import UnknownPrefetcherError
 from repro.geometry import AddressLayout
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.bop import BestOffsetPrefetcher
@@ -88,11 +88,13 @@ def make_prefetcher(name: str, layout: AddressLayout, channel: int) -> Prefetche
     """Instantiate a prefetcher by registry name.
 
     Raises:
-        ConfigError: unknown name (message lists the registry).
+        UnknownPrefetcherError: unknown name — the message names it and
+            lists every registered prefetcher; the class subclasses both
+            :class:`~repro.errors.ConfigError` and :class:`KeyError`.
     """
     try:
         factory = PREFETCHER_FACTORIES[name]
     except KeyError:
-        known = ", ".join(sorted(PREFETCHER_FACTORIES))
-        raise ConfigError(f"unknown prefetcher {name!r}; known: {known}") from None
+        raise UnknownPrefetcherError(
+            name, tuple(sorted(PREFETCHER_FACTORIES))) from None
     return factory(layout, channel)

@@ -1,0 +1,37 @@
+"""Streaming simulation service.
+
+Turns the batch reproduction into a long-lived online system, in three
+layers (see docs/service.md):
+
+* :mod:`repro.service.checkpoint` — versioned, atomically written on-disk
+  checkpoints of a mid-trace :class:`~repro.sim.engine.SystemSimulator`.
+* :mod:`repro.service.session` — :class:`SessionManager`: many named
+  simulation sessions multiplexed over a worker pool with bounded
+  in-flight chunks (backpressure), live metrics snapshots, idle-session
+  eviction to disk, and crash-safe resume.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — an asyncio
+  TCP server speaking a length-prefixed JSON + binary-column protocol,
+  and the matching synchronous :class:`ServiceClient`.
+
+Every path preserves the repository's core contract: a session fed in
+arbitrary chunks — across checkpoints, evictions and process restarts —
+reports :class:`~repro.sim.metrics.RunMetrics` bit-identical to an
+offline :func:`~repro.sim.runner.simulate` over the same trace.
+"""
+
+from repro.service.checkpoint import (Checkpoint, load_checkpoint,
+                                      restore_simulator, save_checkpoint)
+from repro.service.client import ServiceClient
+from repro.service.session import SessionManager, SessionSnapshot
+from repro.service.server import SimulationServer
+
+__all__ = [
+    "Checkpoint",
+    "ServiceClient",
+    "SessionManager",
+    "SessionSnapshot",
+    "SimulationServer",
+    "load_checkpoint",
+    "restore_simulator",
+    "save_checkpoint",
+]

@@ -1,0 +1,184 @@
+"""Service throughput benchmark: ``python -m repro bench-serve``.
+
+Starts an in-process :class:`~repro.service.server.SimulationServer` on an
+ephemeral port, drives many concurrent client sessions through the full
+TCP path (open → chunked feed → snapshot → close), and writes the results
+to ``BENCH_service.json`` at the repo root.
+
+The benchmark is also a correctness gate, enforcing the two service
+guarantees before recording any numbers:
+
+* every session's final metrics are bit-identical to an offline
+  :func:`~repro.sim.runner.simulate` of the same trace, and
+* backpressure actually engaged (``backpressure_waits > 0``) — the
+  deliberately small ``max_inflight_chunks`` plus more client threads
+  than pool workers guarantees saturation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.config import SimConfig
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.server import SimulationServer
+from repro.service.session import SessionManager
+from repro.sim.engine import channel_warmup_counts
+from repro.sim.metrics import RunMetrics
+from repro.sim.runner import simulate
+from repro.trace.buffer import TraceBuffer
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+DEFAULT_RESULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_service.json"
+#: Prefetchers cycled across sessions (2 sessions each at the default 8).
+BENCH_PREFETCHERS = ("none", "stride", "bop", "planaria")
+
+
+class _ServerThread:
+    """An in-process server on its own event-loop thread (port 0)."""
+
+    def __init__(self, manager: SessionManager) -> None:
+        self.server = SimulationServer(manager, port=0)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-bench-server",
+                                        daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._started.set()
+        self._loop.run_forever()
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise ServiceError("benchmark server failed to start")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(checkpoint=False), self._loop)
+        try:
+            future.result(timeout=30)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+
+def _drive_session(port: int, name: str, prefetcher: str,
+                   buffer: TraceBuffer, config: SimConfig,
+                   warmup: List[int], chunk_records: int,
+                   out: Dict[str, RunMetrics],
+                   errors: Dict[str, BaseException]) -> None:
+    try:
+        with ServiceClient.connect(port=port) as client:
+            client.open(name, prefetcher, workload="bench", config=config,
+                        warmup_records=warmup)
+            client.feed_trace(name, buffer, chunk_records=chunk_records)
+            out[name] = client.close_session(name).metrics
+    except BaseException as exc:  # re-raised on the main thread
+        errors[name] = exc
+
+
+def run_service_bench(sessions: int = 8, length: int = 20_000, seed: int = 7,
+                      app: str = "CFM", chunk_records: int = 1024,
+                      max_inflight_chunks: int = 2, workers: int = 4,
+                      output: Optional[Path] = DEFAULT_RESULT_PATH) -> dict:
+    """Run the benchmark; returns (and optionally writes) the report."""
+    config = SimConfig.experiment_scale()
+    buffer = generate_trace_buffer(get_profile(app), length, seed=seed,
+                                   layout=config.layout)
+    warmup = channel_warmup_counts(buffer, config)
+    plan = [(f"bench-{i:02d}", BENCH_PREFETCHERS[i % len(BENCH_PREFETCHERS)])
+            for i in range(sessions)]
+
+    offline: Dict[str, RunMetrics] = {}
+    for prefetcher in sorted({p for _, p in plan}):
+        offline[prefetcher] = simulate(
+            buffer, prefetcher, workload_name="bench", config=config).metrics
+
+    manager = SessionManager(max_inflight_chunks=max_inflight_chunks,
+                             workers=workers, default_config=config)
+    results: Dict[str, RunMetrics] = {}
+    errors: Dict[str, BaseException] = {}
+    with _ServerThread(manager) as running:
+        threads = [
+            threading.Thread(
+                target=_drive_session,
+                args=(running.port, name, prefetcher, buffer, config,
+                      warmup, chunk_records, results, errors),
+                name=f"repro-bench-{name}")
+            for name, prefetcher in plan
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    if errors:
+        name, first = sorted(errors.items())[0]
+        raise ServiceError(f"session {name!r} failed: {first}") from first
+    stats = manager.stats()
+    manager.shutdown(checkpoint=False)
+
+    mismatched = [
+        name for name, prefetcher in plan
+        if results.get(name) != offline[prefetcher]
+    ]
+    if mismatched:
+        raise ServiceError(
+            f"service metrics diverged from offline simulate() for "
+            f"sessions {mismatched}")
+    if stats["backpressure_waits"] == 0:
+        raise ServiceError(
+            "backpressure never engaged — the benchmark did not exercise "
+            "the in-flight chunk bound")
+
+    total_records = length * sessions
+    report = {
+        "benchmark": "streaming service throughput (records / second "
+                     "across concurrent TCP sessions)",
+        "app": app,
+        "trace_length": length,
+        "seed": seed,
+        "sessions": sessions,
+        "chunk_records": chunk_records,
+        "max_inflight_chunks": max_inflight_chunks,
+        "workers": workers,
+        "python": platform.python_version(),
+        "prefetchers": {name: prefetcher for name, prefetcher in plan},
+        "elapsed_seconds": round(elapsed, 3),
+        "aggregate_records_per_second": round(total_records / elapsed),
+        "per_session_records_per_second": round(
+            total_records / elapsed / sessions),
+        "backpressure_waits": stats["backpressure_waits"],
+        "chunks_executed": stats["chunks_executed"],
+        "equivalence": {
+            "checked_sessions": len(plan),
+            "bit_identical_to_offline_simulate": True,
+        },
+        "sample_metrics": {
+            prefetcher: asdict(metrics)
+            for prefetcher, metrics in offline.items()
+        },
+    }
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        report["written_to"] = str(output)
+    return report

@@ -1,0 +1,110 @@
+"""On-disk simulator checkpoints: versioned, atomic, self-describing.
+
+A checkpoint is one pickle file holding a :class:`Checkpoint` payload —
+the session's identity (prefetcher registry name, workload label, full
+:class:`~repro.config.SimConfig`), its stream position, and the deep
+:meth:`~repro.sim.engine.SystemSimulator.state_dict` snapshot.  Restoring
+rebuilds the simulator from the stored config through the prefetcher
+registry and loads the state on top, so a resumed session continues
+bit-identically to the original run (``tests/test_service_state.py``).
+
+Files are written to a temporary sibling and :func:`os.replace`\\ d into
+place, so a crash mid-write leaves the previous checkpoint intact —
+readers only ever observe complete files.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.config import SimConfig
+from repro.errors import CheckpointError
+from repro.prefetch.registry import make_prefetcher
+from repro.sim.engine import SystemSimulator
+
+PathLike = Union[str, Path]
+
+#: First bytes of every checkpoint payload; rejects arbitrary pickles.
+CHECKPOINT_MAGIC = "planaria-checkpoint"
+#: Bump on any incompatible change to the state layout.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """Everything needed to rebuild and resume one simulation session."""
+
+    prefetcher: str
+    workload: str
+    config: SimConfig
+    records_fed: int
+    chunks_fed: int
+    state: dict
+    magic: str = CHECKPOINT_MAGIC
+    version: int = CHECKPOINT_VERSION
+    extra: dict = field(default_factory=dict)
+
+
+def save_checkpoint(path: PathLike, checkpoint: Checkpoint) -> Path:
+    """Atomically write a checkpoint; returns the final path.
+
+    The temporary file lives in the target directory so the final
+    :func:`os.replace` is a same-filesystem rename (atomic on POSIX).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: PathLike) -> Checkpoint:
+    """Read and validate a checkpoint file.
+
+    Raises:
+        CheckpointError: missing file, not a checkpoint, or an
+            incompatible version.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise CheckpointError(f"{path}: not a readable checkpoint: {exc}") from exc
+    if not isinstance(payload, Checkpoint) or payload.magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path}: not a planaria checkpoint")
+    if payload.version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {payload.version}, "
+            f"this build reads version {CHECKPOINT_VERSION}")
+    return payload
+
+
+def restore_simulator(checkpoint: Checkpoint) -> SystemSimulator:
+    """Rebuild a live simulator from a checkpoint, mid-trace state loaded."""
+    simulator = SystemSimulator(
+        checkpoint.config,
+        lambda layout, channel: make_prefetcher(checkpoint.prefetcher,
+                                                layout, channel),
+    )
+    simulator.load_state(checkpoint.state)
+    return simulator

@@ -1,0 +1,165 @@
+"""Synchronous client for the streaming simulation service.
+
+:class:`ServiceClient` wraps one TCP connection and offers one method
+per protocol op.  Requests on a connection are strictly ordered, so a
+client instance is safe to use from a single thread without extra
+locking; use one client per thread for concurrent sessions.
+
+Typical use::
+
+    with ServiceClient.connect(host, port) as client:
+        client.open("run-a", "planaria", config=config,
+                    warmup_records=warmup)
+        for chunk in chunks:
+            client.feed("run-a", chunk)
+        snapshot = client.close_session("run-a")
+        print(snapshot.metrics.amat)
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable, List, Optional
+
+from repro.config import SimConfig
+from repro.config_io import to_dict as config_to_dict
+from repro.errors import ServiceError
+from repro.service import protocol
+from repro.service.session import SessionSnapshot
+from repro.trace.buffer import TraceBuffer
+
+#: Default record count per chunk for :meth:`ServiceClient.feed_trace`.
+DEFAULT_CHUNK_RECORDS = 4096
+
+
+class ServiceClient:
+    """A blocking, single-connection client for the simulation server."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._closed = False
+
+    @classmethod
+    def connect(cls, host: str = "127.0.0.1", port: int = 8642,
+                timeout: Optional[float] = None) -> "ServiceClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock)
+
+    # ------------------------------------------------------------------
+    # Framing
+    # ------------------------------------------------------------------
+    def _recv_exact(self, count: int) -> bytes:
+        chunks: List[bytes] = []
+        remaining = count
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ServiceError("server closed the connection mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _request(self, header: dict, payload: bytes = b"") -> dict:
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._sock.sendall(protocol.encode_frame(header, payload))
+        prefix = self._recv_exact(protocol.FRAME_PREFIX.size)
+        header_len, payload_len = protocol.parse_prefix(prefix)
+        response = protocol.decode_header(self._recv_exact(header_len))
+        if payload_len:
+            self._recv_exact(payload_len)  # responses carry no payload yet
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "unspecified server error"))
+        return response
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("pong"))
+
+    def open(self, session: str, prefetcher: str, *,
+             workload: str = "stream", config: Optional[SimConfig] = None,
+             warmup_records: Optional[Iterable[int]] = None,
+             resume: bool = False) -> SessionSnapshot:
+        header = {
+            "op": "open",
+            "session": session,
+            "prefetcher": prefetcher,
+            "workload": workload,
+            "resume": resume,
+        }
+        if config is not None:
+            header["config"] = config_to_dict(config)
+        if warmup_records is not None:
+            header["warmup_records"] = [int(n) for n in warmup_records]
+        response = self._request(header)
+        return protocol.snapshot_from_dict(response["snapshot"])
+
+    def feed(self, session: str, buffer: TraceBuffer) -> int:
+        """Send one chunk; returns the record count the server accepted."""
+        response = self._request(
+            {"op": "feed", "session": session, "count": len(buffer)},
+            protocol.encode_buffer(buffer))
+        return int(response["accepted"])
+
+    def feed_trace(self, session: str, buffer: TraceBuffer,
+                   chunk_records: int = DEFAULT_CHUNK_RECORDS) -> int:
+        """Stream a whole trace as fixed-size chunks; returns records sent."""
+        if chunk_records <= 0:
+            raise ServiceError(f"chunk_records must be positive, "
+                               f"got {chunk_records}")
+        sent = 0
+        for start in range(0, len(buffer), chunk_records):
+            sent += self.feed(session, buffer[start:start + chunk_records])
+        return sent
+
+    def snapshot(self, session: str, wait: bool = True) -> SessionSnapshot:
+        response = self._request(
+            {"op": "snapshot", "session": session, "wait": wait})
+        return protocol.snapshot_from_dict(response["snapshot"])
+
+    def checkpoint(self, session: str) -> str:
+        return str(self._request(
+            {"op": "checkpoint", "session": session})["path"])
+
+    def close_session(self, session: str,
+                      delete_checkpoint: bool = True) -> SessionSnapshot:
+        response = self._request({
+            "op": "close",
+            "session": session,
+            "delete_checkpoint": delete_checkpoint,
+        })
+        return protocol.snapshot_from_dict(response["snapshot"])
+
+    def evict_idle(self, max_idle_seconds: float = 0.0) -> List[str]:
+        response = self._request(
+            {"op": "evict", "max_idle_seconds": max_idle_seconds})
+        return list(response["evicted"])
+
+    def stats(self) -> dict:
+        return self._request({"op": "stats"})
+
+    def shutdown_server(self) -> None:
+        """Ask the server to drain and stop (returns once acknowledged)."""
+        self._request({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,158 @@
+"""The service wire protocol: length-prefixed JSON + binary columns.
+
+Every message — request or response — is one frame::
+
+    +------------------+------------------+—————————————+—————————————+
+    | header_len (u32) | payload_len (u32)| JSON header | raw payload |
+    +------------------+------------------+—————————————+—————————————+
+          big-endian        big-endian       UTF-8        optional
+
+The header is a small JSON object (``op``/``session``/... on requests,
+``ok``/``error``/result fields on responses).  The payload carries trace
+chunks for ``feed``: the four :class:`~repro.trace.buffer.TraceBuffer`
+columns concatenated in declaration order as little-endian bytes
+(``u64`` addresses, ``u8`` access types, ``u8`` devices, ``i64`` arrival
+times — 18 bytes/record, the same packing density as the binary trace
+format).  ``header["count"]`` gives the record count; the payload length
+must be exactly ``18 * count``.
+
+Numbers survive the JSON hop bit-exactly: ints are arbitrary precision
+and ``json`` emits floats with ``repr``'s shortest round-trip form, so
+:class:`~repro.sim.metrics.RunMetrics` compare equal across the wire —
+the end-to-end service equivalence tests depend on this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.sim.metrics import RunMetrics
+from repro.trace.buffer import TraceBuffer
+
+#: u32 header length + u32 payload length.
+FRAME_PREFIX = struct.Struct(">II")
+#: Caps guard a confused peer from making the server allocate gigabytes.
+MAX_HEADER_BYTES = 1 << 20
+MAX_PAYLOAD_BYTES = 1 << 28
+
+_BYTES_PER_RECORD = 18  # 8 (address) + 1 (type) + 1 (device) + 8 (time)
+
+
+def encode_frame(header: dict, payload: bytes = b"") -> bytes:
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_HEADER_BYTES:
+        raise ServiceError(f"header too large: {len(raw)} bytes")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ServiceError(f"payload too large: {len(payload)} bytes")
+    return FRAME_PREFIX.pack(len(raw), len(payload)) + raw + payload
+
+
+def decode_header(raw: bytes) -> dict:
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"malformed frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ServiceError("frame header must be a JSON object")
+    return header
+
+
+def parse_prefix(prefix: bytes) -> Tuple[int, int]:
+    """Validate and split the 8-byte frame prefix."""
+    header_len, payload_len = FRAME_PREFIX.unpack(prefix)
+    if header_len > MAX_HEADER_BYTES:
+        raise ServiceError(f"declared header of {header_len} bytes")
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ServiceError(f"declared payload of {payload_len} bytes")
+    return header_len, payload_len
+
+
+# ----------------------------------------------------------------------
+# Trace-chunk payloads
+# ----------------------------------------------------------------------
+def encode_buffer(buffer: TraceBuffer) -> bytes:
+    """Pack a chunk's columns as the feed payload (18 B/record)."""
+    return b"".join((
+        buffer.addresses.astype("<u8", copy=False).tobytes(),
+        buffer.access_types.tobytes(),
+        buffer.devices.tobytes(),
+        buffer.arrival_times.astype("<i8", copy=False).tobytes(),
+    ))
+
+
+def decode_buffer(count: int, payload: bytes) -> TraceBuffer:
+    """Rebuild a :class:`TraceBuffer` from a feed payload.
+
+    Raises:
+        ServiceError: count/length mismatch (truncated or padded frame).
+    """
+    if count < 0:
+        raise ServiceError(f"negative record count {count}")
+    expected = count * _BYTES_PER_RECORD
+    if len(payload) != expected:
+        raise ServiceError(
+            f"feed payload of {len(payload)} bytes does not match "
+            f"{count} records ({expected} bytes)")
+    addresses = np.frombuffer(payload, dtype="<u8", count=count, offset=0)
+    access_types = np.frombuffer(payload, dtype="u1", count=count,
+                                 offset=8 * count)
+    devices = np.frombuffer(payload, dtype="u1", count=count,
+                            offset=9 * count)
+    arrival_times = np.frombuffer(payload, dtype="<i8", count=count,
+                                  offset=10 * count)
+    return TraceBuffer(addresses, access_types, devices, arrival_times)
+
+
+# ----------------------------------------------------------------------
+# Metrics across the wire
+# ----------------------------------------------------------------------
+def metrics_to_dict(metrics: RunMetrics) -> dict:
+    return dataclasses.asdict(metrics)
+
+
+def metrics_from_dict(payload: dict) -> RunMetrics:
+    try:
+        return RunMetrics(**payload)
+    except TypeError as exc:
+        raise ServiceError(f"malformed metrics payload: {exc}") from exc
+
+
+def snapshot_to_dict(snapshot) -> dict:
+    """Serialise a :class:`~repro.service.session.SessionSnapshot`."""
+    return {
+        "name": snapshot.name,
+        "prefetcher": snapshot.prefetcher,
+        "workload": snapshot.workload,
+        "records_fed": snapshot.records_fed,
+        "chunks_fed": snapshot.chunks_fed,
+        "metrics": metrics_to_dict(snapshot.metrics),
+    }
+
+
+def snapshot_from_dict(payload: dict) -> "SessionSnapshot":
+    from repro.service.session import SessionSnapshot
+
+    try:
+        return SessionSnapshot(
+            name=payload["name"],
+            prefetcher=payload["prefetcher"],
+            workload=payload["workload"],
+            records_fed=payload["records_fed"],
+            chunks_fed=payload["chunks_fed"],
+            metrics=metrics_from_dict(payload["metrics"]),
+        )
+    except KeyError as exc:
+        raise ServiceError(f"malformed snapshot payload: missing {exc}") from exc
+
+
+def error_response(message: str, kind: Optional[str] = None) -> dict:
+    response = {"ok": False, "error": message}
+    if kind:
+        response["kind"] = kind
+    return response

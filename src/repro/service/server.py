@@ -1,0 +1,294 @@
+"""Asyncio TCP front-end for the session manager.
+
+One connection may multiplex requests for any number of sessions; frames
+on a connection are processed strictly in order.  Blocking manager calls
+(feed under backpressure, quiescing snapshots) run on the event loop's
+default thread-pool executor, so a saturated session stalls only its own
+connection — the stalled coroutine simply stops reading, and TCP flow
+control pushes the backpressure all the way to the client.
+
+Shutdown is graceful: :meth:`SimulationServer.drain` (wired to SIGTERM /
+SIGINT by :func:`run_server`) stops accepting connections, lets in-flight
+requests finish, checkpoints every open session, and only then returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+from typing import Dict, Optional, Set
+
+from repro.config_io import from_dict as config_from_dict
+from repro.config import SimConfig
+from repro.errors import ReproError, ServiceError
+from repro.service import protocol
+from repro.service.session import SessionManager
+
+logger = logging.getLogger("repro.service")
+
+#: Ops whose handler may block on simulation work (run in the executor).
+_DRAIN_GRACE_SECONDS = 30.0
+
+
+class SimulationServer:
+    """The streaming-simulation TCP server (one per process)."""
+
+    def __init__(self, manager: SessionManager, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._drain_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("serving on %s:%d", self.host, self.port)
+
+    @property
+    def address(self) -> tuple:
+        if self._server is None:
+            raise ServiceError("server not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def drain(self, checkpoint: bool = True,
+                    grace_seconds: float = _DRAIN_GRACE_SECONDS) -> None:
+        """Stop accepting, finish in-flight requests, checkpoint, stop.
+
+        Idempotent: concurrent callers (the ``shutdown`` op, the signal
+        handler, a test fixture) all await the same underlying drain.
+        """
+        if self._drain_task is None:
+            self._drain_task = asyncio.ensure_future(
+                self._drain_impl(checkpoint, grace_seconds))
+        await asyncio.shield(self._drain_task)
+
+    async def _drain_impl(self, checkpoint: bool,
+                          grace_seconds: float) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            done, pending = await asyncio.wait(
+                self._connections, timeout=grace_seconds)
+            for task in pending:
+                task.cancel()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.manager.drain, checkpoint)
+        logger.info("drained: %s", self.manager.stats())
+
+    # ------------------------------------------------------------------
+    # Frame loop
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(protocol.FRAME_PREFIX.size)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                try:
+                    header_len, payload_len = protocol.parse_prefix(prefix)
+                    header = protocol.decode_header(
+                        await reader.readexactly(header_len))
+                    payload = (await reader.readexactly(payload_len)
+                               if payload_len else b"")
+                except asyncio.IncompleteReadError:
+                    break
+                except ServiceError as exc:
+                    # Framing is broken — answer once, then hang up.
+                    writer.write(protocol.encode_frame(
+                        protocol.error_response(str(exc), "protocol")))
+                    await writer.drain()
+                    break
+                response = await self._dispatch(header, payload)
+                writer.write(protocol.encode_frame(response))
+                await writer.drain()
+                if header.get("op") == "shutdown":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, header: dict, payload: bytes) -> dict:
+        op = header.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "open":
+                return await self._op_open(header)
+            if op == "feed":
+                return await self._op_feed(header, payload)
+            if op == "snapshot":
+                return await self._op_snapshot(header)
+            if op == "checkpoint":
+                return await self._op_checkpoint(header)
+            if op == "close":
+                return await self._op_close(header)
+            if op == "evict":
+                return await self._op_evict(header)
+            if op == "stats":
+                return {"ok": True, "stats": self.manager.stats(),
+                        "sessions": self.manager.session_names()}
+            if op == "shutdown":
+                asyncio.get_running_loop().call_soon(
+                    asyncio.ensure_future, self.drain())
+                return {"ok": True, "draining": True}
+            return protocol.error_response(f"unknown op {op!r}", "protocol")
+        except ReproError as exc:
+            return protocol.error_response(str(exc), type(exc).__name__)
+        except Exception as exc:  # never let one request kill the server
+            logger.exception("unhandled error in op %r", op)
+            return protocol.error_response(
+                f"internal error: {type(exc).__name__}: {exc}", "internal")
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _session_name(header: dict) -> str:
+        name = header.get("session")
+        if not isinstance(name, str) or not name:
+            raise ServiceError("request is missing a session name")
+        return name
+
+    async def _op_open(self, header: dict) -> dict:
+        name = self._session_name(header)
+        prefetcher = header.get("prefetcher")
+        if not isinstance(prefetcher, str):
+            raise ServiceError("open requires a prefetcher name")
+        config = None
+        if header.get("config") is not None:
+            config = config_from_dict(SimConfig, header["config"])
+        loop = asyncio.get_running_loop()
+        snapshot = await loop.run_in_executor(
+            None, lambda: self.manager.open(
+                name, prefetcher,
+                workload=header.get("workload", "stream"),
+                config=config,
+                warmup_records=header.get("warmup_records"),
+                resume=bool(header.get("resume", False))))
+        return {"ok": True, "snapshot": protocol.snapshot_to_dict(snapshot)}
+
+    async def _op_feed(self, header: dict, payload: bytes) -> dict:
+        name = self._session_name(header)
+        count = header.get("count")
+        if not isinstance(count, int):
+            raise ServiceError("feed requires an integer record count")
+        buffer = protocol.decode_buffer(count, payload)
+        loop = asyncio.get_running_loop()
+        # feed() blocks while the session is saturated — run it off-loop so
+        # only this connection stalls; the ack covers *acceptance*, chunk
+        # application is pipelined (snapshot/close synchronise).
+        await loop.run_in_executor(None, self.manager.feed, name, buffer)
+        return {"ok": True, "accepted": count}
+
+    async def _op_snapshot(self, header: dict) -> dict:
+        name = self._session_name(header)
+        wait = bool(header.get("wait", True))
+        loop = asyncio.get_running_loop()
+        snapshot = await loop.run_in_executor(
+            None, lambda: self.manager.snapshot(name, wait=wait))
+        return {"ok": True, "snapshot": protocol.snapshot_to_dict(snapshot)}
+
+    async def _op_checkpoint(self, header: dict) -> dict:
+        name = self._session_name(header)
+        loop = asyncio.get_running_loop()
+        path = await loop.run_in_executor(None, self.manager.checkpoint, name)
+        return {"ok": True, "path": str(path)}
+
+    async def _op_close(self, header: dict) -> dict:
+        name = self._session_name(header)
+        delete = bool(header.get("delete_checkpoint", True))
+        loop = asyncio.get_running_loop()
+        snapshot = await loop.run_in_executor(
+            None, lambda: self.manager.close(name, delete_checkpoint=delete))
+        return {"ok": True, "snapshot": protocol.snapshot_to_dict(snapshot)}
+
+    async def _op_evict(self, header: dict) -> dict:
+        max_idle = float(header.get("max_idle_seconds", 0.0))
+        loop = asyncio.get_running_loop()
+        evicted = await loop.run_in_executor(
+            None, self.manager.evict_idle, max_idle)
+        return {"ok": True, "evicted": evicted}
+
+
+async def _serve(server: SimulationServer,
+                 ready: Optional["asyncio.Event"] = None) -> None:
+    """Run until SIGTERM/SIGINT, then drain gracefully."""
+    await server.start()
+    if ready is not None:
+        ready.set()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread or unsupported platform
+    try:
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        await asyncio.wait({serve_task, stop_task},
+                           return_when=asyncio.FIRST_COMPLETED)
+        serve_task.cancel()
+        try:
+            await serve_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        await server.drain()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+
+
+def run_server(host: str = "127.0.0.1", port: int = 8642,
+               checkpoint_dir: Optional[str] = None,
+               max_inflight_chunks: int = 4, workers: int = 4,
+               parallelism: str = "serial",
+               checkpoint_interval: int = 0) -> Dict[str, int]:
+    """Blocking entry point for ``python -m repro serve``.
+
+    Returns the manager's final stats once the server has drained
+    (SIGTERM/SIGINT initiate the drain; KeyboardInterrupt propagates to
+    the CLI, which exits 130).
+    """
+    manager = SessionManager(
+        checkpoint_dir=checkpoint_dir,
+        max_inflight_chunks=max_inflight_chunks,
+        workers=workers,
+        parallelism=parallelism,
+        checkpoint_interval=checkpoint_interval,
+    )
+    server = SimulationServer(manager, host=host, port=port)
+    try:
+        asyncio.run(_serve(server))
+    finally:
+        manager.shutdown(checkpoint=checkpoint_dir is not None)
+    return manager.stats()

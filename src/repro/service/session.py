@@ -1,0 +1,448 @@
+"""Session manager: many named simulations multiplexed over a worker pool.
+
+One :class:`Session` owns one live :class:`~repro.sim.engine.SystemSimulator`
+plus its stream position; the :class:`SessionManager` multiplexes sessions
+over a shared thread pool, one in-order chunk pipeline per session:
+
+* **Backpressure** — each session admits at most ``max_inflight_chunks``
+  queued-or-running chunks; :meth:`SessionManager.feed` blocks past that,
+  which an asyncio server surfaces as natural TCP backpressure (the
+  connection's frames stop being consumed).  Engagements are counted in
+  :attr:`SessionManager.backpressure_waits` so the service benchmark can
+  assert the limit actually bit.
+* **Ordering** — chunks apply in submission order: a session has exactly
+  one drainer task at a time, which pops its FIFO until empty.  Distinct
+  sessions run concurrently; within a feed, channel-grain work fans out
+  through the same :class:`~repro.sim.executor.ParallelExecutor` path the
+  batch runner uses.
+* **Eviction / resume** — :meth:`evict_idle` checkpoints cold sessions to
+  disk and drops them from memory; the next request transparently
+  restores them.  Checkpoints are atomic (see
+  :mod:`repro.service.checkpoint`), so a crash between checkpoints loses
+  at most the chunks fed since the last one — :attr:`Session.records_fed`
+  tells the client where to resume the stream.
+
+All public methods are thread-safe; :meth:`feed` returns a
+:class:`concurrent.futures.Future` so callers may pipeline chunks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import SimConfig
+from repro.errors import (ServiceError, SessionExistsError,
+                          SessionNotFoundError)
+from repro.prefetch.registry import make_prefetcher
+from repro.service.checkpoint import (Checkpoint, load_checkpoint,
+                                      restore_simulator, save_checkpoint)
+from repro.sim.engine import SystemSimulator
+from repro.sim.executor import Parallelism
+from repro.sim.metrics import RunMetrics
+from repro.sim.runner import collect_metrics
+from repro.trace.buffer import TraceBuffer
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """A point-in-time view of one session: identity, position, metrics."""
+
+    name: str
+    prefetcher: str
+    workload: str
+    records_fed: int
+    chunks_fed: int
+    metrics: RunMetrics
+
+
+class Session:
+    """One live streaming simulation (internal to the manager)."""
+
+    def __init__(self, name: str, prefetcher: str, workload: str,
+                 config: SimConfig,
+                 warmup_records: Optional[Sequence[int]] = None) -> None:
+        self.name = name
+        self.prefetcher = prefetcher
+        self.workload = workload
+        self.config = config
+        self.simulator = SystemSimulator(
+            config, lambda layout, channel: make_prefetcher(prefetcher,
+                                                            layout, channel))
+        if warmup_records is not None:
+            self.simulator.set_stream_warmup(warmup_records)
+        self.records_fed = 0
+        self.chunks_fed = 0
+        self.last_active = time.monotonic()
+        # Chunk pipeline state, all guarded by `cond`.
+        self.cond = threading.Condition()
+        self.pending: Deque[Tuple[TraceBuffer, Future]] = deque()
+        self.inflight = 0
+        self.drainer_scheduled = False
+        self.closed = False
+        self.error: Optional[str] = None
+
+    @classmethod
+    def from_checkpoint(cls, name: str, checkpoint: Checkpoint) -> "Session":
+        session = cls.__new__(cls)
+        session.name = name
+        session.prefetcher = checkpoint.prefetcher
+        session.workload = checkpoint.workload
+        session.config = checkpoint.config
+        session.simulator = restore_simulator(checkpoint)
+        session.records_fed = checkpoint.records_fed
+        session.chunks_fed = checkpoint.chunks_fed
+        session.last_active = time.monotonic()
+        session.cond = threading.Condition()
+        session.pending = deque()
+        session.inflight = 0
+        session.drainer_scheduled = False
+        session.closed = False
+        session.error = None
+        return session
+
+    def to_checkpoint(self) -> Checkpoint:
+        return Checkpoint(
+            prefetcher=self.prefetcher,
+            workload=self.workload,
+            config=self.config,
+            records_fed=self.records_fed,
+            chunks_fed=self.chunks_fed,
+            state=self.simulator.state_dict(),
+        )
+
+    def snapshot(self) -> SessionSnapshot:
+        return SessionSnapshot(
+            name=self.name,
+            prefetcher=self.prefetcher,
+            workload=self.workload,
+            records_fed=self.records_fed,
+            chunks_fed=self.chunks_fed,
+            metrics=collect_metrics(self.simulator, self.workload,
+                                    self.prefetcher),
+        )
+
+
+class SessionManager:
+    """Multiplexes named streaming simulations over a bounded worker pool.
+
+    Args:
+        checkpoint_dir: where session checkpoints live; ``None`` disables
+            eviction, auto-checkpointing and resume.
+        max_inflight_chunks: per-session cap on queued-or-running chunks —
+            the backpressure bound.
+        workers: thread-pool size shared by all sessions' drainers.
+        parallelism: channel-grain execution mode for each chunk (same
+            knob as the batch runner; ``"serial"`` is deterministic and
+            the right default for many concurrent sessions).
+        checkpoint_interval: auto-checkpoint a session every N chunks
+            (0 disables; requires ``checkpoint_dir``).
+        default_config: config for sessions opened without one.
+    """
+
+    def __init__(self, checkpoint_dir: Optional[PathLike] = None,
+                 max_inflight_chunks: int = 4, workers: int = 4,
+                 parallelism: Parallelism = "serial",
+                 checkpoint_interval: int = 0,
+                 default_config: Optional[SimConfig] = None) -> None:
+        if max_inflight_chunks < 1:
+            raise ServiceError(
+                f"max_inflight_chunks must be >= 1, got {max_inflight_chunks}")
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
+        self.max_inflight_chunks = max_inflight_chunks
+        self.parallelism = parallelism
+        self.checkpoint_interval = checkpoint_interval
+        self.default_config = default_config
+        self._sessions: Dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix="repro-session")
+        self._shutdown = False
+        # Service-level counters (read by the bench / `stats` op).
+        self.backpressure_waits = 0
+        self.chunks_executed = 0
+        self.records_executed = 0
+        self.sessions_opened = 0
+        self.sessions_resumed = 0
+
+    # ------------------------------------------------------------------
+    # Session lookup / lifecycle
+    # ------------------------------------------------------------------
+    def _checkpoint_path(self, name: str) -> Optional[Path]:
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / f"{name}.ckpt"
+
+    def _get(self, name: str) -> Session:
+        """A live session, transparently restoring an evicted one."""
+        with self._lock:
+            session = self._sessions.get(name)
+            if session is not None:
+                return session
+            path = self._checkpoint_path(name)
+            if path is None or not path.exists():
+                raise SessionNotFoundError(name)
+            session = Session.from_checkpoint(name, load_checkpoint(path))
+            self._sessions[name] = session
+            self.sessions_resumed += 1
+            return session
+
+    def open(self, name: str, prefetcher: str, workload: str = "stream",
+             config: Optional[SimConfig] = None,
+             warmup_records: Optional[Sequence[int]] = None,
+             resume: bool = False) -> SessionSnapshot:
+        """Create a session (or, with ``resume``, restore its checkpoint).
+
+        ``warmup_records`` fixes per-channel warmup windows up front (see
+        :func:`~repro.sim.engine.channel_warmup_counts`); streaming
+        sessions default to no warmup suppression.
+        """
+        if not name or "/" in name or "\x00" in name:
+            raise ServiceError(f"invalid session name {name!r}")
+        with self._lock:
+            if self._shutdown:
+                raise ServiceError("session manager is shut down")
+            if name in self._sessions:
+                raise SessionExistsError(f"session {name!r} is already open")
+            path = self._checkpoint_path(name)
+            if resume and path is not None and path.exists():
+                checkpoint = load_checkpoint(path)
+                if checkpoint.prefetcher != prefetcher:
+                    raise ServiceError(
+                        f"session {name!r} was checkpointed with prefetcher "
+                        f"{checkpoint.prefetcher!r}, not {prefetcher!r}")
+                session = Session.from_checkpoint(name, checkpoint)
+                self.sessions_resumed += 1
+            else:
+                session = Session(
+                    name, prefetcher, workload,
+                    config or self.default_config or SimConfig.experiment_scale(),
+                    warmup_records=warmup_records)
+                self.sessions_opened += 1
+            self._sessions[name] = session
+        return session.snapshot()
+
+    # ------------------------------------------------------------------
+    # The chunk pipeline
+    # ------------------------------------------------------------------
+    def feed(self, name: str, buffer: TraceBuffer,
+             timeout: Optional[float] = None) -> "Future[int]":
+        """Queue one trace chunk; blocks while the session is saturated.
+
+        Returns a future resolving to the session's total records fed once
+        this chunk has been simulated.  The block-on-full behaviour *is*
+        the backpressure contract: a caller cannot run more than
+        ``max_inflight_chunks`` ahead of the simulator.
+        """
+        session = self._get(name)
+        future: "Future[int]" = Future()
+        with session.cond:
+            if session.closed:
+                raise ServiceError(f"session {name!r} is closed")
+            if session.error is not None:
+                raise ServiceError(
+                    f"session {name!r} failed on an earlier chunk: "
+                    f"{session.error}")
+            if session.inflight >= self.max_inflight_chunks:
+                self.backpressure_waits += 1
+                deadline = (None if timeout is None
+                            else time.monotonic() + timeout)
+                while session.inflight >= self.max_inflight_chunks:
+                    remaining = (None if deadline is None
+                                 else deadline - time.monotonic())
+                    if remaining is not None and remaining <= 0:
+                        raise ServiceError(
+                            f"session {name!r}: feed timed out under "
+                            f"backpressure after {timeout}s")
+                    session.cond.wait(remaining)
+                if session.closed:
+                    raise ServiceError(f"session {name!r} is closed")
+            session.inflight += 1
+            session.pending.append((buffer, future))
+            session.last_active = time.monotonic()
+            if not session.drainer_scheduled:
+                session.drainer_scheduled = True
+                self._pool.submit(self._drain, session)
+        return future
+
+    def _drain(self, session: Session) -> None:
+        """Apply one session's queued chunks in order until the FIFO dries."""
+        while True:
+            with session.cond:
+                if not session.pending:
+                    session.drainer_scheduled = False
+                    session.cond.notify_all()
+                    return
+                buffer, future = session.pending.popleft()
+            if not future.set_running_or_notify_cancel():
+                consumed = None  # cancelled before it started
+            else:
+                try:
+                    consumed = session.simulator.feed(
+                        buffer, parallelism=self.parallelism)
+                except BaseException as exc:  # surface to the caller
+                    future.set_exception(exc)
+                    with session.cond:
+                        # feed() acks on accept, so a caller that never
+                        # awaits the future still sees the fault on its
+                        # next snapshot/feed against this session.
+                        session.error = f"{type(exc).__name__}: {exc}"
+                    consumed = None
+            with session.cond:
+                if consumed is not None:
+                    session.records_fed += consumed
+                    session.chunks_fed += 1
+                    self.chunks_executed += 1
+                    self.records_executed += consumed
+                session.inflight -= 1
+                session.last_active = time.monotonic()
+                session.cond.notify_all()
+            if consumed is not None:
+                future.set_result(session.records_fed)
+                if (self.checkpoint_interval
+                        and self.checkpoint_dir is not None
+                        and session.chunks_fed % self.checkpoint_interval == 0):
+                    self._write_checkpoint(session)
+
+    def _quiesce(self, session: Session,
+                 timeout: Optional[float] = None) -> None:
+        """Wait until every queued chunk of this session has applied."""
+        with session.cond:
+            if not session.cond.wait_for(lambda: session.inflight == 0,
+                                         timeout):
+                raise ServiceError(
+                    f"session {session.name!r}: quiesce timed out")
+
+    # ------------------------------------------------------------------
+    # Snapshots, checkpoints, close
+    # ------------------------------------------------------------------
+    def snapshot(self, name: str, wait: bool = True) -> SessionSnapshot:
+        """Live metrics for one session.
+
+        With ``wait`` (default) the snapshot covers every chunk fed so
+        far — the property the service equivalence tests rely on; with
+        ``wait=False`` it reflects whatever has applied at call time.
+        """
+        session = self._get(name)
+        if wait:
+            self._quiesce(session)
+        if session.error is not None:
+            raise ServiceError(
+                f"session {name!r} failed on an earlier chunk: "
+                f"{session.error}")
+        return session.snapshot()
+
+    def _write_checkpoint(self, session: Session) -> Path:
+        path = self._checkpoint_path(session.name)
+        if path is None:
+            raise ServiceError("no checkpoint_dir configured")
+        return save_checkpoint(path, session.to_checkpoint())
+
+    def checkpoint(self, name: str) -> Path:
+        """Quiesce a session and persist it; returns the checkpoint path."""
+        session = self._get(name)
+        self._quiesce(session)
+        return self._write_checkpoint(session)
+
+    def close(self, name: str, delete_checkpoint: bool = True
+              ) -> SessionSnapshot:
+        """Drain, report final metrics, and forget a session.
+
+        A cleanly closed session is gone — by default its checkpoint file
+        is removed too, so the name cannot accidentally resume; pass
+        ``delete_checkpoint=False`` to keep the final state on disk.
+        """
+        session = self._get(name)
+        self._quiesce(session)
+        with session.cond:
+            session.closed = True
+            session.cond.notify_all()
+        final = session.snapshot()
+        with self._lock:
+            self._sessions.pop(name, None)
+        path = self._checkpoint_path(name)
+        if path is not None:
+            if delete_checkpoint:
+                path.unlink(missing_ok=True)
+            else:
+                save_checkpoint(path, session.to_checkpoint())
+        return final
+
+    # ------------------------------------------------------------------
+    # Eviction and shutdown
+    # ------------------------------------------------------------------
+    def evict_idle(self, max_idle_seconds: float) -> List[str]:
+        """Checkpoint-and-drop sessions idle longer than the threshold.
+
+        Only quiescent sessions (no queued chunks) are evicted; the next
+        request against an evicted name transparently restores it from
+        its checkpoint.  No-op without a ``checkpoint_dir``.
+        """
+        if self.checkpoint_dir is None:
+            return []
+        now = time.monotonic()
+        evicted: List[str] = []
+        with self._lock:
+            candidates = list(self._sessions.items())
+        for name, session in candidates:
+            with session.cond:
+                idle = (session.inflight == 0
+                        and now - session.last_active >= max_idle_seconds)
+            if not idle:
+                continue
+            self._write_checkpoint(session)
+            with self._lock:
+                # Re-check under the manager lock: a feed may have raced in.
+                with session.cond:
+                    if session.inflight == 0:
+                        self._sessions.pop(name, None)
+                        evicted.append(name)
+        return evicted
+
+    def session_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def stats(self) -> dict:
+        """Service-level counters (the server's ``stats`` op payload)."""
+        with self._lock:
+            live = len(self._sessions)
+        return {
+            "live_sessions": live,
+            "sessions_opened": self.sessions_opened,
+            "sessions_resumed": self.sessions_resumed,
+            "chunks_executed": self.chunks_executed,
+            "records_executed": self.records_executed,
+            "backpressure_waits": self.backpressure_waits,
+            "max_inflight_chunks": self.max_inflight_chunks,
+        }
+
+    def drain(self, checkpoint: bool = True) -> None:
+        """Quiesce every session (and checkpoint them) — the SIGTERM path."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            self._quiesce(session)
+            if checkpoint and self.checkpoint_dir is not None:
+                self._write_checkpoint(session)
+
+    def shutdown(self, checkpoint: bool = True) -> None:
+        """Drain, then stop accepting work and release the pool."""
+        self.drain(checkpoint=checkpoint)
+        with self._lock:
+            self._shutdown = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

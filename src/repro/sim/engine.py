@@ -364,6 +364,70 @@ class ChannelSimulator:
     def finish(self) -> None:
         self.dram.finish(self._last_time)
 
+    # ------------------------------------------------------------------
+    # Incremental feeding + checkpoint support
+    # ------------------------------------------------------------------
+    def feed(self, records: Union[TraceBuffer, Iterable[TraceRecord]]) -> None:
+        """Drive one chunk of this channel's stream, preserving warmup.
+
+        Unlike :meth:`run` (which *sets* the warmup window), ``feed``
+        keeps the window configured by :meth:`set_warmup` and resumes the
+        access count where the previous chunk stopped — so any sequence
+        of ``feed`` calls over consecutive chunks is bit-identical to one
+        :meth:`run` over the concatenated stream (``finish`` recomputes
+        trailing-edge accounting from current state, so intermediate
+        calls are harmless).
+        """
+        self.run(records, warmup_records=self._warmup_until)
+
+    def state_dict(self) -> dict:
+        """Snapshot everything :meth:`feed` mutates, component by component.
+
+        The snapshot is deep: no live references into the simulator
+        escape, so the source may keep running after the checkpoint.
+        """
+        return {
+            "records_seen": self._records_seen,
+            "warmup_until": self._warmup_until,
+            "last_time": self._last_time,
+            "cache": self.cache.state_dict(),
+            "dram": self.dram.state_dict(),
+            "queue": self.queue.state_dict(),
+            "metrics": self.metrics.state_dict(),
+            "prefetcher": self.prefetcher.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        The target must have been built with the same :class:`SimConfig`
+        and prefetcher factory as the snapshot's source; subsequent
+        ``feed`` calls then continue bit-identically to the original run.
+        """
+        self._records_seen = state["records_seen"]
+        self._warmup_until = state["warmup_until"]
+        self._last_time = state["last_time"]
+        self.cache.load_state(state["cache"])
+        self.dram.load_state(state["dram"])
+        self.queue.load_state(state["queue"])
+        self.metrics.load_state(state["metrics"])
+        self.prefetcher.load_state(state["prefetcher"])
+
+
+def channel_warmup_counts(records: TraceLike, config: SimConfig) -> List[int]:
+    """Per-channel warmup record counts an offline run would use.
+
+    :meth:`SystemSimulator.run` suppresses metrics for the first
+    ``len(channel_stream) * warmup_fraction`` accesses of each channel.
+    A streaming caller that wants bit-identical metrics must fix those
+    counts *before* the first chunk (warmup suppression cannot be applied
+    retroactively); this helper computes them from the full trace.
+    """
+    buffer = (records if isinstance(records, TraceBuffer)
+              else TraceBuffer.from_records(records))
+    return [int(len(stream) * config.warmup_fraction)
+            for stream in buffer.split_channels(config.layout)]
+
 
 class SystemSimulator:
     """All four channels: splits the bus trace and merges results."""
@@ -429,6 +493,72 @@ class SystemSimulator:
         else:
             for channel_sim, stream, warmup in jobs:
                 channel_sim.run(stream, warmup_records=warmup)
+
+    # ------------------------------------------------------------------
+    # Incremental feeding + checkpoint support
+    # ------------------------------------------------------------------
+    def set_stream_warmup(self, warmup_records: Sequence[int]) -> None:
+        """Fix per-channel warmup windows for a chunked (streaming) run.
+
+        Call once before the first :meth:`feed` with the counts an offline
+        :meth:`run` would derive (see :func:`channel_warmup_counts`); a
+        session fed in arbitrary chunks then reports metrics bit-identical
+        to the one-shot run.  Without this, streaming sessions default to
+        no warmup suppression.
+        """
+        if len(warmup_records) != len(self.channels):
+            raise SimulationError(
+                f"expected {len(self.channels)} warmup counts, "
+                f"got {len(warmup_records)}")
+        for channel_sim, warmup in zip(self.channels, warmup_records):
+            channel_sim.set_warmup(int(warmup),
+                                   records_seen_hint=channel_sim._records_seen)
+
+    def feed(self, records: TraceLike,
+             parallelism: "Parallelism" = "serial") -> int:
+        """Ingest one chunk of the bus trace; returns the records consumed.
+
+        The chunk is routed per channel and driven through each channel's
+        :meth:`ChannelSimulator.feed`, preserving the warmup windows set
+        by :meth:`set_stream_warmup` and each channel's position in its
+        stream.  Any chunking of a trace — including empty chunks — yields
+        final state bit-identical to a single :meth:`run` over the whole
+        trace.  ``parallelism`` fans the per-channel work out through the
+        same executor path :meth:`run` uses.
+        """
+        buffer = (records if isinstance(records, TraceBuffer)
+                  else TraceBuffer.from_records(records))
+        streams = buffer.split_channels(self.config.layout)
+        jobs = [
+            (channel_sim, stream, channel_sim._warmup_until)
+            for channel_sim, stream in zip(self.channels, streams)
+        ]
+        executor = ParallelExecutor(parallelism)
+        if executor.workers_for(len(jobs)) > 1:
+            self.channels = executor.run_channels(jobs)
+        else:
+            for channel_sim, stream, warmup in jobs:
+                channel_sim.run(stream, warmup_records=warmup)
+        return len(buffer)
+
+    def records_fed(self) -> int:
+        """Total accesses stepped through across all channels so far."""
+        return sum(channel_sim._records_seen for channel_sim in self.channels)
+
+    def state_dict(self) -> dict:
+        """Deep snapshot of all channels (see docs/service.md)."""
+        return {"channels": [channel_sim.state_dict()
+                             for channel_sim in self.channels]}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot onto a simulator built from the same config."""
+        channels = state["channels"]
+        if len(channels) != len(self.channels):
+            raise SimulationError(
+                f"checkpoint channel count mismatch: expected "
+                f"{len(self.channels)}, got {len(channels)}")
+        for channel_sim, saved in zip(self.channels, channels):
+            channel_sim.load_state(saved)
 
     # ------------------------------------------------------------------
     # Aggregation

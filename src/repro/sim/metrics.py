@@ -85,6 +85,32 @@ class MetricSet:
         else:
             self.demand_writes += 1
 
+    def state_dict(self) -> dict:
+        """Snapshot every aggregate, bit-exactly (checkpoint support)."""
+        return {
+            "demand_reads": self.demand_reads,
+            "demand_writes": self.demand_writes,
+            "read_latency": self.read_latency.state_dict(),
+            "all_latency": self.all_latency.state_dict(),
+            "latency_histogram": self.latency_histogram.state_dict(),
+            "device_read_latency": {
+                device: stats.state_dict()
+                for device, stats in self.device_read_latency.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.demand_reads = state["demand_reads"]
+        self.demand_writes = state["demand_writes"]
+        self.read_latency.load_state(state["read_latency"])
+        self.all_latency.load_state(state["all_latency"])
+        self.latency_histogram.load_state(state["latency_histogram"])
+        self.device_read_latency = {}
+        for device, saved in state["device_read_latency"].items():
+            stats = RunningStats()
+            stats.load_state(saved)
+            self.device_read_latency[device] = stats
+
     def merge(self, other: "MetricSet") -> None:
         self.demand_reads += other.demand_reads
         self.demand_writes += other.demand_writes

@@ -59,6 +59,17 @@ def simulate(records: TraceLike, prefetcher_name: str,
     return RunResult(metrics=metrics, simulator=simulator)
 
 
+def collect_metrics(simulator: SystemSimulator, workload: str,
+                    prefetcher: str) -> RunMetrics:
+    """Condense a driven simulator's state into a :class:`RunMetrics`.
+
+    Read-only: safe to call mid-stream on a live simulator (the service
+    layer's snapshot path), and again later — each call reflects the
+    records fed so far.
+    """
+    return _collect(simulator, workload, prefetcher)
+
+
 def _collect(simulator: SystemSimulator, workload: str,
              prefetcher: str) -> RunMetrics:
     cache_stats = simulator.merged_cache_stats()

@@ -51,6 +51,22 @@ class RunningStats:
     def total(self) -> float:
         return self._mean * self.count
 
+    def state_dict(self) -> dict:
+        """Snapshot every accumulator field (checkpoint support).
+
+        The values are returned verbatim — no rounding, no re-derivation —
+        so a :meth:`load_state` round-trip is bit-identical.
+        """
+        return {"count": self.count, "mean": self._mean, "m2": self._m2,
+                "min": self.min, "max": self.max}
+
+    def load_state(self, state: dict) -> None:
+        self.count = state["count"]
+        self._mean = state["mean"]
+        self._m2 = state["m2"]
+        self.min = state["min"]
+        self.max = state["max"]
+
     def merge(self, other: "RunningStats") -> None:
         """Fold another aggregate into this one (parallel-channel merge)."""
         if other.count == 0:
@@ -89,6 +105,19 @@ class Histogram:
         bucket = int(sample // self.bucket_width)
         self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
         self.count += 1
+
+    def state_dict(self) -> dict:
+        """Snapshot the bucket table (checkpoint support)."""
+        return {"bucket_width": self.bucket_width,
+                "buckets": dict(self._buckets), "count": self.count}
+
+    def load_state(self, state: dict) -> None:
+        if state["bucket_width"] != self.bucket_width:
+            raise ValueError(
+                f"cannot load a {state['bucket_width']}-wide histogram into "
+                f"a {self.bucket_width}-wide one")
+        self._buckets = dict(state["buckets"])
+        self.count = state["count"]
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram in (parallel-channel merge).

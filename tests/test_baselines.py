@@ -38,6 +38,25 @@ class TestRegistry:
         with pytest.raises(ConfigError, match="unknown prefetcher"):
             make_prefetcher("oracle", DEFAULT_LAYOUT, 0)
 
+    def test_unknown_name_is_a_helpful_keyerror(self):
+        from repro.errors import UnknownPrefetcherError
+
+        with pytest.raises(UnknownPrefetcherError) as excinfo:
+            make_prefetcher("oracle", DEFAULT_LAYOUT, 0)
+        error = excinfo.value
+        # Catchable as either family — dict-style callers use KeyError,
+        # config validation uses ConfigError.
+        assert isinstance(error, KeyError)
+        assert isinstance(error, ConfigError)
+        assert error.name == "oracle"
+        assert error.known == tuple(sorted(PREFETCHER_FACTORIES))
+        # The message names the offender and every registered prefetcher
+        # (and str() must not be wrapped in KeyError's repr quoting).
+        message = str(error)
+        assert message.startswith("unknown prefetcher 'oracle'")
+        for name in PREFETCHER_FACTORIES:
+            assert name in message
+
     def test_channel_bound_checked(self):
         with pytest.raises(ValueError):
             make_prefetcher("none", DEFAULT_LAYOUT, 4)

@@ -75,6 +75,59 @@ class TestOthers:
             main([])
 
 
+class TestKeyboardInterrupt:
+    """Ctrl-C must exit with the conventional 128+SIGINT code, not a
+    traceback, whichever command was running."""
+
+    def _assert_130(self, argv, capsys):
+        assert main(argv) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_simulate(self, monkeypatch, capsys):
+        import repro.sim.runner as runner
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner, "compare_prefetchers", interrupt)
+        self._assert_130(["simulate", "--app", "CFM", "--length", "100"],
+                         capsys)
+
+    def test_figure(self, monkeypatch, capsys):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        def interrupt(settings):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(ALL_EXPERIMENTS, "fig4", interrupt)
+        self._assert_130(["figure", "fig4", "--length", "100"], capsys)
+
+    def test_serve(self, monkeypatch, capsys):
+        import repro.service.server as server
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(server, "run_server", interrupt)
+        self._assert_130(["serve", "--port", "0"], capsys)
+
+
+class TestServe:
+    def test_bench_serve_smoke(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_service.json"
+        assert main(["bench-serve", "--sessions", "3", "--length", "600",
+                     "--chunk-records", "32", "--max-inflight", "1",
+                     "--workers", "1", "--output", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "3 sessions x 600 records" in captured
+        assert "backpressure waits" in captured
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["equivalence"]["bit_identical_to_offline_simulate"]
+        assert report["backpressure_waits"] > 0
+
+
 class TestSimConfigFile:
     def test_simulate_with_config_file(self, tmp_path, capsys):
         from repro.config import SimConfig

@@ -1,0 +1,235 @@
+"""SessionManager behaviour: pipelining, backpressure, eviction, resume.
+
+Uses small traces and the in-process manager directly (no sockets); the
+TCP layer on top is covered by tests/test_service_server.py.
+"""
+
+import functools
+import threading
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import (ServiceError, SessionExistsError,
+                          SessionNotFoundError)
+from repro.service.session import SessionManager
+from repro.sim.engine import channel_warmup_counts
+from repro.sim.runner import simulate
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+LENGTH = 1200
+SEED = 5
+
+
+@functools.lru_cache(maxsize=None)
+def _config():
+    return SimConfig.experiment_scale()
+
+
+@functools.lru_cache(maxsize=None)
+def _trace():
+    return generate_trace_buffer(get_profile("CFM"), LENGTH, seed=SEED,
+                                 layout=_config().layout)
+
+
+@functools.lru_cache(maxsize=None)
+def _offline_metrics(prefetcher):
+    return simulate(_trace(), prefetcher, workload_name="stream",
+                    config=_config()).metrics
+
+
+def _warmup():
+    return channel_warmup_counts(_trace(), _config())
+
+
+@pytest.fixture
+def manager(tmp_path):
+    with SessionManager(checkpoint_dir=tmp_path / "ckpt",
+                        default_config=_config()) as mgr:
+        yield mgr
+
+
+class TestLifecycle:
+    def test_chunked_session_matches_offline_simulate(self, manager):
+        trace = _trace()
+        manager.open("s", "planaria", warmup_records=_warmup())
+        for start in range(0, len(trace), 200):
+            manager.feed("s", trace[start:start + 200])
+        snapshot = manager.snapshot("s")
+        assert snapshot.records_fed == len(trace)
+        assert snapshot.chunks_fed == 6
+        assert snapshot.metrics == _offline_metrics("planaria")
+        final = manager.close("s")
+        assert final.metrics == _offline_metrics("planaria")
+        assert manager.session_names() == []
+
+    def test_duplicate_open_rejected(self, manager):
+        manager.open("s", "none")
+        with pytest.raises(SessionExistsError, match="already open"):
+            manager.open("s", "none")
+
+    def test_unknown_session_is_a_keyerror(self, manager):
+        with pytest.raises(SessionNotFoundError) as excinfo:
+            manager.feed("ghost", _trace()[:10])
+        assert isinstance(excinfo.value, KeyError)
+        assert "ghost" in str(excinfo.value)
+
+    @pytest.mark.parametrize("name", ["", "a/b", "a\x00b"])
+    def test_invalid_session_names_rejected(self, manager, name):
+        with pytest.raises(ServiceError, match="invalid session name"):
+            manager.open(name, "none")
+
+    def test_feed_futures_report_cumulative_records(self, manager):
+        manager.open("s", "none")
+        first = manager.feed("s", _trace()[:100])
+        second = manager.feed("s", _trace()[100:250])
+        assert first.result(timeout=30) in (100, 250)  # pipelined: >= 100
+        assert second.result(timeout=30) == 250
+
+    def test_concurrent_sessions_are_independent(self, manager):
+        trace = _trace()
+        for name, prefetcher in (("a", "none"), ("b", "stride")):
+            manager.open(name, prefetcher, warmup_records=_warmup())
+        for start in range(0, len(trace), 300):  # interleave the two streams
+            manager.feed("a", trace[start:start + 300])
+            manager.feed("b", trace[start:start + 300])
+        assert manager.snapshot("a").metrics == _offline_metrics("none")
+        assert manager.snapshot("b").metrics == _offline_metrics("stride")
+
+
+class TestBackpressure:
+    def test_feed_blocks_and_counts_at_the_inflight_bound(self, tmp_path):
+        release = threading.Event()
+        with SessionManager(max_inflight_chunks=2, workers=1,
+                            default_config=_config()) as mgr:
+            mgr.open("s", "none")
+            # Occupy the single worker so queued chunks cannot drain.
+            blocker = mgr._pool.submit(release.wait)
+            futures = [mgr.feed("s", _trace()[:50]) for _ in range(2)]
+            with pytest.raises(ServiceError, match="timed out under "
+                                                   "backpressure"):
+                mgr.feed("s", _trace()[:50], timeout=0.05)
+            assert mgr.backpressure_waits == 1
+            release.set()
+            blocker.result(timeout=30)
+            for future in futures:
+                future.result(timeout=30)
+            assert mgr.snapshot("s").records_fed == 100
+
+    def test_rejects_nonpositive_inflight_bound(self):
+        with pytest.raises(ServiceError, match="max_inflight_chunks"):
+            SessionManager(max_inflight_chunks=0)
+
+
+class TestFailureIsolation:
+    def test_chunk_error_surfaces_on_future_and_later_calls(self, manager):
+        manager.open("s", "none")
+        manager.feed("s", _trace()[:50]).result(timeout=30)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected fault")
+
+        manager._sessions["s"].simulator.feed = explode
+        failed = manager.feed("s", _trace()[50:100])
+        with pytest.raises(RuntimeError, match="injected fault"):
+            failed.result(timeout=30)
+        # A caller that never awaited the future still sees the fault.
+        with pytest.raises(ServiceError, match="injected fault"):
+            manager.snapshot("s")
+        with pytest.raises(ServiceError, match="injected fault"):
+            manager.feed("s", _trace()[:10])
+
+    def test_error_in_one_session_leaves_others_healthy(self, manager):
+        manager.open("bad", "none")
+        manager.open("good", "none")
+        manager._sessions["bad"].simulator.feed = lambda *a, **k: 1 / 0
+        manager.feed("bad", _trace()[:10])
+        manager.feed("good", _trace()[:100]).result(timeout=30)
+        assert manager.snapshot("good").records_fed == 100
+
+
+class TestEvictionAndResume:
+    def test_evict_then_transparent_restore(self, manager):
+        trace = _trace()
+        manager.open("s", "planaria", warmup_records=_warmup())
+        manager.feed("s", trace[:600]).result(timeout=60)
+        assert manager.evict_idle(0.0) == ["s"]
+        assert manager.session_names() == []
+        # The next feed restores the session from its checkpoint.
+        manager.feed("s", trace[600:])
+        snapshot = manager.snapshot("s")
+        assert snapshot.metrics == _offline_metrics("planaria")
+        assert manager.sessions_resumed == 1
+
+    def test_evict_skips_busy_and_fresh_sessions(self, manager):
+        manager.open("s", "none")
+        manager.feed("s", _trace()[:50]).result(timeout=30)
+        assert manager.evict_idle(3600.0) == []  # too fresh
+        assert manager.session_names() == ["s"]
+
+    def test_eviction_disabled_without_checkpoint_dir(self):
+        with SessionManager(default_config=_config()) as mgr:
+            mgr.open("s", "none")
+            assert mgr.evict_idle(0.0) == []
+
+    def test_explicit_resume_after_restart(self, tmp_path):
+        trace = _trace()
+        ckpt = tmp_path / "ckpt"
+        with SessionManager(checkpoint_dir=ckpt,
+                            default_config=_config()) as mgr:
+            mgr.open("s", "stride", warmup_records=_warmup())
+            mgr.feed("s", trace[:500]).result(timeout=30)
+            mgr.checkpoint("s")
+        # "Crash": a brand-new manager process resumes from disk.
+        with SessionManager(checkpoint_dir=ckpt,
+                            default_config=_config()) as mgr:
+            snapshot = mgr.open("s", "stride", resume=True)
+            assert snapshot.records_fed == 500
+            mgr.feed("s", trace[500:])
+            assert mgr.snapshot("s").metrics == _offline_metrics("stride")
+
+    def test_resume_rejects_prefetcher_mismatch(self, manager):
+        manager.open("s", "stride")
+        manager.feed("s", _trace()[:50]).result(timeout=30)
+        manager.checkpoint("s")
+        manager.close("s", delete_checkpoint=False)
+        with pytest.raises(ServiceError, match="checkpointed with"):
+            manager.open("s", "bop", resume=True)
+
+    def test_close_deletes_checkpoint_by_default(self, manager):
+        manager.open("s", "none")
+        manager.feed("s", _trace()[:50]).result(timeout=30)
+        path = manager.checkpoint("s")
+        assert path.exists()
+        manager.close("s")
+        assert not path.exists()
+        with pytest.raises(SessionNotFoundError):
+            manager.snapshot("s")
+
+    def test_close_can_keep_final_checkpoint(self, manager):
+        manager.open("s", "none")
+        manager.feed("s", _trace()[:50]).result(timeout=30)
+        manager.close("s", delete_checkpoint=False)
+        snapshot = manager.open("s", "none", resume=True)
+        assert snapshot.records_fed == 50
+
+    def test_auto_checkpoint_interval(self, tmp_path):
+        with SessionManager(checkpoint_dir=tmp_path / "ckpt",
+                            checkpoint_interval=2,
+                            default_config=_config()) as mgr:
+            mgr.open("s", "none")
+            for start in range(0, 200, 50):
+                mgr.feed("s", _trace()[start:start + 50])
+            mgr.snapshot("s")  # quiesce
+            path = mgr._checkpoint_path("s")
+            assert path.exists()
+            assert mgr.open  # manager still healthy
+
+    def test_stats_counters(self, manager):
+        manager.open("s", "none")
+        manager.feed("s", _trace()[:100]).result(timeout=30)
+        stats = manager.stats()
+        assert stats["live_sessions"] == 1
+        assert stats["sessions_opened"] == 1
+        assert stats["chunks_executed"] == 1
+        assert stats["records_executed"] == 100

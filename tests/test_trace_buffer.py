@@ -81,6 +81,56 @@ class TestRoundTrips:
         assert empty.to_records() == []
 
 
+class TestDegenerateLengths:
+    """Empty and single-record buffers through every consumer path.
+
+    Regression net for the streaming service, whose arbitrary chunk
+    boundaries routinely produce zero- and one-record buffers.
+    """
+
+    @pytest.fixture(scope="class", params=[0, 1], ids=["empty", "single"])
+    def tiny(self, request):
+        return generate_trace_buffer(get_profile("CFM"), request.param,
+                                     seed=3)
+
+    def test_split_channels_is_a_full_partition(self, tiny):
+        streams = tiny.split_channels(DEFAULT_LAYOUT)
+        assert len(streams) == DEFAULT_LAYOUT.num_channels
+        assert sum(len(stream) for stream in streams) == len(tiny)
+
+    def test_record_round_trip(self, tiny):
+        assert TraceBuffer.from_records(tiny.to_records()) == tiny
+
+    def test_csv_round_trip(self, tmp_path, tiny):
+        path = tmp_path / "tiny.csv"
+        assert write_trace_buffer(path, tiny) == len(tiny)
+        assert read_trace_buffer(path) == tiny
+
+    def test_binary_round_trip(self, tmp_path, tiny):
+        path = tmp_path / "tiny.bin"
+        assert write_trace_binary_buffer(path, tiny) == len(tiny)
+        assert read_trace_binary_buffer(path) == tiny
+
+    def test_run_buffer_and_simulate(self, tiny):
+        from repro.sim.runner import simulate
+
+        result = simulate(tiny, "planaria", workload_name="tiny")
+        assert result.metrics.demand_accesses == len(tiny)
+
+    def test_feed_degenerate_chunks(self, tiny):
+        from repro.config import SimConfig
+        from repro.prefetch.registry import make_prefetcher
+        from repro.sim.engine import SystemSimulator
+
+        config = SimConfig.experiment_scale()
+        simulator = SystemSimulator(
+            config,
+            lambda layout, channel: make_prefetcher("planaria", layout,
+                                                    channel))
+        assert simulator.feed(tiny) == len(tiny)
+        assert simulator.records_fed() == len(tiny)
+
+
 class TestValidation:
     def test_column_length_mismatch(self):
         with pytest.raises(TraceFormatError, match="length mismatch"):
