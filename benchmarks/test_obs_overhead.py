@@ -1,0 +1,148 @@
+"""Observability overhead budget: obs must be ~free off, cheap on.
+
+Measures end-to-end simulation throughput three ways —
+
+* plain run (no observability, the default for every existing caller),
+* obs attached then detached (the "disabled hook" configuration),
+* obs attached and collecting (epoch timelines + event tracing),
+
+— asserts the correctness contract first (``RunMetrics`` bit-identical
+in all three configurations), then records the penalties to
+``BENCH_obs.json`` at the repo root.  The budget: the detached
+configuration is within measurement noise of plain, and full collection
+costs at most a few percent (one ~60-scalar capture pass per
+``epoch_records``-record boundary, nothing per record).
+
+    PYTHONPATH=src python -m pytest benchmarks/test_obs_overhead.py -s
+
+Set ``REPRO_BENCH_LENGTH`` to shrink runs (the CI smoke step does); the
+committed numbers use the defaults below.
+"""
+
+import json
+import os
+import platform
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.config import SimConfig
+from repro.obs import attach_observability, detach_observability
+from repro.prefetch.registry import make_prefetcher
+from repro.sim.engine import SystemSimulator
+from repro.sim.runner import _collect
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", 60_000))
+APP = "CFM"
+SEED = 7
+PREFETCHERS = ("none", "planaria")
+EPOCH_RECORDS = 1024
+ROUNDS = 3
+
+#: Enabled-collection throughput penalty budget (fraction of plain rps).
+MAX_ENABLED_PENALTY = 0.05
+#: Disabled hooks must be within noise.  The noise floor is measured, not
+#: assumed: the plain configuration runs as two independent best-of-ROUNDS
+#: series, and their spread (plus this constant) bounds what "identical
+#: code" looks like on the current machine.
+DISABLED_NOISE_MARGIN = 0.01
+
+
+def _run(buffer, prefetcher_name, mode):
+    if mode == "plain2":  # second independent plain series (noise floor)
+        mode = "plain"
+    config = SimConfig.experiment_scale()
+    simulator = SystemSimulator(
+        config, lambda layout, channel: make_prefetcher(prefetcher_name,
+                                                        layout, channel))
+    obs = None
+    if mode == "enabled":
+        obs = attach_observability(simulator, epoch_records=EPOCH_RECORDS)
+    elif mode == "disabled":
+        attach_observability(simulator, epoch_records=EPOCH_RECORDS)
+        detach_observability(simulator)
+    start = time.perf_counter()
+    simulator.run(buffer)
+    elapsed = time.perf_counter() - start
+    metrics = asdict(_collect(simulator, "obs-overhead", prefetcher_name))
+    epochs = len(obs.merged_timeline()) if obs is not None else 0
+    events = len(obs.events()) if obs is not None else 0
+    return elapsed, metrics, epochs, events
+
+
+def _best(buffer, prefetcher_name, modes):
+    """Best-of-ROUNDS per mode, with the modes interleaved within each
+    round so slow machine-level drift hits every mode equally."""
+    best = {}
+    for _ in range(ROUNDS):
+        for mode in modes:
+            result = _run(buffer, prefetcher_name, mode)
+            if mode not in best or result[0] < best[mode][0]:
+                best[mode] = result
+    return {
+        mode: (len(buffer) / elapsed, metrics, epochs, events)
+        for mode, (elapsed, metrics, epochs, events) in best.items()
+    }
+
+
+def test_obs_overhead_budget():
+    config = SimConfig.experiment_scale()
+    buffer = generate_trace_buffer(get_profile(APP), LENGTH, seed=SEED,
+                                   layout=config.layout)
+    report = {
+        "benchmark": "observability overhead (records / second, plain vs "
+                     "hooks-disabled vs collecting)",
+        "app": APP,
+        "trace_length": LENGTH,
+        "seed": SEED,
+        "epoch_records": EPOCH_RECORDS,
+        "rounds_per_mode": ROUNDS,
+        "python": platform.python_version(),
+        "budget": {
+            "max_enabled_penalty": MAX_ENABLED_PENALTY,
+            "disabled_noise_margin": DISABLED_NOISE_MARGIN,
+        },
+        "prefetchers": {},
+    }
+    print()
+    for name in PREFETCHERS:
+        results = _best(buffer, name,
+                        ("plain", "plain2", "disabled", "enabled"))
+        plain_rps, plain_metrics, _, _ = results["plain"]
+        plain2_rps = results["plain2"][0]
+        disabled_rps, disabled_metrics, _, _ = results["disabled"]
+        enabled_rps, enabled_metrics, epochs, events = results["enabled"]
+        # Correctness before cost: collection never changes results.
+        assert enabled_metrics == plain_metrics, name
+        assert disabled_metrics == plain_metrics, name
+        noise = abs(1.0 - min(plain_rps, plain2_rps)
+                    / max(plain_rps, plain2_rps))
+        plain_best = max(plain_rps, plain2_rps)
+        disabled_penalty = 1.0 - disabled_rps / plain_best
+        enabled_penalty = 1.0 - enabled_rps / plain_best
+        report["prefetchers"][name] = {
+            "plain_rps": round(plain_best),
+            "disabled_rps": round(disabled_rps),
+            "enabled_rps": round(enabled_rps),
+            "measured_noise": round(noise, 4),
+            "disabled_penalty": round(disabled_penalty, 4),
+            "enabled_penalty": round(enabled_penalty, 4),
+            "epochs_collected": epochs,
+            "events_retained": events,
+        }
+        print(f"  {APP}/{name}: plain {plain_best:,.0f} rec/s "
+              f"(noise ±{noise:.1%}), hooks off {disabled_rps:,.0f} "
+              f"({disabled_penalty:+.1%}), collecting {enabled_rps:,.0f} "
+              f"({enabled_penalty:+.1%}), {epochs} epochs / {events} events")
+        assert enabled_penalty <= MAX_ENABLED_PENALTY + noise, (
+            f"{name}: collecting cost {enabled_penalty:.1%} "
+            f"(budget {MAX_ENABLED_PENALTY:.0%} + noise {noise:.1%})")
+        assert disabled_penalty <= DISABLED_NOISE_MARGIN + noise, (
+            f"{name}: disabled hooks cost {disabled_penalty:.1%}, outside "
+            f"the measured noise floor {noise:.1%} "
+            f"(+{DISABLED_NOISE_MARGIN:.0%} margin)")
+
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  wrote {RESULT_PATH}")

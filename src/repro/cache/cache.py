@@ -150,6 +150,11 @@ class SetAssociativeCache:
         ]
         self._drrip = (self.policy if isinstance(self.policy, DRRIPPolicy)
                        else None)
+        # Incremental occupancy gauges; maintained by access/fill/invalidate
+        # so timeline snapshots read them in O(1) instead of scanning
+        # sets x ways.  Not checkpointed — load_state recomputes them.
+        self._occupancy = 0
+        self._resident_prefetches = 0
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -206,6 +211,7 @@ class SetAssociativeCache:
             # First demand touch of a prefetched block: it was useful.
             prefetch_source = block.source
             block.prefetched = False
+            self._resident_prefetches -= 1
             stats.prefetch_useful[prefetch_source] = (
                 stats.prefetch_useful.get(prefetch_source, 0) + 1
             )
@@ -264,10 +270,15 @@ class SetAssociativeCache:
             )
             if victim.dirty:
                 self.stats.writebacks += 1
-            if victim.prefetched and victim.source is not None:
-                self.stats.prefetch_unused_evicted[victim.source] = (
-                    self.stats.prefetch_unused_evicted.get(victim.source, 0) + 1
-                )
+            if victim.prefetched:
+                self._resident_prefetches -= 1
+                if victim.source is not None:
+                    self.stats.prefetch_unused_evicted[victim.source] = (
+                        self.stats.prefetch_unused_evicted.get(victim.source, 0)
+                        + 1
+                    )
+        else:
+            self._occupancy += 1
         victim.tag = block_addr
         tag_map[block_addr] = victim_way
         victim.dirty = dirty
@@ -276,6 +287,7 @@ class SetAssociativeCache:
         victim.ready_time = ready_time
         self.policy.on_fill(set_index, ways, victim_way, prefetched)
         if prefetched:
+            self._resident_prefetches += 1
             self.stats.prefetch_fills += 1
         else:
             self.stats.demand_fills += 1
@@ -307,6 +319,8 @@ class SetAssociativeCache:
             raise SimulationError(
                 f"checkpoint cache geometry mismatch: expected "
                 f"{self.num_sets}x{self.associativity}")
+        self._occupancy = 0
+        self._resident_prefetches = 0
         for ways, saved_ways, tag_map in zip(self._sets, blocks,
                                              self._tag_to_way):
             tag_map.clear()
@@ -314,6 +328,10 @@ class SetAssociativeCache:
                 block.restore(saved)
                 if block.tag is not None:
                     tag_map[block.tag] = way_index
+                if block.valid:
+                    self._occupancy += 1
+                    if block.prefetched:
+                        self._resident_prefetches += 1
         self.policy.load_state(state["policy"])
         self.stats.load_state(state["stats"])
 
@@ -323,7 +341,11 @@ class SetAssociativeCache:
         way = self._tag_to_way[set_index].pop(block_addr, None)
         if way is None:
             return False
-        self._sets[set_index][way].invalidate()
+        block = self._sets[set_index][way]
+        self._occupancy -= 1
+        if block.prefetched:
+            self._resident_prefetches -= 1
+        block.invalidate()
         return True
 
     # ------------------------------------------------------------------
@@ -331,12 +353,20 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
         """Number of valid blocks currently resident."""
+        return self._occupancy
+
+    def resident_prefetches(self) -> int:
+        """Prefetched-and-not-yet-used blocks currently resident."""
+        return self._resident_prefetches
+
+    def occupancy_scan(self) -> int:
+        """Reference O(sets x ways) count, kept for the coherence test."""
         return sum(
             1 for ways in self._sets for block in ways if block.valid
         )
 
-    def resident_prefetches(self) -> int:
-        """Prefetched-and-not-yet-used blocks currently resident."""
+    def resident_prefetches_scan(self) -> int:
+        """Reference scan matching :meth:`resident_prefetches`."""
         return sum(
             1 for ways in self._sets for block in ways
             if block.valid and block.prefetched

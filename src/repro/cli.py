@@ -11,15 +11,20 @@ Commands
 * ``stability``  — metric spread across generator seeds.
 * ``footprint``  — draw the Figure-2 ASCII scatter for an application.
 * ``storage``    — print Planaria's bit-level storage budget.
+* ``timeline``   — run one prefetcher with observability on and dump the
+  epoch timeline to JSONL/CSV (docs/observability.md).
+* ``watch``      — poll a live service session's timeline.
 * ``serve``      — run the streaming simulation service (docs/service.md).
 * ``bench-serve``— benchmark the service path, writing BENCH_service.json.
 
 All commands exit 130 on Ctrl-C (the conventional SIGINT code); ``serve``
 additionally drains and checkpoints open sessions on SIGTERM.
 
-``simulate``, ``figure`` and ``stability`` accept ``--profile [FILE]`` to
-run under :mod:`cProfile` and dump a cumulative-time top-25 to stderr or a
-file (see docs/performance.md).
+``simulate``, ``figure``, ``stability`` and ``timeline`` accept
+``--profile [FILE]`` to run under :mod:`cProfile` and dump a
+cumulative-time top-25 to stderr or a file, and ``--profile-out PATH`` to
+write the complete binary pstats dump for offline analysis
+(see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -148,6 +153,102 @@ def _cmd_stability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import attach_observability
+    from repro.obs.export import (write_events_jsonl, write_timeline_csv,
+                                  write_timeline_jsonl)
+    from repro.config import SimConfig
+    from repro.errors import ConfigError
+    from repro.prefetch.registry import make_prefetcher
+    from repro.sim.engine import SystemSimulator
+
+    if args.epoch_records < 1:
+        raise ConfigError(
+            f"--epoch-records must be >= 1, got {args.epoch_records}")
+    config = None
+    if args.sim_config:
+        from repro.config_io import load_sim_config
+
+        config = load_sim_config(args.sim_config)
+    config = config or SimConfig.experiment_scale()
+
+    if args.prefetcher not in PREFETCHER_FACTORIES:
+        print(f"unknown prefetcher {args.prefetcher!r}; "
+              f"known: {sorted(PREFETCHER_FACTORIES)}", file=sys.stderr)
+        return 2
+
+    if args.trace:
+        from repro.trace.io import read_trace_binary_buffer, read_trace_buffer
+
+        if args.trace.endswith(".bin"):
+            records = read_trace_binary_buffer(args.trace)
+        else:
+            records = read_trace_buffer(args.trace)
+        workload = args.trace
+    else:
+        from repro.trace.generator import generate_trace_buffer
+
+        profile = get_profile(args.app)
+        records = generate_trace_buffer(profile, args.length, seed=args.seed,
+                                        layout=config.layout)
+        workload = profile.abbr
+
+    simulator = SystemSimulator(
+        config, lambda layout, channel: make_prefetcher(args.prefetcher,
+                                                        layout, channel))
+    obs = attach_observability(simulator, epoch_records=args.epoch_records)
+    simulator.run(records)
+    epochs = obs.merged_timeline(include_partial=True)
+    meta = {"workload": workload, "prefetcher": args.prefetcher,
+            "epoch_records": args.epoch_records, "records": len(records)}
+    if args.output.endswith(".csv"):
+        write_timeline_csv(args.output, epochs, meta=meta)
+    else:
+        write_timeline_jsonl(args.output, epochs, meta=meta)
+    print(f"wrote {len(epochs)} epochs ({len(records)} records of "
+          f"{workload} x {args.prefetcher}) to {args.output}")
+    if args.events:
+        events = obs.events()
+        write_events_jsonl(args.events, events, meta=meta)
+        print(f"wrote {len(events)} events to {args.events}")
+    return 0
+
+
+def _format_epoch_row(epoch) -> str:
+    return (f"{epoch.epoch:>6d} {epoch.records:>8d} {epoch.hit_rate:>8.3f} "
+            f"{epoch.amat:>8.1f} {epoch.accuracy:>8.2f} "
+            f"{epoch.slp_issued:>7d} {epoch.tlp_issued:>7d} "
+            f"{epoch.queue_depth:>6d} {epoch.throttle_suspended:>5d}")
+
+
+_WATCH_HEADER = (f"{'epoch':>6} {'records':>8} {'hitrate':>8} {'amat':>8} "
+                 f"{'accuracy':>8} {'slp':>7} {'tlp':>7} {'queue':>6} "
+                 f"{'susp':>5}")
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient.connect(args.host, args.port) as client:
+        print(_WATCH_HEADER)
+        printed = 0  # epochs already printed and final
+        polls = 0
+        while True:
+            epochs, _ = client.timeline(args.session, include_partial=True,
+                                        wait=not args.no_wait)
+            # Closed epochs print once; the still-growing tail epoch is
+            # re-printed (updated) on every poll.
+            for epoch in epochs[printed:]:
+                print(_format_epoch_row(epoch))
+            printed = max(printed, len(epochs) - 1)
+            polls += 1
+            if args.count and polls >= args.count:
+                return 0
+            time.sleep(args.interval)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import run_server
 
@@ -158,6 +259,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         parallelism=args.parallelism,
         checkpoint_interval=args.checkpoint_interval,
+        metrics_port=args.metrics_port,
     )
     print(f"server drained: {stats}")
     return 0
@@ -205,6 +307,10 @@ def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
         help="run the command under cProfile and dump the top functions "
              "by cumulative time to stderr (no argument) or FILE "
              "(docs/performance.md)")
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="also write the full binary pstats dump to PATH, loadable "
+             "with pstats.Stats(PATH) or snakeviz")
 
 
 _PROFILE_TOP_N = 25
@@ -214,8 +320,9 @@ def _run_profiled(handler, args: argparse.Namespace) -> int:
     """Run a command handler under cProfile, then dump sorted stats.
 
     The profile never changes the command's exit code or output; the
-    report goes to stderr (``--profile``) or a file (``--profile FILE``)
-    so stdout stays parseable.
+    text report goes to stderr (``--profile``) or a file
+    (``--profile FILE``) so stdout stays parseable, and
+    ``--profile-out PATH`` writes the complete binary pstats dump.
     """
     import cProfile
     import io
@@ -227,15 +334,21 @@ def _run_profiled(handler, args: argparse.Namespace) -> int:
         return handler(args)
     finally:
         profiler.disable()
-        text = io.StringIO()
-        stats = pstats.Stats(profiler, stream=text)
-        stats.sort_stats("cumulative").print_stats(_PROFILE_TOP_N)
-        if args.profile == "-":
-            sys.stderr.write(text.getvalue())
-        else:
-            with open(args.profile, "w", encoding="utf-8") as handle:
-                handle.write(text.getvalue())
-            print(f"profile written to {args.profile}", file=sys.stderr)
+        if args.profile_out:
+            stats = pstats.Stats(profiler)
+            stats.dump_stats(args.profile_out)
+            print(f"pstats dump written to {args.profile_out}",
+                  file=sys.stderr)
+        if args.profile is not None:
+            text = io.StringIO()
+            stats = pstats.Stats(profiler, stream=text)
+            stats.sort_stats("cumulative").print_stats(_PROFILE_TOP_N)
+            if args.profile == "-":
+                sys.stderr.write(text.getvalue())
+            else:
+                with open(args.profile, "w", encoding="utf-8") as handle:
+                    handle.write(text.getvalue())
+                print(f"profile written to {args.profile}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -297,6 +410,36 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("storage", help="Planaria storage budget"
                         ).set_defaults(handler=_cmd_storage)
 
+    timeline = commands.add_parser(
+        "timeline", help="run with observability on; dump epoch timeline")
+    timeline.add_argument("output", help=".jsonl or .csv timeline path")
+    timeline.add_argument("--app", default="CFM", choices=list_workloads())
+    timeline.add_argument("--trace", help="simulate a trace file instead")
+    timeline.add_argument("--prefetcher", default="planaria")
+    timeline.add_argument("--length", type=int, default=60_000)
+    timeline.add_argument("--seed", type=int, default=7)
+    timeline.add_argument("--epoch-records", type=int, default=1024,
+                          help="records per epoch, per channel")
+    timeline.add_argument("--events", metavar="FILE",
+                          help="also dump retained trace events as JSONL")
+    timeline.add_argument("--sim-config", metavar="JSON",
+                          help="SimConfig JSON file (see repro.config_io)")
+    _add_profile_argument(timeline)
+    timeline.set_defaults(handler=_cmd_timeline)
+
+    watch = commands.add_parser(
+        "watch", help="poll a live service session's epoch timeline")
+    watch.add_argument("session", help="session name on the server")
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=8642)
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between polls")
+    watch.add_argument("--count", type=int, default=0,
+                       help="stop after N polls (0 = until Ctrl-C)")
+    watch.add_argument("--no-wait", action="store_true",
+                       help="don't quiesce the session before each poll")
+    watch.set_defaults(handler=_cmd_watch)
+
     serve = commands.add_parser(
         "serve", help="run the streaming simulation service")
     serve.add_argument("--host", default="127.0.0.1")
@@ -311,6 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="thread-pool size shared by all sessions")
     serve.add_argument("--checkpoint-interval", type=int, default=0,
                        help="auto-checkpoint every N chunks (0 disables)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve Prometheus text on GET /metrics at this "
+                            "HTTP port (0 picks an ephemeral port)")
     _add_parallelism_argument(serve)
     serve.set_defaults(handler=_cmd_serve, parallelism="serial")
 
@@ -334,7 +480,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        if getattr(args, "profile", None) is not None:
+        if (getattr(args, "profile", None) is not None
+                or getattr(args, "profile_out", None)):
             return _run_profiled(args.handler, args)
         return args.handler(args)
     except KeyboardInterrupt:

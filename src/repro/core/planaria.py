@@ -45,6 +45,13 @@ class PlanariaPrefetcher(Prefetcher):
         self.tlp = TLPPrefetcher(layout, channel, self.config.tlp)
         self.slp_issues = 0
         self.tlp_issues = 0
+        # Arbitration outcomes per trigger: which way the coordinator's
+        # selection went and whether the selected issuer produced
+        # candidates.  Cheap (one branch + one increment per trigger) and
+        # always on, so timelines can slice them into epochs.
+        self.coord_slp_issued = 0
+        self.coord_tlp_fallback = 0
+        self.coord_neither = 0
 
     # ------------------------------------------------------------------
     def observe(self, access: DemandAccess) -> None:
@@ -66,8 +73,15 @@ class PlanariaPrefetcher(Prefetcher):
               prefetched_hit: bool = False) -> List[PrefetchCandidate]:
         mode = self.config.coordinator
         if mode == "parallel":
-            candidates = (self.slp.issue(access, was_hit, prefetched_hit)
-                          + self.tlp.issue(access, was_hit, prefetched_hit))
+            slp_candidates = self.slp.issue(access, was_hit, prefetched_hit)
+            tlp_candidates = self.tlp.issue(access, was_hit, prefetched_hit)
+            if slp_candidates:
+                self.coord_slp_issued += 1
+            if tlp_candidates:
+                self.coord_tlp_fallback += 1
+            elif not slp_candidates:
+                self.coord_neither += 1
+            candidates = slp_candidates + tlp_candidates
             self._count(candidates)
             return candidates
         # Decoupled (the paper's design) and serial both select one issuer;
@@ -75,8 +89,16 @@ class PlanariaPrefetcher(Prefetcher):
         # SLP has no history information for this page (Section 2).
         if self.slp.has_pattern(access.page):
             candidates = self.slp.issue(access, was_hit, prefetched_hit)
+            if candidates:
+                self.coord_slp_issued += 1
+            else:
+                self.coord_neither += 1
         else:
             candidates = self.tlp.issue(access, was_hit, prefetched_hit)
+            if candidates:
+                self.coord_tlp_fallback += 1
+            else:
+                self.coord_neither += 1
         self._count(candidates)
         return candidates
 

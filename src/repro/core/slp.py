@@ -98,7 +98,7 @@ class SLPPrefetcher(Prefetcher):
         self._accumulation_table.move_to_end(page)
         while len(self._accumulation_table) > self.config.accumulation_table_entries:
             victim_page, victim = self._accumulation_table.popitem(last=False)
-            self._learn_snapshot(victim_page, victim.bitmap)
+            self._learn_snapshot(victim_page, victim.bitmap, victim.last_time)
 
     def _expire_accumulation(self, now: int) -> None:
         """Step ④: timed-out AT entries carry a complete snapshot to PT."""
@@ -112,15 +112,21 @@ class SLPPrefetcher(Prefetcher):
             if now - entry.last_time <= timeout:
                 break
             del table[page]
-            self._learn_snapshot(page, entry.bitmap)
+            self._learn_snapshot(page, entry.bitmap, entry.last_time)
 
-    def _learn_snapshot(self, page: int, bitmap: int) -> None:
+    def _learn_snapshot(self, page: int, bitmap: int, now: int) -> None:
         self._pattern_table[page] = bitmap
         self._pattern_table.move_to_end(page)
         self.activity.table_writes += 1
         self.snapshots_learned += 1
+        if self.tracer.enabled:
+            self.tracer.emit("slp_snapshot_learned", now, page=page,
+                             bitmap=bitmap, blocks=bitmap.bit_count())
         while len(self._pattern_table) > self.config.pattern_table_entries:
-            self._pattern_table.popitem(last=False)
+            evicted_page, evicted_bitmap = self._pattern_table.popitem(last=False)
+            if self.tracer.enabled:
+                self.tracer.emit("slp_pattern_evicted", now,
+                                 page=evicted_page, bitmap=evicted_bitmap)
 
     # ------------------------------------------------------------------
     # Issuing phase

@@ -147,6 +147,10 @@ class TLPPrefetcher(Prefetcher):
         remaining = neighbour.bitmap & ~own
         if remaining:
             self.transfers += 1
+            if self.tracer.enabled:
+                self.tracer.emit("tlp_transfer", access.time, page=page,
+                                 neighbour_page=neighbour_page,
+                                 blocks=remaining.bit_count())
         return [self._candidate(page, offset) for offset in iter_set_bits(remaining)]
 
     # ------------------------------------------------------------------

@@ -299,3 +299,8 @@ class DRAMChannel:
         """Cycles until the data bus is next free — a cheap congestion probe
         prefetch throttles can use."""
         return max(0, self._bus_free_time - now)
+
+    def outstanding_requests(self) -> int:
+        """Controller-queue slots currently occupied (in-flight requests
+        not yet known to have completed)."""
+        return len(self._outstanding)

@@ -8,6 +8,7 @@ figure without matplotlib.
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
@@ -28,6 +29,22 @@ def write_report_csv(report: ExperimentReport, path: PathLike) -> Path:
             writer.writerow([f"# {key} = {value}"])
         writer.writerow(report.columns)
         writer.writerows(report.rows)
+    return path
+
+
+def write_report_json(report: ExperimentReport, path: PathLike) -> Path:
+    """Write the full report — rows, summary and ``details`` side-tables —
+    as one JSON document (the machine-readable companion to the CSV)."""
+    path = Path(path)
+    document = {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "columns": report.columns,
+        "rows": report.rows,
+        "summary": report.summary,
+        "details": report.details,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     return path
 
 
@@ -124,10 +141,14 @@ def write_report_svg(report: ExperimentReport, path: PathLike,
 
 def export_report(report: ExperimentReport, directory: PathLike,
                   svg: bool = True) -> List[Path]:
-    """Write ``<id>.csv`` (and ``<id>.svg`` when plottable) into a directory."""
+    """Write ``<id>.csv``, ``<id>.json`` (and ``<id>.svg`` when plottable)
+    into a directory."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    written = [write_report_csv(report, directory / f"{report.experiment_id}.csv")]
+    written = [
+        write_report_csv(report, directory / f"{report.experiment_id}.csv"),
+        write_report_json(report, directory / f"{report.experiment_id}.json"),
+    ]
     if svg:
         try:
             written.append(write_report_svg(

@@ -52,4 +52,14 @@ def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ExperimentReport:
             1.0 - pln / (1.0 - mean_reduction["spp"])
         )
         report.summary["planaria AMAT reduction vs spp (paper)"] = PAPER_REDUCTION_VS_SPP
+    # Per-requestor-device read breakdown (the SC is shared by
+    # CPU/GPU/NPU/ISP/DSP): which device the prefetcher helps, per app.
+    report.details["device_read_stats"] = {
+        app: {
+            name: matrix[app][name].device_read_stats
+            for name in settings.prefetchers
+            if matrix[app][name].device_read_stats
+        }
+        for app in settings.apps
+    }
     return report

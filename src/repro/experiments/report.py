@@ -16,6 +16,9 @@ class ExperimentReport:
         columns: column headers for :meth:`format_table`.
         rows: list of row value lists, aligned with ``columns``.
         summary: headline key/value numbers (averages, paper targets).
+        details: named structured side-tables that don't fit the row grid
+            (e.g. per-requestor-device read breakdowns); rendered after
+            the summary and carried through the JSON export.
     """
 
     experiment_id: str
@@ -23,6 +26,7 @@ class ExperimentReport:
     columns: List[str]
     rows: List[List[Any]] = field(default_factory=list)
     summary: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, values: Sequence[Any]) -> None:
         if len(values) != len(self.columns):
@@ -58,4 +62,29 @@ class ExperimentReport:
             for key, value in self.summary.items():
                 lines.append(f"{key}: {value:.4f}" if isinstance(value, float)
                              else f"{key}: {value}")
+        for name, table in self.details.items():
+            lines.append("")
+            lines.append(f"-- {name}")
+            lines.extend(self._format_detail(table))
         return "\n".join(lines)
+
+    @classmethod
+    def _format_detail(cls, table: Any, indent: str = "  ") -> List[str]:
+        """Render one details entry: nested dicts become indented blocks,
+        leaf dicts one ``key: a=1, b=2`` line."""
+        if not isinstance(table, dict):
+            return [f"{indent}{cls._format_cell(table)}"]
+        lines: List[str] = []
+        for key, value in table.items():
+            if isinstance(value, dict) and any(
+                    isinstance(inner, dict) for inner in value.values()):
+                lines.append(f"{indent}{key}:")
+                lines.extend(cls._format_detail(value, indent + "  "))
+            elif isinstance(value, dict):
+                inner = ", ".join(
+                    f"{inner_key}={cls._format_cell(inner_value)}"
+                    for inner_key, inner_value in value.items())
+                lines.append(f"{indent}{key}: {inner}")
+            else:
+                lines.append(f"{indent}{key}: {cls._format_cell(value)}")
+        return lines

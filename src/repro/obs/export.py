@@ -1,0 +1,259 @@
+"""Timeline and event exporters: JSONL, CSV, Prometheus text.
+
+All exports round-trip: ``read_timeline_jsonl(write_timeline_jsonl(t))``
+reproduces the :class:`~repro.obs.timeline.EpochRecord` list exactly —
+ints survive as ints, floats in ``repr``'s shortest round-trip form,
+dict-valued fields as JSON (embedded as JSON cells in CSV).  The
+hypothesis suite in ``tests/test_obs_export.py`` enforces this.
+
+The Prometheus exporter renders the standard text exposition format
+(``# TYPE`` headers + ``name{label="..."} value`` lines); the service
+serves it over ``GET /metrics`` when started with ``--metrics-port``.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.events import EVENT_SCHEMA_VERSION, TraceEvent
+from repro.obs.timeline import (EpochRecord, TIMELINE_SCHEMA_VERSION)
+
+PathLike = Union[str, Path]
+
+#: First token of every timeline file's metadata line.
+TIMELINE_FORMAT = "planaria-timeline"
+
+#: EpochRecord fields holding {str: number} tables (JSON cells in CSV).
+_DICT_FIELDS = ("useful_by_source", "fills_by_source", "device_reads",
+                "device_read_latency_total")
+#: EpochRecord fields holding floats; every other scalar field is an int.
+_FLOAT_FIELDS = ("read_latency_total",)
+
+_FIELD_ORDER = tuple(field.name for field in dataclasses.fields(EpochRecord))
+
+
+def _meta_header(meta: Optional[dict]) -> dict:
+    header = {"format": TIMELINE_FORMAT, "version": TIMELINE_SCHEMA_VERSION}
+    if meta:
+        header.update(meta)
+    return header
+
+
+def _check_meta(header: dict, source: str) -> dict:
+    if header.get("format") != TIMELINE_FORMAT:
+        raise ValueError(f"{source}: not a {TIMELINE_FORMAT} file")
+    version = header.get("version")
+    if version != TIMELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{source}: timeline schema version {version}, this build "
+            f"reads version {TIMELINE_SCHEMA_VERSION}")
+    return header
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_timeline_jsonl(path: PathLike, epochs: Sequence[EpochRecord],
+                         meta: Optional[dict] = None) -> Path:
+    """One metadata line, then one JSON object per epoch."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(_meta_header(meta), sort_keys=True) + "\n")
+        for epoch in epochs:
+            handle.write(json.dumps(epoch.to_dict(),
+                                    separators=(",", ":")) + "\n")
+    return path
+
+
+def read_timeline_jsonl(path: PathLike) -> Tuple[dict, List[EpochRecord]]:
+    """Returns ``(metadata, epochs)``; inverse of the writer."""
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty timeline file")
+    meta = _check_meta(json.loads(lines[0]), str(path))
+    epochs = [EpochRecord.from_dict(json.loads(line)) for line in lines[1:]]
+    return meta, epochs
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def write_timeline_csv(path: PathLike, epochs: Sequence[EpochRecord],
+                       meta: Optional[dict] = None) -> Path:
+    """A ``#``-prefixed metadata line, a header row, one row per epoch.
+
+    Scalar cells print ``repr`` (shortest round-trip for floats);
+    dict-valued fields are embedded as JSON cells with sorted keys.
+    """
+    path = Path(path)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write("# " + json.dumps(_meta_header(meta), sort_keys=True)
+                     + "\n")
+        writer = csv.writer(handle)
+        writer.writerow(_FIELD_ORDER)
+        for epoch in epochs:
+            payload = epoch.to_dict()
+            row = []
+            for name in _FIELD_ORDER:
+                value = payload[name]
+                if name in _DICT_FIELDS:
+                    row.append(json.dumps(value, sort_keys=True,
+                                          separators=(",", ":")))
+                else:
+                    row.append(repr(value))
+            writer.writerow(row)
+    return path
+
+
+def read_timeline_csv(path: PathLike) -> Tuple[dict, List[EpochRecord]]:
+    """Returns ``(metadata, epochs)``; inverse of the writer."""
+    path = Path(path)
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        first = handle.readline()
+        if not first.startswith("#"):
+            raise ValueError(f"{path}: missing timeline metadata line")
+        meta = _check_meta(json.loads(first.lstrip("# ")), str(path))
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: missing timeline header row")
+        epochs = []
+        for row in reader:
+            payload = {}
+            for name, cell in zip(header, row):
+                if name in _DICT_FIELDS:
+                    payload[name] = json.loads(cell)
+                elif name in _FLOAT_FIELDS:
+                    payload[name] = float(cell)
+                else:
+                    payload[name] = int(cell)
+            epochs.append(EpochRecord.from_dict(payload))
+    return meta, epochs
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+def write_events_jsonl(path: PathLike, events: Sequence[TraceEvent],
+                       meta: Optional[dict] = None) -> Path:
+    """One metadata line, then one JSON object per event."""
+    path = Path(path)
+    header = {"format": "planaria-events",
+              "version": EVENT_SCHEMA_VERSION}
+    if meta:
+        header.update(meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for event in events:
+            handle.write(json.dumps(event.to_dict(),
+                                    separators=(",", ":")) + "\n")
+    return path
+
+
+def read_events_jsonl(path: PathLike) -> Tuple[dict, List[TraceEvent]]:
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty events file")
+    meta = json.loads(lines[0])
+    if meta.get("format") != "planaria-events":
+        raise ValueError(f"{path}: not a planaria-events file")
+    return meta, [TraceEvent.from_dict(json.loads(line))
+                  for line in lines[1:]]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+#: (metric name without prefix, value kind) rendered per sample tuple.
+Sample = Tuple[str, Dict[str, str], float, str]
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(samples: Iterable[Sample],
+                    prefix: str = "planaria") -> str:
+    """Render samples in the Prometheus text exposition format.
+
+    Each sample is ``(name, labels, value, kind)`` with ``kind`` one of
+    ``counter``/``gauge``.  Samples group under one ``# TYPE`` header
+    per metric name, in first-seen order.
+    """
+    by_name: Dict[str, List[Sample]] = {}
+    kinds: Dict[str, str] = {}
+    for sample in samples:
+        name = sample[0]
+        by_name.setdefault(name, []).append(sample)
+        kinds.setdefault(name, sample[3])
+    lines: List[str] = []
+    for name, group in by_name.items():
+        full = f"{prefix}_{name}"
+        lines.append(f"# TYPE {full} {kinds[name]}")
+        for _, labels, value, _ in group:
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label(str(val))}"'
+                    for key, val in sorted(labels.items()))
+                lines.append(f"{full}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{full} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_samples(name: str, snapshot) -> List[Sample]:
+    """Prometheus samples for one session's cumulative metrics."""
+    labels = {"session": name}
+    metrics = snapshot.metrics
+    samples: List[Sample] = [
+        ("records_fed", labels, snapshot.records_fed, "counter"),
+        ("chunks_fed", labels, snapshot.chunks_fed, "counter"),
+        ("demand_accesses", labels, metrics.demand_accesses, "counter"),
+        ("demand_misses", labels, metrics.demand_misses, "counter"),
+        ("dram_traffic", labels, metrics.dram_traffic, "counter"),
+        ("prefetch_issued", labels, metrics.prefetch_issued, "counter"),
+        ("prefetch_fills", labels, metrics.prefetch_fills, "counter"),
+        ("prefetch_useful", labels, metrics.prefetch_useful, "counter"),
+        ("amat_cycles", labels, metrics.amat, "gauge"),
+        ("hit_rate", labels, metrics.hit_rate, "gauge"),
+        ("prefetch_accuracy", labels, metrics.accuracy, "gauge"),
+        ("prefetch_coverage", labels, metrics.coverage, "gauge"),
+    ]
+    for source, useful in sorted(metrics.prefetch_useful_by_source.items()):
+        samples.append(("prefetch_useful_by_source",
+                        {**labels, "source": source}, useful, "counter"))
+    return samples
+
+
+def epoch_samples(name: str, epoch: EpochRecord) -> List[Sample]:
+    """Gauge samples for a session's most recent epoch."""
+    labels = {"session": name}
+    return [
+        ("epoch_index", labels, epoch.epoch, "gauge"),
+        ("epoch_hit_rate", labels, epoch.hit_rate, "gauge"),
+        ("epoch_amat_cycles", labels, epoch.amat, "gauge"),
+        ("epoch_accuracy", labels, epoch.accuracy, "gauge"),
+        ("epoch_queue_depth", labels, epoch.queue_depth, "gauge"),
+        ("epoch_slp_issued", labels, epoch.slp_issued, "gauge"),
+        ("epoch_tlp_issued", labels, epoch.tlp_issued, "gauge"),
+        ("epoch_throttle_suspended", labels, epoch.throttle_suspended,
+         "gauge"),
+    ]

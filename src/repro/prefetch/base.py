@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.geometry import AddressLayout
+from repro.obs.events import NULL_TRACER
 from repro.trace.record import DeviceID
 
 
@@ -96,6 +97,11 @@ class Prefetcher(abc.ABC):
         self.channel = channel
         self.activity = PrefetcherActivityCounters()
         self.issued_candidates = 0
+        #: Event tracer (repro.obs).  The shared no-op singleton by
+        #: default; emission sites guard with ``tracer.enabled`` so a
+        #: disabled trace point costs one attribute load and one branch
+        #: on paths already off the per-record fast loop.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # The learning / issuing split
@@ -124,8 +130,11 @@ class Prefetcher(abc.ABC):
     # Checkpoint support
     # ------------------------------------------------------------------
     #: Instance attributes excluded from :meth:`state_dict` — immutable
-    #: construction parameters a freshly built prefetcher already carries.
-    _STATE_EXCLUDE = ("layout",)
+    #: construction parameters a freshly built prefetcher already carries,
+    #: plus the tracer: event-ring state is checkpointed by the owning
+    #: TimelineCollector, and excluding it here keeps the tracer object
+    #: aliased with that collector across load_state.
+    _STATE_EXCLUDE = ("layout", "tracer")
 
     def state_dict(self) -> dict:
         """Deep snapshot of all mutable prefetcher state.

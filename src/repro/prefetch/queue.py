@@ -30,24 +30,30 @@ class QueueStats:
     dropped_duplicate: int = 0
     dropped_degree: int = 0
     dropped_full: int = 0
+    #: High-water mark of pending candidates (cumulative, merges as max).
+    peak_pending: int = 0
 
     def state_dict(self) -> dict:
         return {"accepted": self.accepted,
                 "dropped_duplicate": self.dropped_duplicate,
                 "dropped_degree": self.dropped_degree,
-                "dropped_full": self.dropped_full}
+                "dropped_full": self.dropped_full,
+                "peak_pending": self.peak_pending}
 
     def load_state(self, state: dict) -> None:
         self.accepted = state["accepted"]
         self.dropped_duplicate = state["dropped_duplicate"]
         self.dropped_degree = state["dropped_degree"]
         self.dropped_full = state["dropped_full"]
+        # Absent in checkpoints written before the counter existed.
+        self.peak_pending = state.get("peak_pending", 0)
 
     def merge(self, other: "QueueStats") -> None:
         self.accepted += other.accepted
         self.dropped_duplicate += other.dropped_duplicate
         self.dropped_degree += other.dropped_degree
         self.dropped_full += other.dropped_full
+        self.peak_pending = max(self.peak_pending, other.peak_pending)
 
     def dropped_total(self) -> int:
         return self.dropped_duplicate + self.dropped_degree + self.dropped_full
@@ -103,6 +109,8 @@ class PrefetchQueue:
             self._queue.append(candidate)
             accepted.append(candidate)
             self.stats.accepted += 1
+        if accepted and len(self._queue) > self.stats.peak_pending:
+            self.stats.peak_pending = len(self._queue)
         return accepted
 
     def _remember(self, block_addr: int) -> None:

@@ -52,6 +52,9 @@ class AccuracyThrottle(Prefetcher):
         self._suspended = False
         self.suspensions = 0
         self.dropped_while_suspended = 0
+        # Engine feedback callbacks carry no timestamp, so transitions are
+        # stamped with the most recent demand-access time seen.
+        self._last_time = 0
 
     # ------------------------------------------------------------------
     # Feedback from the engine
@@ -84,15 +87,22 @@ class AccuracyThrottle(Prefetcher):
         if self._suspended:
             if usefulness >= self.high_watermark:
                 self._suspended = False
+                if self.tracer.enabled:
+                    self.tracer.emit("throttle_resumed", self._last_time,
+                                     usefulness=usefulness)
         elif usefulness < self.low_watermark:
             self._suspended = True
             self.suspensions += 1
+            if self.tracer.enabled:
+                self.tracer.emit("throttle_suspended", self._last_time,
+                                 usefulness=usefulness)
 
     # ------------------------------------------------------------------
     # Prefetcher interface (delegation)
     # ------------------------------------------------------------------
     def observe(self, access: DemandAccess) -> None:
         # Learning is never throttled — the decoupling principle.
+        self._last_time = access.time
         self.inner.observe(access)
 
     def issue(self, access: DemandAccess, was_hit: bool,

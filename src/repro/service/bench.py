@@ -45,8 +45,10 @@ BENCH_PREFETCHERS = ("none", "stride", "bop", "planaria")
 class _ServerThread:
     """An in-process server on its own event-loop thread (port 0)."""
 
-    def __init__(self, manager: SessionManager) -> None:
-        self.server = SimulationServer(manager, port=0)
+    def __init__(self, manager: SessionManager,
+                 metrics_port: "int | None" = None) -> None:
+        self.server = SimulationServer(manager, port=0,
+                                       metrics_port=metrics_port)
         self._loop = asyncio.new_event_loop()
         self._started = threading.Event()
         self._thread = threading.Thread(target=self._run,
@@ -78,6 +80,10 @@ class _ServerThread:
     @property
     def port(self) -> int:
         return self.server.port
+
+    @property
+    def metrics_port(self) -> "int | None":
+        return self.server.metrics_port
 
 
 def _drive_session(port: int, name: str, prefetcher: str,

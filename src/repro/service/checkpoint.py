@@ -100,11 +100,21 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
 
 
 def restore_simulator(checkpoint: Checkpoint) -> SystemSimulator:
-    """Rebuild a live simulator from a checkpoint, mid-trace state loaded."""
+    """Rebuild a live simulator from a checkpoint, mid-trace state loaded.
+
+    A checkpoint written by an observed session carries its epoch size in
+    ``extra["epoch_records"]``; collectors are re-attached *before* the
+    state loads so each channel's timeline resumes where it left off.
+    """
     simulator = SystemSimulator(
         checkpoint.config,
         lambda layout, channel: make_prefetcher(checkpoint.prefetcher,
                                                 layout, channel),
     )
+    epoch_records = checkpoint.extra.get("epoch_records")
+    if epoch_records:
+        from repro.obs import attach_observability
+
+        attach_observability(simulator, epoch_records=int(epoch_records))
     simulator.load_state(checkpoint.state)
     return simulator

@@ -83,7 +83,8 @@ class ServiceClient:
     def open(self, session: str, prefetcher: str, *,
              workload: str = "stream", config: Optional[SimConfig] = None,
              warmup_records: Optional[Iterable[int]] = None,
-             resume: bool = False) -> SessionSnapshot:
+             resume: bool = False,
+             epoch_records: Optional[int] = None) -> SessionSnapshot:
         header = {
             "op": "open",
             "session": session,
@@ -95,6 +96,8 @@ class ServiceClient:
             header["config"] = config_to_dict(config)
         if warmup_records is not None:
             header["warmup_records"] = [int(n) for n in warmup_records]
+        if epoch_records is not None:
+            header["epoch_records"] = int(epoch_records)
         response = self._request(header)
         return protocol.snapshot_from_dict(response["snapshot"])
 
@@ -120,6 +123,31 @@ class ServiceClient:
         response = self._request(
             {"op": "snapshot", "session": session, "wait": wait})
         return protocol.snapshot_from_dict(response["snapshot"])
+
+    def timeline(self, session: str, include_partial: bool = True,
+                 events: bool = False, wait: bool = True):
+        """Poll a session's live epoch timeline.
+
+        Returns ``(epochs, events)`` — ``events`` is ``None`` unless
+        requested.  The epochs are bit-identical to what an offline run
+        over the same records would dump (the server quiesces the session
+        first unless ``wait=False``).
+        """
+        response = self._request({
+            "op": "timeline",
+            "session": session,
+            "include_partial": include_partial,
+            "events": events,
+            "wait": wait,
+        })
+        epochs = protocol.epochs_from_list(response["epochs"])
+        retained = (protocol.events_from_list(response["events"])
+                    if "events" in response else None)
+        return epochs, retained
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus text exposition (all live sessions)."""
+        return str(self._request({"op": "metrics"})["text"])
 
     def checkpoint(self, session: str) -> str:
         return str(self._request(

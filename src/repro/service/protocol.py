@@ -151,6 +151,33 @@ def snapshot_from_dict(payload: dict) -> "SessionSnapshot":
         raise ServiceError(f"malformed snapshot payload: missing {exc}") from exc
 
 
+def epochs_to_list(epochs) -> list:
+    """Serialise a timeline (``EpochRecord`` list) for a response header."""
+    return [epoch.to_dict() for epoch in epochs]
+
+
+def epochs_from_list(items: list) -> list:
+    from repro.obs.timeline import EpochRecord
+
+    try:
+        return [EpochRecord.from_dict(item) for item in items]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed timeline payload: {exc}") from exc
+
+
+def events_to_list(events) -> list:
+    return [event.to_dict() for event in events]
+
+
+def events_from_list(items: list) -> list:
+    from repro.obs.events import TraceEvent
+
+    try:
+        return [TraceEvent.from_dict(item) for item in items]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed events payload: {exc}") from exc
+
+
 def error_response(message: str, kind: Optional[str] = None) -> dict:
     response = {"ok": False, "error": message}
     if kind:

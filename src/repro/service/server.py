@@ -35,11 +35,16 @@ class SimulationServer:
     """The streaming-simulation TCP server (one per process)."""
 
     def __init__(self, manager: SessionManager, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 metrics_port: Optional[int] = None) -> None:
         self.manager = manager
         self.host = host
         self.port = port
+        #: When set, a plain-HTTP listener on this port answers ``GET
+        #: /metrics`` with the Prometheus text exposition (0 = ephemeral).
+        self.metrics_port = metrics_port
         self._server: Optional[asyncio.base_events.Server] = None
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[asyncio.Task] = set()
         self._drain_task: Optional[asyncio.Task] = None
 
@@ -50,6 +55,13 @@ class SimulationServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_request, self.host, self.metrics_port)
+            self.metrics_port = (
+                self._metrics_server.sockets[0].getsockname()[1])
+            logger.info("metrics on http://%s:%d/metrics",
+                        self.host, self.metrics_port)
         logger.info("serving on %s:%d", self.host, self.port)
 
     @property
@@ -78,6 +90,9 @@ class SimulationServer:
 
     async def _drain_impl(self, checkpoint: bool,
                           grace_seconds: float) -> None:
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -89,6 +104,50 @@ class SimulationServer:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.manager.drain, checkpoint)
         logger.info("drained: %s", self.manager.stats())
+
+    async def _handle_metrics_request(self, reader: asyncio.StreamReader,
+                                      writer: asyncio.StreamWriter) -> None:
+        """Minimal HTTP/1.0 responder for Prometheus scrapes.
+
+        Any ``GET /metrics`` request (one per connection) gets the text
+        exposition; other paths get 404.  No keep-alive, no chunking —
+        scrapers speak exactly this much HTTP.
+        """
+        try:
+            request_line = await asyncio.wait_for(reader.readline(),
+                                                  timeout=10.0)
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            # Drain the remaining request headers.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if path.split("?")[0] == "/metrics":
+                loop = asyncio.get_running_loop()
+                text = await loop.run_in_executor(
+                    None, self.manager.metrics_text)
+                body = text.encode("utf-8")
+                status = "200 OK"
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body = b"not found\n"
+                status = "404 Not Found"
+                content_type = "text/plain; charset=utf-8"
+            writer.write(
+                (f"HTTP/1.0 {status}\r\n"
+                 f"Content-Type: {content_type}\r\n"
+                 f"Content-Length: {len(body)}\r\n"
+                 f"Connection: close\r\n\r\n").encode("latin-1") + body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
 
     # ------------------------------------------------------------------
     # Frame loop
@@ -151,6 +210,13 @@ class SimulationServer:
                 return await self._op_close(header)
             if op == "evict":
                 return await self._op_evict(header)
+            if op == "timeline":
+                return await self._op_timeline(header)
+            if op == "metrics":
+                loop = asyncio.get_running_loop()
+                text = await loop.run_in_executor(
+                    None, self.manager.metrics_text)
+                return {"ok": True, "text": text}
             if op == "stats":
                 return {"ok": True, "stats": self.manager.stats(),
                         "sessions": self.manager.session_names()}
@@ -185,13 +251,18 @@ class SimulationServer:
         if header.get("config") is not None:
             config = config_from_dict(SimConfig, header["config"])
         loop = asyncio.get_running_loop()
+        epoch_records = header.get("epoch_records")
+        if epoch_records is not None and (not isinstance(epoch_records, int)
+                                          or epoch_records < 1):
+            raise ServiceError("epoch_records must be a positive integer")
         snapshot = await loop.run_in_executor(
             None, lambda: self.manager.open(
                 name, prefetcher,
                 workload=header.get("workload", "stream"),
                 config=config,
                 warmup_records=header.get("warmup_records"),
-                resume=bool(header.get("resume", False))))
+                resume=bool(header.get("resume", False)),
+                epoch_records=epoch_records))
         return {"ok": True, "snapshot": protocol.snapshot_to_dict(snapshot)}
 
     async def _op_feed(self, header: dict, payload: bytes) -> dict:
@@ -214,6 +285,22 @@ class SimulationServer:
         snapshot = await loop.run_in_executor(
             None, lambda: self.manager.snapshot(name, wait=wait))
         return {"ok": True, "snapshot": protocol.snapshot_to_dict(snapshot)}
+
+    async def _op_timeline(self, header: dict) -> dict:
+        name = self._session_name(header)
+        include_partial = bool(header.get("include_partial", True))
+        events = bool(header.get("events", False))
+        wait = bool(header.get("wait", True))
+        loop = asyncio.get_running_loop()
+        epochs, retained = await loop.run_in_executor(
+            None, lambda: self.manager.timeline(
+                name, include_partial=include_partial, events=events,
+                wait=wait))
+        response = {"ok": True,
+                    "epochs": protocol.epochs_to_list(epochs)}
+        if retained is not None:
+            response["events"] = protocol.events_to_list(retained)
+        return response
 
     async def _op_checkpoint(self, header: dict) -> dict:
         name = self._session_name(header)
@@ -272,7 +359,8 @@ def run_server(host: str = "127.0.0.1", port: int = 8642,
                checkpoint_dir: Optional[str] = None,
                max_inflight_chunks: int = 4, workers: int = 4,
                parallelism: str = "serial",
-               checkpoint_interval: int = 0) -> Dict[str, int]:
+               checkpoint_interval: int = 0,
+               metrics_port: Optional[int] = None) -> Dict[str, int]:
     """Blocking entry point for ``python -m repro serve``.
 
     Returns the manager's final stats once the server has drained
@@ -286,7 +374,8 @@ def run_server(host: str = "127.0.0.1", port: int = 8642,
         parallelism=parallelism,
         checkpoint_interval=checkpoint_interval,
     )
-    server = SimulationServer(manager, host=host, port=port)
+    server = SimulationServer(manager, host=host, port=port,
+                              metrics_port=metrics_port)
     try:
         asyncio.run(_serve(server))
     finally:

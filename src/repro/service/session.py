@@ -39,9 +39,12 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 from repro.config import SimConfig
 from repro.errors import (ServiceError, SessionExistsError,
                           SessionNotFoundError)
+from repro.obs import SystemObservability, attach_observability
+from repro.obs.events import TraceEvent
+from repro.obs.timeline import EpochRecord
 from repro.prefetch.registry import make_prefetcher
 from repro.service.checkpoint import (Checkpoint, load_checkpoint,
-                                      restore_simulator, save_checkpoint)
+                                      save_checkpoint)
 from repro.sim.engine import SystemSimulator
 from repro.sim.executor import Parallelism
 from repro.sim.metrics import RunMetrics
@@ -68,7 +71,8 @@ class Session:
 
     def __init__(self, name: str, prefetcher: str, workload: str,
                  config: SimConfig,
-                 warmup_records: Optional[Sequence[int]] = None) -> None:
+                 warmup_records: Optional[Sequence[int]] = None,
+                 epoch_records: Optional[int] = None) -> None:
         self.name = name
         self.prefetcher = prefetcher
         self.workload = workload
@@ -76,6 +80,11 @@ class Session:
         self.simulator = SystemSimulator(
             config, lambda layout, channel: make_prefetcher(prefetcher,
                                                             layout, channel))
+        self.epoch_records = epoch_records
+        self.obs: Optional[SystemObservability] = None
+        if epoch_records:
+            self.obs = attach_observability(self.simulator,
+                                            epoch_records=int(epoch_records))
         if warmup_records is not None:
             self.simulator.set_stream_warmup(warmup_records)
         self.records_fed = 0
@@ -96,7 +105,23 @@ class Session:
         session.prefetcher = checkpoint.prefetcher
         session.workload = checkpoint.workload
         session.config = checkpoint.config
-        session.simulator = restore_simulator(checkpoint)
+        # Observability must attach *before* load_state so each channel's
+        # "obs" state entry restores into a live collector (the restored
+        # session's timeline then continues the original's epoch stream).
+        session.simulator = SystemSimulator(
+            checkpoint.config,
+            lambda layout, channel: make_prefetcher(checkpoint.prefetcher,
+                                                    layout, channel))
+        session.epoch_records = checkpoint.extra.get("epoch_records")
+        session.obs = None
+        if session.epoch_records:
+            session.obs = attach_observability(
+                session.simulator, epoch_records=int(session.epoch_records))
+        session.simulator.load_state(checkpoint.state)
+        if session.obs is not None and session.obs.system_tracer.enabled:
+            session.obs.system_tracer.emit(
+                "checkpoint_restored", session._now(),
+                records_fed=checkpoint.records_fed)
         session.records_fed = checkpoint.records_fed
         session.chunks_fed = checkpoint.chunks_fed
         session.last_active = time.monotonic()
@@ -108,15 +133,30 @@ class Session:
         session.error = None
         return session
 
+    def _now(self) -> int:
+        """Latest simulated cycle across channels — event timestamps."""
+        return max((channel_sim._last_time
+                    for channel_sim in self.simulator.channels), default=0)
+
     def to_checkpoint(self) -> Checkpoint:
-        return Checkpoint(
+        extra = {}
+        if self.epoch_records:
+            extra["epoch_records"] = int(self.epoch_records)
+        checkpoint = Checkpoint(
             prefetcher=self.prefetcher,
             workload=self.workload,
             config=self.config,
             records_fed=self.records_fed,
             chunks_fed=self.chunks_fed,
             state=self.simulator.state_dict(),
+            extra=extra,
         )
+        # Stamped after state_dict: the event records the save in the live
+        # session, not inside the checkpoint being written.
+        if self.obs is not None and self.obs.system_tracer.enabled:
+            self.obs.system_tracer.emit("checkpoint_saved", self._now(),
+                                        records_fed=self.records_fed)
+        return checkpoint
 
     def snapshot(self) -> SessionSnapshot:
         return SessionSnapshot(
@@ -198,12 +238,16 @@ class SessionManager:
     def open(self, name: str, prefetcher: str, workload: str = "stream",
              config: Optional[SimConfig] = None,
              warmup_records: Optional[Sequence[int]] = None,
-             resume: bool = False) -> SessionSnapshot:
+             resume: bool = False,
+             epoch_records: Optional[int] = None) -> SessionSnapshot:
         """Create a session (or, with ``resume``, restore its checkpoint).
 
         ``warmup_records`` fixes per-channel warmup windows up front (see
         :func:`~repro.sim.engine.channel_warmup_counts`); streaming
-        sessions default to no warmup suppression.
+        sessions default to no warmup suppression.  ``epoch_records``
+        enables observability: the session then answers ``timeline``
+        queries with epochs of that many records per channel (a resumed
+        session keeps the epoch size stored in its checkpoint).
         """
         if not name or "/" in name or "\x00" in name:
             raise ServiceError(f"invalid session name {name!r}")
@@ -225,7 +269,8 @@ class SessionManager:
                 session = Session(
                     name, prefetcher, workload,
                     config or self.default_config or SimConfig.experiment_scale(),
-                    warmup_records=warmup_records)
+                    warmup_records=warmup_records,
+                    epoch_records=epoch_records)
                 self.sessions_opened += 1
             self._sessions[name] = session
         return session.snapshot()
@@ -339,6 +384,50 @@ class SessionManager:
                 f"session {name!r} failed on an earlier chunk: "
                 f"{session.error}")
         return session.snapshot()
+
+    def timeline(self, name: str, include_partial: bool = True,
+                 events: bool = False, wait: bool = True
+                 ) -> Tuple[List[EpochRecord], Optional[List[TraceEvent]]]:
+        """Live epoch timeline (and optionally retained events).
+
+        With ``wait`` (default) the timeline covers every chunk fed so
+        far, which makes it bit-identical to an offline run's post-hoc
+        dump over the same records.  The trailing partial epoch is
+        computed non-destructively — polling never perturbs collection.
+        """
+        session = self._get(name)
+        if wait:
+            self._quiesce(session)
+        if session.error is not None:
+            raise ServiceError(
+                f"session {name!r} failed on an earlier chunk: "
+                f"{session.error}")
+        if session.obs is None:
+            raise ServiceError(
+                f"session {name!r} was opened without epoch_records; "
+                f"no timeline is being collected")
+        epochs = session.obs.merged_timeline(include_partial=include_partial)
+        retained = session.obs.events() if events else None
+        return epochs, retained
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition covering every live session."""
+        from repro.obs.export import (epoch_samples, prometheus_text,
+                                      snapshot_samples)
+
+        with self._lock:
+            sessions = [self._sessions[name]
+                        for name in sorted(self._sessions)]
+        samples = []
+        for session in sessions:
+            if session.error is not None:
+                continue
+            samples.extend(snapshot_samples(session.name, session.snapshot()))
+            if session.obs is not None:
+                timeline = session.obs.merged_timeline(include_partial=True)
+                if timeline:
+                    samples.extend(epoch_samples(session.name, timeline[-1]))
+        return prometheus_text(samples)
 
     def _write_checkpoint(self, session: Session) -> Path:
         path = self._checkpoint_path(session.name)

@@ -74,6 +74,10 @@ class ChannelSimulator:
         self.prefetcher = prefetcher
         self.queue = PrefetchQueue(config.queue)
         self.metrics = MetricSet()
+        #: Observability hook (a TimelineCollector, see repro.obs) or None.
+        #: Checked once per chunk, never per record — the disabled state
+        #: costs one attribute load per run()/run_buffer() call.
+        self.obs = None
         self._warmup_until = 0
         self._records_seen = 0
         self._last_time = 0
@@ -199,6 +203,9 @@ class ChannelSimulator:
         :meth:`step` per record.  Both produce bit-identical state
         (``tests/test_fastpath_equivalence.py``).
         """
+        if self.obs is not None:
+            self._run_observed(records, warmup_records)
+            return
         if isinstance(records, TraceBuffer):
             self.run_buffer(records, warmup_records=warmup_records)
             return
@@ -206,6 +213,38 @@ class ChannelSimulator:
         for record in records:
             self.step(record)
         self.finish()
+
+    def _run_observed(self, records, warmup_records: int) -> None:
+        """Observed run path: the stream sliced at epoch boundaries.
+
+        Each epoch-aligned sub-chunk goes through the *unmodified* plain
+        path (``obs`` temporarily detached), and the attached collector
+        snapshots counter deltas at every boundary.  Correctness rides
+        on the chunking contract :meth:`feed` already guarantees — any
+        chunking of a stream is bit-identical to the one-shot run — so
+        enabling collection never changes simulated state or metrics.
+        """
+        obs = self.obs
+        obs.begin(self)
+        epoch_records = obs.epoch_records
+        if not hasattr(records, "__getitem__"):
+            records = list(records)
+        total = len(records)
+        self.obs = None
+        try:
+            if total == 0:
+                self.run(records, warmup_records=warmup_records)
+            position = 0
+            while position < total:
+                take = epoch_records - (self._records_seen % epoch_records)
+                end = min(total, position + take)
+                self.run(records[position:end],
+                         warmup_records=warmup_records)
+                if self._records_seen % epoch_records == 0:
+                    obs.close_epoch(self)
+                position = end
+        finally:
+            self.obs = obs
 
     def run_buffer(self, buffer: TraceBuffer,
                    warmup_records: int = 0) -> None:
@@ -216,6 +255,9 @@ class ChannelSimulator:
         allocation per access — with every attribute and config lookup
         hoisted out of the loop.  Keep this in lockstep with :meth:`step`.
         """
+        if self.obs is not None:
+            self._run_observed(buffer, warmup_records)
+            return
         self.set_warmup(warmup_records, records_seen_hint=self._records_seen)
         addresses, access_types, device_values, arrival_times = (
             buffer.columns_as_lists())
@@ -386,7 +428,7 @@ class ChannelSimulator:
         The snapshot is deep: no live references into the simulator
         escape, so the source may keep running after the checkpoint.
         """
-        return {
+        state = {
             "records_seen": self._records_seen,
             "warmup_until": self._warmup_until,
             "last_time": self._last_time,
@@ -396,6 +438,9 @@ class ChannelSimulator:
             "metrics": self.metrics.state_dict(),
             "prefetcher": self.prefetcher.state_dict(),
         }
+        if self.obs is not None:
+            state["obs"] = self.obs.state_dict()
+        return state
 
     def load_state(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot.
@@ -412,6 +457,13 @@ class ChannelSimulator:
         self.queue.load_state(state["queue"])
         self.metrics.load_state(state["metrics"])
         self.prefetcher.load_state(state["prefetcher"])
+        obs_state = state.get("obs")
+        if obs_state is not None and self.obs is not None:
+            self.obs.load_state(obs_state)
+        if self.obs is not None:
+            # Restoring replaced nested sub-prefetcher objects; point the
+            # chain back at the live tracer so no events land in orphans.
+            self.obs.rewire(self)
 
 
 def channel_warmup_counts(records: TraceLike, config: SimConfig) -> List[int]:

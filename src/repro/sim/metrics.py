@@ -144,6 +144,13 @@ class RunMetrics:
     energy_nj: float
     storage_bits: int
     p99_latency: float = 0.0
+    #: Per-requesting-device read breakdown: ``{device: {"reads": n,
+    #: "mean_latency": cycles}}`` — the SC is shared by CPU/GPU/NPU/ISP/DSP,
+    #: so which device a prefetcher helps is reported alongside the
+    #: aggregate AMAT.  Plain dicts so the value survives the service's
+    #: JSON hop bit-exactly.
+    device_read_stats: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
 
     @property
     def accuracy(self) -> float:

@@ -96,6 +96,11 @@ def _collect(simulator: SystemSimulator, workload: str,
         energy_nj=power.total_nj,
         storage_bits=simulator.storage_bits(),
         p99_latency=p99,
+        device_read_stats={
+            device: {"reads": stats.count, "mean_latency": stats.mean}
+            for device, stats in sorted(
+                channel_metrics.device_read_latency.items())
+        },
     )
 
 

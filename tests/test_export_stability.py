@@ -64,16 +64,33 @@ class TestSVG:
 
 
 class TestExportReport:
-    def test_writes_both(self, tmp_path):
+    def test_writes_all_formats(self, tmp_path):
         written = export_report(sample_report(), tmp_path / "out")
         names = {path.name for path in written}
-        assert names == {"figX.csv", "figX.svg"}
+        assert names == {"figX.csv", "figX.json", "figX.svg"}
 
     def test_skips_unplottable_svg(self, tmp_path):
         report = ExperimentReport("figY", "labels", ["a", "b"])
         report.add_row(["x", "y"])
         written = export_report(report, tmp_path)
-        assert {path.suffix for path in written} == {".csv"}
+        assert {path.suffix for path in written} == {".csv", ".json"}
+
+    def test_json_carries_details(self, tmp_path):
+        import json
+
+        report = sample_report()
+        report.details["device_read_stats"] = {
+            "CFM": {"planaria": {"CPU": {"reads": 7, "mean_latency": 51.5}}}
+        }
+        export_report(report, tmp_path)
+        document = json.loads((tmp_path / "figX.json").read_text())
+        assert document["experiment_id"] == "figX"
+        assert document["columns"] == report.columns
+        assert document["rows"] == report.rows
+        assert document["details"]["device_read_stats"]["CFM"]["planaria"][
+            "CPU"]["reads"] == 7
+        # The text table renders the detail block too.
+        assert "device_read_stats" in report.format_table()
 
 
 class TestStability:

@@ -1,0 +1,137 @@
+"""Timeline/event export round trips, property-based.
+
+The exporters promise ``read(write(timeline)) == timeline`` — ints stay
+ints, floats come back bit-identical (``repr`` shortest round trip, both
+in JSONL and as CSV cells), dict-valued fields survive as JSON cells.
+Hypothesis generates adversarial epochs (negative deltas, huge counters,
+subnormal-ish floats, unicode device names) to pin that down.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import EpochRecord, TraceEvent
+from repro.obs.export import (TIMELINE_FORMAT, epoch_samples,
+                              prometheus_text, read_events_jsonl,
+                              read_timeline_csv, read_timeline_jsonl,
+                              write_events_jsonl, write_timeline_csv,
+                              write_timeline_jsonl)
+
+counters = st.integers(min_value=-2**40, max_value=2**40)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          width=64)
+names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1,
+    max_size=12)
+int_tables = st.dictionaries(names, counters, max_size=4)
+float_tables = st.dictionaries(names, finite_floats, max_size=4)
+
+
+@st.composite
+def epoch_records(draw):
+    fields = {}
+    for field_ in dataclasses.fields(EpochRecord):
+        if field_.name == "read_latency_total":
+            fields[field_.name] = draw(finite_floats)
+        elif field_.name == "device_read_latency_total":
+            fields[field_.name] = draw(float_tables)
+        elif field_.name in ("useful_by_source", "fills_by_source",
+                             "device_reads"):
+            fields[field_.name] = draw(int_tables)
+        else:
+            fields[field_.name] = draw(counters)
+    return EpochRecord(**fields)
+
+
+timelines = st.lists(epoch_records(), max_size=5)
+
+
+@st.composite
+def trace_events(draw):
+    return TraceEvent(
+        kind=draw(st.sampled_from(["tlp_transfer", "slp_snapshot_learned",
+                                   "throttle_suspended"])),
+        time=draw(counters),
+        channel=draw(st.integers(min_value=-1, max_value=3)),
+        seq=draw(st.integers(min_value=0, max_value=2**30)),
+        data=draw(st.dictionaries(
+            names, counters | finite_floats | names, max_size=3)),
+    )
+
+
+class TestTimelineRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(epochs=timelines)
+    def test_jsonl(self, epochs, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "timeline.jsonl"
+        write_timeline_jsonl(path, epochs, meta={"workload": "CFM"})
+        meta, decoded = read_timeline_jsonl(path)
+        assert decoded == epochs
+        assert meta["workload"] == "CFM"
+        assert meta["format"] == TIMELINE_FORMAT
+
+    @settings(max_examples=50, deadline=None)
+    @given(epochs=timelines)
+    def test_csv(self, epochs, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "timeline.csv"
+        write_timeline_csv(path, epochs)
+        _, decoded = read_timeline_csv(path)
+        assert decoded == epochs
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "timeline.jsonl"
+        write_timeline_jsonl(path, [])
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace('"version": 1', '"version": 99')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="schema version 99"):
+            read_timeline_jsonl(path)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"format": "something-else", "version": 1}\n')
+        with pytest.raises(ValueError, match="not a planaria-timeline"):
+            read_timeline_jsonl(path)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown EpochRecord"):
+            EpochRecord.from_dict({"epoch": 0, "mystery": 1})
+
+
+class TestEventsRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(events=st.lists(trace_events(), max_size=6))
+    def test_jsonl(self, events, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "events.jsonl"
+        write_events_jsonl(path, events, meta={"session": "s"})
+        meta, decoded = read_events_jsonl(path)
+        assert decoded == events
+        assert meta["session"] == "s"
+
+
+class TestPrometheusText:
+    def test_renders_types_labels_and_escaping(self):
+        text = prometheus_text([
+            ("records_fed", {"session": 'a"b\\c'}, 7, "counter"),
+            ("records_fed", {"session": "other"}, 9, "counter"),
+            ("hit_rate", {}, 0.25, "gauge"),
+        ])
+        lines = text.splitlines()
+        assert lines[0] == "# TYPE planaria_records_fed counter"
+        assert lines[1] == 'planaria_records_fed{session="a\\"b\\\\c"} 7'
+        assert lines[2] == 'planaria_records_fed{session="other"} 9'
+        assert "# TYPE planaria_hit_rate gauge" in lines
+        assert "planaria_hit_rate 0.25" in lines
+        assert text.endswith("\n")
+
+    def test_epoch_samples_cover_headline_gauges(self):
+        epoch = EpochRecord(epoch=3, channel=-1, start_record=0,
+                            end_record=1024, start_time=0, end_time=500,
+                            demand_accesses=100, demand_hits=60,
+                            demand_reads=80, read_latency_total=400.0)
+        rendered = prometheus_text(epoch_samples("live", epoch))
+        assert 'planaria_epoch_index{session="live"} 3' in rendered
+        assert 'planaria_epoch_hit_rate{session="live"} 0.6' in rendered
+        assert 'planaria_epoch_amat_cycles{session="live"} 5.0' in rendered

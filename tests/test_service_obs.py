@@ -1,0 +1,161 @@
+"""Service observability: the live ``timeline`` op, Prometheus export.
+
+Headline property: the epochs a client polls out of a *live* streaming
+session are bit-identical to the post-hoc offline dump of the same
+records — same collector code, same chunking-invariance contract the
+engine tests pin down, observed end-to-end through real sockets.
+"""
+
+import functools
+import socket
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ServiceError
+from repro.obs import attach_observability
+from repro.prefetch.registry import make_prefetcher
+from repro.service.bench import _ServerThread
+from repro.service.client import ServiceClient
+from repro.service.session import SessionManager
+from repro.sim.engine import SystemSimulator, channel_warmup_counts
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+LENGTH = 2000
+SEED = 13
+EPOCH_RECORDS = 128
+
+
+@functools.lru_cache(maxsize=None)
+def _config():
+    return SimConfig.experiment_scale()
+
+
+@functools.lru_cache(maxsize=None)
+def _trace():
+    return generate_trace_buffer(get_profile("CFM"), LENGTH, seed=SEED,
+                                 layout=_config().layout)
+
+
+@functools.lru_cache(maxsize=None)
+def _offline():
+    """Offline observed run over the same records the service sees."""
+    sim = SystemSimulator(
+        _config(),
+        lambda layout, channel: make_prefetcher("planaria", layout, channel))
+    obs = attach_observability(sim, epoch_records=EPOCH_RECORDS)
+    sim.set_stream_warmup(channel_warmup_counts(_trace(), _config()))
+    sim.feed(_trace())
+    return obs
+
+
+@pytest.fixture
+def server(tmp_path):
+    manager = SessionManager(checkpoint_dir=tmp_path / "ckpt",
+                             default_config=_config())
+    with _ServerThread(manager, metrics_port=0) as running:
+        yield running
+    manager.shutdown(checkpoint=False)
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient.connect(port=server.port) as connected:
+        yield connected
+
+
+def _open_and_feed(client, name="live", chunk=311):
+    trace = _trace()
+    client.open(name, "planaria", workload="CFM", config=_config(),
+                warmup_records=channel_warmup_counts(trace, _config()),
+                epoch_records=EPOCH_RECORDS)
+    client.feed_trace(name, trace, chunk_records=chunk)
+
+
+class TestTimelineOp:
+    def test_live_epochs_match_offline_dump(self, client):
+        _open_and_feed(client)
+        epochs, events = client.timeline("live", events=True)
+        offline = _offline()
+        assert epochs == offline.merged_timeline(include_partial=True)
+        assert events == offline.events()
+
+    def test_closed_epochs_only(self, client):
+        _open_and_feed(client)
+        epochs, events = client.timeline("live", include_partial=False)
+        assert events is None
+        assert epochs == _offline().merged_timeline(include_partial=False)
+
+    def test_polling_midstream_does_not_perturb(self, client):
+        trace = _trace()
+        client.open("live", "planaria", workload="CFM", config=_config(),
+                    warmup_records=channel_warmup_counts(trace, _config()),
+                    epoch_records=EPOCH_RECORDS)
+        for start in range(0, len(trace), 500):
+            client.feed("live", trace[start:start + 500])
+            client.timeline("live")  # live poll between chunks
+        epochs, _ = client.timeline("live")
+        assert epochs == _offline().merged_timeline(include_partial=True)
+
+    def test_session_without_obs_rejected(self, client):
+        client.open("plain", "none", config=_config())
+        with pytest.raises(ServiceError, match="without epoch_records"):
+            client.timeline("plain")
+
+    def test_bad_epoch_records_rejected(self, client):
+        with pytest.raises(ServiceError, match="epoch_records"):
+            client.open("bad", "none", config=_config(), epoch_records=-5)
+
+    def test_timeline_survives_checkpoint_resume(self, client):
+        trace = _trace()
+        client.open("live", "planaria", workload="CFM", config=_config(),
+                    warmup_records=channel_warmup_counts(trace, _config()),
+                    epoch_records=EPOCH_RECORDS)
+        client.feed("live", trace[:900])
+        client.checkpoint("live")
+        # The save is logged in the live session's system tracer...
+        _, saved_events = client.timeline("live", events=True)
+        assert "checkpoint_saved" in [e.kind for e in saved_events
+                                      if e.channel == -1]
+        client.close_session("live", delete_checkpoint=False)
+        client.open("live", "planaria", resume=True)
+        client.feed("live", trace[900:])
+        epochs, events = client.timeline("live", events=True)
+        assert epochs == _offline().merged_timeline(include_partial=True)
+        # ...channel events match offline exactly, and the resumed
+        # session logs the restore at the system level (channel -1).
+        channel_events = [e for e in events if e.channel >= 0]
+        assert channel_events == _offline().events()
+        assert "checkpoint_restored" in [e.kind for e in events
+                                         if e.channel == -1]
+
+
+class TestPrometheusExport:
+    def test_metrics_op_renders_open_sessions(self, client):
+        _open_and_feed(client)
+        client.snapshot("live")  # quiesce: metrics_text itself never blocks
+        text = client.metrics_text()
+        assert "# TYPE planaria_records_fed counter" in text
+        assert f'planaria_records_fed{{session="live"}} {LENGTH}' in text
+        assert 'planaria_epoch_hit_rate{session="live"}' in text
+
+    def test_http_metrics_endpoint(self, server, client):
+        _open_and_feed(client)
+        client.snapshot("live")
+        with socket.create_connection(
+                ("127.0.0.1", server.metrics_port), timeout=10) as sock:
+            sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+            response = b""
+            while chunk := sock.recv(4096):
+                response += chunk
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200")
+        assert b"text/plain" in head
+        assert 'planaria_records_fed{session="live"}' in body.decode()
+
+    def test_http_unknown_path_404(self, server):
+        with socket.create_connection(
+                ("127.0.0.1", server.metrics_port), timeout=10) as sock:
+            sock.sendall(b"GET /nope HTTP/1.0\r\n\r\n")
+            response = sock.recv(4096)
+        assert response.startswith(b"HTTP/1.0 404")

@@ -105,6 +105,62 @@ class TestSaturatingCounter:
     def test_int_conversion(self):
         assert int(SaturatingCounter(bits=2, initial=2)) == 2
 
+    def test_decrement_amount_clamps_at_zero(self):
+        counter = SaturatingCounter(bits=4, initial=5)
+        assert counter.decrement(20) == 0
+        assert not counter.is_saturated()
+
+    def test_exact_boundary_steps(self):
+        # Landing exactly on the rails must not overshoot either way.
+        counter = SaturatingCounter(bits=3, initial=6)
+        assert counter.increment() == 7
+        assert counter.is_saturated()
+        assert counter.increment() == 7
+        counter.reset(1)
+        assert counter.decrement() == 0
+        assert counter.decrement() == 0
+
+    def test_one_bit_counter_toggles(self):
+        counter = SaturatingCounter(bits=1)
+        assert counter.max_value == 1
+        assert counter.increment() == 1
+        assert counter.is_saturated()
+        assert counter.decrement() == 0
+
+    def test_zero_amount_is_a_noop(self):
+        counter = SaturatingCounter(bits=2, initial=2)
+        assert counter.increment(0) == 2
+        assert counter.decrement(0) == 2
+
+    def test_reset_default_is_zero(self):
+        counter = SaturatingCounter(bits=2, initial=3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_initial_at_max_is_saturated(self):
+        assert SaturatingCounter(bits=2, initial=3).is_saturated()
+
+    def test_repr_names_value_and_max(self):
+        assert repr(SaturatingCounter(bits=2, initial=1)) == \
+            "SaturatingCounter(value=1, max=3)"
+
+    @given(bits=st.integers(min_value=1, max_value=8),
+           steps=st.lists(st.tuples(st.booleans(),
+                                    st.integers(min_value=0, max_value=300)),
+                          max_size=30))
+    def test_value_always_in_range(self, bits, steps):
+        counter = SaturatingCounter(bits=bits)
+        reference = 0
+        for up, amount in steps:
+            if up:
+                counter.increment(amount)
+            else:
+                counter.decrement(amount)
+            reference = (min(counter.max_value, reference + amount) if up
+                         else max(0, reference - amount))
+            assert counter.value == reference
+            assert 0 <= counter.value <= counter.max_value
+
 
 class TestRunningStats:
     def test_empty(self):
