@@ -214,16 +214,17 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
-def _format_epoch_row(epoch) -> str:
+def _format_epoch_row(epoch, health: str = "-") -> str:
     return (f"{epoch.epoch:>6d} {epoch.records:>8d} {epoch.hit_rate:>8.3f} "
             f"{epoch.amat:>8.1f} {epoch.accuracy:>8.2f} "
             f"{epoch.slp_issued:>7d} {epoch.tlp_issued:>7d} "
-            f"{epoch.queue_depth:>6d} {epoch.throttle_suspended:>5d}")
+            f"{epoch.queue_depth:>6d} {epoch.throttle_suspended:>5d} "
+            f"{health:>8}")
 
 
 _WATCH_HEADER = (f"{'epoch':>6} {'records':>8} {'hitrate':>8} {'amat':>8} "
                  f"{'accuracy':>8} {'slp':>7} {'tlp':>7} {'queue':>6} "
-                 f"{'susp':>5}")
+                 f"{'susp':>5} {'health':>8}")
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
@@ -238,10 +239,14 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         while True:
             epochs, _ = client.timeline(args.session, include_partial=True,
                                         wait=not args.no_wait)
+            health = "-"
+            if not args.no_health:
+                report = client.health()
+                health = report.sessions.get(args.session, report.status)
             # Closed epochs print once; the still-growing tail epoch is
             # re-printed (updated) on every poll.
             for epoch in epochs[printed:]:
-                print(_format_epoch_row(epoch))
+                print(_format_epoch_row(epoch, health))
             printed = max(printed, len(epochs) - 1)
             polls += 1
             if args.count and polls >= args.count:
@@ -260,8 +265,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         parallelism=args.parallelism,
         checkpoint_interval=args.checkpoint_interval,
         metrics_port=args.metrics_port,
+        tracing=args.trace,
+        log_json=args.log_json,
     )
     print(f"server drained: {stats}")
+    return 0
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    from repro.obs.trace_spans import write_chrome_trace
+    from repro.service.client import ServiceClient
+
+    with ServiceClient.connect(args.host, args.port) as client:
+        spans, summary = client.server_spans(clear=args.clear)
+    write_chrome_trace(args.output, spans)
+    print(f"wrote {len(spans)} spans to {args.output} "
+          f"(open in https://ui.perfetto.dev)")
+    if summary:
+        print(f"{'span':<24} {'count':>8} {'mean_us':>10} {'p50_us':>8} "
+              f"{'p95_us':>8} {'p99_us':>8}")
+        for name in sorted(summary):
+            entry = summary[name]
+            print(f"{name:<24} {entry['count']:>8.0f} "
+                  f"{entry['mean_us']:>10.1f} {entry['p50_us']:>8.0f} "
+                  f"{entry['p95_us']:>8.0f} {entry['p99_us']:>8.0f}")
     return 0
 
 
@@ -275,11 +302,20 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         app=args.app, chunk_records=args.chunk_records,
         max_inflight_chunks=args.max_inflight, workers=args.workers,
         output=Path(args.output) if args.output else None,
+        tracing=not args.no_trace,
+        spans_out=Path(args.spans_out) if args.spans_out else None,
     )
     print(f"{report['sessions']} sessions x {report['trace_length']} records "
           f"in {report['elapsed_seconds']}s: "
           f"{report['aggregate_records_per_second']:,} rec/s aggregate, "
           f"{report['backpressure_waits']} backpressure waits")
+    if "feed_latency_us" in report:
+        feed = report["feed_latency_us"]
+        print(f"per-chunk feed latency (us): p50 {feed['p50']:.0f}, "
+              f"p95 {feed['p95']:.0f}, p99 {feed['p99']:.0f} "
+              f"over {feed['chunks']} chunks")
+    if "spans_written_to" in report:
+        print(f"wrote spans to {report['spans_written_to']}")
     if "written_to" in report:
         print(f"wrote {report['written_to']}")
     return 0
@@ -438,6 +474,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after N polls (0 = until Ctrl-C)")
     watch.add_argument("--no-wait", action="store_true",
                        help="don't quiesce the session before each poll")
+    watch.add_argument("--no-health", action="store_true",
+                       help="skip the per-poll health evaluation column")
     watch.set_defaults(handler=_cmd_watch)
 
     serve = commands.add_parser(
@@ -455,10 +493,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--checkpoint-interval", type=int, default=0,
                        help="auto-checkpoint every N chunks (0 disables)")
     serve.add_argument("--metrics-port", type=int, default=None,
-                       help="serve Prometheus text on GET /metrics at this "
-                            "HTTP port (0 picks an ephemeral port)")
+                       help="serve Prometheus text on GET /metrics (and the "
+                            "health report on GET /healthz) at this HTTP "
+                            "port (0 picks an ephemeral port)")
+    serve.add_argument("--trace", action="store_true",
+                       help="record request spans (the 'spans' op / "
+                            "'repro spans'; docs/observability.md)")
+    serve.add_argument("--log-json", action="store_true",
+                       help="structured one-JSON-object-per-line logging, "
+                            "rate-limited")
     _add_parallelism_argument(serve)
     serve.set_defaults(handler=_cmd_serve, parallelism="serial")
+
+    spans = commands.add_parser(
+        "spans", help="dump a tracing server's spans as Chrome trace JSON")
+    spans.add_argument("output", help="Chrome trace-event .json path "
+                                      "(loads in Perfetto)")
+    spans.add_argument("--host", default="127.0.0.1")
+    spans.add_argument("--port", type=int, default=8642)
+    spans.add_argument("--clear", action="store_true",
+                       help="drain the server's span ring after reading")
+    spans.set_defaults(handler=_cmd_spans)
 
     bench_serve = commands.add_parser(
         "bench-serve", help="benchmark the service path end to end")
@@ -471,6 +526,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--workers", type=int, default=4)
     bench_serve.add_argument("--output", default="BENCH_service.json",
                              metavar="FILE", help="report path ('' skips)")
+    bench_serve.add_argument("--no-trace", action="store_true",
+                             help="disable request tracing (drops the "
+                                  "feed-latency percentiles)")
+    bench_serve.add_argument("--spans-out", metavar="FILE",
+                             help="also dump recorded spans as Chrome "
+                                  "trace-event JSON")
     bench_serve.set_defaults(handler=_cmd_bench_serve)
     return parser
 

@@ -31,17 +31,26 @@ from typing import List, Optional
 from repro.obs.events import (EVENT_KINDS, EVENT_SCHEMA_VERSION, EventTracer,
                               NULL_TRACER, TraceEvent, merge_events,
                               wire_tracer)
+from repro.obs.health import (HEALTH_SCHEMA_VERSION, DetectorVerdict,
+                              HealthConfig, HealthEngine, HealthReport)
 from repro.obs.timeline import (DEFAULT_EPOCH_RECORDS,
                                 TIMELINE_SCHEMA_VERSION, EpochRecord,
                                 TimelineCollector, capture_channel,
                                 merge_timelines)
+from repro.obs.trace_spans import (NULL_SPANS, SPAN_SCHEMA_VERSION,
+                                   SpanRecord, SpanRecorder, spans_to_chrome,
+                                   chrome_to_spans, write_chrome_trace)
 
 __all__ = [
     "DEFAULT_EPOCH_RECORDS", "EVENT_KINDS", "EVENT_SCHEMA_VERSION",
-    "TIMELINE_SCHEMA_VERSION", "EpochRecord", "EventTracer", "NULL_TRACER",
-    "ObsConfig", "SystemObservability", "TimelineCollector", "TraceEvent",
-    "attach_observability", "capture_channel", "detach_observability",
-    "merge_events", "merge_timelines",
+    "HEALTH_SCHEMA_VERSION", "SPAN_SCHEMA_VERSION", "DetectorVerdict",
+    "EpochRecord", "EventTracer", "HealthConfig", "HealthEngine",
+    "HealthReport", "NULL_SPANS", "NULL_TRACER", "ObsConfig", "SpanRecord",
+    "SpanRecorder", "SystemObservability", "TIMELINE_SCHEMA_VERSION",
+    "TimelineCollector", "TraceEvent", "attach_observability",
+    "capture_channel", "chrome_to_spans", "detach_observability",
+    "merge_events", "merge_timelines", "spans_to_chrome",
+    "write_chrome_trace",
 ]
 
 #: Default ring-buffer capacity per channel tracer.

@@ -16,6 +16,7 @@ from __future__ import annotations
 import csv
 import dataclasses
 import json
+import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -176,10 +177,58 @@ def read_events_jsonl(path: PathLike) -> Tuple[dict, List[TraceEvent]]:
 #: (metric name without prefix, value kind) rendered per sample tuple.
 Sample = Tuple[str, Dict[str, str], float, str]
 
+#: Prometheus data-model charsets (https://prometheus.io/docs/concepts/).
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: ``# HELP`` text per exported metric (unprefixed name).  Every sample
+#: builder below must keep this table complete — the exposition renderer
+#: refuses unknown names, and ``tests/test_prometheus_exposition.py``
+#: parses the full output with a strict grammar.
+METRIC_HELP: Dict[str, str] = {
+    "records_fed": "Trace records accepted by the session so far.",
+    "chunks_fed": "Trace chunks applied by the session so far.",
+    "demand_accesses": "Demand accesses simulated (post-warmup).",
+    "demand_misses": "Demand misses in the storage cache (post-warmup).",
+    "dram_traffic": "DRAM read transactions issued (post-warmup).",
+    "prefetch_issued": "Prefetch requests issued by the prefetcher.",
+    "prefetch_fills": "Prefetched blocks installed in the cache.",
+    "prefetch_useful": "Prefetched blocks hit by a later demand access.",
+    "amat_cycles": "Average memory access time, cycles.",
+    "hit_rate": "Demand hit rate in the storage cache.",
+    "prefetch_accuracy": "Useful fraction of prefetched blocks.",
+    "prefetch_coverage": "Demand misses removed by prefetching.",
+    "prefetch_useful_by_source":
+        "Useful prefetches attributed to the issuing sub-prefetcher.",
+    "epoch_index": "Index of the most recent (possibly partial) epoch.",
+    "epoch_hit_rate": "Demand hit rate within the most recent epoch.",
+    "epoch_amat_cycles": "AMAT within the most recent epoch, cycles.",
+    "epoch_accuracy": "Prefetch accuracy within the most recent epoch.",
+    "epoch_queue_depth": "Prefetch-queue depth at the epoch boundary.",
+    "epoch_slp_issued": "SLP prefetches issued within the epoch.",
+    "epoch_tlp_issued": "TLP prefetches issued within the epoch.",
+    "epoch_throttle_suspended":
+        "Channels currently suspended by the accuracy throttle.",
+    "health_ok": "Overall service health (1 = ok, 0 = degraded).",
+    "health_detector_ok":
+        "Per-detector health verdict (1 = ok, 0 = degraded).",
+    "health_detector_value":
+        "The observed value the detector judged against its threshold.",
+    "health_detector_threshold": "The detector's configured threshold.",
+    "span_latency_p50_us": "Median recorded latency per span name, us.",
+    "span_latency_p95_us": "p95 recorded latency per span name, us.",
+    "span_latency_p99_us": "p99 recorded latency per span name, us.",
+    "span_count": "Spans recorded per span name.",
+}
+
 
 def _escape_label(value: str) -> str:
     return (value.replace("\\", "\\\\").replace('"', '\\"')
             .replace("\n", "\\n"))
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_value(value) -> str:
@@ -195,8 +244,11 @@ def prometheus_text(samples: Iterable[Sample],
     """Render samples in the Prometheus text exposition format.
 
     Each sample is ``(name, labels, value, kind)`` with ``kind`` one of
-    ``counter``/``gauge``.  Samples group under one ``# TYPE`` header
-    per metric name, in first-seen order.
+    ``counter``/``gauge``.  Samples group under one ``# HELP`` +
+    ``# TYPE`` header pair per metric name, in first-seen order.  Metric
+    and label names are validated against the Prometheus charset, and
+    every metric must have an entry in :data:`METRIC_HELP` — an export
+    without help text is a bug, caught here rather than by the scraper.
     """
     by_name: Dict[str, List[Sample]] = {}
     kinds: Dict[str, str] = {}
@@ -207,9 +259,25 @@ def prometheus_text(samples: Iterable[Sample],
     lines: List[str] = []
     for name, group in by_name.items():
         full = f"{prefix}_{name}"
+        if not _METRIC_NAME_RE.match(full):
+            raise ValueError(f"invalid Prometheus metric name {full!r}")
+        if kinds[name] not in ("counter", "gauge"):
+            raise ValueError(
+                f"metric {full!r} has unknown kind {kinds[name]!r}")
+        help_text = METRIC_HELP.get(name)
+        if help_text is None:
+            raise ValueError(
+                f"metric {name!r} has no METRIC_HELP entry; every exported "
+                f"metric needs # HELP text")
+        lines.append(f"# HELP {full} {_escape_help(help_text)}")
         lines.append(f"# TYPE {full} {kinds[name]}")
         for _, labels, value, _ in group:
             if labels:
+                for key in labels:
+                    if not _LABEL_NAME_RE.match(key):
+                        raise ValueError(
+                            f"invalid Prometheus label name {key!r} "
+                            f"on metric {full!r}")
                 rendered = ",".join(
                     f'{key}="{_escape_label(str(val))}"'
                     for key, val in sorted(labels.items()))
@@ -257,3 +325,35 @@ def epoch_samples(name: str, epoch: EpochRecord) -> List[Sample]:
         ("epoch_throttle_suspended", labels, epoch.throttle_suspended,
          "gauge"),
     ]
+
+
+def health_samples(report) -> List[Sample]:
+    """Gauges for a :class:`~repro.obs.health.HealthReport`."""
+    samples: List[Sample] = [
+        ("health_ok", {}, 1 if report.ok else 0, "gauge"),
+    ]
+    for verdict in report.verdicts:
+        labels = {"detector": verdict.detector}
+        samples.append(("health_detector_ok", labels,
+                        1 if verdict.ok else 0, "gauge"))
+        samples.append(("health_detector_value", labels, verdict.value,
+                        "gauge"))
+        samples.append(("health_detector_threshold", labels,
+                        verdict.threshold, "gauge"))
+    return samples
+
+
+def span_samples(summary: Dict[str, Dict[str, float]]) -> List[Sample]:
+    """Latency gauges per span name from ``SpanRecorder.summary()``."""
+    samples: List[Sample] = []
+    for name in sorted(summary):
+        entry = summary[name]
+        labels = {"span": name}
+        samples.append(("span_count", labels, entry["count"], "counter"))
+        samples.append(("span_latency_p50_us", labels, entry["p50_us"],
+                        "gauge"))
+        samples.append(("span_latency_p95_us", labels, entry["p95_us"],
+                        "gauge"))
+        samples.append(("span_latency_p99_us", labels, entry["p99_us"],
+                        "gauge"))
+    return samples

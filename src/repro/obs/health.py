@@ -1,0 +1,419 @@
+"""Health diagnosis: anomaly detectors over timelines, events and spans.
+
+The obs layer already *carries* every signal an operator needs — epoch
+timelines hold the windowed ``prefetch_useful``/``prefetch_fills`` ratio
+that adaptive-filtering prefetch research treats as the canary for
+accuracy collapse, the event tracer counts throttle suspend/resume
+flaps, and the span recorder has the backpressure-wait latency
+distribution.  What was missing is a **verdict**: this module turns
+those signals into a small set of pluggable detectors, each a pure
+streaming state machine (deterministic, no clocks of its own —
+hypothesis-testable in isolation), and a :class:`HealthEngine` that
+wires them to a live :class:`~repro.service.session.SessionManager`.
+
+Detectors:
+
+* :class:`AccuracyCollapseDetector` — windowed useful/fills ratio over
+  recently *closed* epochs, degraded below a threshold.
+* :class:`ThrottleOscillationDetector` — suspend/resume flap count per
+  evaluation window; a prefetcher ping-ponging across its usefulness
+  threshold thrashes the cache with neither steady state's benefit.
+* :class:`BackpressureStallDetector` — tail percentile of counted
+  FIFO/backpressure waits (from the ``session.fifo_wait`` span
+  histogram); degraded when clients routinely block for too long.
+* :class:`SessionStarvationDetector` — a session with queued work that
+  has made no progress for too long (stuck drainer, wedged worker).
+
+Evaluation is read-only and never quiesces: it consumes only closed
+epochs, cumulative event counters and live counters, so polling
+``/healthz`` perturbs nothing — the same inertness contract as the rest
+of the obs layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.obs.trace_spans import SPAN_FIFO_WAIT
+from repro.utils.statistics import Histogram
+
+#: Bump on any incompatible change to the verdict/report layout.
+HEALTH_SCHEMA_VERSION = 1
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+
+#: Detector names as they appear in verdicts, gauges and logs.
+DETECTOR_ACCURACY = "accuracy_collapse"
+DETECTOR_THROTTLE = "throttle_oscillation"
+DETECTOR_BACKPRESSURE = "backpressure_stall"
+DETECTOR_STARVATION = "session_starvation"
+
+#: Histogram bucket width for the detector-owned wait histogram, µs.
+WAIT_BUCKET_US = 1000.0
+
+
+@dataclass(frozen=True)
+class DetectorVerdict:
+    """One detector's judgement: the observed value vs its threshold."""
+
+    detector: str
+    ok: bool
+    value: float
+    threshold: float
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DetectorVerdict":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The engine's full answer: overall status + per-detector verdicts.
+
+    ``sessions`` maps each live session name to its own status so the
+    ``repro watch`` dashboard can show a per-session health column.
+    """
+
+    status: str
+    verdicts: List[DetectorVerdict] = field(default_factory=list)
+    sessions: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "verdicts": [verdict.to_dict() for verdict in self.verdicts],
+            "sessions": dict(self.sessions),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HealthReport":
+        return cls(
+            status=payload["status"],
+            verdicts=[DetectorVerdict.from_dict(entry)
+                      for entry in payload.get("verdicts", [])],
+            sessions=dict(payload.get("sessions", {})),
+        )
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Every detector threshold in one place (CLI/service knobs).
+
+    Defaults are deliberately conservative — they flag genuinely broken
+    behaviour, not a busy-but-healthy service; see
+    ``docs/observability.md`` for tuning guidance.
+    """
+
+    accuracy_window_epochs: int = 8
+    accuracy_min_fills: int = 64
+    accuracy_threshold: float = 0.2
+    throttle_window: int = 8
+    throttle_max_flaps: int = 4
+    backpressure_fraction: float = 0.95
+    backpressure_max_wait_us: float = 2_000_000.0
+    backpressure_min_waits: int = 4
+    starvation_max_stall_seconds: float = 30.0
+
+
+# ----------------------------------------------------------------------
+# Detectors — pure streaming state machines
+# ----------------------------------------------------------------------
+class AccuracyCollapseDetector:
+    """Windowed prefetch useful/fills ratio vs a collapse threshold.
+
+    Feed one closed epoch at a time with :meth:`observe_epoch`; the
+    detector keeps the last ``window_epochs`` epochs and judges the
+    ratio of their sums.  Windows with fewer than ``min_fills`` total
+    fills are *ok* by definition — an idle or demand-only phase is not a
+    collapsed prefetcher.
+    """
+
+    name = DETECTOR_ACCURACY
+
+    def __init__(self, window_epochs: int = 8, min_fills: int = 64,
+                 threshold: float = 0.2) -> None:
+        if window_epochs < 1:
+            raise ValueError(
+                f"window_epochs must be >= 1, got {window_epochs}")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.min_fills = min_fills
+        self.threshold = threshold
+        self._window: Deque[tuple] = deque(maxlen=window_epochs)
+        self.epochs_seen = 0
+
+    def observe_epoch(self, useful: int, fills: int) -> None:
+        self._window.append((useful, fills))
+        self.epochs_seen += 1
+
+    def verdict(self) -> DetectorVerdict:
+        useful = sum(entry[0] for entry in self._window)
+        fills = sum(entry[1] for entry in self._window)
+        ratio = useful / fills if fills else 1.0
+        active = fills >= self.min_fills
+        ok = (not active) or ratio >= self.threshold
+        detail = (f"useful/fills {useful}/{fills} over "
+                  f"{len(self._window)} epochs"
+                  if active else f"inactive ({fills} fills < {self.min_fills})")
+        return DetectorVerdict(self.name, ok, ratio, self.threshold, detail)
+
+
+class ThrottleOscillationDetector:
+    """Suspend/resume flap rate over the last ``window`` evaluations.
+
+    Call :meth:`observe` once per evaluation tick with the number of
+    throttle transitions (suspensions + resumes) since the previous
+    tick; degraded when the windowed total exceeds ``max_flaps``.
+    """
+
+    name = DETECTOR_THROTTLE
+
+    def __init__(self, window: int = 8, max_flaps: int = 4) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.max_flaps = max_flaps
+        self._window: Deque[int] = deque(maxlen=window)
+
+    def observe(self, flaps: int) -> None:
+        if flaps < 0:
+            raise ValueError(f"flaps must be >= 0, got {flaps}")
+        self._window.append(flaps)
+
+    def verdict(self) -> DetectorVerdict:
+        total = sum(self._window)
+        ok = total <= self.max_flaps
+        detail = (f"{total} suspend/resume transitions in last "
+                  f"{len(self._window)} evaluations")
+        return DetectorVerdict(self.name, ok, float(total),
+                               float(self.max_flaps), detail)
+
+
+class BackpressureStallDetector:
+    """Tail latency of counted backpressure waits vs a stall budget.
+
+    Two feeding modes: stream individual wait durations through
+    :meth:`observe_wait`, or hand :meth:`verdict` a live
+    :class:`~repro.utils.statistics.Histogram` (the span recorder's
+    ``session.fifo_wait`` histogram) to judge instead of the internal
+    one.  Fewer than ``min_waits`` samples is *ok* — backpressure that
+    never engages cannot stall anyone.
+    """
+
+    name = DETECTOR_BACKPRESSURE
+
+    def __init__(self, fraction: float = 0.95,
+                 max_wait_us: float = 2_000_000.0,
+                 min_waits: int = 4) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        self.fraction = fraction
+        self.max_wait_us = max_wait_us
+        self.min_waits = min_waits
+        self._histogram = Histogram(WAIT_BUCKET_US)
+
+    def observe_wait(self, wait_us: float) -> None:
+        if wait_us < 0:
+            raise ValueError(f"wait_us must be >= 0, got {wait_us}")
+        self._histogram.add(wait_us)
+
+    def verdict(self, histogram: Optional[Histogram] = None
+                ) -> DetectorVerdict:
+        source = histogram if histogram is not None else self._histogram
+        if source.count < self.min_waits:
+            return DetectorVerdict(
+                self.name, True, 0.0, self.max_wait_us,
+                f"only {source.count} waits (< {self.min_waits})")
+        tail = source.percentile(self.fraction)
+        ok = tail <= self.max_wait_us
+        detail = (f"p{int(self.fraction * 100)} wait {tail:.0f}us over "
+                  f"{source.count} waits")
+        return DetectorVerdict(self.name, ok, tail, self.max_wait_us, detail)
+
+
+class SessionStarvationDetector:
+    """Queued work with no progress for too long.
+
+    Call :meth:`observe` each tick with the session's queued-or-running
+    chunk count and the seconds since its last completed chunk; degraded
+    only while *both* hold — an idle session stalls nobody.
+    """
+
+    name = DETECTOR_STARVATION
+
+    def __init__(self, max_stall_seconds: float = 30.0) -> None:
+        if max_stall_seconds <= 0:
+            raise ValueError(
+                f"max_stall_seconds must be > 0, got {max_stall_seconds}")
+        self.max_stall_seconds = max_stall_seconds
+        self._inflight = 0
+        self._stalled_seconds = 0.0
+
+    def observe(self, inflight: int, stalled_seconds: float) -> None:
+        if inflight < 0:
+            raise ValueError(f"inflight must be >= 0, got {inflight}")
+        if stalled_seconds < 0:
+            raise ValueError(
+                f"stalled_seconds must be >= 0, got {stalled_seconds}")
+        self._inflight = inflight
+        self._stalled_seconds = stalled_seconds
+
+    def verdict(self) -> DetectorVerdict:
+        starving = (self._inflight > 0
+                    and self._stalled_seconds > self.max_stall_seconds)
+        detail = (f"{self._inflight} chunks queued, "
+                  f"{self._stalled_seconds:.1f}s since last progress")
+        return DetectorVerdict(self.name, not starving,
+                               self._stalled_seconds,
+                               self.max_stall_seconds, detail)
+
+
+# ----------------------------------------------------------------------
+# The engine: detectors wired to a live session manager
+# ----------------------------------------------------------------------
+class _SessionHealth:
+    """Per-session detector state held between evaluations."""
+
+    __slots__ = ("accuracy", "throttle", "starvation", "epoch_cursor",
+                 "flap_baseline")
+
+    def __init__(self, config: HealthConfig) -> None:
+        self.accuracy = AccuracyCollapseDetector(
+            window_epochs=config.accuracy_window_epochs,
+            min_fills=config.accuracy_min_fills,
+            threshold=config.accuracy_threshold)
+        self.throttle = ThrottleOscillationDetector(
+            window=config.throttle_window,
+            max_flaps=config.throttle_max_flaps)
+        self.starvation = SessionStarvationDetector(
+            max_stall_seconds=config.starvation_max_stall_seconds)
+        self.epoch_cursor = 0
+        self.flap_baseline = 0
+
+
+class HealthEngine:
+    """Evaluates every detector against a live session manager.
+
+    Holds streaming per-session detector state across evaluations (epoch
+    cursors, event-count baselines) under its own lock.  An evaluation:
+
+    1. per session with observability: feed *new closed* epochs to the
+       accuracy detector and the flap-count delta to the oscillation
+       detector — cumulative reads only, no quiesce;
+    2. per session: feed queued-chunk count and seconds-since-progress
+       to the starvation detector;
+    3. globally: judge the backpressure detector against the span
+       recorder's ``session.fifo_wait`` histogram (if tracing is on) or
+       its own streamed waits.
+
+    The report aggregates the worst verdict per detector kind (detail
+    names the offending session) plus a per-session status map; dead
+    sessions' state is pruned so the engine does not leak.
+    """
+
+    def __init__(self, config: Optional[HealthConfig] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or HealthConfig()
+        self.clock = clock
+        self.backpressure = BackpressureStallDetector(
+            fraction=self.config.backpressure_fraction,
+            max_wait_us=self.config.backpressure_max_wait_us,
+            min_waits=self.config.backpressure_min_waits)
+        self._sessions: Dict[str, _SessionHealth] = {}
+        self._lock = threading.Lock()
+        self.evaluations = 0
+        self.last_report: Optional[HealthReport] = None
+
+    def _session_state(self, name: str) -> _SessionHealth:
+        state = self._sessions.get(name)
+        if state is None:
+            state = self._sessions[name] = _SessionHealth(self.config)
+        return state
+
+    def _evaluate_session(self, session: Any,
+                          state: _SessionHealth) -> List[DetectorVerdict]:
+        verdicts: List[DetectorVerdict] = []
+        obs = getattr(session, "obs", None)
+        if obs is not None:
+            closed = obs.merged_timeline(include_partial=False)
+            for epoch in closed[state.epoch_cursor:]:
+                state.accuracy.observe_epoch(epoch.prefetch_useful,
+                                             epoch.prefetch_fills)
+            state.epoch_cursor = len(closed)
+            verdicts.append(state.accuracy.verdict())
+            counts = obs.event_counts()
+            flaps = (counts.get("throttle_suspended", 0)
+                     + counts.get("throttle_resumed", 0))
+            state.throttle.observe(max(0, flaps - state.flap_baseline))
+            state.flap_baseline = flaps
+            verdicts.append(state.throttle.verdict())
+        with session.cond:
+            inflight = session.inflight
+            stalled = max(0.0, self.clock() - session.last_progress)
+        state.starvation.observe(inflight, stalled)
+        verdicts.append(state.starvation.verdict())
+        return verdicts
+
+    def evaluate(self, manager: Any,
+                 spans: Optional[Any] = None) -> HealthReport:
+        """One read-only evaluation pass; returns (and caches) the report.
+
+        ``manager`` duck-types :class:`~repro.service.session
+        .SessionManager` (``live_sessions()`` + per-session ``obs`` /
+        ``cond`` / ``inflight`` / ``last_progress``); ``spans`` is an
+        optional :class:`~repro.obs.trace_spans.SpanRecorder` supplying
+        the backpressure-wait histogram.
+        """
+        with self._lock:
+            self.evaluations += 1
+            sessions = manager.live_sessions()
+            live_names = {session.name for session in sessions}
+            for name in list(self._sessions):
+                if name not in live_names:
+                    del self._sessions[name]
+
+            worst: Dict[str, DetectorVerdict] = {}
+            session_status: Dict[str, str] = {}
+            for session in sessions:
+                state = self._session_state(session.name)
+                verdicts = self._evaluate_session(session, state)
+                degraded = [v for v in verdicts if not v.ok]
+                session_status[session.name] = (
+                    STATUS_DEGRADED if degraded else STATUS_OK)
+                for verdict in verdicts:
+                    named = verdict if verdict.ok else dataclasses.replace(
+                        verdict,
+                        detail=f"session {session.name!r}: {verdict.detail}")
+                    current = worst.get(verdict.detector)
+                    if current is None or (current.ok and not named.ok):
+                        worst[verdict.detector] = named
+
+            histogram = None
+            if spans is not None and getattr(spans, "enabled", False):
+                histogram = spans.histogram_for(SPAN_FIFO_WAIT)
+            worst[DETECTOR_BACKPRESSURE] = self.backpressure.verdict(
+                histogram=histogram)
+
+            order = (DETECTOR_ACCURACY, DETECTOR_THROTTLE,
+                     DETECTOR_BACKPRESSURE, DETECTOR_STARVATION)
+            verdict_list = [worst[name] for name in order if name in worst]
+            status = (STATUS_OK
+                      if all(verdict.ok for verdict in verdict_list)
+                      else STATUS_DEGRADED)
+            report = HealthReport(status=status, verdicts=verdict_list,
+                                  sessions=session_status)
+            self.last_report = report
+            return report

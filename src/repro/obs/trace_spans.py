@@ -1,0 +1,469 @@
+"""Span-based request tracing for the streaming service.
+
+Timelines answer "how much, when" and events answer "what happened";
+spans answer **"why was *this* request slow"**.  A :class:`SpanRecord`
+is one timed operation — a protocol decode, a backpressure wait, one
+chunk's engine run — carrying a ``trace_id`` shared by every span of one
+logical request, a unique ``span_id``, and the ``parent_id`` of the span
+that caused it.  The service threads trace context through the whole
+serve path (client request → decode → FIFO/backpressure wait → per-chunk
+``feed()`` → engine run → reply encode) and over the wire protocol, so a
+Perfetto view of one trace shows the full causal chain.
+
+The :class:`SpanRecorder` keeps a bounded ring of completed spans plus
+**per-span-name latency aggregates** in the same Welford/Histogram
+machinery the simulator uses (:mod:`repro.utils.statistics`), so p50/p95/
+p99 per operation fall out of the recorder without retaining unbounded
+span lists.
+
+Hot-path contract (mirrors :mod:`repro.obs.events`): every recording
+site guards with ``spans.enabled`` (or ``spans is None``) before doing
+any work, recording happens at *chunk/request* granularity — never per
+record — and the disabled configuration is the shared
+:data:`NULL_SPANS` singleton, so tracing off costs one attribute load
+and one branch per chunk.  Spans measure wall-clock only and never touch
+simulator state, so ``RunMetrics`` and epoch timelines are bit-identical
+with tracing on or off (``tests/test_obs_spans.py``).
+
+Export: :func:`spans_to_chrome` renders the Chrome trace-event JSON
+format (viewable in Perfetto / ``chrome://tracing``); the conversion is
+lossless and :func:`chrome_to_spans` inverts it exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Sequence, Union
+
+from repro.utils.statistics import Histogram, RunningStats
+
+PathLike = Union[str, Path]
+
+#: Bump on any incompatible change to the SpanRecord layout.
+SPAN_SCHEMA_VERSION = 1
+
+#: Default ring capacity of completed spans (aggregates are unbounded).
+DEFAULT_SPAN_CAPACITY = 4096
+
+#: Histogram bucket width for per-name latency aggregation, microseconds.
+SPAN_BUCKET_US = 50.0
+
+#: Span attribute keys reserved for trace identity in the Chrome export.
+RESERVED_ATTR_KEYS = ("trace_id", "span_id", "parent_id")
+
+#: Canonical span names along the serve path (docs/observability.md).
+SPAN_REQUEST_PREFIX = "request."     # request.<op>, one per protocol frame
+SPAN_DECODE = "request.decode"       # frame read + header/payload decode
+SPAN_ENCODE = "request.encode"       # response encode + socket write
+SPAN_FIFO_WAIT = "session.fifo_wait"  # blocked on max_inflight_chunks
+SPAN_FEED_CHUNK = "session.feed_chunk"  # one chunk through the drainer
+SPAN_ENGINE_FEED = "engine.feed"     # SystemSimulator.feed body
+SPAN_ENGINE_RUN = "engine.run"       # SystemSimulator.run body
+SPAN_CLIENT_PREFIX = "client."       # client.<op>, request round trip
+
+
+def now_us() -> int:
+    """The recorder's time base: monotonic microseconds."""
+    return time.monotonic_ns() // 1000
+
+
+def new_id() -> str:
+    """A fresh 64-bit hex id for traces and spans."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed timed operation.
+
+    Attributes:
+        trace_id: shared by every span of one logical request.
+        span_id: unique per span.
+        parent_id: the causing span, or ``None`` for a root span.
+        name: operation name (see the ``SPAN_*`` constants).
+        start_us: start time, microseconds on the recorder's monotonic
+            clock.
+        duration_us: inclusive duration in microseconds.
+        tid: small interned ordinal of the recording thread — same-thread
+            spans nest by time containment in trace viewers.
+        attrs: JSON-safe scalars only; the keys in
+            :data:`RESERVED_ATTR_KEYS` are stripped at recording time.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start_us: int
+    duration_us: int
+    tid: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_us(self) -> int:
+        return self.start_us + self.duration_us
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        known = {field_.name for field_ in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown SpanRecord fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+class _OpenSpan:
+    """A begun-but-unfinished span (internal to the recorder)."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start_us",
+                 "tid", "attrs", "attached")
+
+    def __init__(self, trace_id: str, span_id: str, parent_id: Optional[str],
+                 name: str, start_us: int, tid: int, attrs: Dict[str, Any],
+                 attached: bool) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_us = start_us
+        self.tid = tid
+        self.attrs = attrs
+        self.attached = attached
+
+
+def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    if any(key in attrs for key in RESERVED_ATTR_KEYS):
+        return {key: value for key, value in attrs.items()
+                if key not in RESERVED_ATTR_KEYS}
+    return attrs
+
+
+class SpanRecorder:
+    """Thread-safe span collector with per-name latency aggregates.
+
+    Completed spans land in a bounded ring (``capacity``; old spans fall
+    off the front — ``started``/``finished`` counters stay exact).  Per
+    span name the recorder maintains one
+    :class:`~repro.utils.statistics.RunningStats` (Welford mean/stddev/
+    min/max) and one :class:`~repro.utils.statistics.Histogram`
+    (:data:`SPAN_BUCKET_US`-wide buckets) of durations, so tail
+    percentiles survive ring eviction.
+
+    Same-thread nesting is automatic: :meth:`begin` without an explicit
+    ``trace_id`` inherits trace and parent from the innermost open span
+    on the current thread.  Spans begun with ``detached=True`` never
+    join the thread's stack — the right mode for async code where many
+    requests interleave on one event-loop thread and parentage must be
+    explicit.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._spans: Deque[SpanRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._thread_ids: Dict[int, int] = {}
+        self.stats: Dict[str, RunningStats] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.started = 0
+        self.finished = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._thread_ids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._thread_ids.setdefault(ident,
+                                                  len(self._thread_ids))
+        return tid
+
+    def _stack(self) -> List[_OpenSpan]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def begin(self, name: str, trace_id: Optional[str] = None,
+              parent_id: Optional[str] = None, detached: bool = False,
+              **attrs: Any) -> _OpenSpan:
+        """Open a span; finish it with :meth:`end`.
+
+        Without an explicit ``trace_id``, the span joins the innermost
+        open span on this thread (inheriting its trace and becoming its
+        child) or starts a fresh trace.  ``detached`` spans never join
+        the thread stack (explicit parenting only).
+        """
+        if trace_id is None:
+            stack = self._stack()
+            if stack:
+                trace_id = stack[-1].trace_id
+                if parent_id is None:
+                    parent_id = stack[-1].span_id
+            else:
+                trace_id = new_id()
+        span = _OpenSpan(trace_id, new_id(), parent_id, name, now_us(),
+                         self._tid(), _clean_attrs(attrs), not detached)
+        with self._lock:
+            self.started += 1
+        if span.attached:
+            self._stack().append(span)
+        return span
+
+    def end(self, span: _OpenSpan, **attrs: Any) -> SpanRecord:
+        """Close a span, folding its duration into the aggregates."""
+        duration = max(0, now_us() - span.start_us)
+        if span.attached:
+            stack = self._stack()
+            if span in stack:
+                stack.remove(span)
+        if attrs:
+            span.attrs = {**span.attrs, **_clean_attrs(attrs)}
+        record = SpanRecord(
+            trace_id=span.trace_id, span_id=span.span_id,
+            parent_id=span.parent_id, name=span.name,
+            start_us=span.start_us, duration_us=duration,
+            tid=span.tid, attrs=span.attrs)
+        self._finish(record)
+        return record
+
+    @contextmanager
+    def span(self, name: str, trace_id: Optional[str] = None,
+             parent_id: Optional[str] = None, detached: bool = False,
+             **attrs: Any):
+        """``with recorder.span("engine.feed", records=n): ...``"""
+        open_span = self.begin(name, trace_id=trace_id, parent_id=parent_id,
+                               detached=detached, **attrs)
+        try:
+            yield open_span
+        finally:
+            self.end(open_span)
+
+    def record(self, name: str, start_us: int, duration_us: int,
+               trace_id: Optional[str] = None,
+               parent_id: Optional[str] = None,
+               span_id: Optional[str] = None,
+               **attrs: Any) -> SpanRecord:
+        """Record an already-measured span with explicit timing.
+
+        For stages whose trace identity is only known after the fact
+        (e.g. protocol decode: the trace context lives inside the frame
+        being decoded) and for counted waits measured inline.  A caller
+        that pre-generated ids so child spans could link before the
+        parent was recorded passes the parent's ``span_id`` explicitly.
+        """
+        if duration_us < 0:
+            raise ValueError(f"duration_us must be >= 0, got {duration_us}")
+        record = SpanRecord(
+            trace_id=trace_id or new_id(), span_id=span_id or new_id(),
+            parent_id=parent_id, name=name, start_us=start_us,
+            duration_us=duration_us, tid=self._tid(),
+            attrs=_clean_attrs(attrs))
+        with self._lock:
+            self.started += 1
+        self._finish(record)
+        return record
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.finished += 1
+            self._spans.append(record)
+            stats = self.stats.get(record.name)
+            if stats is None:
+                stats = self.stats[record.name] = RunningStats()
+                self.histograms[record.name] = Histogram(SPAN_BUCKET_US)
+            stats.add(record.duration_us)
+            self.histograms[record.name].add(record.duration_us)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def spans(self, clear: bool = False) -> List[SpanRecord]:
+        """The retained spans, oldest first; optionally drain the ring.
+
+        ``clear`` empties only the ring — the per-name aggregates and
+        the ``started``/``finished`` counters keep accumulating, so
+        repeated drains still report lifetime percentiles.
+        """
+        with self._lock:
+            retained = list(self._spans)
+            if clear:
+                self._spans.clear()
+        return retained
+
+    def percentiles(self, name: str) -> Dict[str, float]:
+        """p50/p95/p99 bucket lower bounds for one span name, in µs."""
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                return {"p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0}
+            return {"p50_us": histogram.percentile(0.50),
+                    "p95_us": histogram.percentile(0.95),
+                    "p99_us": histogram.percentile(0.99)}
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name latency summary: count, mean/max, p50/p95/p99 (µs)."""
+        with self._lock:
+            names = sorted(self.stats)
+            out: Dict[str, Dict[str, float]] = {}
+            for name in names:
+                stats = self.stats[name]
+                histogram = self.histograms[name]
+                out[name] = {
+                    "count": stats.count,
+                    "mean_us": stats.mean,
+                    "max_us": stats.max if stats.max is not None else 0.0,
+                    "p50_us": histogram.percentile(0.50),
+                    "p95_us": histogram.percentile(0.95),
+                    "p99_us": histogram.percentile(0.99),
+                }
+        return out
+
+    def histogram_for(self, name: str) -> Optional[Histogram]:
+        """The live duration histogram for one span name (or None)."""
+        with self._lock:
+            return self.histograms.get(name)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class _NullSpanRecorder:
+    """Shared no-op recorder: the tracing-disabled default.
+
+    ``enabled`` is False, so guarded sites never build attrs or read the
+    clock; the methods exist for unguarded callers.  Pickling anywhere
+    resolves back to the singleton.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def begin(self, name: str, **kwargs: Any) -> None:
+        return None
+
+    def end(self, span: Any, **attrs: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **kwargs: Any):
+        yield None
+
+    def record(self, name: str, start_us: int, duration_us: int,
+               **kwargs: Any) -> None:
+        pass
+
+    def spans(self, clear: bool = False) -> List[SpanRecord]:
+        return []
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+    def __reduce__(self):
+        return (_resolve_null_spans, ())
+
+
+def _resolve_null_spans() -> "_NullSpanRecorder":
+    return NULL_SPANS
+
+
+NULL_SPANS = _NullSpanRecorder()
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+#: First token of the exported file's ``otherData`` stamp.
+CHROME_FORMAT = "planaria-spans"
+
+
+def spans_to_chrome(spans: Sequence[SpanRecord],
+                    process_name: str = "repro-service",
+                    pid: int = 0) -> dict:
+    """Render spans as Chrome trace-event JSON (lossless).
+
+    Every span becomes one complete (``"ph": "X"``) event; trace/span/
+    parent ids ride in ``args`` next to the span's own attributes, which
+    is exactly how Perfetto surfaces them in the slice details pane.
+    Same-``tid`` spans nest by time containment (the recorder stamps the
+    recording thread, so synchronous call chains — feed chunk → engine
+    run — render as nested slices); cross-thread causality is the
+    ``parent_id`` link.
+    """
+    events: List[dict] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": process_name},
+    }]
+    for span in spans:
+        args = dict(span.attrs)
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name, "cat": "service", "ph": "X",
+            "ts": span.start_us, "dur": span.duration_us,
+            "pid": pid, "tid": span.tid, "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": CHROME_FORMAT,
+                      "version": SPAN_SCHEMA_VERSION},
+    }
+
+
+def chrome_to_spans(payload: dict) -> List[SpanRecord]:
+    """Rebuild the span list from :func:`spans_to_chrome` output."""
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("not a Chrome trace-event document "
+                         "(missing traceEvents)")
+    spans: List[SpanRecord] = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue  # metadata / instant events carry no span
+        args = dict(event.get("args", {}))
+        trace_id = args.pop("trace_id")
+        span_id = args.pop("span_id")
+        parent_id = args.pop("parent_id", None)
+        spans.append(SpanRecord(
+            trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+            name=event["name"], start_us=event["ts"],
+            duration_us=event["dur"], tid=event.get("tid", 0), attrs=args))
+    return spans
+
+
+def write_chrome_trace(path: PathLike, spans: Sequence[SpanRecord],
+                       process_name: str = "repro-service") -> Path:
+    """Write spans as a ``.json`` Chrome trace, loadable in Perfetto."""
+    path = Path(path)
+    payload = spans_to_chrome(spans, process_name=process_name)
+    path.write_text(json.dumps(payload, separators=(",", ":")) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def read_chrome_trace(path: PathLike) -> List[SpanRecord]:
+    """Inverse of :func:`write_chrome_trace`."""
+    return chrome_to_spans(json.loads(Path(path).read_text(encoding="utf-8")))

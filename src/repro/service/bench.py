@@ -104,8 +104,19 @@ def _drive_session(port: int, name: str, prefetcher: str,
 def run_service_bench(sessions: int = 8, length: int = 20_000, seed: int = 7,
                       app: str = "CFM", chunk_records: int = 1024,
                       max_inflight_chunks: int = 2, workers: int = 4,
-                      output: Optional[Path] = DEFAULT_RESULT_PATH) -> dict:
-    """Run the benchmark; returns (and optionally writes) the report."""
+                      output: Optional[Path] = DEFAULT_RESULT_PATH,
+                      tracing: bool = True,
+                      spans_out: Optional[Path] = None) -> dict:
+    """Run the benchmark; returns (and optionally writes) the report.
+
+    With ``tracing`` (the default) the manager records request spans, so
+    the report carries p50/p95/p99 per-chunk feed latency next to the
+    throughput number — the tail the aggregate records/s hides.  The
+    bit-identity gate below then also covers the tracing-on path:
+    every session must still match the untraced offline run exactly.
+    ``spans_out`` additionally dumps the retained spans as Chrome
+    trace-event JSON (Perfetto-viewable).
+    """
     config = SimConfig.experiment_scale()
     buffer = generate_trace_buffer(get_profile(app), length, seed=seed,
                                    layout=config.layout)
@@ -119,7 +130,8 @@ def run_service_bench(sessions: int = 8, length: int = 20_000, seed: int = 7,
             buffer, prefetcher, workload_name="bench", config=config).metrics
 
     manager = SessionManager(max_inflight_chunks=max_inflight_chunks,
-                             workers=workers, default_config=config)
+                             workers=workers, default_config=config,
+                             tracing=tracing)
     results: Dict[str, RunMetrics] = {}
     errors: Dict[str, BaseException] = {}
     with _ServerThread(manager) as running:
@@ -141,6 +153,13 @@ def run_service_bench(sessions: int = 8, length: int = 20_000, seed: int = 7,
         name, first = sorted(errors.items())[0]
         raise ServiceError(f"session {name!r} failed: {first}") from first
     stats = manager.stats()
+    span_summary = manager.span_summary() if tracing else {}
+    health = manager.health_report() if tracing else None
+    if spans_out is not None:
+        from repro.obs.trace_spans import write_chrome_trace
+
+        write_chrome_trace(spans_out, manager.spans.spans(),
+                           process_name="repro-bench-serve")
     manager.shutdown(checkpoint=False)
 
     mismatched = [
@@ -175,15 +194,35 @@ def run_service_bench(sessions: int = 8, length: int = 20_000, seed: int = 7,
             total_records / elapsed / sessions),
         "backpressure_waits": stats["backpressure_waits"],
         "chunks_executed": stats["chunks_executed"],
+        "tracing": tracing,
         "equivalence": {
             "checked_sessions": len(plan),
             "bit_identical_to_offline_simulate": True,
+            "traced_run": tracing,
         },
         "sample_metrics": {
             prefetcher: asdict(metrics)
             for prefetcher, metrics in offline.items()
         },
     }
+    if tracing:
+        feed = span_summary.get("session.feed_chunk", {})
+        report["feed_latency_us"] = {
+            "chunks": int(feed.get("count", 0)),
+            "mean": round(feed.get("mean_us", 0.0), 1),
+            "p50": feed.get("p50_us", 0.0),
+            "p95": feed.get("p95_us", 0.0),
+            "p99": feed.get("p99_us", 0.0),
+            "max": round(feed.get("max_us", 0.0), 1),
+        }
+        report["span_summary"] = {
+            name: {key: round(value, 1) for key, value in entry.items()}
+            for name, entry in span_summary.items()
+        }
+        if health is not None:
+            report["health"] = health.to_dict()
+    if spans_out is not None:
+        report["spans_written_to"] = str(spans_out)
     if output is not None:
         output.write_text(json.dumps(report, indent=2) + "\n")
         report["written_to"] = str(output)

@@ -24,6 +24,9 @@ from typing import Iterable, List, Optional
 from repro.config import SimConfig
 from repro.config_io import to_dict as config_to_dict
 from repro.errors import ServiceError
+from repro.obs.health import HealthReport
+from repro.obs.trace_spans import (NULL_SPANS, SPAN_CLIENT_PREFIX,
+                                   SpanRecord, SpanRecorder, new_id)
 from repro.service import protocol
 from repro.service.session import SessionSnapshot
 from repro.trace.buffer import TraceBuffer
@@ -33,18 +36,28 @@ DEFAULT_CHUNK_RECORDS = 4096
 
 
 class ServiceClient:
-    """A blocking, single-connection client for the simulation server."""
+    """A blocking, single-connection client for the simulation server.
 
-    def __init__(self, sock: socket.socket) -> None:
+    Constructed with ``tracing=True``, the client records one
+    ``client.<op>`` span per request round trip into its own
+    :class:`~repro.obs.trace_spans.SpanRecorder` (``client.spans``) and
+    propagates the trace context over the wire (a ``"trace"`` header
+    field), so a tracing server's request/fifo-wait/feed/engine spans
+    join the client's trace — one end-to-end causal chain per request.
+    """
+
+    def __init__(self, sock: socket.socket, tracing: bool = False) -> None:
         self._sock = sock
         self._closed = False
+        self.spans = SpanRecorder() if tracing else NULL_SPANS
 
     @classmethod
     def connect(cls, host: str = "127.0.0.1", port: int = 8642,
-                timeout: Optional[float] = None) -> "ServiceClient":
+                timeout: Optional[float] = None,
+                tracing: bool = False) -> "ServiceClient":
         sock = socket.create_connection((host, port), timeout=timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return cls(sock)
+        return cls(sock, tracing=tracing)
 
     # ------------------------------------------------------------------
     # Framing
@@ -63,12 +76,26 @@ class ServiceClient:
     def _request(self, header: dict, payload: bytes = b"") -> dict:
         if self._closed:
             raise ServiceError("client is closed")
-        self._sock.sendall(protocol.encode_frame(header, payload))
-        prefix = self._recv_exact(protocol.FRAME_PREFIX.size)
-        header_len, payload_len = protocol.parse_prefix(prefix)
-        response = protocol.decode_header(self._recv_exact(header_len))
-        if payload_len:
-            self._recv_exact(payload_len)  # responses carry no payload yet
+        open_span = None
+        if self.spans.enabled:
+            open_span = self.spans.begin(
+                f"{SPAN_CLIENT_PREFIX}{header.get('op')}",
+                trace_id=new_id(), session=header.get("session"))
+            header = {**header, "trace": {"trace_id": open_span.trace_id,
+                                          "span_id": open_span.span_id}}
+        try:
+            self._sock.sendall(protocol.encode_frame(header, payload))
+            prefix = self._recv_exact(protocol.FRAME_PREFIX.size)
+            header_len, payload_len = protocol.parse_prefix(prefix)
+            response = protocol.decode_header(self._recv_exact(header_len))
+            if payload_len:
+                self._recv_exact(payload_len)  # responses carry no payload
+        except BaseException:
+            if open_span is not None:
+                self.spans.end(open_span, error=True)
+            raise
+        if open_span is not None:
+            self.spans.end(open_span, ok=bool(response.get("ok", False)))
         if not response.get("ok"):
             raise ServiceError(
                 response.get("error", "unspecified server error"))
@@ -169,6 +196,26 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._request({"op": "stats"})
+
+    def server_spans(self, clear: bool = False):
+        """The server's retained spans + per-op latency summary.
+
+        Returns ``(spans, summary)``; requires a server started with
+        tracing enabled.  With ``clear``, the server's span ring is
+        drained (latency aggregates keep accumulating).
+        """
+        response = self._request({"op": "spans", "clear": clear})
+        return (protocol.spans_from_list(response["spans"]),
+                dict(response["summary"]))
+
+    def health(self) -> HealthReport:
+        """One health evaluation over the server's live sessions."""
+        return protocol.health_from_dict(
+            self._request({"op": "health"})["health"])
+
+    def client_spans(self, clear: bool = False) -> List[SpanRecord]:
+        """Spans this client recorded locally (``tracing=True`` only)."""
+        return self.spans.spans(clear=clear)
 
     def shutdown_server(self) -> None:
         """Ask the server to drain and stop (returns once acknowledged)."""

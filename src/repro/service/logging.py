@@ -1,0 +1,153 @@
+"""Structured JSON logging for the service: one logger, rate-limited.
+
+The service logs through the standard :mod:`logging` tree under
+``repro.service``; this module adds the production shape on top:
+
+* :class:`JsonLogFormatter` — one JSON object per line (``ts``,
+  ``level``, ``logger``, ``msg``, plus any ``extra={...}`` fields the
+  call site attached), so log lines correlate with traces: pass
+  ``extra={"trace_id": ...}`` and the line carries the id that also
+  appears in the Chrome trace export.
+* :class:`RateLimitFilter` — a token-bucket per ``(logger, level,
+  template)`` key; repeated identical log sites are capped and the
+  first post-suppression line carries a ``suppressed`` count, so a
+  degraded detector firing every poll cannot flood the log.
+* :func:`configure_service_logging` — the one call wiring both onto the
+  ``repro.service`` logger (used by ``repro serve --log-json``).
+
+Everything is clock-injectable and handler-local, so tests drive the
+rate limiter deterministically and never mutate global logging state.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Any, Callable, Dict, Optional
+
+#: logrecord attributes that are plumbing, not payload.
+_STANDARD_ATTRS = frozenset(logging.LogRecord(
+    "", 0, "", 0, "", (), None).__dict__) | {"message", "asctime",
+                                             "taskName"}
+
+SERVICE_LOGGER_NAME = "repro.service"
+
+#: Default rate limit: per distinct log site, per interval.
+DEFAULT_RATE_LIMIT = 10
+DEFAULT_RATE_INTERVAL = 60.0
+
+
+def record_extras(record: logging.LogRecord) -> Dict[str, Any]:
+    """The caller-supplied ``extra`` fields of one log record."""
+    return {key: value for key, value in record.__dict__.items()
+            if key not in _STANDARD_ATTRS}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render each record as one JSON object per line.
+
+    Base fields: ``ts`` (unix seconds), ``level``, ``logger``, ``msg``
+    (the formatted message).  Caller extras ride at the top level —
+    reserved keys cannot be overridden.  Non-JSON-safe extra values are
+    stringified rather than raised: a log line must never throw.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.time) -> None:
+        super().__init__()
+        self.clock = clock
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(self.clock(), 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record_extras(record).items():
+            if key in payload:
+                continue
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        try:
+            return json.dumps(payload, separators=(",", ":"),
+                              sort_keys=False)
+        except (TypeError, ValueError):
+            safe = {key: (value if isinstance(
+                value, (str, int, float, bool, type(None))) else repr(value))
+                for key, value in payload.items()}
+            return json.dumps(safe, separators=(",", ":"))
+
+
+class RateLimitFilter(logging.Filter):
+    """Cap repeated identical log sites to N lines per interval.
+
+    The key is ``(logger name, level, message template)`` — the
+    *unformatted* ``record.msg`` — so one noisy site cannot starve
+    others even when its formatted arguments vary.  When a window
+    expires with suppressed lines, the next allowed record gains a
+    ``suppressed`` extra carrying the dropped count.
+    """
+
+    def __init__(self, limit: int = DEFAULT_RATE_LIMIT,
+                 interval: float = DEFAULT_RATE_INTERVAL,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        super().__init__()
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.limit = limit
+        self.interval = interval
+        self.clock = clock
+        # key -> [window_start, emitted_in_window, suppressed_in_window]
+        self._state: Dict[tuple, list] = {}
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        key = (record.name, record.levelno, str(record.msg))
+        now = self.clock()
+        state = self._state.get(key)
+        if state is None or now - state[0] >= self.interval:
+            suppressed = state[2] if state is not None else 0
+            self._state[key] = [now, 1, 0]
+            if suppressed:
+                record.suppressed = suppressed
+            return True
+        if state[1] < self.limit:
+            state[1] += 1
+            return True
+        state[2] += 1
+        return False
+
+
+def configure_service_logging(
+        level: int = logging.INFO,
+        json_lines: bool = True,
+        rate_limit: int = DEFAULT_RATE_LIMIT,
+        rate_interval: float = DEFAULT_RATE_INTERVAL,
+        stream: Optional[Any] = None,
+        clock: Callable[[], float] = time.time) -> logging.Logger:
+    """Wire the service logger: one handler, JSON lines, rate-limited.
+
+    Replaces any handlers a previous call installed (idempotent — the
+    test server starts/stops many times per process) and stops
+    propagation so service lines are not double-printed by a root
+    handler.  Returns the configured logger.
+    """
+    logger = logging.getLogger(SERVICE_LOGGER_NAME)
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    if json_lines:
+        handler.setFormatter(JsonLogFormatter(clock=clock))
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s %(message)s"))
+    if rate_limit:
+        handler.addFilter(RateLimitFilter(limit=rate_limit,
+                                          interval=rate_interval))
+    logger.addHandler(handler)
+    return logger

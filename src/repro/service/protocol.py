@@ -178,6 +178,54 @@ def events_from_list(items: list) -> list:
         raise ServiceError(f"malformed events payload: {exc}") from exc
 
 
+def spans_to_list(spans) -> list:
+    """Serialise :class:`~repro.obs.trace_spans.SpanRecord` objects."""
+    return [span.to_dict() for span in spans]
+
+
+def spans_from_list(items: list) -> list:
+    from repro.obs.trace_spans import SpanRecord
+
+    try:
+        return [SpanRecord.from_dict(item) for item in items]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed spans payload: {exc}") from exc
+
+
+def health_to_dict(report) -> dict:
+    """Serialise a :class:`~repro.obs.health.HealthReport`."""
+    return report.to_dict()
+
+
+def health_from_dict(payload: dict) -> "HealthReport":
+    from repro.obs.health import HealthReport
+
+    try:
+        return HealthReport.from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed health payload: {exc}") from exc
+
+
+def trace_context(header: dict) -> Optional[dict]:
+    """The request's wire trace context, validated.
+
+    Clients propagate tracing by attaching ``"trace": {"trace_id": ...,
+    "span_id": ...}`` to any request header; both ids are short hex
+    strings.  Absent or ``None`` means an untraced request — never an
+    error, so tracing-unaware clients keep working against a tracing
+    server and vice versa.
+    """
+    context = header.get("trace")
+    if context is None:
+        return None
+    if (not isinstance(context, dict)
+            or not isinstance(context.get("trace_id"), str)
+            or not isinstance(context.get("span_id"), str)):
+        raise ServiceError(
+            "trace context must be {\"trace_id\": str, \"span_id\": str}")
+    return {"trace_id": context["trace_id"], "span_id": context["span_id"]}
+
+
 def error_response(message: str, kind: Optional[str] = None) -> dict:
     response = {"ok": False, "error": message}
     if kind:

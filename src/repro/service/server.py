@@ -15,6 +15,7 @@ requests finish, checkpoints every open session, and only then returns.
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
 import signal
 from typing import Dict, Optional, Set
@@ -22,7 +23,10 @@ from typing import Dict, Optional, Set
 from repro.config_io import from_dict as config_from_dict
 from repro.config import SimConfig
 from repro.errors import ReproError, ServiceError
+from repro.obs.health import HealthConfig
+from repro.obs.trace_spans import (SPAN_DECODE, SPAN_ENCODE, new_id, now_us)
 from repro.service import protocol
+from repro.service.logging import configure_service_logging
 from repro.service.session import SessionManager
 
 logger = logging.getLogger("repro.service")
@@ -107,11 +111,13 @@ class SimulationServer:
 
     async def _handle_metrics_request(self, reader: asyncio.StreamReader,
                                       writer: asyncio.StreamWriter) -> None:
-        """Minimal HTTP/1.0 responder for Prometheus scrapes.
+        """Minimal HTTP/1.0 responder for Prometheus scrapes + health.
 
-        Any ``GET /metrics`` request (one per connection) gets the text
-        exposition; other paths get 404.  No keep-alive, no chunking —
-        scrapers speak exactly this much HTTP.
+        ``GET /metrics`` (one request per connection) gets the text
+        exposition, ``GET /healthz`` the health engine's JSON report
+        (200 when ok, 503 when degraded — probe-friendly); other paths
+        get 404.  No keep-alive, no chunking — scrapers and probes speak
+        exactly this much HTTP.
         """
         try:
             request_line = await asyncio.wait_for(reader.readline(),
@@ -123,13 +129,28 @@ class SimulationServer:
                 line = await asyncio.wait_for(reader.readline(), timeout=10.0)
                 if line in (b"\r\n", b"\n", b""):
                     break
+            loop = asyncio.get_running_loop()
             if path.split("?")[0] == "/metrics":
-                loop = asyncio.get_running_loop()
                 text = await loop.run_in_executor(
                     None, self.manager.metrics_text)
                 body = text.encode("utf-8")
                 status = "200 OK"
                 content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif path.split("?")[0] == "/healthz":
+                report = await loop.run_in_executor(
+                    None, self.manager.health_report)
+                body = (json.dumps(protocol.health_to_dict(report),
+                                   separators=(",", ":")) + "\n"
+                        ).encode("utf-8")
+                status = "200 OK" if report.ok else "503 Service Unavailable"
+                content_type = "application/json; charset=utf-8"
+                if not report.ok:
+                    logger.warning(
+                        "health degraded", extra={
+                            "status": report.status,
+                            "detectors": [verdict.detector
+                                          for verdict in report.verdicts
+                                          if not verdict.ok]})
             else:
                 body = b"not found\n"
                 status = "404 Not Found"
@@ -157,12 +178,14 @@ class SimulationServer:
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
+        spans = self.manager.spans
         try:
             while True:
                 try:
                     prefix = await reader.readexactly(protocol.FRAME_PREFIX.size)
                 except (asyncio.IncompleteReadError, ConnectionResetError):
                     break
+                frame_start = now_us() if spans.enabled else 0
                 try:
                     header_len, payload_len = protocol.parse_prefix(prefix)
                     header = protocol.decode_header(
@@ -177,10 +200,49 @@ class SimulationServer:
                         protocol.error_response(str(exc), "protocol")))
                     await writer.drain()
                     break
-                response = await self._dispatch(header, payload)
+                op = header.get("op")
+                response = None
+                trace_id = client_span = request_span_id = None
+                if spans.enabled:
+                    try:
+                        context = protocol.trace_context(header)
+                    except ServiceError as exc:
+                        response = protocol.error_response(str(exc),
+                                                           "protocol")
+                        context = None
+                    if response is None:
+                        # The request span's ids are minted up front so the
+                        # decode/encode stage spans (and the manager's
+                        # fifo-wait / feed-chunk spans, via the header's
+                        # internal trace context) can parent to it before
+                        # the request span itself is recorded.
+                        client_span = context["span_id"] if context else None
+                        trace_id = (context["trace_id"] if context
+                                    else new_id())
+                        request_span_id = new_id()
+                        header["_trace"] = {"trace_id": trace_id,
+                                            "span_id": request_span_id}
+                        spans.record(
+                            SPAN_DECODE, frame_start,
+                            now_us() - frame_start, trace_id=trace_id,
+                            parent_id=request_span_id, op=op)
+                if response is None:
+                    response = await self._dispatch(header, payload)
+                encode_start = now_us() if spans.enabled else 0
                 writer.write(protocol.encode_frame(response))
                 await writer.drain()
-                if header.get("op") == "shutdown":
+                if request_span_id is not None:
+                    finish = now_us()
+                    spans.record(SPAN_ENCODE, encode_start,
+                                 finish - encode_start, trace_id=trace_id,
+                                 parent_id=request_span_id, op=op)
+                    spans.record(
+                        f"request.{op}", frame_start, finish - frame_start,
+                        trace_id=trace_id, parent_id=client_span,
+                        span_id=request_span_id, op=op,
+                        session=header.get("session"),
+                        ok=bool(response.get("ok", False)))
+                if op == "shutdown":
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -220,6 +282,21 @@ class SimulationServer:
             if op == "stats":
                 return {"ok": True, "stats": self.manager.stats(),
                         "sessions": self.manager.session_names()}
+            if op == "spans":
+                return self._op_spans(header)
+            if op == "health":
+                loop = asyncio.get_running_loop()
+                report = await loop.run_in_executor(
+                    None, self.manager.health_report)
+                if not report.ok:
+                    logger.warning(
+                        "health degraded", extra={
+                            "status": report.status,
+                            "detectors": [verdict.detector
+                                          for verdict in report.verdicts
+                                          if not verdict.ok]})
+                return {"ok": True,
+                        "health": protocol.health_to_dict(report)}
             if op == "shutdown":
                 asyncio.get_running_loop().call_soon(
                     asyncio.ensure_future, self.drain())
@@ -263,7 +340,21 @@ class SimulationServer:
                 warmup_records=header.get("warmup_records"),
                 resume=bool(header.get("resume", False)),
                 epoch_records=epoch_records))
+        logger.info("session opened", extra={
+            "session": name, "prefetcher": prefetcher,
+            "trace_id": (header.get("_trace") or {}).get("trace_id")})
         return {"ok": True, "snapshot": protocol.snapshot_to_dict(snapshot)}
+
+    def _op_spans(self, header: dict) -> dict:
+        spans = self.manager.spans
+        if not spans.enabled:
+            raise ServiceError(
+                "server started without tracing; no spans are recorded "
+                "(start with --trace)")
+        records = spans.spans(clear=bool(header.get("clear", False)))
+        return {"ok": True,
+                "spans": protocol.spans_to_list(records),
+                "summary": spans.summary()}
 
     async def _op_feed(self, header: dict, payload: bytes) -> dict:
         name = self._session_name(header)
@@ -271,11 +362,15 @@ class SimulationServer:
         if not isinstance(count, int):
             raise ServiceError("feed requires an integer record count")
         buffer = protocol.decode_buffer(count, payload)
+        # The internal context (set by the frame loop when tracing is on)
+        # parents the manager's fifo-wait/feed-chunk spans to this request.
+        trace = header.get("_trace")
         loop = asyncio.get_running_loop()
         # feed() blocks while the session is saturated — run it off-loop so
         # only this connection stalls; the ack covers *acceptance*, chunk
         # application is pipelined (snapshot/close synchronise).
-        await loop.run_in_executor(None, self.manager.feed, name, buffer)
+        await loop.run_in_executor(
+            None, lambda: self.manager.feed(name, buffer, trace=trace))
         return {"ok": True, "accepted": count}
 
     async def _op_snapshot(self, header: dict) -> dict:
@@ -314,6 +409,9 @@ class SimulationServer:
         loop = asyncio.get_running_loop()
         snapshot = await loop.run_in_executor(
             None, lambda: self.manager.close(name, delete_checkpoint=delete))
+        logger.info("session closed", extra={
+            "session": name, "records_fed": snapshot.records_fed,
+            "trace_id": (header.get("_trace") or {}).get("trace_id")})
         return {"ok": True, "snapshot": protocol.snapshot_to_dict(snapshot)}
 
     async def _op_evict(self, header: dict) -> dict:
@@ -360,19 +458,29 @@ def run_server(host: str = "127.0.0.1", port: int = 8642,
                max_inflight_chunks: int = 4, workers: int = 4,
                parallelism: str = "serial",
                checkpoint_interval: int = 0,
-               metrics_port: Optional[int] = None) -> Dict[str, int]:
+               metrics_port: Optional[int] = None,
+               tracing: bool = False,
+               log_json: bool = False,
+               health_config: Optional[HealthConfig] = None
+               ) -> Dict[str, int]:
     """Blocking entry point for ``python -m repro serve``.
 
-    Returns the manager's final stats once the server has drained
-    (SIGTERM/SIGINT initiate the drain; KeyboardInterrupt propagates to
-    the CLI, which exits 130).
+    ``tracing`` enables the span recorder (the ``spans`` op and Chrome
+    trace export); ``log_json`` switches the service logger to
+    rate-limited one-JSON-object-per-line output.  Returns the manager's
+    final stats once the server has drained (SIGTERM/SIGINT initiate the
+    drain; KeyboardInterrupt propagates to the CLI, which exits 130).
     """
+    if log_json:
+        configure_service_logging(json_lines=True)
     manager = SessionManager(
         checkpoint_dir=checkpoint_dir,
         max_inflight_chunks=max_inflight_chunks,
         workers=workers,
         parallelism=parallelism,
         checkpoint_interval=checkpoint_interval,
+        tracing=tracing,
+        health_config=health_config,
     )
     server = SimulationServer(manager, host=host, port=port,
                               metrics_port=metrics_port)

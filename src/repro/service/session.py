@@ -41,7 +41,10 @@ from repro.errors import (ServiceError, SessionExistsError,
                           SessionNotFoundError)
 from repro.obs import SystemObservability, attach_observability
 from repro.obs.events import TraceEvent
+from repro.obs.health import HealthConfig, HealthEngine, HealthReport
 from repro.obs.timeline import EpochRecord
+from repro.obs.trace_spans import (NULL_SPANS, SPAN_FEED_CHUNK,
+                                   SPAN_FIFO_WAIT, SpanRecorder, now_us)
 from repro.prefetch.registry import make_prefetcher
 from repro.service.checkpoint import (Checkpoint, load_checkpoint,
                                       save_checkpoint)
@@ -90,9 +93,14 @@ class Session:
         self.records_fed = 0
         self.chunks_fed = 0
         self.last_active = time.monotonic()
-        # Chunk pipeline state, all guarded by `cond`.
+        #: Last time a chunk *completed* (vs ``last_active`` = accepted) —
+        #: the starvation detector's progress signal.
+        self.last_progress = time.monotonic()
+        # Chunk pipeline state, all guarded by `cond`.  Each pending entry
+        # is (buffer, future, trace-context-or-None).
         self.cond = threading.Condition()
-        self.pending: Deque[Tuple[TraceBuffer, Future]] = deque()
+        self.pending: Deque[Tuple[TraceBuffer, Future,
+                                  Optional[dict]]] = deque()
         self.inflight = 0
         self.drainer_scheduled = False
         self.closed = False
@@ -125,6 +133,7 @@ class Session:
         session.records_fed = checkpoint.records_fed
         session.chunks_fed = checkpoint.chunks_fed
         session.last_active = time.monotonic()
+        session.last_progress = time.monotonic()
         session.cond = threading.Condition()
         session.pending = deque()
         session.inflight = 0
@@ -185,13 +194,22 @@ class SessionManager:
         checkpoint_interval: auto-checkpoint a session every N chunks
             (0 disables; requires ``checkpoint_dir``).
         default_config: config for sessions opened without one.
+        tracing: enable request tracing — one shared
+            :class:`~repro.obs.trace_spans.SpanRecorder` covers every
+            session (backpressure waits, per-chunk feeds, engine runs);
+            off by default, in which case every trace point costs one
+            attribute load + branch per chunk.
+        health_config: detector thresholds for :meth:`health_report`
+            (defaults apply when ``None``).
     """
 
     def __init__(self, checkpoint_dir: Optional[PathLike] = None,
                  max_inflight_chunks: int = 4, workers: int = 4,
                  parallelism: Parallelism = "serial",
                  checkpoint_interval: int = 0,
-                 default_config: Optional[SimConfig] = None) -> None:
+                 default_config: Optional[SimConfig] = None,
+                 tracing: bool = False,
+                 health_config: Optional[HealthConfig] = None) -> None:
         if max_inflight_chunks < 1:
             raise ServiceError(
                 f"max_inflight_chunks must be >= 1, got {max_inflight_chunks}")
@@ -206,6 +224,9 @@ class SessionManager:
         self._pool = ThreadPoolExecutor(max_workers=workers,
                                         thread_name_prefix="repro-session")
         self._shutdown = False
+        #: Shared span recorder (the no-op singleton when tracing is off).
+        self.spans = SpanRecorder() if tracing else NULL_SPANS
+        self.health = HealthEngine(health_config)
         # Service-level counters (read by the bench / `stats` op).
         self.backpressure_waits = 0
         self.chunks_executed = 0
@@ -231,6 +252,8 @@ class SessionManager:
             if path is None or not path.exists():
                 raise SessionNotFoundError(name)
             session = Session.from_checkpoint(name, load_checkpoint(path))
+            if self.spans.enabled:
+                session.simulator.spans = self.spans
             self._sessions[name] = session
             self.sessions_resumed += 1
             return session
@@ -272,6 +295,8 @@ class SessionManager:
                     warmup_records=warmup_records,
                     epoch_records=epoch_records)
                 self.sessions_opened += 1
+            if self.spans.enabled:
+                session.simulator.spans = self.spans
             self._sessions[name] = session
         return session.snapshot()
 
@@ -279,13 +304,19 @@ class SessionManager:
     # The chunk pipeline
     # ------------------------------------------------------------------
     def feed(self, name: str, buffer: TraceBuffer,
-             timeout: Optional[float] = None) -> "Future[int]":
+             timeout: Optional[float] = None,
+             trace: Optional[dict] = None) -> "Future[int]":
         """Queue one trace chunk; blocks while the session is saturated.
 
         Returns a future resolving to the session's total records fed once
         this chunk has been simulated.  The block-on-full behaviour *is*
         the backpressure contract: a caller cannot run more than
         ``max_inflight_chunks`` ahead of the simulator.
+
+        ``trace`` is an optional wire trace context
+        (``{"trace_id": ..., "span_id": ...}``): the chunk's backpressure
+        wait and eventual application are then recorded as spans of that
+        trace.
         """
         session = self._get(name)
         future: "Future[int]" = Future()
@@ -298,6 +329,7 @@ class SessionManager:
                     f"{session.error}")
             if session.inflight >= self.max_inflight_chunks:
                 self.backpressure_waits += 1
+                wait_start = now_us() if self.spans.enabled else 0
                 deadline = (None if timeout is None
                             else time.monotonic() + timeout)
                 while session.inflight >= self.max_inflight_chunks:
@@ -308,10 +340,16 @@ class SessionManager:
                             f"session {name!r}: feed timed out under "
                             f"backpressure after {timeout}s")
                     session.cond.wait(remaining)
+                if self.spans.enabled:
+                    ctx = trace or {}
+                    self.spans.record(
+                        SPAN_FIFO_WAIT, wait_start, now_us() - wait_start,
+                        trace_id=ctx.get("trace_id"),
+                        parent_id=ctx.get("span_id"), session=name)
                 if session.closed:
                     raise ServiceError(f"session {name!r} is closed")
             session.inflight += 1
-            session.pending.append((buffer, future))
+            session.pending.append((buffer, future, trace))
             session.last_active = time.monotonic()
             if not session.drainer_scheduled:
                 session.drainer_scheduled = True
@@ -326,10 +364,19 @@ class SessionManager:
                     session.drainer_scheduled = False
                     session.cond.notify_all()
                     return
-                buffer, future = session.pending.popleft()
+                buffer, future, trace = session.pending.popleft()
             if not future.set_running_or_notify_cancel():
                 consumed = None  # cancelled before it started
             else:
+                chunk_span = None
+                if self.spans.enabled:
+                    ctx = trace or {}
+                    # Attached span: engine.feed below begins on this
+                    # drainer thread and nests under it automatically.
+                    chunk_span = self.spans.begin(
+                        SPAN_FEED_CHUNK, trace_id=ctx.get("trace_id"),
+                        parent_id=ctx.get("span_id"),
+                        session=session.name, records=len(buffer))
                 try:
                     consumed = session.simulator.feed(
                         buffer, parallelism=self.parallelism)
@@ -341,12 +388,15 @@ class SessionManager:
                         # next snapshot/feed against this session.
                         session.error = f"{type(exc).__name__}: {exc}"
                     consumed = None
+                if chunk_span is not None:
+                    self.spans.end(chunk_span, ok=consumed is not None)
             with session.cond:
                 if consumed is not None:
                     session.records_fed += consumed
                     session.chunks_fed += 1
                     self.chunks_executed += 1
                     self.records_executed += consumed
+                    session.last_progress = time.monotonic()
                 session.inflight -= 1
                 session.last_active = time.monotonic()
                 session.cond.notify_all()
@@ -412,8 +462,8 @@ class SessionManager:
 
     def metrics_text(self) -> str:
         """Prometheus text exposition covering every live session."""
-        from repro.obs.export import (epoch_samples, prometheus_text,
-                                      snapshot_samples)
+        from repro.obs.export import (epoch_samples, health_samples,
+                                      prometheus_text, snapshot_samples)
 
         with self._lock:
             sessions = [self._sessions[name]
@@ -427,7 +477,24 @@ class SessionManager:
                 timeline = session.obs.merged_timeline(include_partial=True)
                 if timeline:
                     samples.extend(epoch_samples(session.name, timeline[-1]))
+        samples.extend(health_samples(self.health_report()))
+        if self.spans.enabled:
+            from repro.obs.export import span_samples
+            samples.extend(span_samples(self.spans.summary()))
         return prometheus_text(samples)
+
+    def live_sessions(self) -> List[Session]:
+        """The in-memory sessions (for the health engine's read-only pass)."""
+        with self._lock:
+            return [self._sessions[name] for name in sorted(self._sessions)]
+
+    def health_report(self) -> HealthReport:
+        """One health evaluation over every live session (never quiesces)."""
+        return self.health.evaluate(self, spans=self.spans)
+
+    def span_summary(self) -> dict:
+        """Per-span-name latency summary (empty when tracing is off)."""
+        return self.spans.summary()
 
     def _write_checkpoint(self, session: Session) -> Path:
         path = self._checkpoint_path(session.name)
@@ -512,6 +579,8 @@ class SessionManager:
             "records_executed": self.records_executed,
             "backpressure_waits": self.backpressure_waits,
             "max_inflight_chunks": self.max_inflight_chunks,
+            "tracing": self.spans.enabled,
+            "spans_recorded": getattr(self.spans, "finished", 0),
         }
 
     def drain(self, checkpoint: bool = True) -> None:

@@ -494,6 +494,12 @@ class SystemSimulator:
                              prefetcher_factory(config.layout, channel))
             for channel in range(config.layout.num_channels)
         ]
+        #: Request-tracing hook (a SpanRecorder, see repro.obs.trace_spans)
+        #: or None.  Checked once per run()/feed() call — per chunk, never
+        #: per record — so disabled tracing costs one attribute load and
+        #: one branch.  Spans read only the wall clock; simulated state and
+        #: RunMetrics are bit-identical with tracing on or off.
+        self.spans = None
 
     def run(self, records: TraceLike,
             warmup_fraction: Optional[float] = None,
@@ -520,6 +526,18 @@ class SystemSimulator:
         ``docs/parallelism.md``); the serial path is used deterministically
         whenever one worker resolves or no pool is available.
         """
+        spans = self.spans
+        if spans is None or not spans.enabled:
+            return self._run_impl(records, warmup_fraction, parallelism,
+                                  columnar)
+        from repro.obs.trace_spans import SPAN_ENGINE_RUN
+        with spans.span(SPAN_ENGINE_RUN):
+            return self._run_impl(records, warmup_fraction, parallelism,
+                                  columnar)
+
+    def _run_impl(self, records: TraceLike,
+                  warmup_fraction: Optional[float],
+                  parallelism: "Parallelism", columnar: bool) -> None:
         if warmup_fraction is None:
             warmup_fraction = self.config.warmup_fraction
         layout = self.config.layout
@@ -578,6 +596,21 @@ class SystemSimulator:
         trace.  ``parallelism`` fans the per-channel work out through the
         same executor path :meth:`run` uses.
         """
+        spans = self.spans
+        if spans is None or not spans.enabled:
+            return self._feed_impl(records, parallelism)
+        from repro.obs.trace_spans import SPAN_ENGINE_FEED
+        open_span = spans.begin(SPAN_ENGINE_FEED)
+        try:
+            consumed = self._feed_impl(records, parallelism)
+        except BaseException:
+            spans.end(open_span, error=True)
+            raise
+        spans.end(open_span, records=consumed)
+        return consumed
+
+    def _feed_impl(self, records: TraceLike,
+                   parallelism: "Parallelism") -> int:
         buffer = (records if isinstance(records, TraceBuffer)
                   else TraceBuffer.from_records(records))
         streams = buffer.split_channels(self.config.layout)

@@ -119,10 +119,12 @@ class TestPrometheusText:
             ("hit_rate", {}, 0.25, "gauge"),
         ])
         lines = text.splitlines()
-        assert lines[0] == "# TYPE planaria_records_fed counter"
-        assert lines[1] == 'planaria_records_fed{session="a\\"b\\\\c"} 7'
-        assert lines[2] == 'planaria_records_fed{session="other"} 9'
+        assert lines[0].startswith("# HELP planaria_records_fed ")
+        assert lines[1] == "# TYPE planaria_records_fed counter"
+        assert lines[2] == 'planaria_records_fed{session="a\\"b\\\\c"} 7'
+        assert lines[3] == 'planaria_records_fed{session="other"} 9'
         assert "# TYPE planaria_hit_rate gauge" in lines
+        assert "# HELP planaria_hit_rate Demand hit rate in the storage cache." in lines
         assert "planaria_hit_rate 0.25" in lines
         assert text.endswith("\n")
 

@@ -1,0 +1,370 @@
+"""Health detectors and the engine: pure state machines, then the wiring.
+
+Each detector is a deterministic streaming state machine with no clock
+of its own, so hypothesis can drive it with arbitrary observation
+sequences and the expected verdict is recomputable from the same window
+the detector keeps.  The engine tests then check the wiring: a healthy
+live :class:`SessionManager` reports ``ok``, an injected accuracy
+collapse flips the report to ``degraded`` with the offending session
+named, and state for dead sessions is pruned.
+"""
+
+import functools
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.config import SimConfig
+from repro.obs.health import (
+    DETECTOR_ACCURACY, DETECTOR_BACKPRESSURE, DETECTOR_STARVATION,
+    DETECTOR_THROTTLE, STATUS_DEGRADED, STATUS_OK, AccuracyCollapseDetector,
+    BackpressureStallDetector, DetectorVerdict, HealthConfig, HealthEngine,
+    HealthReport, SessionStarvationDetector, ThrottleOscillationDetector)
+from repro.obs.trace_spans import SPAN_FIFO_WAIT, SpanRecorder
+from repro.service.session import SessionManager
+from repro.trace.generator import generate_trace_buffer, get_profile
+from repro.utils.statistics import Histogram
+
+LENGTH = 1200
+SEED = 5
+
+
+@functools.lru_cache(maxsize=None)
+def _config():
+    return SimConfig.experiment_scale()
+
+
+@functools.lru_cache(maxsize=None)
+def _trace():
+    return generate_trace_buffer(get_profile("CFM"), LENGTH, seed=SEED,
+                                 layout=_config().layout)
+
+
+# ----------------------------------------------------------------------
+# Detector state machines (hypothesis)
+# ----------------------------------------------------------------------
+_epochs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=500),
+              st.integers(min_value=0, max_value=500)).map(
+        lambda pair: (min(pair), max(pair))),  # useful <= fills
+    max_size=30)
+
+
+class TestAccuracyCollapseDetector:
+    @hsettings(max_examples=80, deadline=None)
+    @given(epochs=_epochs,
+           window=st.integers(min_value=1, max_value=6),
+           min_fills=st.integers(min_value=0, max_value=200),
+           threshold=st.floats(min_value=0.0, max_value=1.0))
+    def test_verdict_matches_recomputed_window(self, epochs, window,
+                                               min_fills, threshold):
+        detector = AccuracyCollapseDetector(
+            window_epochs=window, min_fills=min_fills, threshold=threshold)
+        for useful, fills in epochs:
+            detector.observe_epoch(useful, fills)
+        verdict = detector.verdict()
+
+        tail = epochs[-window:]
+        useful = sum(entry[0] for entry in tail)
+        fills = sum(entry[1] for entry in tail)
+        ratio = useful / fills if fills else 1.0
+        assert verdict.value == ratio
+        assert verdict.ok == (fills < min_fills or ratio >= threshold)
+        assert verdict.detector == DETECTOR_ACCURACY
+        assert detector.epochs_seen == len(epochs)
+
+    def test_empty_window_is_ok(self):
+        verdict = AccuracyCollapseDetector().verdict()
+        assert verdict.ok and verdict.value == 1.0
+
+    def test_collapse_flips_and_recovery_clears(self):
+        detector = AccuracyCollapseDetector(window_epochs=2, min_fills=10,
+                                            threshold=0.2)
+        detector.observe_epoch(0, 100)
+        assert not detector.verdict().ok
+        detector.observe_epoch(90, 100)  # window: 90/200 = 0.45
+        assert detector.verdict().ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_epochs"):
+            AccuracyCollapseDetector(window_epochs=0)
+        with pytest.raises(ValueError, match="threshold"):
+            AccuracyCollapseDetector(threshold=1.5)
+
+
+class TestThrottleOscillationDetector:
+    @hsettings(max_examples=80, deadline=None)
+    @given(flaps=st.lists(st.integers(min_value=0, max_value=20),
+                          max_size=30),
+           window=st.integers(min_value=1, max_value=6),
+           max_flaps=st.integers(min_value=0, max_value=30))
+    def test_verdict_is_windowed_sum(self, flaps, window, max_flaps):
+        detector = ThrottleOscillationDetector(window=window,
+                                               max_flaps=max_flaps)
+        for count in flaps:
+            detector.observe(count)
+        verdict = detector.verdict()
+        total = sum(flaps[-window:])
+        assert verdict.value == float(total)
+        assert verdict.ok == (total <= max_flaps)
+        assert verdict.detector == DETECTOR_THROTTLE
+
+    def test_old_flaps_age_out(self):
+        detector = ThrottleOscillationDetector(window=2, max_flaps=4)
+        detector.observe(10)
+        assert not detector.verdict().ok
+        detector.observe(0)
+        detector.observe(0)
+        assert detector.verdict().ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            ThrottleOscillationDetector(window=0)
+        with pytest.raises(ValueError, match="flaps"):
+            ThrottleOscillationDetector().observe(-1)
+
+
+class TestBackpressureStallDetector:
+    @hsettings(max_examples=80, deadline=None)
+    @given(waits=st.lists(st.floats(min_value=0, max_value=5e6),
+                          max_size=30),
+           fraction=st.floats(min_value=0.5, max_value=1.0),
+           max_wait=st.floats(min_value=1e3, max_value=5e6),
+           min_waits=st.integers(min_value=0, max_value=10))
+    def test_verdict_matches_reference_histogram(self, waits, fraction,
+                                                 max_wait, min_waits):
+        detector = BackpressureStallDetector(
+            fraction=fraction, max_wait_us=max_wait, min_waits=min_waits)
+        reference = Histogram(1000.0)
+        for wait in waits:
+            detector.observe_wait(wait)
+            reference.add(wait)
+        verdict = detector.verdict()
+        if len(waits) < min_waits:
+            assert verdict.ok and verdict.value == 0.0
+        else:
+            tail = reference.percentile(fraction)
+            assert verdict.value == tail
+            assert verdict.ok == (tail <= max_wait)
+        assert verdict.detector == DETECTOR_BACKPRESSURE
+
+    def test_external_histogram_overrides_internal(self):
+        detector = BackpressureStallDetector(max_wait_us=100.0, min_waits=1)
+        external = Histogram(1000.0)
+        for _ in range(5):
+            external.add(4_000_000.0)
+        assert detector.verdict().ok  # internal: no waits at all
+        assert not detector.verdict(histogram=external).ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            BackpressureStallDetector(fraction=2.0)
+        with pytest.raises(ValueError, match="wait_us"):
+            BackpressureStallDetector().observe_wait(-1.0)
+
+
+class TestSessionStarvationDetector:
+    @hsettings(max_examples=60, deadline=None)
+    @given(inflight=st.integers(min_value=0, max_value=8),
+           stalled=st.floats(min_value=0.0, max_value=120.0),
+           budget=st.floats(min_value=1.0, max_value=60.0))
+    def test_degraded_only_with_queued_work_and_no_progress(
+            self, inflight, stalled, budget):
+        detector = SessionStarvationDetector(max_stall_seconds=budget)
+        detector.observe(inflight, stalled)
+        verdict = detector.verdict()
+        assert verdict.ok == (not (inflight > 0 and stalled > budget))
+        assert verdict.detector == DETECTOR_STARVATION
+
+    def test_idle_session_never_starves(self):
+        detector = SessionStarvationDetector(max_stall_seconds=1.0)
+        detector.observe(0, 10_000.0)
+        assert detector.verdict().ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_stall_seconds"):
+            SessionStarvationDetector(max_stall_seconds=0)
+        with pytest.raises(ValueError, match="inflight"):
+            SessionStarvationDetector().observe(-1, 0.0)
+
+
+class TestSerialization:
+    def test_verdict_round_trip(self):
+        verdict = DetectorVerdict(DETECTOR_ACCURACY, False, 0.05, 0.2,
+                                  "useful/fills 5/100 over 4 epochs")
+        assert DetectorVerdict.from_dict(verdict.to_dict()) == verdict
+
+    def test_report_round_trip(self):
+        report = HealthReport(
+            status=STATUS_DEGRADED,
+            verdicts=[DetectorVerdict(DETECTOR_THROTTLE, False, 9.0, 4.0)],
+            sessions={"a": STATUS_OK, "b": STATUS_DEGRADED})
+        rehydrated = HealthReport.from_dict(report.to_dict())
+        assert rehydrated == report
+        assert not rehydrated.ok
+
+
+# ----------------------------------------------------------------------
+# Engine wiring
+# ----------------------------------------------------------------------
+class _FakeLock:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+class _FakeObs:
+    """Just enough of SystemObservability for the engine's read pass."""
+
+    def __init__(self, epochs=(), counts=None):
+        self.epochs = list(epochs)
+        self.counts = dict(counts or {})
+
+    def merged_timeline(self, include_partial=True):
+        assert not include_partial, \
+            "the engine must only consume closed epochs"
+        return list(self.epochs)
+
+    def event_counts(self):
+        return dict(self.counts)
+
+
+def _fake_session(name, epochs=(), counts=None, inflight=0,
+                  last_progress=0.0):
+    return SimpleNamespace(name=name, obs=_FakeObs(epochs, counts),
+                           cond=_FakeLock(), inflight=inflight,
+                           last_progress=last_progress)
+
+
+def _fake_manager(*sessions):
+    return SimpleNamespace(live_sessions=lambda: list(sessions))
+
+
+def _epoch(useful, fills):
+    return SimpleNamespace(prefetch_useful=useful, prefetch_fills=fills)
+
+
+class TestHealthEngine:
+    def test_healthy_fake_session_reports_ok(self):
+        engine = HealthEngine(clock=lambda: 0.0)
+        report = engine.evaluate(_fake_manager(
+            _fake_session("a", epochs=[_epoch(90, 100)] * 4)))
+        assert report.status == STATUS_OK and report.ok
+        assert report.sessions == {"a": STATUS_OK}
+        assert [v.detector for v in report.verdicts] == [
+            DETECTOR_ACCURACY, DETECTOR_THROTTLE, DETECTOR_BACKPRESSURE,
+            DETECTOR_STARVATION]
+        assert engine.last_report is report and engine.evaluations == 1
+
+    def test_injected_accuracy_collapse_flips_to_degraded(self):
+        engine = HealthEngine(clock=lambda: 0.0)
+        report = engine.evaluate(_fake_manager(
+            _fake_session("good", epochs=[_epoch(90, 100)] * 4),
+            _fake_session("bad", epochs=[_epoch(0, 200)] * 4)))
+        assert report.status == STATUS_DEGRADED
+        assert report.sessions == {"good": STATUS_OK,
+                                   "bad": STATUS_DEGRADED}
+        accuracy = next(v for v in report.verdicts
+                        if v.detector == DETECTOR_ACCURACY)
+        assert not accuracy.ok
+        assert "session 'bad'" in accuracy.detail  # worst verdict names it
+
+    def test_epoch_cursor_consumes_each_epoch_once(self):
+        engine = HealthEngine(
+            HealthConfig(accuracy_window_epochs=100, accuracy_min_fills=1),
+            clock=lambda: 0.0)
+        session = _fake_session("a", epochs=[_epoch(50, 100)])
+        manager = _fake_manager(session)
+        engine.evaluate(manager)
+        session.obs.epochs.append(_epoch(0, 100))
+        report = engine.evaluate(manager)
+        accuracy = next(v for v in report.verdicts
+                        if v.detector == DETECTOR_ACCURACY)
+        # 50/200, not 100/300: the first epoch was not re-observed.
+        assert accuracy.value == pytest.approx(0.25)
+
+    def test_throttle_flap_delta_not_cumulative_count(self):
+        config = HealthConfig(throttle_window=2, throttle_max_flaps=4)
+        engine = HealthEngine(config, clock=lambda: 0.0)
+        session = _fake_session("a", counts={"throttle_suspended": 3,
+                                             "throttle_resumed": 3})
+        manager = _fake_manager(session)
+        report = engine.evaluate(manager)  # first delta: 6 flaps
+        throttle = next(v for v in report.verdicts
+                        if v.detector == DETECTOR_THROTTLE)
+        assert not throttle.ok
+        report = engine.evaluate(manager)  # counters unchanged: delta 0
+        report = engine.evaluate(manager)  # window of 2 forgets the burst
+        throttle = next(v for v in report.verdicts
+                        if v.detector == DETECTOR_THROTTLE)
+        assert throttle.ok and throttle.value == 0.0
+
+    def test_starvation_uses_injected_clock(self):
+        now = [0.0]
+        engine = HealthEngine(
+            HealthConfig(starvation_max_stall_seconds=30.0),
+            clock=lambda: now[0])
+        session = _fake_session("a", inflight=2, last_progress=0.0)
+        manager = _fake_manager(session)
+        assert engine.evaluate(manager).status == STATUS_OK
+        now[0] = 31.0
+        report = engine.evaluate(manager)
+        assert report.status == STATUS_DEGRADED
+        starvation = next(v for v in report.verdicts
+                          if v.detector == DETECTOR_STARVATION)
+        assert starvation.value == pytest.approx(31.0)
+
+    def test_backpressure_judged_from_span_histogram(self):
+        engine = HealthEngine(
+            HealthConfig(backpressure_max_wait_us=1_000.0,
+                         backpressure_min_waits=2),
+            clock=lambda: 0.0)
+        spans = SpanRecorder()
+        for _ in range(4):
+            spans.record(SPAN_FIFO_WAIT, start_us=0, duration_us=50_000)
+        report = engine.evaluate(_fake_manager(), spans=spans)
+        backpressure = next(v for v in report.verdicts
+                            if v.detector == DETECTOR_BACKPRESSURE)
+        assert not backpressure.ok
+        assert report.status == STATUS_DEGRADED
+
+    def test_dead_session_state_is_pruned(self):
+        engine = HealthEngine(clock=lambda: 0.0)
+        engine.evaluate(_fake_manager(_fake_session("a"),
+                                      _fake_session("b")))
+        assert set(engine._sessions) == {"a", "b"}
+        engine.evaluate(_fake_manager(_fake_session("b")))
+        assert set(engine._sessions) == {"b"}
+
+
+class TestLiveManagerIntegration:
+    def test_busy_manager_reports_ok_and_never_quiesces(self, tmp_path):
+        trace = _trace()
+        with SessionManager(checkpoint_dir=tmp_path / "ckpt",
+                            default_config=_config(),
+                            tracing=True) as manager:
+            manager.open("s", "planaria", epoch_records=128)
+            for start in range(0, len(trace), 300):
+                manager.feed("s", trace[start:start + 300])
+                report = manager.health_report()  # mid-stream, no quiesce
+                assert report.status == STATUS_OK
+            manager.snapshot("s")
+            report = manager.health_report()
+            assert report.ok and report.sessions == {"s": STATUS_OK}
+            assert {v.detector for v in report.verdicts} == {
+                DETECTOR_ACCURACY, DETECTOR_THROTTLE,
+                DETECTOR_BACKPRESSURE, DETECTOR_STARVATION}
+            assert manager.snapshot("s").records_fed == LENGTH
+
+    def test_manager_health_state_follows_session_lifecycle(self, tmp_path):
+        with SessionManager(checkpoint_dir=tmp_path / "ckpt",
+                            default_config=_config()) as manager:
+            manager.open("s", "none")
+            manager.health_report()
+            assert set(manager.health._sessions) == {"s"}
+            manager.close("s")
+            manager.health_report()
+            assert set(manager.health._sessions) == set()

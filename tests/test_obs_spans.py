@@ -1,0 +1,284 @@
+"""Span tracing contracts: recording, export round trips, neutrality.
+
+The contracts under test:
+
+* **Lossless export** — ``spans_to_chrome`` → JSON → ``chrome_to_spans``
+  reproduces the span list exactly (hypothesis, arbitrary spans).
+* **Recorder semantics** — same-thread nesting, detached spans, ring
+  eviction vs exact counters, aggregate survival across drains, thread
+  id interning.
+* **Neutrality** — a :class:`SystemSimulator` with a recorder attached
+  produces bit-identical ``RunMetrics`` to the plain run (the disabled
+  path is the shared :data:`NULL_SPANS` singleton and costs one branch).
+"""
+
+import functools
+import json
+import pickle
+import threading
+
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.config import SimConfig
+from repro.obs.trace_spans import (
+    CHROME_FORMAT, DEFAULT_SPAN_CAPACITY, NULL_SPANS, RESERVED_ATTR_KEYS,
+    SPAN_ENGINE_FEED, SPAN_ENGINE_RUN, SPAN_SCHEMA_VERSION, SpanRecord,
+    SpanRecorder, chrome_to_spans, new_id, read_chrome_trace,
+    spans_to_chrome, write_chrome_trace)
+from repro.prefetch.registry import make_prefetcher
+from repro.sim.engine import SystemSimulator, channel_warmup_counts
+from repro.sim.runner import collect_metrics, simulate
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+LENGTH = 4000
+SEED = 17
+CHUNK = 700
+
+
+@functools.lru_cache(maxsize=None)
+def _config():
+    return SimConfig.experiment_scale()
+
+
+@functools.lru_cache(maxsize=None)
+def _trace():
+    return generate_trace_buffer(get_profile("CFM"), LENGTH, seed=SEED,
+                                 layout=_config().layout)
+
+
+def _simulator(prefetcher="planaria"):
+    return SystemSimulator(
+        _config(),
+        lambda layout, channel: make_prefetcher(prefetcher, layout, channel))
+
+
+@functools.lru_cache(maxsize=None)
+def _plain_metrics(prefetcher="planaria"):
+    return simulate(_trace(), prefetcher, workload_name="CFM",
+                    config=_config()).metrics
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+_ids = st.text(alphabet="0123456789abcdef", min_size=4, max_size=16)
+_attr_keys = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=8,
+).filter(lambda key: key not in RESERVED_ATTR_KEYS)
+_attr_values = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(max_size=12),
+    st.none(),
+)
+_spans_strategy = st.lists(
+    st.builds(
+        SpanRecord,
+        trace_id=_ids,
+        span_id=_ids,
+        parent_id=st.one_of(st.none(), _ids),
+        name=st.sampled_from(
+            ["request.feed", "request.decode", "session.feed_chunk",
+             "engine.feed", "client.open"]),
+        start_us=st.integers(min_value=0, max_value=2**48),
+        duration_us=st.integers(min_value=0, max_value=10**9),
+        tid=st.integers(min_value=0, max_value=64),
+        attrs=st.dictionaries(_attr_keys, _attr_values, max_size=4),
+    ),
+    max_size=16,
+)
+
+
+class TestChromeRoundTrip:
+    @hsettings(max_examples=60, deadline=None)
+    @given(spans=_spans_strategy)
+    def test_chrome_json_round_trip_is_lossless(self, spans):
+        payload = spans_to_chrome(spans)
+        # Through actual JSON text, same as write_chrome_trace does.
+        rehydrated = chrome_to_spans(json.loads(json.dumps(payload)))
+        assert rehydrated == spans
+
+    @hsettings(max_examples=30, deadline=None)
+    @given(spans=_spans_strategy)
+    def test_dict_round_trip_is_lossless(self, spans):
+        assert [SpanRecord.from_dict(span.to_dict()) for span in spans] \
+            == spans
+
+    def test_document_shape(self):
+        span = SpanRecord("t" * 16, "s" * 16, None, "request.feed", 10, 5)
+        payload = spans_to_chrome([span], process_name="svc", pid=3)
+        assert payload["otherData"] == {"format": CHROME_FORMAT,
+                                        "version": SPAN_SCHEMA_VERSION}
+        meta, event = payload["traceEvents"]
+        assert meta["ph"] == "M" and meta["args"]["name"] == "svc"
+        assert event["ph"] == "X"
+        assert (event["ts"], event["dur"], event["pid"]) == (10, 5, 3)
+        assert event["args"]["trace_id"] == "t" * 16
+        assert "parent_id" not in event["args"]  # root spans omit it
+
+    def test_rejects_non_trace_documents(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            chrome_to_spans({"benchmark": "something else"})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        span = SpanRecord("t", "s", None, "x", 0, 0)
+        payload = {**span.to_dict(), "color": "red"}
+        with pytest.raises(ValueError, match="unknown SpanRecord fields"):
+            SpanRecord.from_dict(payload)
+
+    def test_file_round_trip(self, tmp_path):
+        spans = [SpanRecord("t1", "s1", None, "request.open", 0, 7,
+                            attrs={"session": "a"}),
+                 SpanRecord("t1", "s2", "s1", "engine.feed", 2, 3, tid=1)]
+        path = write_chrome_trace(tmp_path / "trace.json", spans)
+        assert read_chrome_trace(path) == spans
+
+
+class TestSpanRecorder:
+    def test_same_thread_nesting_inherits_trace_and_parent(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer") as outer:
+            with recorder.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        inner_rec, outer_rec = recorder.spans()
+        assert inner_rec.name == "inner"  # inner finishes first
+        assert inner_rec.parent_id == outer_rec.span_id
+        assert inner_rec.tid == outer_rec.tid
+
+    def test_detached_spans_never_become_implicit_parents(self):
+        recorder = SpanRecorder()
+        loitering = recorder.begin("request.feed", trace_id=new_id(),
+                                   detached=True)
+        fresh = recorder.begin("unrelated")
+        assert fresh.trace_id != loitering.trace_id
+        assert fresh.parent_id is None
+        recorder.end(fresh)
+        recorder.end(loitering)
+
+    def test_end_merges_attrs_and_strips_reserved_keys(self):
+        recorder = SpanRecorder()
+        span = recorder.begin("op", records=5, trace_id_attr="fine")
+        record = recorder.end(span, ok=True, span_id="stripped")
+        assert record.attrs == {"records": 5, "trace_id_attr": "fine",
+                                "ok": True}
+
+    def test_record_with_explicit_ids_and_timing(self):
+        recorder = SpanRecorder()
+        record = recorder.record("session.fifo_wait", start_us=100,
+                                 duration_us=40, trace_id="t", parent_id="p",
+                                 span_id="s", session="a")
+        assert (record.trace_id, record.span_id, record.parent_id) == \
+            ("t", "s", "p")
+        assert record.start_us == 100 and record.duration_us == 40
+        with pytest.raises(ValueError, match="duration_us"):
+            recorder.record("x", start_us=0, duration_us=-1)
+
+    def test_ring_evicts_but_counters_and_aggregates_are_exact(self):
+        recorder = SpanRecorder(capacity=4)
+        for index in range(10):
+            recorder.record("op", start_us=index, duration_us=index)
+        assert len(recorder) == 4
+        assert recorder.started == recorder.finished == 10
+        summary = recorder.summary()["op"]
+        assert summary["count"] == 10  # aggregates saw every span
+        assert summary["max_us"] == 9.0
+
+    def test_clear_drains_ring_but_keeps_lifetime_percentiles(self):
+        recorder = SpanRecorder()
+        for _ in range(8):
+            recorder.record("op", start_us=0, duration_us=120)
+        drained = recorder.spans(clear=True)
+        assert len(drained) == 8 and len(recorder) == 0
+        assert recorder.summary()["op"]["count"] == 8
+        assert recorder.percentiles("op")["p50_us"] == 100.0  # bucket floor
+
+    def test_percentiles_for_unknown_name_are_zero(self):
+        assert SpanRecorder().percentiles("ghost") == \
+            {"p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0}
+
+    def test_threads_get_distinct_interned_tids(self):
+        recorder = SpanRecorder()
+        recorder.record("main", start_us=0, duration_us=1)
+
+        def worker():
+            recorder.record("worker", start_us=0, duration_us=1)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        tids = {span.name: span.tid for span in recorder.spans()}
+        assert tids["main"] != tids["worker"]
+        assert sorted(tids.values()) == [0, 1]  # small ordinals, not idents
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SpanRecorder(capacity=0)
+
+    def test_default_capacity(self):
+        assert SpanRecorder().capacity == DEFAULT_SPAN_CAPACITY
+
+
+class TestNullRecorder:
+    def test_singleton_survives_pickle(self):
+        assert pickle.loads(pickle.dumps(NULL_SPANS)) is NULL_SPANS
+
+    def test_noop_surface(self):
+        assert not NULL_SPANS.enabled
+        with NULL_SPANS.span("anything", records=3) as span:
+            assert span is None
+        NULL_SPANS.record("x", start_us=0, duration_us=5)
+        assert NULL_SPANS.spans() == []
+        assert NULL_SPANS.summary() == {}
+        assert len(NULL_SPANS) == 0
+
+
+class TestEngineTracing:
+    def test_offline_run_records_one_engine_run_span(self):
+        sim = _simulator()
+        sim.spans = SpanRecorder()
+        sim.run(_trace())
+        summary = sim.spans.summary()
+        assert summary[SPAN_ENGINE_RUN]["count"] == 1
+        assert SPAN_ENGINE_FEED not in summary
+
+    def test_streaming_records_one_feed_span_per_chunk(self):
+        sim = _simulator()
+        sim.spans = SpanRecorder()
+        sim.set_stream_warmup(channel_warmup_counts(_trace(), _config()))
+        trace = _trace()
+        chunks = 0
+        for start in range(0, len(trace), CHUNK):
+            sim.feed(trace[start:start + CHUNK])
+            chunks += 1
+        summary = sim.spans.summary()
+        assert summary[SPAN_ENGINE_FEED]["count"] == chunks
+        consumed = [span.attrs.get("records") for span in sim.spans.spans()]
+        assert sum(consumed) == LENGTH
+
+    @pytest.mark.parametrize("prefetcher", ["none", "planaria"])
+    def test_traced_offline_metrics_bit_identical(self, prefetcher):
+        sim = _simulator(prefetcher)
+        sim.spans = SpanRecorder()
+        sim.run(_trace())
+        assert collect_metrics(sim, "CFM", prefetcher) == \
+            _plain_metrics(prefetcher)
+
+    def test_traced_streaming_metrics_bit_identical(self):
+        sim = _simulator()
+        sim.spans = SpanRecorder()
+        sim.set_stream_warmup(channel_warmup_counts(_trace(), _config()))
+        trace = _trace()
+        for start in range(0, len(trace), CHUNK):
+            sim.feed(trace[start:start + CHUNK])
+        assert collect_metrics(sim, "CFM", "planaria") == _plain_metrics()
+
+    def test_null_spans_attachment_is_inert(self):
+        sim = _simulator()
+        sim.spans = NULL_SPANS
+        sim.run(_trace())
+        assert collect_metrics(sim, "CFM", "planaria") == _plain_metrics()
+        assert len(NULL_SPANS) == 0

@@ -1,0 +1,211 @@
+"""Prometheus exposition audit: strict line grammar over the live text.
+
+A scraper is an unforgiving parser, so this suite is one too: every line
+of a live :meth:`SessionManager.metrics_text` must be a well-formed
+``# HELP``, ``# TYPE`` or sample line, every metric must carry both
+headers (HELP first) exactly once, names and labels must match the
+Prometheus charsets, and every value must parse as a float.  The
+renderer itself must *refuse* to emit anything that would violate the
+grammar (missing help text, bad names, unknown kinds) — a bug caught at
+export time, not on the scrape path.
+"""
+
+import functools
+import math
+import re
+
+import pytest
+
+from repro.config import SimConfig
+from repro.obs.export import (METRIC_HELP, epoch_samples, health_samples,
+                              prometheus_text, snapshot_samples,
+                              span_samples)
+from repro.obs.health import DetectorVerdict, HealthReport
+from repro.service.session import SessionManager
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+LENGTH = 1200
+SEED = 5
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) (.+)$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_METRIC_NAME}) (counter|gauge)$")
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})(?:\{{(.*)\}})? (\S+)$")
+_LABEL_PAIR_RE = re.compile(rf'^({_LABEL_NAME})="((?:[^"\\]|\\.)*)"$')
+
+
+def _parse_exposition(text):
+    """Parse with scraper-strict rules; returns per-metric structure.
+
+    Raises AssertionError on any grammar violation: unknown line shape,
+    TYPE without preceding HELP, samples before headers, duplicate
+    headers, sample names not matching the open metric family.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    metrics = {}
+    current = None
+    pending_help = None
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        help_match = _HELP_RE.match(line)
+        type_match = _TYPE_RE.match(line)
+        sample_match = _SAMPLE_RE.match(line)
+        if help_match:
+            name = help_match.group(1)
+            assert name not in metrics, f"duplicate # HELP for {name}"
+            pending_help = (name, help_match.group(2))
+        elif type_match:
+            name, kind = type_match.groups()
+            assert pending_help is not None and pending_help[0] == name, \
+                f"# TYPE {name} without an immediately preceding # HELP"
+            metrics[name] = {"help": pending_help[1], "kind": kind,
+                             "samples": []}
+            current = name
+            pending_help = None
+        elif sample_match:
+            name, label_body, value = sample_match.groups()
+            assert current == name, \
+                f"sample for {name} outside its header block"
+            labels = {}
+            if label_body:
+                for pair in re.split(r'",(?=[a-zA-Z_])', label_body):
+                    if not pair.endswith('"'):
+                        pair += '"'
+                    pair_match = _LABEL_PAIR_RE.match(pair)
+                    assert pair_match, f"malformed label pair {pair!r}"
+                    labels[pair_match.group(1)] = pair_match.group(2)
+            parsed = float(value)
+            assert math.isfinite(parsed), f"non-finite sample {line!r}"
+            metrics[name]["samples"].append((labels, parsed))
+        else:
+            raise AssertionError(f"unparseable exposition line: {line!r}")
+    assert pending_help is None, \
+        f"# HELP {pending_help[0]} with no # TYPE"
+    return metrics
+
+
+@functools.lru_cache(maxsize=None)
+def _config():
+    return SimConfig.experiment_scale()
+
+
+@functools.lru_cache(maxsize=None)
+def _trace():
+    return generate_trace_buffer(get_profile("CFM"), LENGTH, seed=SEED,
+                                 layout=_config().layout)
+
+
+class TestLiveExposition:
+    def test_full_manager_output_passes_strict_grammar(self, tmp_path):
+        trace = _trace()
+        with SessionManager(checkpoint_dir=tmp_path / "ckpt",
+                            default_config=_config(),
+                            tracing=True) as manager:
+            manager.open("grammar-check", "planaria", epoch_records=256)
+            for start in range(0, len(trace), 300):
+                manager.feed("grammar-check", trace[start:start + 300])
+            manager.snapshot("grammar-check")
+            metrics = _parse_exposition(manager.metrics_text())
+
+        for name, family in metrics.items():
+            assert name.startswith("planaria_")
+            assert METRIC_HELP[name[len("planaria_"):]], name
+        # The serve-path families are all present: session counters,
+        # epoch gauges, health gauges, span latency gauges.
+        assert metrics["planaria_records_fed"]["kind"] == "counter"
+        assert metrics["planaria_records_fed"]["samples"] == [
+            ({"session": "grammar-check"}, float(LENGTH))]
+        assert metrics["planaria_epoch_index"]["kind"] == "gauge"
+        assert metrics["planaria_health_ok"]["samples"] == [({}, 1.0)]
+        detectors = {labels["detector"] for labels, _ in
+                     metrics["planaria_health_detector_ok"]["samples"]}
+        assert detectors == {"accuracy_collapse", "throttle_oscillation",
+                             "backpressure_stall", "session_starvation"}
+        span_names = {labels["span"] for labels, _ in
+                      metrics["planaria_span_count"]["samples"]}
+        assert "session.feed_chunk" in span_names
+        assert "engine.feed" in span_names
+
+    def test_untraced_manager_omits_span_families(self, tmp_path):
+        with SessionManager(checkpoint_dir=tmp_path / "ckpt",
+                            default_config=_config()) as manager:
+            manager.open("s", "none")
+            metrics = _parse_exposition(manager.metrics_text())
+        assert "planaria_span_count" not in metrics
+        assert "planaria_health_ok" in metrics  # health always exported
+
+
+class TestRendererRefusals:
+    def test_missing_help_entry_is_an_error(self):
+        with pytest.raises(ValueError, match="METRIC_HELP"):
+            prometheus_text([("not_a_known_metric", {}, 1, "counter")])
+
+    def test_invalid_metric_name_is_an_error(self):
+        with pytest.raises(ValueError, match="metric name"):
+            prometheus_text([("bad-name", {}, 1, "counter")])
+
+    def test_invalid_label_name_is_an_error(self):
+        with pytest.raises(ValueError, match="label name"):
+            prometheus_text([("records_fed", {"bad-label": "x"}, 1,
+                              "counter")])
+
+    def test_unknown_kind_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            prometheus_text([("records_fed", {}, 1, "histogram")])
+
+    def test_label_values_are_escaped(self):
+        text = prometheus_text(
+            [("records_fed", {"session": 'a"b\\c\nd'}, 1, "counter")])
+        metrics = _parse_exposition(text)
+        ((labels, value),) = metrics["planaria_records_fed"]["samples"]
+        assert labels["session"] == 'a\\"b\\\\c\\nd'  # escaped-form survives
+        assert value == 1.0
+
+    def test_help_before_type_and_one_header_pair_per_family(self):
+        text = prometheus_text([
+            ("records_fed", {"session": "a"}, 1, "counter"),
+            ("chunks_fed", {"session": "a"}, 2, "counter"),
+            ("records_fed", {"session": "b"}, 3, "counter"),
+        ])
+        lines = text.splitlines()
+        assert lines[0].startswith("# HELP planaria_records_fed ")
+        assert lines[1] == "# TYPE planaria_records_fed counter"
+        assert sum(1 for line in lines
+                   if line.startswith("# TYPE planaria_records_fed")) == 1
+        # Both records_fed samples group under the single header pair.
+        metrics = _parse_exposition(text)
+        assert len(metrics["planaria_records_fed"]["samples"]) == 2
+
+
+class TestHelpTableCoverage:
+    def test_every_sample_builder_name_has_help(self):
+        class _Metrics:
+            demand_accesses = demand_misses = dram_traffic = 1
+            prefetch_issued = prefetch_fills = prefetch_useful = 1
+            amat = hit_rate = accuracy = coverage = 0.5
+            prefetch_useful_by_source = {"slp": 1}
+
+        class _Snapshot:
+            records_fed = chunks_fed = 1
+            metrics = _Metrics()
+
+        class _Epoch:
+            epoch = queue_depth = slp_issued = tlp_issued = 1
+            throttle_suspended = 0
+            hit_rate = amat = accuracy = 0.5
+
+        report = HealthReport(status="ok", verdicts=[
+            DetectorVerdict("accuracy_collapse", True, 1.0, 0.2)])
+        summary = {"engine.feed": {"count": 3, "mean_us": 5.0, "max_us": 9.0,
+                                   "p50_us": 0.0, "p95_us": 0.0,
+                                   "p99_us": 0.0}}
+        samples = (snapshot_samples("s", _Snapshot())
+                   + epoch_samples("s", _Epoch())
+                   + health_samples(report) + span_samples(summary))
+        names = {sample[0] for sample in samples}
+        missing = names - set(METRIC_HELP)
+        assert not missing, f"METRIC_HELP lacks entries for {missing}"
+        # The renderer accepts the whole combined set.
+        _parse_exposition(prometheus_text(samples))

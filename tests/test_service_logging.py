@@ -1,0 +1,165 @@
+"""Structured service logging: JSON lines, extras, rate limiting.
+
+All clocks are injected, so the rate-limit windows are driven
+deterministically; ``configure_service_logging`` is exercised against an
+in-memory stream and restored afterwards so no global logging state
+leaks into other tests.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.service.logging import (
+    SERVICE_LOGGER_NAME, JsonLogFormatter, RateLimitFilter,
+    configure_service_logging, record_extras)
+
+
+def _record(msg="hello", args=(), level=logging.INFO, name="repro.service",
+            extra=None, exc_info=None):
+    record = logging.LogRecord(name, level, __file__, 1, msg, args, exc_info)
+    for key, value in (extra or {}).items():
+        setattr(record, key, value)
+    return record
+
+
+class TestJsonLogFormatter:
+    def test_base_fields_and_extras(self):
+        formatter = JsonLogFormatter(clock=lambda: 1234.5)
+        line = formatter.format(_record(
+            "fed %d records", (42,),
+            extra={"trace_id": "abc123", "session": "s"}))
+        payload = json.loads(line)
+        assert payload == {"ts": 1234.5, "level": "INFO",
+                           "logger": "repro.service",
+                           "msg": "fed 42 records",
+                           "trace_id": "abc123", "session": "s"}
+
+    def test_extras_cannot_shadow_reserved_keys(self):
+        # "msg" itself is a standard LogRecord attr (logging refuses it in
+        # extra=); "ts" and "level" are the shadowable reserved keys.
+        formatter = JsonLogFormatter(clock=lambda: 5.0)
+        payload = json.loads(formatter.format(_record(
+            "real", extra={"ts": 999.0, "level": "FORGED"})))
+        assert payload["ts"] == 5.0
+        assert payload["level"] == "INFO"
+
+    def test_non_json_safe_extra_never_throws(self):
+        formatter = JsonLogFormatter(clock=lambda: 0.0)
+        payload = json.loads(formatter.format(_record(
+            "x", extra={"obj": object()})))
+        assert payload["obj"].startswith("<object object")
+
+    def test_exception_info_is_rendered(self):
+        formatter = JsonLogFormatter(clock=lambda: 0.0)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+            line = formatter.format(_record("failed", exc_info=sys.exc_info()))
+        payload = json.loads(line)
+        assert "RuntimeError: boom" in payload["exc"]
+
+    def test_record_extras_excludes_plumbing(self):
+        extras = record_extras(_record("x", extra={"only": 1}))
+        assert extras == {"only": 1}
+
+
+class TestRateLimitFilter:
+    def test_caps_repeats_within_one_window(self):
+        now = [0.0]
+        limiter = RateLimitFilter(limit=3, interval=60.0,
+                                  clock=lambda: now[0])
+        passed = [limiter.filter(_record("same template")) for _ in range(10)]
+        assert passed == [True] * 3 + [False] * 7
+
+    def test_window_rollover_reports_suppressed_count(self):
+        now = [0.0]
+        limiter = RateLimitFilter(limit=1, interval=60.0,
+                                  clock=lambda: now[0])
+        assert limiter.filter(_record("t"))
+        for _ in range(5):
+            assert not limiter.filter(_record("t"))
+        now[0] = 61.0
+        survivor = _record("t")
+        assert limiter.filter(survivor)
+        assert survivor.suppressed == 5
+        # The count was consumed; the next window starts clean.
+        now[0] = 122.0
+        clean = _record("t")
+        assert limiter.filter(clean)
+        assert not hasattr(clean, "suppressed")
+
+    def test_key_is_the_unformatted_template(self):
+        limiter = RateLimitFilter(limit=1, interval=60.0, clock=lambda: 0.0)
+        assert limiter.filter(_record("fed %d", (1,)))
+        # Same template, different args: still the same site.
+        assert not limiter.filter(_record("fed %d", (2,)))
+        # A different site is unaffected.
+        assert limiter.filter(_record("opened %s", ("a",)))
+
+    def test_distinct_levels_are_distinct_sites(self):
+        limiter = RateLimitFilter(limit=1, interval=60.0, clock=lambda: 0.0)
+        assert limiter.filter(_record("t", level=logging.INFO))
+        assert limiter.filter(_record("t", level=logging.WARNING))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="limit"):
+            RateLimitFilter(limit=0)
+        with pytest.raises(ValueError, match="interval"):
+            RateLimitFilter(interval=0.0)
+
+
+@pytest.fixture
+def restore_service_logger():
+    logger = logging.getLogger(SERVICE_LOGGER_NAME)
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    yield logger
+    logger.handlers[:] = saved[0]
+    logger.setLevel(saved[1])
+    logger.propagate = saved[2]
+
+
+class TestConfigureServiceLogging:
+    def test_emits_json_lines_to_the_stream(self, restore_service_logger):
+        stream = io.StringIO()
+        logger = configure_service_logging(stream=stream,
+                                           clock=lambda: 7.0)
+        logger.info("session opened", extra={"session": "s",
+                                             "trace_id": "t1"})
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["msg"] == "session opened"
+        assert payload["trace_id"] == "t1"
+        assert payload["ts"] == 7.0
+        assert not logger.propagate
+
+    def test_reconfigure_replaces_the_handler(self, restore_service_logger):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_service_logging(stream=first)
+        logger = configure_service_logging(stream=second)
+        assert len(logger.handlers) == 1
+        logger.warning("only once")
+        assert first.getvalue() == ""
+        assert "only once" in second.getvalue()
+
+    def test_rate_limit_applies_through_the_handler(
+            self, restore_service_logger):
+        stream = io.StringIO()
+        logger = configure_service_logging(stream=stream, rate_limit=2,
+                                           rate_interval=3600.0)
+        for _ in range(6):
+            logger.info("noisy site")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+
+    def test_plain_format_mode(self, restore_service_logger):
+        stream = io.StringIO()
+        logger = configure_service_logging(stream=stream, json_lines=False)
+        logger.info("plain line")
+        text = stream.getvalue()
+        assert "plain line" in text
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(text.strip())

@@ -1,0 +1,236 @@
+"""Wire-level tracing and health: spans over TCP, /healthz over HTTP.
+
+The acceptance properties for the traced serve path:
+
+* a traced client session produces one causal chain per request —
+  ``client.<op>`` → ``request.<op>`` → decode/encode and (for feeds)
+  ``session.fifo_wait`` / ``session.feed_chunk`` → ``engine.feed`` —
+  retrievable via the ``spans`` op and renderable as Perfetto-loadable
+  Chrome trace JSON;
+* traced sessions stay bit-identical to offline simulation;
+* ``/healthz`` answers 200/ok for a healthy manager and flips to
+  503/degraded under an injected accuracy collapse;
+* malformed client trace context is a protocol error, not a hang-up.
+"""
+
+import functools
+import json
+import socket
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ServiceError
+from repro.obs.health import STATUS_DEGRADED, STATUS_OK, HealthConfig
+from repro.obs.trace_spans import read_chrome_trace, write_chrome_trace
+from repro.service.bench import _ServerThread
+from repro.service.client import ServiceClient
+from repro.service.session import SessionManager
+from repro.sim.engine import channel_warmup_counts
+from repro.sim.runner import simulate
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+LENGTH = 1000
+SEED = 9
+CHUNK = 250
+
+
+@functools.lru_cache(maxsize=None)
+def _config():
+    return SimConfig.experiment_scale()
+
+
+@functools.lru_cache(maxsize=None)
+def _trace():
+    return generate_trace_buffer(get_profile("CFM"), LENGTH, seed=SEED,
+                                 layout=_config().layout)
+
+
+@functools.lru_cache(maxsize=None)
+def _offline_metrics(prefetcher):
+    return simulate(_trace(), prefetcher, workload_name="wire",
+                    config=_config()).metrics
+
+
+def _serve(tmp_path, **manager_kwargs):
+    manager = SessionManager(checkpoint_dir=tmp_path / "ckpt",
+                             default_config=_config(), **manager_kwargs)
+    return manager, _ServerThread(manager, metrics_port=0)
+
+
+@pytest.fixture
+def traced_server(tmp_path):
+    manager, running = _serve(tmp_path, tracing=True)
+    with running:
+        yield running
+    manager.shutdown(checkpoint=False)
+
+
+@pytest.fixture
+def traced_client(traced_server):
+    with ServiceClient.connect(port=traced_server.port,
+                               tracing=True) as connected:
+        yield connected
+
+
+def _run_session(client, name="traced", prefetcher="planaria"):
+    trace = _trace()
+    client.open(name, prefetcher, workload="wire", epoch_records=128,
+                warmup_records=channel_warmup_counts(_trace(), _config()))
+    for start in range(0, len(trace), CHUNK):
+        client.feed(name, trace[start:start + CHUNK])
+    return client.snapshot(name)
+
+
+class TestSpansOverTheWire:
+    def test_traced_session_stays_bit_identical(self, traced_client):
+        snapshot = _run_session(traced_client)
+        assert snapshot.metrics == _offline_metrics("planaria")
+
+    def test_server_spans_form_causal_chains(self, traced_client):
+        _run_session(traced_client)
+        spans, summary = traced_client.server_spans()
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        assert {"request.open", "request.feed", "request.snapshot",
+                "request.decode", "request.encode", "session.feed_chunk",
+                "engine.feed"} <= set(by_name)
+        by_id = {span.span_id: span for span in spans}
+        client_traces = {span.trace_id
+                         for span in traced_client.client_spans()}
+
+        # Every request span joins a trace the client started, and its
+        # parent is the client's span (which lives client-side, so the
+        # id is not in the server's span set).
+        for request in by_name["request.feed"]:
+            assert request.trace_id in client_traces
+            assert request.parent_id is not None
+            assert request.parent_id not in by_id
+        # Decode/encode/feed-chunk spans parent to their request span.
+        # One unresolved parent is expected: the decode span of the
+        # in-flight `spans` request itself — its request span is only
+        # recorded after the response that carried this payload.
+        unresolved = []
+        for name in ("request.decode", "request.encode",
+                     "session.feed_chunk"):
+            for span in by_name[name]:
+                parent = by_id.get(span.parent_id)
+                if parent is None:
+                    unresolved.append(span)
+                    continue
+                assert parent.name.startswith("request.")
+                assert parent.trace_id == span.trace_id
+        assert [span.name for span in unresolved] in \
+            ([], ["request.decode"])
+        # The engine span nests inside the drainer's feed-chunk span on
+        # the same thread (Perfetto nests them by time containment).
+        for engine in by_name["engine.feed"]:
+            chunks = [c for c in by_name["session.feed_chunk"]
+                      if c.tid == engine.tid
+                      and c.start_us <= engine.start_us
+                      and engine.end_us <= c.end_us]
+            assert chunks, "engine.feed outside any session.feed_chunk"
+        assert summary["session.feed_chunk"]["count"] == LENGTH // CHUNK
+
+    def test_spans_export_is_perfetto_loadable(self, traced_client,
+                                               tmp_path):
+        _run_session(traced_client)
+        spans, _ = traced_client.server_spans()
+        path = write_chrome_trace(tmp_path / "trace.json", spans)
+        assert read_chrome_trace(path) == spans
+        document = json.loads(path.read_text())
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_clear_drains_ring_but_keeps_summary(self, traced_client):
+        _run_session(traced_client)
+        _, summary_before = traced_client.server_spans(clear=True)
+        spans_after, summary_after = traced_client.server_spans()
+        # Only the spans of the post-clear request itself remain.
+        assert {span.name for span in spans_after} <= {
+            "request.spans", "request.decode", "request.encode"}
+        assert summary_after["session.feed_chunk"]["count"] == \
+            summary_before["session.feed_chunk"]["count"]
+
+    def test_spans_op_without_tracing_is_an_error(self, tmp_path):
+        manager, running = _serve(tmp_path)  # tracing off
+        with running:
+            with ServiceClient.connect(port=running.port) as client:
+                with pytest.raises(ServiceError, match="--trace"):
+                    client.server_spans()
+                assert client.ping()  # the error did not poison anything
+        manager.shutdown(checkpoint=False)
+
+    @pytest.mark.parametrize("context", [
+        "bogus", {"trace_id": "abc"}, {"trace_id": 7, "span_id": "ok"}])
+    def test_malformed_trace_context_is_a_protocol_error(
+            self, traced_server, context):
+        # An untraced client, so the forged header survives untouched.
+        with ServiceClient.connect(port=traced_server.port) as client:
+            with pytest.raises(ServiceError, match="trace"):
+                client._request({"op": "ping", "trace": context})
+            assert client.ping()  # connection survives
+
+    def test_stats_reports_tracing(self, traced_client):
+        stats = traced_client.stats()["stats"]
+        assert stats["tracing"] is True
+        assert "spans_recorded" in stats
+
+
+class TestHealthz:
+    def test_healthy_manager_answers_ok(self, traced_server, traced_client):
+        _run_session(traced_client)
+        report = traced_client.health()
+        assert report.ok and report.sessions == {"traced": STATUS_OK}
+
+        status, body = _http_get(traced_server.metrics_port, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == STATUS_OK
+        assert {v["detector"] for v in payload["verdicts"]} == {
+            "accuracy_collapse", "throttle_oscillation",
+            "backpressure_stall", "session_starvation"}
+
+    def test_injected_accuracy_collapse_flips_healthz(self, tmp_path):
+        # Threshold 1.0 with a tiny fill floor: any real planaria run has
+        # accuracy < 1.0 over its closed epochs, so the detector trips —
+        # a deterministic stand-in for a collapsed prefetcher.
+        manager, running = _serve(
+            tmp_path, tracing=True,
+            health_config=HealthConfig(accuracy_threshold=1.0,
+                                       accuracy_min_fills=1))
+        with running:
+            with ServiceClient.connect(port=running.port) as client:
+                _run_session(client)
+                report = client.health()
+                assert not report.ok
+                assert report.sessions == {"traced": STATUS_DEGRADED}
+                accuracy = next(v for v in report.verdicts
+                                if v.detector == "accuracy_collapse")
+                assert not accuracy.ok
+                assert "traced" in accuracy.detail
+
+                status, body = _http_get(running.metrics_port, "/healthz")
+                assert status == 503
+                assert json.loads(body)["status"] == STATUS_DEGRADED
+
+                # Degraded health also lands in /metrics as gauges.
+                _, metrics_body = _http_get(running.metrics_port,
+                                            "/metrics")
+                assert "planaria_health_ok 0" in metrics_body
+                assert ('planaria_health_detector_ok'
+                        '{detector="accuracy_collapse"} 0'
+                        in metrics_body)
+        manager.shutdown(checkpoint=False)
+
+
+def _http_get(port, path):
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        response = b""
+        while chunk := sock.recv(4096):
+            response += chunk
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = int(head.split(None, 2)[1])
+    return status, body.decode()
