@@ -3,14 +3,20 @@
 Measures end-to-end simulation throughput (trace records simulated per
 wall-clock second) through three execution modes —
 
-* the columnar fast loop, serial (the default path),
+* the columnar fast loop, serial (scalar engine),
 * the columnar fast loop under channel-grain parallelism (``"auto"``),
 * the legacy per-record-object loop (``columnar=False``),
+* the batch engine's fused array loops (``engine_mode="batch"`` — the
+  production default, since ``"auto"`` resolves to it for LRU configs),
 
-— per workload and prefetcher, asserts all three produce bit-identical
+— per workload and prefetcher, asserts all four produce bit-identical
 ``RunMetrics`` (performance work must never change results), and writes
-the numbers to ``BENCH_throughput.json`` at the repo root.  The committed
-JSON is the performance baseline future changes are compared against:
+the numbers to ``BENCH_throughput.json`` at the repo root.  The batch
+numbers land in a dedicated ``batched`` section scaled against the
+*committed* scalar columnar baseline this PR started from, so the file
+documents the batch engine's speedup even after the baseline keys are
+regenerated on a different machine.  The committed JSON is the
+performance baseline future changes are compared against:
 
     PYTHONPATH=src python -m pytest benchmarks/test_throughput.py -s
 
@@ -24,6 +30,8 @@ import platform
 import time
 from dataclasses import asdict
 from pathlib import Path
+
+import numpy
 
 from repro.config import SimConfig
 from repro.prefetch.registry import make_prefetcher
@@ -48,23 +56,34 @@ ROUNDS = 3
 #: shared), so comparing against it alone would understate the change.
 PRE_PR_REFERENCE_RPS = {"none": 46_815, "planaria": 33_172}
 
+#: Scalar columnar fast-loop throughput from the committed baseline JSON
+#: at the commit immediately before the batch engine landed (same
+#: machine/workload/settings as above).  The ``batched`` section reports
+#: speedups against these fixed numbers, so the batch engine's scaling
+#: stays documented even as the live keys get re-measured.
+BATCH_BASELINE_RPS = {"none": 160_456, "planaria": 60_634}
 
-def _simulate(buffer, prefetcher_name, columnar, parallelism="serial"):
+
+def _simulate(buffer, prefetcher_name, columnar, parallelism="serial",
+              engine_mode="scalar"):
     config = SimConfig.experiment_scale()
     simulator = SystemSimulator(
         config, lambda layout, channel: make_prefetcher(prefetcher_name,
-                                                        layout, channel))
+                                                        layout, channel),
+        engine_mode=engine_mode)
     simulator.run(buffer, parallelism=parallelism, columnar=columnar)
     return asdict(_collect(simulator, "throughput", prefetcher_name))
 
 
-def _best_rps(buffer, prefetcher_name, columnar, parallelism="serial"):
+def _best_rps(buffer, prefetcher_name, columnar, parallelism="serial",
+              engine_mode="scalar"):
     """(records/sec of the fastest round, metrics of the last round)."""
     best = None
     metrics = None
     for _ in range(ROUNDS):
         start = time.perf_counter()
-        metrics = _simulate(buffer, prefetcher_name, columnar, parallelism)
+        metrics = _simulate(buffer, prefetcher_name, columnar, parallelism,
+                            engine_mode)
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
@@ -79,9 +98,18 @@ def test_throughput_baseline():
         "seed": SEED,
         "rounds_per_mode": ROUNDS,
         "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "engine_modes": {
+            "columnar_serial": "scalar",
+            "columnar_parallel": "scalar",
+            "object_loop": "scalar",
+            "batched": "batch",
+        },
         "workloads": {},
     }
     print()
+    batched_rps = {}
     for app in APPS:
         buffer = generate_trace_buffer(get_profile(app), LENGTH, seed=SEED,
                                        layout=config.layout)
@@ -94,21 +122,48 @@ def test_throughput_baseline():
                                                        parallelism="auto")
             object_rps, object_metrics = _best_rps(buffer, name,
                                                    columnar=False)
-            # The contract before the numbers: all three modes must agree
+            batch_rps, batch_metrics = _best_rps(buffer, name,
+                                                 columnar=True,
+                                                 engine_mode="batch")
+            # The contract before the numbers: all four modes must agree
             # on every RunMetrics field, bit for bit.
             assert serial_metrics == object_metrics, name
             assert parallel_metrics == object_metrics, name
+            assert batch_metrics == object_metrics, name
             per_app[name] = {
                 "columnar_serial_rps": round(serial_rps),
                 "columnar_parallel_rps": round(parallel_rps),
                 "object_loop_rps": round(object_rps),
+                "batched_rps": round(batch_rps),
                 "columnar_vs_object_speedup": round(serial_rps / object_rps,
                                                     2),
+                "batched_vs_columnar_speedup": round(batch_rps / serial_rps,
+                                                     2),
             }
-            print(f"  {app}/{name}: columnar {serial_rps:,.0f} rec/s "
+            if app == "CFM":
+                batched_rps[name] = batch_rps
+            print(f"  {app}/{name}: batched {batch_rps:,.0f} rec/s, "
+                  f"columnar {serial_rps:,.0f} rec/s "
                   f"(parallel {parallel_rps:,.0f}), object loop "
                   f"{object_rps:,.0f} rec/s")
         report["workloads"][app] = per_app
+
+    if batched_rps:
+        report["batched"] = {
+            "description": (
+                "fused array-state loops (engine_mode='batch', the "
+                "resolution of the default 'auto' for LRU configs) vs the "
+                "committed scalar columnar baseline at the commit before "
+                "the batch engine landed (CFM, 60k records, seed 7)"),
+            "committed_baseline_rps": BATCH_BASELINE_RPS,
+            "batched_rps": {name: round(rps)
+                            for name, rps in batched_rps.items()},
+            "batched_speedup_vs_committed_baseline": {
+                name: round(rps / BATCH_BASELINE_RPS[name], 2)
+                for name, rps in batched_rps.items()
+                if name in BATCH_BASELINE_RPS
+            },
+        }
 
     if "CFM" in report["workloads"]:
         cfm = report["workloads"]["CFM"]

@@ -55,19 +55,46 @@ class PlanariaPrefetcher(Prefetcher):
 
     # ------------------------------------------------------------------
     def observe(self, access: DemandAccess) -> None:
-        mode = self.config.coordinator
-        if mode == "serial":
+        page = access.page
+        offset = access.block_in_segment
+        now = access.time
+        if self.config.coordinator == "serial":
             # Monolithic serial coordination: only the sub-prefetcher that
             # would issue for this page gets to learn from the access.
-            if self.slp.has_pattern(access.page):
-                self.slp.observe(access)
+            if self.slp.has_pattern(page):
+                self.slp.observe_fields(page, offset, now)
             else:
-                self.slp.observe(access)  # SLP must still build patterns...
-                self.tlp.observe(access)  # ...but TLP sees only SLP's gaps.
+                # SLP must still build patterns, but TLP sees only SLP's
+                # gaps.
+                self.slp.observe_fields(page, offset, now)
+                self.tlp.observe_fields(page, offset, now)
             return
         # "decoupled" and "parallel" both train everything on everything.
-        self.slp.observe(access)
-        self.tlp.observe(access)
+        self.slp.observe_fields(page, offset, now)
+        self.tlp.observe_fields(page, offset, now)
+
+    # ------------------------------------------------------------------
+    # Batch-engine contract
+    # ------------------------------------------------------------------
+    def hit_trigger_noop(self) -> bool:
+        # On a hit both sub-issuers return [] before touching state, so
+        # the only effect of a hit trigger — in every coordinator mode —
+        # is one coord_neither increment, applied via skip_hit_triggers.
+        return (self.slp.hit_trigger_noop() and self.tlp.hit_trigger_noop())
+
+    def skip_hit_triggers(self, count: int) -> None:
+        self.coord_neither += count
+
+    def supports_observe_run(self) -> bool:
+        # The serial coordinator branches per access on has_pattern(),
+        # which SLP expiry can flip mid-run — no sound batched form.
+        return (self.config.coordinator != "serial"
+                and self.slp.supports_observe_run()
+                and self.tlp.supports_observe_run())
+
+    def observe_run(self, page: int, offsets, times) -> None:
+        self.slp.observe_run(page, offsets, times)
+        self.tlp.observe_run(page, offsets, times)
 
     def issue(self, access: DemandAccess, was_hit: bool,
               prefetched_hit: bool = False) -> List[PrefetchCandidate]:

@@ -52,14 +52,53 @@ class TLPPrefetcher(Prefetcher):
     # Learning phase
     # ------------------------------------------------------------------
     def observe(self, access: DemandAccess) -> None:
-        page = access.page
+        self.observe_fields(access.page, access.block_in_segment, access.time)
+
+    def observe_fields(self, page: int, offset: int, now: int) -> None:
+        """:meth:`observe` taking the consumed fields directly (``now`` is
+        accepted for signature uniformity with SLP; TLP never reads the
+        clock).  The batch engine's run folding calls this to avoid
+        materialising a :class:`RunAccess` per run."""
         entry = self._rpt.get(page)
         self.activity.table_reads += 1
         if entry is None:
             entry = self._allocate(page)
-        entry.bitmap |= 1 << access.block_in_segment
+        entry.bitmap |= 1 << offset
         self._rpt.move_to_end(page)
         self.activity.table_writes += 1
+
+    # ------------------------------------------------------------------
+    # Batch-engine contract
+    # ------------------------------------------------------------------
+    def hit_trigger_noop(self) -> bool:
+        # issue() returns before any table/counter touch on hits when
+        # issuing is miss-only.
+        return self.config.issue_on_miss_only
+
+    def supports_observe_run(self) -> bool:
+        # observe() never reads the clock, so run folding is exact
+        # unconditionally; tracer gating kept for uniformity (observe
+        # emits no events today).
+        return not self.tracer.enabled
+
+    def observe_run(self, page: int, offsets, times) -> None:
+        """Fold a run of same-page accesses, bit-identically to observe().
+
+        The first access allocates/refreshes the RPT entry through
+        :meth:`observe`; every later access of the run would hit the same
+        entry (already at the LRU tail), so the remainder collapses to one
+        bitmap OR plus the per-access activity counts.
+        """
+        self.observe_fields(page, offsets[0], times[0])
+        count = len(offsets)
+        if count == 1:
+            return
+        bits = 0
+        for offset in offsets[1:]:
+            bits |= 1 << offset
+        self._rpt[page].bitmap |= bits
+        self.activity.table_reads += count - 1
+        self.activity.table_writes += count - 1
 
     def _allocate(self, page: int) -> _RPTEntry:
         """Allocate an RPT entry, computing its Ref bits against residents."""
@@ -96,6 +135,13 @@ class TLPPrefetcher(Prefetcher):
         entry = self._rpt.get(page)
         if entry is None:
             return None
+        return self._best_neighbour(entry)[0]
+
+    def _best_neighbour(self, entry: _RPTEntry):
+        """(page, entry) of the winning donor for a resident trigger entry
+        (``(None, None)`` when no neighbour qualifies) — the loop behind
+        :meth:`best_neighbour`, shared with :meth:`issue` so the hot
+        issuing path skips the redundant RPT lookups."""
         config = self.config
         min_common = config.min_common_bits
         max_foreign = config.max_foreign_bits
@@ -103,6 +149,7 @@ class TLPPrefetcher(Prefetcher):
         rpt_get = self._rpt.get
         bitmap = entry.bitmap
         best_page = None
+        best_entry = None
         best_difference = None
         for neighbour_page in entry.refs:
             neighbour = rpt_get(neighbour_page)
@@ -128,7 +175,8 @@ class TLPPrefetcher(Prefetcher):
             if best_difference is None or difference < best_difference:
                 best_difference = difference
                 best_page = neighbour_page
-        return best_page
+                best_entry = neighbour
+        return best_page, best_entry
 
     def issue(self, access: DemandAccess, was_hit: bool,
               prefetched_hit: bool = False) -> List[PrefetchCandidate]:
@@ -139,10 +187,9 @@ class TLPPrefetcher(Prefetcher):
         self.activity.table_reads += 1
         if entry is None:
             return []
-        neighbour_page = self.best_neighbour(page)
+        neighbour_page, neighbour = self._best_neighbour(entry)
         if neighbour_page is None:
             return []
-        neighbour = self._rpt[neighbour_page]
         own = entry.bitmap | (1 << access.block_in_segment)
         remaining = neighbour.bitmap & ~own
         if remaining:

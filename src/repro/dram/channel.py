@@ -11,7 +11,6 @@ currently open row — see :meth:`service`.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Deque, List
 
@@ -44,7 +43,10 @@ class DRAMChannel:
         self._last_time = 0
         self._last_cas_time = 0
         # Completion times of in-flight requests (controller queue slots).
-        self._outstanding: List[int] = []
+        # Ascending by construction: each new data_end starts at or after
+        # the previous one's bus release, so a deque's popleft is the
+        # oldest completion — no heap needed.
+        self._outstanding: Deque[int] = deque()
         self.stats_queue_stalls = 0
         # Hoisted per-request constants — service() runs once per DRAM
         # transaction (tens of thousands per channel per run), so derived
@@ -141,9 +143,9 @@ class DRAMChannel:
         # flight, a new arrival stalls until the oldest completes.
         outstanding = self._outstanding
         while outstanding and outstanding[0] <= now:
-            heapq.heappop(outstanding)
+            outstanding.popleft()
         if len(outstanding) >= self._queue_depth:
-            now = heapq.heappop(outstanding)
+            now = outstanding.popleft()
             self.stats_queue_stalls += 1
 
         # Inline address decode (see AddressMapping.decode).
@@ -215,7 +217,7 @@ class DRAMChannel:
         if is_write:
             self._last_write_end = data_end + self._tWR
 
-        heapq.heappush(outstanding, data_end)
+        outstanding.append(data_end)
 
         latency = data_end - arrival_time
         if kind is RequestKind.DEMAND_READ:
@@ -266,7 +268,7 @@ class DRAMChannel:
             "next_refresh": self._next_refresh,
             "last_time": self._last_time,
             "last_cas_time": self._last_cas_time,
-            # A heap-ordered list copies as a heap-ordered list.
+            # Ascending completion times; snapshots as a plain list.
             "outstanding": list(self._outstanding),
             "queue_stalls": self.stats_queue_stalls,
         }
@@ -288,7 +290,9 @@ class DRAMChannel:
         self._next_refresh = state["next_refresh"]
         self._last_time = state["last_time"]
         self._last_cas_time = state["last_cas_time"]
-        self._outstanding = list(state["outstanding"])
+        # Older checkpoints stored this list in heap order; sorting is the
+        # identity on the ascending order service_scalar now maintains.
+        self._outstanding = deque(sorted(state["outstanding"]))
         self.stats_queue_stalls = state["queue_stalls"]
 
     def finish(self, end_time: int) -> None:

@@ -49,16 +49,51 @@ class DemandAccess:
     device: DeviceID
 
 
-@dataclass(frozen=True)
+class RunAccess:
+    """Minimal access view handed to :meth:`Prefetcher.observe_run` loops.
+
+    Carries only the fields a run-batchable prefetcher's learning phase
+    reads (page, segment offset, time).  Prefetchers that consume other
+    ``DemandAccess`` fields must not declare ``supports_observe_run``.
+    """
+
+    __slots__ = ("page", "block_in_segment", "time")
+
+    def __init__(self, page: int, block_in_segment: int, time: int) -> None:
+        self.page = page
+        self.block_in_segment = block_in_segment
+        self.time = time
+
+
 class PrefetchCandidate:
-    """One block a prefetcher wants brought into the SC."""
+    """One block a prefetcher wants brought into the SC.
 
-    block_addr: int
-    source: str
+    A ``__slots__`` value class rather than a frozen dataclass: candidate
+    construction sits on the hot issuing path (tens of thousands per run)
+    and the ``object.__setattr__``-based frozen-dataclass ``__init__`` is
+    several times slower.  Value semantics (eq/hash/repr) are preserved;
+    treat instances as immutable.
+    """
 
-    def __post_init__(self) -> None:
-        if self.block_addr < 0:
-            raise ValueError(f"negative block address {self.block_addr}")
+    __slots__ = ("block_addr", "source")
+
+    def __init__(self, block_addr: int, source: str) -> None:
+        if block_addr < 0:
+            raise ValueError(f"negative block address {block_addr}")
+        self.block_addr = block_addr
+        self.source = source
+
+    def __eq__(self, other: object) -> bool:
+        return (type(other) is PrefetchCandidate
+                and self.block_addr == other.block_addr
+                and self.source == other.source)
+
+    def __hash__(self) -> int:
+        return hash((self.block_addr, self.source))
+
+    def __repr__(self) -> str:
+        return (f"PrefetchCandidate(block_addr={self.block_addr!r}, "
+                f"source={self.source!r})")
 
 
 @dataclass
@@ -97,6 +132,13 @@ class Prefetcher(abc.ABC):
         self.channel = channel
         self.activity = PrefetcherActivityCounters()
         self.issued_candidates = 0
+        # Precomputed pieces of layout.compose(page, channel, offset) >>
+        # block_bits, so :meth:`_candidate` builds a block address with two
+        # shifts and two ORs instead of three nested calls (hot issuing
+        # path).  Inputs are trusted there: pages come from table keys and
+        # offsets from 16-bit bitmap positions, both validated on entry.
+        self._page_shift = layout.page_bits - layout.block_bits
+        self._channel_bits = channel << layout.segment_bits
         #: Event tracer (repro.obs).  The shared no-op singleton by
         #: default; emission sites guard with ``tracer.enabled`` so a
         #: disabled trace point costs one attribute load and one branch
@@ -134,7 +176,7 @@ class Prefetcher(abc.ABC):
     #: plus the tracer: event-ring state is checkpointed by the owning
     #: TimelineCollector, and excluding it here keeps the tracer object
     #: aliased with that collector across load_state.
-    _STATE_EXCLUDE = ("layout", "tracer")
+    _STATE_EXCLUDE = ("layout", "tracer", "_page_shift", "_channel_bits")
 
     def state_dict(self) -> dict:
         """Deep snapshot of all mutable prefetcher state.
@@ -162,6 +204,45 @@ class Prefetcher(abc.ABC):
         self.__dict__.update(copy.deepcopy(state))
 
     # ------------------------------------------------------------------
+    # Batch-engine contract (see repro.sim.batch)
+    # ------------------------------------------------------------------
+    def hit_trigger_noop(self) -> bool:
+        """True when ``issue(access, was_hit=True, ...)`` cannot change any
+        state or produce candidates, so the batch engine may skip the call
+        on cache hits entirely (compensating counters via
+        :meth:`skip_hit_triggers`).  Conservative default: False.
+        """
+        return False
+
+    def skip_hit_triggers(self, count: int) -> None:
+        """Account for ``count`` hit-triggered ``issue`` calls the batch
+        engine skipped under :meth:`hit_trigger_noop`.  Prefetchers whose
+        hit-path ``issue`` increments a counter (e.g. Planaria's
+        ``coord_neither``) override this to apply the increment in bulk;
+        the default hit path touches nothing, so this is a no-op.
+        """
+
+    def supports_observe_run(self) -> bool:
+        """True when :meth:`observe_run` folds a run of consecutive
+        same-page accesses bit-identically to per-access ``observe`` calls
+        *in the current configuration* (implementations must return False
+        while their event tracer is enabled — batched folding would
+        re-stamp event times).  Conservative default: False.
+        """
+        return False
+
+    def observe_run(self, page: int, offsets: List[int],
+                    times: List[int]) -> None:
+        """Learning phase over a run of same-page accesses (batched).
+
+        ``offsets[k]``/``times[k]`` describe the k-th access of the run;
+        times are non-decreasing.  Only called when
+        :meth:`supports_observe_run` returned True for this chunk.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support observe_run")
+
+    # ------------------------------------------------------------------
     # Optional engine feedback (see repro.prefetch.throttle)
     # ------------------------------------------------------------------
     def notify_useful(self) -> None:
@@ -185,8 +266,11 @@ class Prefetcher(abc.ABC):
         return self.compose_block_addr(page, offset)
 
     def _candidate(self, page: int, block_in_segment: int) -> PrefetchCandidate:
+        # (page << page_shift) | channel_bits | offset ==
+        # compose_block_addr(page, block_in_segment); see __init__.
         self.issued_candidates += 1
         return PrefetchCandidate(
-            block_addr=self.compose_block_addr(page, block_in_segment),
-            source=self.name,
+            (page << self._page_shift) | self._channel_bits
+            | block_in_segment,
+            self.name,
         )

@@ -105,6 +105,24 @@ class AccuracyThrottle(Prefetcher):
         self._last_time = access.time
         self.inner.observe(access)
 
+    # ------------------------------------------------------------------
+    # Batch-engine contract (delegation)
+    # ------------------------------------------------------------------
+    def hit_trigger_noop(self) -> bool:
+        # A hit-noop inner issue returns [] before the suspension branch,
+        # so the wrapper's hit path touches nothing either.
+        return self.inner.hit_trigger_noop()
+
+    def skip_hit_triggers(self, count: int) -> None:
+        self.inner.skip_hit_triggers(count)
+
+    def supports_observe_run(self) -> bool:
+        return not self.tracer.enabled and self.inner.supports_observe_run()
+
+    def observe_run(self, page: int, offsets, times) -> None:
+        self._last_time = times[-1]
+        self.inner.observe_run(page, offsets, times)
+
     def issue(self, access: DemandAccess, was_hit: bool,
               prefetched_hit: bool = False) -> List[PrefetchCandidate]:
         candidates = self.inner.issue(access, was_hit, prefetched_hit)

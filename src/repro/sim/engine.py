@@ -57,19 +57,49 @@ class _FastDemandAccess:
 
 
 class ChannelSimulator:
-    """SC slice + DRAM channel + prefetcher for one channel."""
+    """SC slice + DRAM channel + prefetcher for one channel.
+
+    ``engine_mode`` selects the execution backend:
+
+    * ``"scalar"`` — the per-record loops over :class:`SetAssociativeCache`
+      (the always-available oracle; supports every replacement policy).
+    * ``"batch"`` — the vectorized chunk engine (:mod:`repro.sim.batch`)
+      over :class:`~repro.cache.array_state.ArrayCache`; bit-identical to
+      scalar (``tests/test_batch_oracle.py``) but LRU-only.
+    * ``"auto"`` (default) — ``"batch"`` when the configured replacement
+      policy is LRU, ``"scalar"`` otherwise.
+
+    ``step()`` and object-record ``run()`` always use the scalar per-record
+    path regardless of mode (:class:`~repro.cache.array_state.ArrayCache`
+    implements the full scalar cache API); the mode only changes which
+    loop :meth:`run_buffer` drives.
+    """
 
     def __init__(self, channel: int, config: SimConfig,
-                 prefetcher: Prefetcher) -> None:
+                 prefetcher: Prefetcher,
+                 engine_mode: str = "auto") -> None:
         if prefetcher.channel != channel:
             raise SimulationError(
                 f"prefetcher built for channel {prefetcher.channel}, "
                 f"simulator is channel {channel}"
             )
+        if engine_mode not in ("auto", "scalar", "batch"):
+            raise SimulationError(
+                f"unknown engine_mode {engine_mode!r}; "
+                "expected 'auto', 'scalar' or 'batch'")
+        if engine_mode == "auto":
+            engine_mode = ("batch"
+                           if config.cache.replacement_policy == "lru"
+                           else "scalar")
+        self.engine_mode = engine_mode
         self.channel = channel
         self.config = config
         self.layout = config.layout
-        self.cache = SetAssociativeCache(config.cache)
+        if engine_mode == "batch":
+            from repro.cache.array_state import ArrayCache
+            self.cache = ArrayCache(config.cache)
+        else:
+            self.cache = SetAssociativeCache(config.cache)
         self.dram = DRAMChannel(config.dram, block_size=config.cache.block_size)
         self.prefetcher = prefetcher
         self.queue = PrefetchQueue(config.queue)
@@ -258,6 +288,13 @@ class ChannelSimulator:
         if self.obs is not None:
             self._run_observed(buffer, warmup_records)
             return
+        if self.engine_mode == "batch":
+            from repro.sim.batch import run_buffer_batch
+            if run_buffer_batch(self, buffer, warmup_records=warmup_records):
+                return
+            # Declined chunk (e.g. passive run over live prefetched blocks
+            # from a restored checkpoint): fall through to the scalar loop
+            # below — ArrayCache is API-compatible with the scalar cache.
         self.set_warmup(warmup_records, records_seen_hint=self._records_seen)
         addresses, access_types, device_values, arrival_times = (
             buffer.columns_as_lists())
@@ -484,16 +521,21 @@ def channel_warmup_counts(records: TraceLike, config: SimConfig) -> List[int]:
 class SystemSimulator:
     """All four channels: splits the bus trace and merges results."""
 
-    def __init__(self, config: SimConfig, prefetcher_factory) -> None:
+    def __init__(self, config: SimConfig, prefetcher_factory,
+                 engine_mode: str = "auto") -> None:
         """Args:
             prefetcher_factory: callable ``(layout, channel) -> Prefetcher``.
+            engine_mode: execution backend for every channel — ``"scalar"``,
+                ``"batch"`` or ``"auto"`` (see :class:`ChannelSimulator`).
         """
         self.config = config
         self.channels: List[ChannelSimulator] = [
             ChannelSimulator(channel, config,
-                             prefetcher_factory(config.layout, channel))
+                             prefetcher_factory(config.layout, channel),
+                             engine_mode=engine_mode)
             for channel in range(config.layout.num_channels)
         ]
+        self.engine_mode = self.channels[0].engine_mode if self.channels else engine_mode
         #: Request-tracing hook (a SpanRecorder, see repro.obs.trace_spans)
         #: or None.  Checked once per run()/feed() call — per chunk, never
         #: per record — so disabled tracing costs one attribute load and

@@ -37,7 +37,8 @@ class RunResult:
 def simulate(records: TraceLike, prefetcher_name: str,
              workload_name: str = "custom",
              config: Optional[SimConfig] = None,
-             parallelism: Parallelism = "serial") -> RunResult:
+             parallelism: Parallelism = "serial",
+             engine_mode: str = "auto") -> RunResult:
     """Run one prefetcher over an explicit trace.
 
     ``records`` may be a columnar :class:`~repro.trace.buffer.TraceBuffer`
@@ -47,12 +48,16 @@ def simulate(records: TraceLike, prefetcher_name: str,
     bundled synthetic trace lengths (see DESIGN.md §2); pass
     ``SimConfig.paper_scale()`` when driving full-length traces.
     ``parallelism`` selects channel-grain execution (bit-identical to
-    serial; see docs/parallelism.md).
+    serial; see docs/parallelism.md).  ``engine_mode`` selects the
+    execution backend (``"scalar"``, ``"batch"`` or ``"auto"``; see
+    :class:`~repro.sim.engine.ChannelSimulator`) — results are
+    bit-identical across backends (``tests/test_batch_oracle.py``).
     """
     config = config or SimConfig.experiment_scale()
     simulator = SystemSimulator(
         config, lambda layout, channel: make_prefetcher(prefetcher_name,
-                                                        layout, channel)
+                                                        layout, channel),
+        engine_mode=engine_mode,
     )
     simulator.run(records, parallelism=parallelism)
     metrics = _collect(simulator, workload_name, prefetcher_name)

@@ -1,0 +1,282 @@
+"""Differential oracle: the batch engine versus the scalar loops.
+
+The batch engine (``repro.sim.batch``) re-implements the demand and
+prefetcher paths as fused loops over array state, and its one correctness
+contract is *bit-identity*: after consuming the same records through any
+chunking, a batch-mode simulator must be indistinguishable from a
+scalar-mode one — not just in ``RunMetrics``, but in every field of every
+component snapshot (cache blocks and LRU ticks, DRAM bank timing and
+latency aggregates, queue contents and drop counters, prefetcher tables
+in dict order, metric Welford accumulators down to the last float bit,
+observability timelines).
+
+:func:`assert_equivalent` is that comparison, packaged for reuse — the
+property suite (``tests/test_batch_properties.py``) drives the same
+helper with adversarial traces.  The comparator is intentionally paranoid:
+it recurses into ``__dict__``/``__slots__`` of unknown objects, checks
+dict *key order* (checkpoint schemas expose it), and compares floats by
+``repr`` so a single ULP of drift fails loudly.
+"""
+
+from dataclasses import asdict
+from collections import deque
+
+import pytest
+
+from repro.config import SimConfig
+from repro.obs import attach_observability
+from repro.prefetch.registry import PREFETCHER_FACTORIES, make_prefetcher
+from repro.sim.engine import SystemSimulator, channel_warmup_counts
+from repro.sim.runner import _collect
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+ALL_PREFETCHERS = sorted(PREFETCHER_FACTORIES)
+WORKLOADS = ("CFM", "Fort")
+LENGTH = 2_500
+SEED = 13
+
+
+# ----------------------------------------------------------------------
+# Deep bit-exact comparison
+# ----------------------------------------------------------------------
+def _state_of(obj):
+    """Attribute dict of an arbitrary object (``__dict__`` or slots)."""
+    if hasattr(obj, "__dict__"):
+        return dict(obj.__dict__)
+    out = {}
+    for klass in type(obj).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if hasattr(obj, slot):
+                out[slot] = getattr(obj, slot)
+    return out
+
+
+def deep_diff(a, b, path="", out=None, limit=10):
+    """Collect human-readable paths where two state trees differ.
+
+    Stricter than ``==``: dict key *order* must match (snapshot schemas
+    expose insertion order), floats must agree by ``repr`` (so ``-0.0``
+    vs ``0.0`` or one ULP of Welford drift is a difference), and unknown
+    objects are recursed via their attribute dicts rather than relying on
+    a possibly-sloppy ``__eq__``.
+    """
+    if out is None:
+        out = []
+    if len(out) >= limit:
+        return out
+    if type(a) is not type(b):
+        out.append(f"{path}: type {type(a).__name__} vs {type(b).__name__}")
+        return out
+    if isinstance(a, dict):
+        if list(a.keys()) != list(b.keys()):
+            out.append(f"{path}: dict keys/order differ: "
+                       f"{list(a)[:6]!r} vs {list(b)[:6]!r}")
+            return out
+        for key in a:
+            deep_diff(a[key], b[key], f"{path}.{key}", out, limit)
+        return out
+    if isinstance(a, (list, tuple, deque)):
+        if len(a) != len(b):
+            out.append(f"{path}: len {len(a)} vs {len(b)}")
+            return out
+        for index, (item_a, item_b) in enumerate(zip(a, b)):
+            deep_diff(item_a, item_b, f"{path}[{index}]", out, limit)
+        return out
+    if isinstance(a, (set, frozenset)):
+        if a != b:
+            out.append(f"{path}: set diff {a ^ b}")
+        return out
+    if isinstance(a, float):
+        if repr(a) != repr(b):
+            out.append(f"{path}: {a!r} vs {b!r}")
+        return out
+    if isinstance(a, (int, str, bytes, bool, type(None))):
+        if a != b:
+            out.append(f"{path}: {a!r} vs {b!r}")
+        return out
+    deep_diff(_state_of(a), _state_of(b), f"{path}<{type(a).__name__}>",
+              out, limit)
+    return out
+
+
+# ----------------------------------------------------------------------
+# The oracle harness
+# ----------------------------------------------------------------------
+def _drive(config, buffer, cuts, engine_mode, prefetcher, obs_epoch_records):
+    simulator = SystemSimulator(
+        config,
+        lambda layout, channel: make_prefetcher(prefetcher, layout, channel),
+        engine_mode=engine_mode,
+    )
+    collectors = None
+    if obs_epoch_records is not None:
+        collectors = attach_observability(simulator,
+                                          epoch_records=obs_epoch_records)
+    if cuts:
+        simulator.set_stream_warmup(channel_warmup_counts(buffer, config))
+        previous = 0
+        for cut in list(cuts) + [len(buffer)]:
+            simulator.feed(buffer[previous:cut])
+            previous = cut
+    else:
+        simulator.run(buffer)
+    return simulator, collectors
+
+
+def assert_equivalent(config, buffer, cuts=(), prefetcher="none",
+                      obs_epoch_records=None):
+    """Run ``buffer`` through scalar and batch engines; fail on ANY drift.
+
+    Args:
+        config: the :class:`SimConfig` both simulators are built from.
+        buffer: a :class:`TraceBuffer` of the full trace.
+        cuts: sorted stream positions where the trace is split into
+            ``feed()`` chunks (empty = one ``run()`` call).  Cuts land at
+            arbitrary points: mid page-run, inside warmup, wherever.
+        prefetcher: registered prefetcher name.
+        obs_epoch_records: when set, attach observability with this epoch
+            size to both simulators and compare timelines too.
+
+    Returns the batch simulator's ``RunMetrics`` dict (handy for callers
+    asserting workload-level facts on top of equivalence).
+    """
+    scalar_sim, scalar_obs = _drive(config, buffer, cuts, "scalar",
+                                    prefetcher, obs_epoch_records)
+    batch_sim, batch_obs = _drive(config, buffer, cuts, "batch",
+                                  prefetcher, obs_epoch_records)
+
+    scalar_metrics = asdict(_collect(scalar_sim, "oracle", prefetcher))
+    batch_metrics = asdict(_collect(batch_sim, "oracle", prefetcher))
+    diffs = deep_diff(scalar_metrics, batch_metrics, path="RunMetrics")
+
+    for index, (scalar_ch, batch_ch) in enumerate(
+            zip(scalar_sim.channels, batch_sim.channels)):
+        deep_diff(scalar_ch.state_dict(), batch_ch.state_dict(),
+                  path=f"channel[{index}]", out=diffs)
+
+    if obs_epoch_records is not None:
+        for index, (scalar_col, batch_col) in enumerate(
+                zip(scalar_obs.collectors, batch_obs.collectors)):
+            deep_diff([asdict(epoch) for epoch in scalar_col.epochs],
+                      [asdict(epoch) for epoch in batch_col.epochs],
+                      path=f"obs[{index}].epochs", out=diffs)
+
+    assert not diffs, ("batch engine diverged from scalar oracle "
+                       f"({prefetcher}):\n  " + "\n  ".join(diffs))
+    return batch_metrics
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def config():
+    return SimConfig.experiment_scale()
+
+
+@pytest.fixture(scope="module")
+def buffers(config):
+    return {
+        workload: generate_trace_buffer(get_profile(workload), LENGTH,
+                                        seed=SEED, layout=config.layout)
+        for workload in WORKLOADS
+    }
+
+
+# ----------------------------------------------------------------------
+# The matrix the tentpole promises: every prefetcher, both workload
+# generators, obs on/off, chunked and unchunked.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("prefetcher", ALL_PREFETCHERS)
+def test_batch_matches_scalar_full_run(config, buffers, prefetcher,
+                                       workload):
+    assert_equivalent(config, buffers[workload], prefetcher=prefetcher)
+
+
+@pytest.mark.parametrize("prefetcher", ALL_PREFETCHERS)
+def test_batch_matches_scalar_with_observability(config, buffers,
+                                                 prefetcher):
+    """Epoch slicing cuts chunks at every epoch edge; still bit-exact."""
+    assert_equivalent(config, buffers["CFM"], prefetcher=prefetcher,
+                      obs_epoch_records=400)
+
+
+@pytest.mark.parametrize("prefetcher", ALL_PREFETCHERS)
+def test_batch_matches_scalar_chunked_feed(config, buffers, prefetcher):
+    """Awkward feed() cuts — inside warmup, mid run, a 1-record chunk."""
+    cuts = (1, 311, 312, 1000, 2201)
+    assert_equivalent(config, buffers["CFM"], cuts=cuts,
+                      prefetcher=prefetcher)
+
+
+def test_batch_engine_resolves_for_lru_only(config):
+    """engine_mode='auto' picks batch for LRU and scalar otherwise."""
+    import dataclasses
+
+    from repro.cache.array_state import ArrayCache
+    from repro.cache.cache import SetAssociativeCache
+    from repro.errors import SimulationError
+
+    auto = SystemSimulator(
+        config, lambda layout, ch: make_prefetcher("none", layout, ch),
+        engine_mode="auto")
+    assert all(isinstance(ch.cache, ArrayCache) for ch in auto.channels)
+
+    fifo_config = dataclasses.replace(
+        config, cache=dataclasses.replace(config.cache,
+                                          replacement_policy="fifo"))
+    fifo = SystemSimulator(
+        fifo_config, lambda layout, ch: make_prefetcher("none", layout, ch),
+        engine_mode="auto")
+    assert all(isinstance(ch.cache, SetAssociativeCache)
+               for ch in fifo.channels)
+    assert all(ch.engine_mode == "scalar" for ch in fifo.channels)
+
+    with pytest.raises(SimulationError):
+        SystemSimulator(
+            fifo_config,
+            lambda layout, ch: make_prefetcher("none", layout, ch),
+            engine_mode="batch")
+
+
+def test_batch_falls_back_for_restored_prefetched_blocks(config, buffers):
+    """A passive batch run over a checkpoint holding live prefetched
+    blocks declines the fused demand loop and still matches scalar."""
+    buffer = buffers["CFM"]
+    cut = LENGTH // 2
+
+    def restored(engine_mode):
+        donor = SystemSimulator(
+            config,
+            lambda layout, ch: make_prefetcher("planaria", layout, ch),
+            engine_mode=engine_mode)
+        donor.set_stream_warmup(channel_warmup_counts(buffer, config))
+        donor.feed(buffer[:cut])
+        # Adopt the active run's cache/DRAM state into a *passive*
+        # simulator: resident prefetched blocks force the fallback.
+        target = SystemSimulator(
+            config, lambda layout, ch: make_prefetcher("none", layout, ch),
+            engine_mode=engine_mode)
+        target.set_stream_warmup(channel_warmup_counts(buffer, config))
+        for target_ch, donor_ch in zip(target.channels, donor.channels):
+            donor_state = donor_ch.state_dict()
+            target_ch.cache.load_state(donor_state["cache"])
+            target_ch.dram.load_state(donor_state["dram"])
+            target_ch._records_seen = donor_state["records_seen"]
+            target_ch._last_time = donor_state["last_time"]
+        live_prefetches = any(ch.cache.resident_prefetches()
+                              for ch in target.channels)
+        target.feed(buffer[cut:])
+        return target, live_prefetches
+
+    scalar_sim, _ = restored("scalar")
+    batch_sim, fallback_triggered = restored("batch")
+    assert fallback_triggered, "fixture lost its live prefetched blocks"
+
+    diffs = []
+    for index, (scalar_ch, batch_ch) in enumerate(
+            zip(scalar_sim.channels, batch_sim.channels)):
+        deep_diff(scalar_ch.state_dict(), batch_ch.state_dict(),
+                  path=f"channel[{index}]", out=diffs)
+    assert not diffs, "\n".join(diffs)

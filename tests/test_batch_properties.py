@@ -1,0 +1,326 @@
+"""Hypothesis property suites for the batch engine and its kernels.
+
+Two layers of pinning, both against scalar ground truth:
+
+* **Trace-level** — adversarial traces (page-crossing runs, single-record
+  buffers, all-same-set conflict streams, a warmup boundary landing inside
+  a run-length batch, random ``feed()`` cuts mid-batch) driven through the
+  differential oracle :func:`tests.test_batch_oracle.assert_equivalent`,
+  which fails on *any* state drift between the batch engine and the scalar
+  loops.
+* **Kernel-level** — every function in :mod:`repro.sim.kernels` pinned
+  element-wise against the scalar helpers it vectorizes
+  (:class:`repro.geometry.AddressLayout` methods,
+  :meth:`repro.dram.address_mapping.AddressMapping.decode`,
+  :meth:`repro.cache.replacement.lru.LRUPolicy.victim`), plus
+  :class:`repro.cache.array_state.ArrayCache` against
+  :class:`repro.cache.cache.SetAssociativeCache` under random operation
+  sequences.
+
+Addresses go up to 2**60 in the kernel properties on purpose: a scalar
+operand that slips into the NumPy expressions un-wrapped promotes uint64
+columns to float64 and silently rounds addresses above 2**53 — exactly the
+bug class these tests exist to catch.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.cache.array_state import ArrayCache
+from repro.cache.cache import SetAssociativeCache
+from repro.config import CacheConfig, DRAMConfig, SimConfig
+from repro.dram.address_mapping import AddressMapping
+from repro.geometry import AddressLayout
+from repro.sim import kernels
+from repro.trace.buffer import TraceBuffer
+from repro.trace.record import AccessType, DeviceID, TraceRecord
+
+from tests.test_batch_oracle import assert_equivalent, deep_diff
+
+CONFIG = SimConfig.experiment_scale()
+LAYOUT = CONFIG.layout
+BLOCK = LAYOUT.block_size
+PAGE_BLOCKS = LAYOUT.blocks_per_page
+
+# A subset that exercises every engine regime: the passive demand-only
+# loop, both run-foldable sub-prefetchers, the composite coordinator, a
+# throttle wrapper (notify_useful feedback ordering) and an offset
+# prefetcher without observe_run support.
+PREFETCHERS = ("none", "slp", "tlp", "planaria", "planaria-throttled", "bop")
+
+EXAMPLES = 6  # per property; each trace example runs two full simulators
+
+
+# ----------------------------------------------------------------------
+# Trace-building strategies
+# ----------------------------------------------------------------------
+@st.composite
+def _decorate(draw, block_addrs):
+    """Attach types/devices/non-decreasing times to a block-address list."""
+    records = []
+    now = 0
+    for block_addr in block_addrs:
+        now += draw(st.integers(min_value=0, max_value=40))
+        records.append(TraceRecord(
+            address=block_addr * BLOCK,
+            access_type=(AccessType.WRITE if draw(st.booleans())
+                         else AccessType.READ),
+            device=draw(st.sampled_from(list(DeviceID))),
+            arrival_time=now,
+        ))
+    return TraceBuffer.from_records(records)
+
+
+@st.composite
+def page_crossing_traces(draw):
+    """Sequential runs that start near a page edge and walk across it."""
+    runs = draw(st.integers(min_value=1, max_value=4))
+    block_addrs = []
+    for _ in range(runs):
+        page = draw(st.integers(min_value=0, max_value=512))
+        # Start within the last few blocks of the page so a unit-stride
+        # walk crosses into the next page mid-run.
+        start = page * PAGE_BLOCKS + draw(
+            st.integers(min_value=PAGE_BLOCKS - 6, max_value=PAGE_BLOCKS - 1))
+        length = draw(st.integers(min_value=2, max_value=48))
+        stride = draw(st.sampled_from((1, 1, 1, 3)))
+        block_addrs.extend(start + i * stride for i in range(length))
+    return draw(_decorate(block_addrs))
+
+
+@st.composite
+def same_set_traces(draw):
+    """Every access maps to one cache set: maximum eviction pressure."""
+    num_sets = CONFIG.cache.num_sets
+    set_index = draw(st.integers(min_value=0, max_value=num_sets - 1))
+    length = draw(st.integers(min_value=8, max_value=96))
+    block_addrs = [
+        set_index + draw(st.integers(min_value=0, max_value=63)) * num_sets
+        for _ in range(length)
+    ]
+    return draw(_decorate(block_addrs))
+
+
+@st.composite
+def mixed_traces(draw):
+    """General traffic over a small page universe (heavy reuse)."""
+    length = draw(st.integers(min_value=1, max_value=160))
+    block_addrs = [
+        draw(st.integers(min_value=0, max_value=63)) * PAGE_BLOCKS
+        + draw(st.integers(min_value=0, max_value=PAGE_BLOCKS - 1))
+        for _ in range(length)
+    ]
+    return draw(_decorate(block_addrs))
+
+
+def _cuts_for(draw, buffer):
+    """A sorted set of feed() cut positions strictly inside the buffer."""
+    if len(buffer) < 2:
+        return ()
+    positions = draw(st.lists(
+        st.integers(min_value=1, max_value=len(buffer) - 1),
+        min_size=0, max_size=4))
+    return tuple(sorted(set(positions)))
+
+
+# ----------------------------------------------------------------------
+# Trace-level properties: the oracle under adversarial inputs
+# ----------------------------------------------------------------------
+class TestAdversarialTraces:
+    @hsettings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_page_crossing_runs(self, data):
+        buffer = data.draw(page_crossing_traces())
+        prefetcher = data.draw(st.sampled_from(PREFETCHERS))
+        assert_equivalent(CONFIG, buffer, prefetcher=prefetcher)
+
+    @hsettings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_single_record_buffer(self, data):
+        buffer = data.draw(_decorate(
+            [data.draw(st.integers(min_value=0, max_value=2**40))]))
+        prefetcher = data.draw(st.sampled_from(PREFETCHERS))
+        assert_equivalent(CONFIG, buffer, prefetcher=prefetcher)
+
+    @hsettings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_same_set_conflict_stream(self, data):
+        buffer = data.draw(same_set_traces())
+        prefetcher = data.draw(st.sampled_from(PREFETCHERS))
+        assert_equivalent(CONFIG, buffer, prefetcher=prefetcher)
+
+    @hsettings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_warmup_boundary_inside_run(self, data):
+        """One long same-page run per channel: the warmup cut (at
+        ``warmup_fraction`` of each channel's stream) necessarily lands
+        inside a run-length batch."""
+        page = data.draw(st.integers(min_value=0, max_value=256))
+        length = data.draw(st.integers(min_value=24, max_value=96))
+        block_addrs = [
+            page * PAGE_BLOCKS
+            + data.draw(st.integers(min_value=0, max_value=PAGE_BLOCKS - 1))
+            for _ in range(length)
+        ]
+        buffer = data.draw(_decorate(block_addrs))
+        prefetcher = data.draw(st.sampled_from(PREFETCHERS))
+        assert_equivalent(CONFIG, buffer, prefetcher=prefetcher)
+
+    @hsettings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_random_chunk_cuts_mid_batch(self, data):
+        buffer = data.draw(mixed_traces())
+        cuts = _cuts_for(data.draw, buffer)
+        prefetcher = data.draw(st.sampled_from(PREFETCHERS))
+        assert_equivalent(CONFIG, buffer, cuts=cuts, prefetcher=prefetcher)
+
+
+# ----------------------------------------------------------------------
+# Kernel-level properties: kernels.py vs the scalar helpers, element-wise
+# ----------------------------------------------------------------------
+LAYOUTS = (
+    AddressLayout(),                                          # paper default
+    AddressLayout(block_size=128, page_size=8192, num_channels=2),
+    AddressLayout(block_size=64, page_size=4096, num_channels=1),
+)
+
+addresses_column = st.lists(
+    st.integers(min_value=0, max_value=2**60), min_size=1, max_size=64)
+
+
+class TestAddressKernels:
+    @hsettings(max_examples=25, deadline=None)
+    @given(addrs=addresses_column, layout=st.sampled_from(LAYOUTS))
+    def test_decomposition_matches_geometry(self, addrs, layout):
+        column = np.asarray(addrs, dtype=np.uint64)
+        blocks, pages, offsets, chan_blocks = kernels.decompose_chunk(
+            column, layout)
+        assert blocks == kernels.block_addresses(column, layout).tolist()
+        assert pages == kernels.page_numbers(column, layout).tolist()
+        assert offsets == kernels.segment_offsets(column, layout).tolist()
+        assert chan_blocks == kernels.channel_blocks(column, layout).tolist()
+        per_segment = layout.blocks_per_segment
+        for addr, block, page, offset, chan_block in zip(
+                addrs, blocks, pages, offsets, chan_blocks):
+            assert block == layout.block_address(addr)
+            assert page == layout.page_number(addr)
+            assert offset == layout.block_in_segment(addr)
+            assert chan_block == page * per_segment + offset
+            # The outputs must be exact Python ints (dict keys downstream).
+            assert type(block) is int and type(chan_block) is int
+
+    @hsettings(max_examples=25, deadline=None)
+    @given(addrs=addresses_column,
+           num_banks=st.sampled_from((4, 8, 16)),
+           num_ranks=st.sampled_from((1, 2)),
+           row_size=st.sampled_from((1024, 2048, 4096)))
+    def test_dram_bank_rows_matches_decode(self, addrs, num_banks,
+                                           num_ranks, row_size):
+        dram = DRAMConfig(num_banks=num_banks, num_ranks=num_ranks,
+                          row_size_bytes=row_size)
+        mapping = AddressMapping(dram, block_size=BLOCK)
+        column = np.asarray(addrs, dtype=np.uint64)
+        bank_col, row_col = kernels.dram_bank_rows(
+            column, LAYOUT.block_bits, mapping._column_bits,
+            mapping._bank_mask, mapping._bank_bits,
+            mapping._rank_mask, mapping._rank_bits, num_banks)
+        for addr, bank_index, row in zip(addrs, bank_col, row_col):
+            decoded = mapping.decode(addr >> LAYOUT.block_bits)
+            assert bank_index == decoded.rank * num_banks + decoded.bank
+            assert row == decoded.row
+
+    @hsettings(max_examples=25, deadline=None)
+    @given(pages=st.lists(st.integers(min_value=0, max_value=7),
+                          min_size=0, max_size=80))
+    def test_page_run_lengths_matches_groupby(self, pages):
+        column = np.asarray(pages, dtype=np.uint64)
+        starts, lengths = kernels.page_run_lengths(column)
+        expected = [len(list(group))
+                    for _, group in itertools.groupby(pages)]
+        assert lengths.tolist() == expected
+        assert starts.tolist() == [
+            sum(expected[:k]) for k in range(len(expected))]
+        # Runs partition the chunk and each run is a constant page.
+        assert int(lengths.sum()) == len(pages)
+        for start, length in zip(starts.tolist(), lengths.tolist()):
+            assert len(set(pages[start:start + length])) == 1
+
+
+# ----------------------------------------------------------------------
+# Array cache state vs the scalar cache under random operation sequences
+# ----------------------------------------------------------------------
+SMALL_CACHE = CacheConfig(size_bytes=64 * 4 * 8, associativity=4,
+                          block_size=64)  # 8 sets — evictions come fast
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(("access", "access", "fill", "fill", "invalidate")),
+        st.integers(min_value=0, max_value=95),   # block address universe
+        st.booleans(),                            # is_write / prefetched
+    ),
+    min_size=1, max_size=120)
+
+
+def _apply(cache, ops):
+    """Drive one cache through an op sequence; returns observable results."""
+    results = []
+    now = 0
+    for kind, block_addr, flag in ops:
+        now += 3
+        if kind == "access":
+            outcome = cache.access(block_addr, now, is_write=flag)
+        elif kind == "fill":
+            if cache.contains(block_addr):
+                continue  # both caches raise on double fill; skip in sync
+            outcome = cache.fill(block_addr, now, ready_time=now + 50,
+                                 prefetched=flag,
+                                 source="prop" if flag else None,
+                                 dirty=not flag)
+        else:
+            outcome = cache.invalidate(block_addr)
+        results.append(outcome)
+    return results
+
+
+class TestArrayCacheEquivalence:
+    @hsettings(max_examples=30, deadline=None)
+    @given(ops=operations)
+    def test_random_op_sequence_matches_scalar_cache(self, ops):
+        scalar = SetAssociativeCache(SMALL_CACHE)
+        array = ArrayCache(SMALL_CACHE)
+        scalar_results = _apply(scalar, ops)
+        array_results = _apply(array, ops)
+
+        diffs = deep_diff(scalar_results, array_results, path="results")
+        deep_diff(scalar.state_dict(), array.state_dict(), path="state",
+                  out=diffs)
+        assert not diffs, "\n".join(diffs)
+        assert array.occupancy() == scalar.occupancy()
+        assert (array.resident_prefetches()
+                == scalar.resident_prefetches())
+        # The lazy tag mirror must rebuild to exactly the live contents.
+        live = array.tag_matrix().copy()
+        array._tags_stale = True
+        assert np.array_equal(array.tag_matrix(), live)
+
+    @hsettings(max_examples=30, deadline=None)
+    @given(ops=operations)
+    def test_lru_victims_matches_scalar_policy(self, ops):
+        """kernels.lru_victims row-for-row against LRUPolicy.victim on the
+        same (scalar-maintained) cache state."""
+        scalar = SetAssociativeCache(SMALL_CACHE)
+        array = ArrayCache(SMALL_CACHE)
+        _apply(scalar, ops)
+        _apply(array, ops)
+
+        victims = kernels.lru_victims(array.tag_matrix(),
+                                      array.age_matrix())
+        for set_index in range(SMALL_CACHE.num_sets):
+            expected = scalar.policy.victim(set_index,
+                                            scalar._sets[set_index])
+            assert victims[set_index] == expected, (
+                f"set {set_index}: batch victim {victims[set_index]} "
+                f"vs scalar {expected}")

@@ -7,8 +7,13 @@ fast loop skips every per-record allocation, so this suite is the proof
 that it cut *work*, not *behaviour*: every RunMetrics field must be
 bit-identical between the two paths, serially and under channel-grain
 parallelism, on a generated trace and on the committed golden fixture.
+
+The same proof obligation extends to the batch engine (``engine_mode``):
+the fused array loops must reproduce the committed golden expectations —
+numbers originally pinned by the scalar paths — bit-for-bit.
 """
 
+import json
 from dataclasses import asdict
 from pathlib import Path
 
@@ -23,13 +28,16 @@ from repro.trace.io import read_trace
 
 PREFETCHERS = ("none", "bop", "spp", "planaria")
 GOLDEN_TRACE = Path(__file__).parent / "golden" / "trace_CFM_4k.csv"
+GOLDEN_EXPECTED = Path(__file__).parent / "golden" / "expected_metrics.json"
 
 
-def _run(records, prefetcher_name, columnar, parallelism="serial"):
+def _run(records, prefetcher_name, columnar, parallelism="serial",
+         engine_mode="auto"):
     config = SimConfig.experiment_scale()
     simulator = SystemSimulator(
         config, lambda layout, channel: make_prefetcher(prefetcher_name,
-                                                        layout, channel))
+                                                        layout, channel),
+        engine_mode=engine_mode)
     simulator.run(records, parallelism=parallelism, columnar=columnar)
     return asdict(_collect(simulator, "equivalence", prefetcher_name))
 
@@ -57,6 +65,41 @@ def test_golden_trace_identical_through_both_paths(name):
     records = list(read_trace(GOLDEN_TRACE))
     assert _run(records, name, columnar=True) == _run(records, name,
                                                       columnar=False)
+
+
+@pytest.mark.parametrize("name", PREFETCHERS)
+def test_golden_trace_identical_across_engines(name):
+    """Batch engine vs scalar engine on the committed golden trace."""
+    records = list(read_trace(GOLDEN_TRACE))
+    batch = _run(records, name, columnar=True, engine_mode="batch")
+    scalar = _run(records, name, columnar=False, engine_mode="scalar")
+    assert batch == scalar
+
+
+@pytest.mark.parametrize("name", PREFETCHERS)
+def test_golden_expectations_hold_on_batch_path(name):
+    """The batch engine reproduces the *committed* golden numbers — the
+    fixtures regression-pin the fused loops, not just engine-vs-engine
+    agreement on whatever today's behaviour is."""
+    records = list(read_trace(GOLDEN_TRACE))
+    expected = json.loads(GOLDEN_EXPECTED.read_text())[name]
+    batch = _run(records, name, columnar=True, engine_mode="batch")
+    for field_name, want in expected.items():
+        if field_name == "workload":
+            continue  # run label, set by the harness, not a measurement
+        assert batch[field_name] == want, (
+            f"{name}.{field_name}: batch {batch[field_name]!r} "
+            f"vs golden {want!r}")
+
+
+@pytest.mark.parametrize("name", PREFETCHERS)
+def test_batch_parallel_matches_scalar_serial(buffer, name):
+    """Fused loops under channel-grain parallelism vs the scalar serial
+    object path — the two most distant execution configurations."""
+    assert _run(buffer, name, columnar=True, parallelism="auto",
+                engine_mode="batch") == _run(
+        buffer, name, columnar=False, parallelism="serial",
+        engine_mode="scalar")
 
 
 def test_passive_fast_loop_matches_object_path(buffer):

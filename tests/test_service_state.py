@@ -46,10 +46,11 @@ def _offline_metrics(prefetcher):
                     config=_config()).metrics
 
 
-def _streaming_simulator(prefetcher):
+def _streaming_simulator(prefetcher, engine_mode="auto"):
     simulator = SystemSimulator(
         _config(),
-        lambda layout, channel: make_prefetcher(prefetcher, layout, channel))
+        lambda layout, channel: make_prefetcher(prefetcher, layout, channel),
+        engine_mode=engine_mode)
     simulator.set_stream_warmup(channel_warmup_counts(_trace(), _config()))
     return simulator
 
@@ -114,6 +115,62 @@ class TestStateAtRandomBoundaries:
         donor.feed(trace[:cut])
         resumed = _streaming_simulator(prefetcher)
         resumed.load_state(donor.state_dict())
+        resumed.feed(trace[cut:])
+        assert _metrics(resumed, prefetcher) == _offline_metrics(prefetcher)
+
+
+class TestCrossEngineResume:
+    """A checkpoint cut mid-trace — i.e. mid run-length batch, anywhere the
+    cut lands — taken on one engine and resumed on the other must finish in
+    exactly the state an uninterrupted scalar run reaches: state_dict is an
+    engine-neutral format, and the batch engine neither loses deferred
+    work at a checkpoint nor misreads a scalar-written snapshot."""
+
+    # One prefetcher per engine regime: passive demand loop, run-foldable
+    # composite, throttle wrapper, per-record trigger path.
+    PREFETCHERS = ("none", "planaria", "planaria-throttled", "bop")
+
+    @pytest.mark.parametrize("prefetcher", PREFETCHERS)
+    @hsettings(max_examples=5, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=LENGTH),
+           donor_engine=st.sampled_from(("scalar", "batch")))
+    def test_round_trip_across_engines(self, prefetcher, cut, donor_engine):
+        from tests.test_batch_oracle import deep_diff
+
+        trace = _trace()
+        resume_engine = "batch" if donor_engine == "scalar" else "scalar"
+        donor = _streaming_simulator(prefetcher, engine_mode=donor_engine)
+        donor.feed(trace[:cut])
+        resumed = _streaming_simulator(prefetcher, engine_mode=resume_engine)
+        resumed.load_state(donor.state_dict())
+        resumed.feed(trace[cut:])
+        assert _metrics(resumed, prefetcher) == _offline_metrics(prefetcher)
+
+        reference = _streaming_simulator(prefetcher, engine_mode="scalar")
+        reference.feed(trace)
+        diffs = []
+        for index, (ref_ch, res_ch) in enumerate(zip(reference.channels,
+                                                     resumed.channels)):
+            deep_diff(ref_ch.state_dict(), res_ch.state_dict(),
+                      path=f"channel[{index}]", out=diffs)
+        assert not diffs, (
+            f"{donor_engine}→{resume_engine} resume at cut {cut} diverged "
+            "from the uninterrupted scalar run:\n  " + "\n  ".join(diffs))
+
+    @pytest.mark.parametrize("prefetcher", ("none", "planaria"))
+    def test_checkpoint_file_written_by_batch_engine(self, tmp_path,
+                                                     prefetcher):
+        """The on-disk format round-trips a batch-engine snapshot too."""
+        trace = _trace()
+        cut = len(trace) // 3
+        simulator = _streaming_simulator(prefetcher, engine_mode="batch")
+        simulator.feed(trace[:cut])
+        path = save_checkpoint(
+            tmp_path / "batch.ckpt",
+            Checkpoint(prefetcher=prefetcher, workload="stream",
+                       config=_config(), records_fed=cut, chunks_fed=1,
+                       state=simulator.state_dict()))
+        resumed = restore_simulator(load_checkpoint(path))
         resumed.feed(trace[cut:])
         assert _metrics(resumed, prefetcher) == _offline_metrics(prefetcher)
 
