@@ -255,20 +255,40 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service.server import run_server
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.workers == 1:
+        from repro.service.server import run_server
 
-    stats = run_server(
-        host=args.host, port=args.port,
+        stats = run_server(
+            host=args.host, port=args.port,
+            checkpoint_dir=args.checkpoint_dir,
+            max_inflight_chunks=args.max_inflight,
+            workers=args.worker_threads,
+            parallelism=args.parallelism,
+            checkpoint_interval=args.checkpoint_interval,
+            metrics_port=args.metrics_port,
+            tracing=args.trace,
+            log_json=args.log_json,
+        )
+        print(f"server drained: {stats}")
+        return 0
+    from repro.service.cluster import run_cluster
+
+    summary = run_cluster(
+        workers=args.workers, host=args.host, port=args.port,
         checkpoint_dir=args.checkpoint_dir,
         max_inflight_chunks=args.max_inflight,
-        workers=args.workers,
+        worker_threads=args.worker_threads,
         parallelism=args.parallelism,
         checkpoint_interval=args.checkpoint_interval,
         metrics_port=args.metrics_port,
         tracing=args.trace,
         log_json=args.log_json,
     )
-    print(f"server drained: {stats}")
+    print(f"cluster drained: {summary}")
     return 0
 
 
@@ -295,12 +315,39 @@ def _cmd_spans(args: argparse.Namespace) -> int:
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.service.bench import run_service_bench
+    from repro.service.bench import run_service_bench, run_sharded_bench
+
+    if args.workers is not None or args.workers_sweep:
+        if args.workers_sweep:
+            sweep = [int(n) for n in args.workers_sweep.split(",")]
+        else:
+            sweep = [int(args.workers)]
+        section = run_sharded_bench(
+            workers_sweep=sweep, sessions=args.sessions, length=args.length,
+            seed=args.seed, app=args.app, chunk_records=args.chunk_records,
+            max_inflight_chunks=args.max_inflight,
+            worker_threads=args.worker_threads,
+            output=Path(args.output) if args.output else None,
+        )
+        for point in section["sweep"]:
+            print(f"workers={point['workers']}: "
+                  f"{section['sessions']} sessions x "
+                  f"{section['trace_length']} records in "
+                  f"{point['elapsed_seconds']}s -> "
+                  f"{point['aggregate_records_per_second']:,} rec/s "
+                  f"({point['migrations']} migrations)")
+        speedups = section["speedup_vs_one_worker"]
+        print(f"speedup vs one worker: "
+              + ", ".join(f"{workers}w={speedups[workers]}x"
+                          for workers in sorted(speedups, key=int)))
+        if "written_to" in section:
+            print(f"wrote sharded section to {section['written_to']}")
+        return 0
 
     report = run_service_bench(
         sessions=args.sessions, length=args.length, seed=args.seed,
         app=args.app, chunk_records=args.chunk_records,
-        max_inflight_chunks=args.max_inflight, workers=args.workers,
+        max_inflight_chunks=args.max_inflight, workers=args.worker_threads,
         output=Path(args.output) if args.output else None,
         tracing=not args.no_trace,
         spans_out=Path(args.spans_out) if args.spans_out else None,
@@ -488,8 +535,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "here on drain")
     serve.add_argument("--max-inflight", type=int, default=4,
                        help="per-session queued-chunk bound (backpressure)")
-    serve.add_argument("--workers", type=int, default=4,
-                       help="thread-pool size shared by all sessions")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="engine worker processes; >= 2 runs the sharded "
+                            "router + worker-fleet service with "
+                            "checkpoint-based session migration "
+                            "(docs/service.md)")
+    serve.add_argument("--worker-threads", type=int, default=4,
+                       help="thread-pool size shared by all sessions "
+                            "(per engine worker when sharded)")
     serve.add_argument("--checkpoint-interval", type=int, default=0,
                        help="auto-checkpoint every N chunks (0 disables)")
     serve.add_argument("--metrics-port", type=int, default=None,
@@ -523,7 +576,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--app", default="CFM", choices=list_workloads())
     bench_serve.add_argument("--chunk-records", type=int, default=1024)
     bench_serve.add_argument("--max-inflight", type=int, default=2)
-    bench_serve.add_argument("--workers", type=int, default=4)
+    bench_serve.add_argument("--workers", type=int, default=None,
+                             metavar="N",
+                             help="benchmark the sharded service with N "
+                                  "engine worker processes (default: "
+                                  "single-process benchmark)")
+    bench_serve.add_argument("--workers-sweep", metavar="N,N,...",
+                             help="sweep the sharded service over these "
+                                  "worker counts, e.g. 1,2,4,8")
+    bench_serve.add_argument("--worker-threads", type=int, default=4,
+                             help="session thread-pool size (per engine "
+                                  "worker when sharded)")
     bench_serve.add_argument("--output", default="BENCH_service.json",
                              metavar="FILE", help="report path ('' skips)")
     bench_serve.add_argument("--no-trace", action="store_true",

@@ -70,3 +70,25 @@ class SessionExistsError(ServiceError):
 
 class CheckpointError(ServiceError):
     """A checkpoint file is missing, corrupt, or from a different setup."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint was restored into a differently-configured engine.
+
+    Raised *before* ``load_state()`` when the prefetcher/config
+    fingerprint of the engine a checkpoint is being restored into does
+    not match the fingerprint the checkpoint was written under — loading
+    state across configurations is undefined behaviour, so cross-worker
+    migration refuses it up front.  The message names both fingerprints.
+    """
+
+    def __init__(self, name: str, checkpoint_fingerprint: str,
+                 target_fingerprint: str, detail: str = "") -> None:
+        self.checkpoint_fingerprint = checkpoint_fingerprint
+        self.target_fingerprint = target_fingerprint
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"checkpoint for session {name!r} was written under "
+            f"prefetcher/config fingerprint {checkpoint_fingerprint}, but "
+            f"the target engine has fingerprint {target_fingerprint}; "
+            f"refusing to load_state() across configurations{suffix}")

@@ -219,6 +219,11 @@ METRIC_HELP: Dict[str, str] = {
     "span_latency_p95_us": "p95 recorded latency per span name, us.",
     "span_latency_p99_us": "p99 recorded latency per span name, us.",
     "span_count": "Spans recorded per span name.",
+    "cluster_workers": "Engine worker processes currently in the ring.",
+    "cluster_sessions_routed":
+        "Sessions with a live routing entry on the router.",
+    "cluster_migrations":
+        "Checkpoint-based session migrations completed by the router.",
 }
 
 

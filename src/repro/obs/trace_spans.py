@@ -68,6 +68,8 @@ SPAN_FEED_CHUNK = "session.feed_chunk"  # one chunk through the drainer
 SPAN_ENGINE_FEED = "engine.feed"     # SystemSimulator.feed body
 SPAN_ENGINE_RUN = "engine.run"       # SystemSimulator.run body
 SPAN_CLIENT_PREFIX = "client."       # client.<op>, request round trip
+SPAN_ROUTER_FORWARD = "router.forward"  # router→worker hop, one per proxied request
+SPAN_ROUTER_MIGRATE = "router.migrate"  # checkpoint-based session migration
 
 
 def now_us() -> int:

@@ -19,12 +19,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import platform
 import threading
 import time
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.config import SimConfig
 from repro.errors import ServiceError
@@ -40,6 +41,8 @@ from repro.trace.generator import generate_trace_buffer, get_profile
 DEFAULT_RESULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_service.json"
 #: Prefetchers cycled across sessions (2 sessions each at the default 8).
 BENCH_PREFETCHERS = ("none", "stride", "bop", "planaria")
+#: Worker-process counts swept by the sharded benchmark.
+DEFAULT_WORKERS_SWEEP = (1, 2, 4, 8)
 
 
 class _ServerThread:
@@ -224,6 +227,268 @@ def run_service_bench(sessions: int = 8, length: int = 20_000, seed: int = 7,
     if spans_out is not None:
         report["spans_written_to"] = str(spans_out)
     if output is not None:
-        output.write_text(json.dumps(report, indent=2) + "\n")
+        _write_report(output, report)
         report["written_to"] = str(output)
     return report
+
+
+def _write_report(output: Path, report: dict) -> None:
+    """Write the single-process report, keeping any ``sharded`` section."""
+    merged = dict(report)
+    if output.exists():
+        try:
+            previous = json.loads(output.read_text())
+        except (ValueError, OSError):
+            previous = {}
+        if isinstance(previous, dict) and "sharded" in previous:
+            merged["sharded"] = previous["sharded"]
+    output.write_text(json.dumps(merged, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Sharded (multi-process) benchmark
+# ----------------------------------------------------------------------
+class ClusterThread:
+    """An in-process cluster router on its own event-loop thread.
+
+    The router's engine workers are real spawned processes; only the
+    router's asyncio front-end runs on this thread.  Mirrors
+    :class:`_ServerThread` so tests and the benchmark share one harness.
+    """
+
+    def __init__(self, workers: int, max_inflight_chunks: int = 2,
+                 worker_threads: int = 4,
+                 checkpoint_dir: "str | None" = None,
+                 tracing: bool = False,
+                 metrics_port: "int | None" = None) -> None:
+        from repro.service.cluster import ClusterRouter
+
+        self.router = ClusterRouter(
+            workers=workers, port=0, metrics_port=metrics_port,
+            checkpoint_dir=checkpoint_dir,
+            max_inflight_chunks=max_inflight_chunks,
+            worker_threads=worker_threads, tracing=tracing)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: "BaseException | None" = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-cluster-router",
+                                        daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.router.start())
+        except BaseException as exc:
+            self._startup_error = exc
+        finally:
+            self._started.set()
+        if self._startup_error is None:
+            self._loop.run_forever()
+
+    def __enter__(self) -> "ClusterThread":
+        self._thread.start()
+        # Generous deadline: each engine worker is a spawned process
+        # that imports the full package before it can listen.
+        if not self._started.wait(timeout=180):
+            raise ServiceError("cluster router failed to start")
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"cluster startup failed: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.router.drain(), self._loop)
+        try:
+            future.result(timeout=180)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+            self._loop.close()
+            self.router.cleanup()
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    @property
+    def metrics_port(self) -> "int | None":
+        return self.router.metrics_port
+
+
+def _drive_migrated_session(port: int, name: str, prefetcher: str,
+                            buffer: TraceBuffer, config: SimConfig,
+                            warmup: List[int], chunk_records: int,
+                            out: Dict[str, RunMetrics],
+                            errors: Dict[str, BaseException],
+                            migrations_done: List[int]) -> None:
+    """Feed a session while migrating it twice between chunks.
+
+    The migration points (1/3 and 2/3 through the trace) land between
+    ``feed`` calls on the same connection — the router's route lock
+    serialises the checkpoint hand-off against in-flight feeds, so the
+    restored engine must replay into exactly the offline metrics.
+    """
+    try:
+        with ServiceClient.connect(port=port) as client:
+            client.open(name, prefetcher, workload="bench", config=config,
+                        warmup_records=warmup)
+            marks = {len(buffer) // 3, 2 * len(buffer) // 3}
+            for start in range(0, len(buffer), chunk_records):
+                if any(start <= mark < start + chunk_records
+                       for mark in marks):
+                    result = client.migrate(name)
+                    if result.get("migrated"):
+                        migrations_done.append(int(result["worker"]))
+                client.feed(name, buffer[start:start + chunk_records])
+            out[name] = client.close_session(name).metrics
+    except BaseException as exc:  # re-raised on the main thread
+        errors[name] = exc
+
+
+def run_sharded_bench(workers_sweep: Iterable[int] = DEFAULT_WORKERS_SWEEP,
+                      sessions: int = 8, length: int = 20_000, seed: int = 7,
+                      app: str = "CFM", chunk_records: int = 1024,
+                      max_inflight_chunks: int = 2, worker_threads: int = 4,
+                      output: Optional[Path] = DEFAULT_RESULT_PATH) -> dict:
+    """Sweep the sharded service over worker-process counts.
+
+    For each point the full client path runs against a router + worker
+    fleet; with two or more workers, one session is live-migrated twice
+    mid-feed.  Every session — migrated ones included — must close
+    bit-identical to offline :func:`~repro.sim.runner.simulate` before a
+    number is recorded.  Results land in the ``sharded`` section of
+    ``BENCH_service.json``; the committed single-process baseline at the
+    top level is left untouched.
+    """
+    sweep = sorted({int(workers) for workers in workers_sweep})
+    if not sweep or sweep[0] < 1:
+        raise ServiceError(f"invalid workers sweep {list(workers_sweep)}")
+    config = SimConfig.experiment_scale()
+    buffer = generate_trace_buffer(get_profile(app), length, seed=seed,
+                                   layout=config.layout)
+    warmup = channel_warmup_counts(buffer, config)
+    plan = [(f"shard-{i:02d}", BENCH_PREFETCHERS[i % len(BENCH_PREFETCHERS)])
+            for i in range(sessions)]
+    offline: Dict[str, RunMetrics] = {}
+    for prefetcher in sorted({p for _, p in plan}):
+        offline[prefetcher] = simulate(
+            buffer, prefetcher, workload_name="bench", config=config).metrics
+
+    total_records = length * sessions
+    points: List[dict] = []
+    migrated_checked = 0
+    for workers in sweep:
+        results: Dict[str, RunMetrics] = {}
+        errors: Dict[str, BaseException] = {}
+        migrations_done: List[int] = []
+        with ClusterThread(workers, max_inflight_chunks=max_inflight_chunks,
+                           worker_threads=worker_threads) as running:
+            threads = []
+            for index, (name, prefetcher) in enumerate(plan):
+                if index == 0 and workers >= 2:
+                    # One session per point rides through two live
+                    # checkpoint migrations while being fed.
+                    target, args = _drive_migrated_session, (
+                        running.port, name, prefetcher, buffer, config,
+                        warmup, chunk_records, results, errors,
+                        migrations_done)
+                else:
+                    target, args = _drive_session, (
+                        running.port, name, prefetcher, buffer, config,
+                        warmup, chunk_records, results, errors)
+                threads.append(threading.Thread(
+                    target=target, args=args, name=f"repro-bench-{name}"))
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            with ServiceClient.connect(port=running.port) as control:
+                stats = control.stats()
+                topology = control.cluster()
+        if errors:
+            name, first = sorted(errors.items())[0]
+            raise ServiceError(
+                f"sharded session {name!r} failed at workers={workers}: "
+                f"{first}") from first
+        mismatched = [name for name, prefetcher in plan
+                      if results.get(name) != offline[prefetcher]]
+        if mismatched:
+            raise ServiceError(
+                f"sharded service metrics diverged from offline simulate() "
+                f"at workers={workers} for sessions {mismatched}")
+        if workers >= 2:
+            if len(migrations_done) != 2:
+                raise ServiceError(
+                    f"expected 2 live migrations at workers={workers}, "
+                    f"got {len(migrations_done)}")
+            migrated_checked += 1
+        per_worker = {
+            worker_id: {
+                "chunks_executed": entry.get("chunks_executed", 0),
+                "records_executed": entry.get("records_executed", 0),
+                "sessions_opened": entry.get("sessions_opened", 0),
+                "sessions_resumed": entry.get("sessions_resumed", 0),
+            }
+            for worker_id, entry in sorted(stats["workers"].items())
+        }
+        points.append({
+            "workers": workers,
+            "elapsed_seconds": round(elapsed, 3),
+            "aggregate_records_per_second": round(total_records / elapsed),
+            "migrations": stats["stats"]["migrations"],
+            "migrated_session_workers": migrations_done,
+            "sessions_resumed": stats["stats"]["sessions_resumed"],
+            "per_worker": per_worker,
+            "router": topology["router"],
+        })
+
+    base = points[0]["aggregate_records_per_second"]
+    section = {
+        "benchmark": "sharded service throughput (router + N engine "
+                     "worker processes, checkpoint-based migration)",
+        "app": app,
+        "trace_length": length,
+        "seed": seed,
+        "sessions": sessions,
+        "chunk_records": chunk_records,
+        "max_inflight_chunks": max_inflight_chunks,
+        "worker_threads": worker_threads,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "sweep": points,
+        "speedup_vs_one_worker": {
+            str(point["workers"]): round(
+                point["aggregate_records_per_second"] / base, 2)
+            for point in points
+        },
+        "equivalence": {
+            "checked_sessions_per_point": len(plan),
+            "bit_identical_to_offline_simulate": True,
+            "points_with_live_migrated_session": migrated_checked,
+        },
+    }
+    cores = os.cpu_count() or 1
+    if cores < max(sweep):
+        section["note"] = (
+            f"host has {cores} CPU core(s): worker processes time-slice "
+            f"one core, so the sweep measures sharding overhead, not "
+            f"scaling — run on >= {max(sweep)} cores for the speedup curve "
+            f"(docs/service.md)")
+    if output is not None:
+        existing: dict = {}
+        if output.exists():
+            try:
+                existing = json.loads(output.read_text())
+            except (ValueError, OSError):
+                existing = {}
+        if not isinstance(existing, dict):
+            existing = {}
+        existing["sharded"] = section
+        output.write_text(json.dumps(existing, indent=2) + "\n")
+        section["written_to"] = str(output)
+    return section

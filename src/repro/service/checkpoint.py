@@ -15,15 +15,17 @@ readers only ever observe complete files.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.config import SimConfig
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, CheckpointMismatchError
 from repro.prefetch.registry import make_prefetcher
 from repro.sim.engine import SystemSimulator
 
@@ -33,6 +35,24 @@ PathLike = Union[str, Path]
 CHECKPOINT_MAGIC = "planaria-checkpoint"
 #: Bump on any incompatible change to the state layout.
 CHECKPOINT_VERSION = 1
+
+
+def config_fingerprint(prefetcher: str, config: SimConfig) -> str:
+    """A stable short hash over (prefetcher name, full config).
+
+    Two engines share a fingerprint exactly when a checkpoint written by
+    one can be ``load_state()``-ed into the other: same prefetcher
+    registry name, bit-identical configuration.  The hash is computed
+    over the canonical JSON of :func:`repro.config_io.to_dict`, so it is
+    stable across processes and Python versions — the property
+    cross-worker migration relies on.
+    """
+    from repro.config_io import to_dict as config_to_dict
+
+    canonical = json.dumps({"prefetcher": prefetcher,
+                            "config": config_to_dict(config)},
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass
@@ -48,6 +68,40 @@ class Checkpoint:
     magic: str = CHECKPOINT_MAGIC
     version: int = CHECKPOINT_VERSION
     extra: dict = field(default_factory=dict)
+
+    @property
+    def fingerprint(self) -> str:
+        """The prefetcher/config fingerprint this checkpoint was written
+        under (derived, so checkpoints from older builds carry it too)."""
+        return config_fingerprint(self.prefetcher, self.config)
+
+
+def validate_restore(name: str, checkpoint: Checkpoint,
+                     prefetcher: Optional[str] = None,
+                     config: Optional[SimConfig] = None) -> None:
+    """Refuse to restore a checkpoint into a differently-configured engine.
+
+    ``prefetcher``/``config`` describe the engine the caller is about to
+    ``load_state()`` into (``None`` means "taken from the checkpoint
+    itself", which is always compatible).  Raises
+    :class:`~repro.errors.CheckpointMismatchError` naming both
+    fingerprints on any divergence — *before* any state is loaded, so a
+    mismatched restore can never leave a half-loaded simulator behind.
+    """
+    target_prefetcher = (checkpoint.prefetcher if prefetcher is None
+                         else prefetcher)
+    target_config = checkpoint.config if config is None else config
+    expected = checkpoint.fingerprint
+    actual = config_fingerprint(target_prefetcher, target_config)
+    if expected != actual:
+        details = []
+        if target_prefetcher != checkpoint.prefetcher:
+            details.append(f"prefetcher {checkpoint.prefetcher!r} != "
+                           f"{target_prefetcher!r}")
+        if config is not None and config != checkpoint.config:
+            details.append("config differs")
+        raise CheckpointMismatchError(name, expected, actual,
+                                      detail="; ".join(details))
 
 
 def save_checkpoint(path: PathLike, checkpoint: Checkpoint) -> Path:
@@ -99,13 +153,20 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
     return payload
 
 
-def restore_simulator(checkpoint: Checkpoint) -> SystemSimulator:
+def restore_simulator(checkpoint: Checkpoint,
+                      prefetcher: Optional[str] = None,
+                      config: Optional[SimConfig] = None) -> SystemSimulator:
     """Rebuild a live simulator from a checkpoint, mid-trace state loaded.
 
     A checkpoint written by an observed session carries its epoch size in
     ``extra["epoch_records"]``; collectors are re-attached *before* the
     state loads so each channel's timeline resumes where it left off.
+    Passing ``prefetcher``/``config`` asserts the engine the caller
+    expects to restore into; a fingerprint mismatch raises
+    :class:`~repro.errors.CheckpointMismatchError` before any state loads.
     """
+    validate_restore("<restore>", checkpoint, prefetcher=prefetcher,
+                     config=config)
     simulator = SystemSimulator(
         checkpoint.config,
         lambda layout, channel: make_prefetcher(checkpoint.prefetcher,

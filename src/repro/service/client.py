@@ -209,9 +209,44 @@ class ServiceClient:
                 dict(response["summary"]))
 
     def health(self) -> HealthReport:
-        """One health evaluation over the server's live sessions."""
+        """One health evaluation over the server's live sessions.
+
+        Against a sharded router this is the fleet-composed report:
+        worst status wins, verdict details name the worker they came
+        from, and the session map spans every worker.
+        """
         return protocol.health_from_dict(
             self._request({"op": "health"})["health"])
+
+    # ------------------------------------------------------------------
+    # Cluster ops (sharded router only; a single-process server answers
+    # these with an "unknown op" error)
+    # ------------------------------------------------------------------
+    def migrate(self, session: str, target: Optional[int] = None) -> dict:
+        """Migrate a session to another engine worker via its checkpoint.
+
+        ``target`` picks the destination worker id; ``None`` lets the
+        router choose any other live worker.  Returns the router's
+        response (``worker`` = the new owner, ``snapshot`` = the
+        restored session's state).
+        """
+        header: dict = {"op": "migrate", "session": session}
+        if target is not None:
+            header["worker"] = int(target)
+        return self._request(header)
+
+    def cluster(self) -> dict:
+        """Router topology: per-worker pids/sessions + router counters."""
+        return self._request({"op": "cluster"})
+
+    def scale(self, workers: int) -> dict:
+        """Grow or shrink the worker fleet to ``workers`` processes.
+
+        Joining workers take over the ring segments the consistent hash
+        assigns them (affected sessions migrate over); leaving workers
+        drain their sessions to the remaining ring before exiting.
+        """
+        return self._request({"op": "scale", "workers": int(workers)})
 
     def client_spans(self, clear: bool = False) -> List[SpanRecord]:
         """Spans this client recorded locally (``tracing=True`` only)."""

@@ -80,6 +80,26 @@ class JsonLogFormatter(logging.Formatter):
             return json.dumps(safe, separators=(",", ":"))
 
 
+class StaticFieldsFilter(logging.Filter):
+    """Stamp fixed fields (e.g. ``worker_id``) onto every record.
+
+    Engine worker processes install this so each of their JSON log lines
+    names the worker it came from; together with the router's propagated
+    trace ids, one grep follows a chunk across the process boundary.
+    Caller-supplied ``extra`` fields win over the static defaults.
+    """
+
+    def __init__(self, fields: Dict[str, Any]) -> None:
+        super().__init__()
+        self.fields = dict(fields)
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        for key, value in self.fields.items():
+            if not hasattr(record, key):
+                setattr(record, key, value)
+        return True
+
+
 class RateLimitFilter(logging.Filter):
     """Cap repeated identical log sites to N lines per interval.
 
@@ -127,13 +147,16 @@ def configure_service_logging(
         rate_limit: int = DEFAULT_RATE_LIMIT,
         rate_interval: float = DEFAULT_RATE_INTERVAL,
         stream: Optional[Any] = None,
-        clock: Callable[[], float] = time.time) -> logging.Logger:
+        clock: Callable[[], float] = time.time,
+        static_fields: Optional[Dict[str, Any]] = None) -> logging.Logger:
     """Wire the service logger: one handler, JSON lines, rate-limited.
 
     Replaces any handlers a previous call installed (idempotent — the
     test server starts/stops many times per process) and stops
     propagation so service lines are not double-printed by a root
-    handler.  Returns the configured logger.
+    handler.  ``static_fields`` (e.g. ``{"worker_id": 2}``) are stamped
+    onto every record — how sharded engine workers label their lines.
+    Returns the configured logger.
     """
     logger = logging.getLogger(SERVICE_LOGGER_NAME)
     logger.setLevel(level)
@@ -149,5 +172,7 @@ def configure_service_logging(
     if rate_limit:
         handler.addFilter(RateLimitFilter(limit=rate_limit,
                                           interval=rate_interval))
+    if static_fields:
+        handler.addFilter(StaticFieldsFilter(static_fields))
     logger.addHandler(handler)
     return logger

@@ -40,10 +40,15 @@ class SimulationServer:
 
     def __init__(self, manager: SessionManager, host: str = "127.0.0.1",
                  port: int = 0,
-                 metrics_port: Optional[int] = None) -> None:
+                 metrics_port: Optional[int] = None,
+                 uds_path: Optional[str] = None) -> None:
         self.manager = manager
         self.host = host
         self.port = port
+        #: When set, listen on this unix-domain socket path instead of
+        #: TCP — how sharded engine workers expose themselves to the
+        #: router (same framing, no port allocation).
+        self.uds_path = uds_path
         #: When set, a plain-HTTP listener on this port answers ``GET
         #: /metrics`` with the Prometheus text exposition (0 = ephemeral).
         self.metrics_port = metrics_port
@@ -56,9 +61,13 @@ class SimulationServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port)
-        self.port = self._server.sockets[0].getsockname()[1]
+        if self.uds_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.uds_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port)
+            self.port = self._server.sockets[0].getsockname()[1]
         if self.metrics_port is not None:
             self._metrics_server = await asyncio.start_server(
                 self._handle_metrics_request, self.host, self.metrics_port)
@@ -66,12 +75,17 @@ class SimulationServer:
                 self._metrics_server.sockets[0].getsockname()[1])
             logger.info("metrics on http://%s:%d/metrics",
                         self.host, self.metrics_port)
-        logger.info("serving on %s:%d", self.host, self.port)
+        if self.uds_path is not None:
+            logger.info("serving on unix socket %s", self.uds_path)
+        else:
+            logger.info("serving on %s:%d", self.host, self.port)
 
     @property
     def address(self) -> tuple:
         if self._server is None:
             raise ServiceError("server not started")
+        if self.uds_path is not None:
+            return (self.uds_path,)
         return self._server.sockets[0].getsockname()[:2]
 
     async def serve_forever(self) -> None:
@@ -245,6 +259,11 @@ class SimulationServer:
                 if op == "shutdown":
                     break
         except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Drain timed out and cancelled this handler; exit quietly so
+            # the streams connection_made callback doesn't log the
+            # cancellation as an unhandled exception.
             pass
         finally:
             if task is not None:
@@ -461,18 +480,25 @@ def run_server(host: str = "127.0.0.1", port: int = 8642,
                metrics_port: Optional[int] = None,
                tracing: bool = False,
                log_json: bool = False,
-               health_config: Optional[HealthConfig] = None
-               ) -> Dict[str, int]:
-    """Blocking entry point for ``python -m repro serve``.
+               health_config: Optional[HealthConfig] = None,
+               uds_path: Optional[str] = None,
+               worker_id: Optional[int] = None) -> Dict[str, int]:
+    """Blocking entry point for ``python -m repro serve`` (one process).
 
     ``tracing`` enables the span recorder (the ``spans`` op and Chrome
     trace export); ``log_json`` switches the service logger to
-    rate-limited one-JSON-object-per-line output.  Returns the manager's
-    final stats once the server has drained (SIGTERM/SIGINT initiate the
-    drain; KeyboardInterrupt propagates to the CLI, which exits 130).
+    rate-limited one-JSON-object-per-line output.  ``uds_path`` listens
+    on a unix-domain socket instead of TCP, and ``worker_id`` stamps
+    every structured log line — both set when this process is one engine
+    worker of a sharded cluster (:mod:`repro.service.cluster`).  Returns
+    the manager's final stats once the server has drained
+    (SIGTERM/SIGINT initiate the drain; KeyboardInterrupt propagates to
+    the CLI, which exits 130).
     """
     if log_json:
-        configure_service_logging(json_lines=True)
+        static = ({"worker_id": worker_id}
+                  if worker_id is not None else None)
+        configure_service_logging(json_lines=True, static_fields=static)
     manager = SessionManager(
         checkpoint_dir=checkpoint_dir,
         max_inflight_chunks=max_inflight_chunks,
@@ -483,7 +509,8 @@ def run_server(host: str = "127.0.0.1", port: int = 8642,
         health_config=health_config,
     )
     server = SimulationServer(manager, host=host, port=port,
-                              metrics_port=metrics_port)
+                              metrics_port=metrics_port,
+                              uds_path=uds_path)
     try:
         asyncio.run(_serve(server))
     finally:

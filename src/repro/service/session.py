@@ -47,7 +47,7 @@ from repro.obs.trace_spans import (NULL_SPANS, SPAN_FEED_CHUNK,
                                    SPAN_FIFO_WAIT, SpanRecorder, now_us)
 from repro.prefetch.registry import make_prefetcher
 from repro.service.checkpoint import (Checkpoint, load_checkpoint,
-                                      save_checkpoint)
+                                      save_checkpoint, validate_restore)
 from repro.sim.engine import SystemSimulator
 from repro.sim.executor import Parallelism
 from repro.sim.metrics import RunMetrics
@@ -282,10 +282,12 @@ class SessionManager:
             path = self._checkpoint_path(name)
             if resume and path is not None and path.exists():
                 checkpoint = load_checkpoint(path)
-                if checkpoint.prefetcher != prefetcher:
-                    raise ServiceError(
-                        f"session {name!r} was checkpointed with prefetcher "
-                        f"{checkpoint.prefetcher!r}, not {prefetcher!r}")
+                # Refuse a restore into a different prefetcher/config
+                # before any state loads (CheckpointMismatchError names
+                # both fingerprints) — the guard cross-worker migration
+                # depends on.
+                validate_restore(name, checkpoint, prefetcher=prefetcher,
+                                 config=config)
                 session = Session.from_checkpoint(name, checkpoint)
                 self.sessions_resumed += 1
             else:

@@ -117,7 +117,7 @@ class TestServe:
         out = tmp_path / "BENCH_service.json"
         assert main(["bench-serve", "--sessions", "3", "--length", "600",
                      "--chunk-records", "32", "--max-inflight", "1",
-                     "--workers", "1", "--output", str(out)]) == 0
+                     "--worker-threads", "1", "--output", str(out)]) == 0
         captured = capsys.readouterr().out
         assert "3 sessions x 600 records" in captured
         assert "backpressure waits" in captured
@@ -135,7 +135,7 @@ class TestServe:
         spans_out = tmp_path / "spans.json"
         assert main(["bench-serve", "--sessions", "2", "--length", "600",
                      "--chunk-records", "64", "--max-inflight", "1",
-                     "--workers", "1", "--output", str(out),
+                     "--worker-threads", "1", "--output", str(out),
                      "--spans-out", str(spans_out)]) == 0
         captured = capsys.readouterr().out
         assert "per-chunk feed latency" in captured
@@ -159,7 +159,7 @@ class TestServe:
         out = tmp_path / "BENCH_service.json"
         assert main(["bench-serve", "--sessions", "2", "--length", "400",
                      "--chunk-records", "64", "--max-inflight", "1",
-                     "--workers", "1", "--output", str(out),
+                     "--worker-threads", "1", "--output", str(out),
                      "--no-trace"]) == 0
         report = json.loads(out.read_text())
         assert not report["tracing"]

@@ -1,0 +1,487 @@
+"""Sharded service: router + engine worker processes, live migration.
+
+Headline property: a session served by the cluster stays bit-identical
+to offline ``simulate()`` even while it is live-migrated between worker
+processes mid-feed — the checkpoint hand-off (quiesce → atomic snapshot
+→ fingerprint-validated restore → route flip) is invisible in the
+numbers.  Alongside the end-to-end runs, hypothesis pins the consistent
+hashing contract the migration layer relies on: a key's placement moves
+only when its owning worker leaves the ring.
+"""
+
+import functools
+import json
+import threading
+import urllib.request
+
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.config import SimConfig
+from repro.errors import CheckpointMismatchError, ServiceError
+from repro.obs import attach_observability
+from repro.obs.health import DetectorVerdict, HealthReport
+from repro.prefetch.registry import make_prefetcher
+from repro.service.bench import ClusterThread
+from repro.service.checkpoint import (config_fingerprint, load_checkpoint,
+                                      restore_simulator)
+from repro.service.client import ServiceClient
+from repro.service.cluster import (HashRing, compose_health,
+                                   merge_span_summaries,
+                                   merge_worker_metrics)
+from repro.service.session import SessionManager
+from repro.sim.engine import SystemSimulator, channel_warmup_counts
+from repro.sim.runner import simulate
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+LENGTH = 2400
+SEED = 17
+EPOCH_RECORDS = 256
+CHUNK = 200
+
+
+@functools.lru_cache(maxsize=None)
+def _config():
+    return SimConfig.experiment_scale()
+
+
+@functools.lru_cache(maxsize=None)
+def _trace():
+    return generate_trace_buffer(get_profile("CFM"), LENGTH, seed=SEED,
+                                 layout=_config().layout)
+
+
+@functools.lru_cache(maxsize=None)
+def _warmup():
+    return channel_warmup_counts(_trace(), _config())
+
+
+@functools.lru_cache(maxsize=None)
+def _offline_metrics(prefetcher="planaria"):
+    return simulate(_trace(), prefetcher, workload_name="bench",
+                    config=_config()).metrics
+
+
+@functools.lru_cache(maxsize=None)
+def _offline_obs():
+    sim = SystemSimulator(
+        _config(),
+        lambda layout, channel: make_prefetcher("planaria", layout, channel))
+    obs = attach_observability(sim, epoch_records=EPOCH_RECORDS)
+    sim.set_stream_warmup(_warmup())
+    sim.feed(_trace())
+    return obs
+
+
+# ----------------------------------------------------------------------
+# Consistent hashing (pure, hypothesis-driven)
+# ----------------------------------------------------------------------
+worker_sets = st.sets(st.integers(min_value=0, max_value=40),
+                      min_size=2, max_size=8)
+keys = st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=30,
+                unique=True)
+
+
+class TestHashRing:
+    @given(workers=worker_sets, names=keys)
+    @hsettings(max_examples=60, deadline=None)
+    def test_keys_move_only_when_their_owner_leaves(self, workers, names):
+        ring = HashRing()
+        for worker in workers:
+            ring.add(worker)
+        before = {name: ring.owner(name) for name in names}
+        leaving = sorted(workers)[0]
+        ring.remove(leaving)
+        for name in names:
+            after = ring.owner(name)
+            if before[name] != leaving:
+                assert after == before[name], (
+                    f"{name!r} moved although its owner {before[name]} "
+                    f"stayed in the ring")
+            else:
+                assert after != leaving
+
+    @given(workers=worker_sets, names=keys,
+           joiner=st.integers(min_value=41, max_value=60))
+    @hsettings(max_examples=60, deadline=None)
+    def test_join_only_pulls_keys_to_the_new_worker(self, workers, names,
+                                                    joiner):
+        ring = HashRing()
+        for worker in workers:
+            ring.add(worker)
+        before = {name: ring.owner(name) for name in names}
+        ring.add(joiner)
+        for name in names:
+            after = ring.owner(name)
+            assert after == before[name] or after == joiner
+
+    @given(workers=worker_sets, names=keys)
+    @hsettings(max_examples=30, deadline=None)
+    def test_placement_is_deterministic(self, workers, names):
+        first, second = HashRing(), HashRing()
+        for worker in sorted(workers):
+            first.add(worker)
+        for worker in sorted(workers, reverse=True):
+            second.add(worker)
+        for name in names:
+            assert first.owner(name) == second.owner(name)
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ServiceError, match="no workers"):
+            HashRing().owner("anything")
+
+
+# ----------------------------------------------------------------------
+# Observability merge helpers (pure)
+# ----------------------------------------------------------------------
+class TestMergeWorkerMetrics:
+    def test_labels_injected_and_headers_deduplicated(self):
+        worker0 = ("# HELP planaria_up Up.\n"
+                   "# TYPE planaria_up gauge\n"
+                   'planaria_up{session="a"} 1\n'
+                   "planaria_total 5\n")
+        worker1 = ("# HELP planaria_up Up.\n"
+                   "# TYPE planaria_up gauge\n"
+                   'planaria_up{session="b"} 1\n'
+                   "planaria_total 7\n")
+        merged = merge_worker_metrics({0: worker0, 1: worker1})
+        assert merged.count("# HELP planaria_up") == 1
+        assert merged.count("# TYPE planaria_up") == 1
+        assert 'planaria_up{session="a",worker="0"} 1' in merged
+        assert 'planaria_up{session="b",worker="1"} 1' in merged
+        # Unlabelled samples gain a fresh label set.
+        assert 'planaria_total{worker="0"} 5' in merged
+        assert 'planaria_total{worker="1"} 7' in merged
+
+    def test_router_text_stays_unlabelled(self):
+        merged = merge_worker_metrics(
+            {0: "planaria_total 1\n"},
+            router_text="# HELP planaria_cluster_workers W.\n"
+                        "# TYPE planaria_cluster_workers gauge\n"
+                        "planaria_cluster_workers 3\n")
+        assert "planaria_cluster_workers 3" in merged
+        assert 'planaria_total{worker="0"} 1' in merged
+
+
+class TestMergeSpanSummaries:
+    def test_counts_sum_and_means_weight(self):
+        merged = merge_span_summaries([
+            {"request.feed": {"count": 3, "mean_us": 10.0, "max_us": 30.0,
+                              "p50_us": 9.0, "p95_us": 25.0, "p99_us": 29.0}},
+            {"request.feed": {"count": 1, "mean_us": 50.0, "max_us": 50.0,
+                              "p50_us": 50.0, "p95_us": 50.0,
+                              "p99_us": 50.0}},
+        ])
+        entry = merged["request.feed"]
+        assert entry["count"] == 4
+        assert entry["mean_us"] == pytest.approx(20.0)  # (3*10 + 1*50) / 4
+        assert entry["max_us"] == 50.0
+        assert entry["p95_us"] == 50.0  # max across processes (upper bound)
+
+
+class TestComposeHealth:
+    def _report(self, status="ok", detail="", ok=True):
+        return HealthReport(
+            status=status,
+            verdicts=[DetectorVerdict(detector="accuracy", ok=ok, value=0.5,
+                                      threshold=0.1, detail=detail)],
+            sessions={f"s-{status}": status})
+
+    def test_worst_status_wins_and_details_name_workers(self):
+        merged = compose_health(
+            {0: self._report(), 1: self._report("degraded", "bad", ok=False)},
+            unreachable=[])
+        assert merged.status == "degraded"
+        assert not merged.ok
+        details = [verdict.detail for verdict in merged.verdicts]
+        assert "worker 0" in details
+        assert "worker 1: bad" in details
+        assert set(merged.sessions) == {"s-ok", "s-degraded"}
+
+    def test_unreachable_worker_degrades_the_fleet(self):
+        merged = compose_health({0: self._report()}, unreachable=[1])
+        assert merged.status == "degraded"
+
+    def test_all_ok(self):
+        merged = compose_health({0: self._report(), 1: self._report()},
+                                unreachable=[])
+        assert merged.status == "ok" and merged.ok
+
+
+# ----------------------------------------------------------------------
+# Checkpoint fingerprint validation (satellite 2)
+# ----------------------------------------------------------------------
+class TestCheckpointMismatch:
+    def _checkpointed(self, tmp_path, prefetcher="planaria"):
+        manager = SessionManager(checkpoint_dir=tmp_path / "ckpt",
+                                 default_config=_config())
+        manager.open("sess", prefetcher, warmup_records=_warmup())
+        manager.feed("sess", _trace()[:400]).result()
+        manager.close("sess", delete_checkpoint=False)
+        return manager
+
+    def test_resume_with_other_prefetcher_names_both_fingerprints(
+            self, tmp_path):
+        manager = self._checkpointed(tmp_path)
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            manager.open("sess", "stride", resume=True)
+        error = excinfo.value
+        assert error.checkpoint_fingerprint == config_fingerprint(
+            "planaria", _config())
+        assert error.target_fingerprint == config_fingerprint(
+            "stride", _config())
+        assert error.checkpoint_fingerprint in str(error)
+        assert error.target_fingerprint in str(error)
+        assert "prefetcher" in str(error)
+        manager.shutdown(checkpoint=False)
+
+    def test_resume_with_other_config_refused(self, tmp_path):
+        manager = self._checkpointed(tmp_path)
+        import dataclasses
+
+        other = dataclasses.replace(
+            _config(), sc_hit_latency=_config().sc_hit_latency + 1)
+        with pytest.raises(CheckpointMismatchError, match="config differs"):
+            manager.open("sess", "planaria", config=other, resume=True)
+        manager.shutdown(checkpoint=False)
+
+    def test_matching_resume_still_works(self, tmp_path):
+        manager = self._checkpointed(tmp_path)
+        snapshot = manager.open("sess", "planaria", resume=True)
+        assert snapshot.records_fed == 400
+        manager.shutdown(checkpoint=False)
+
+    def test_restore_simulator_validates_when_target_given(self, tmp_path):
+        manager = self._checkpointed(tmp_path)
+        path = (tmp_path / "ckpt" / "sess.ckpt")
+        checkpoint = load_checkpoint(path)
+        restore_simulator(checkpoint, prefetcher="planaria",
+                          config=_config())  # must not raise
+        with pytest.raises(CheckpointMismatchError):
+            restore_simulator(checkpoint, prefetcher="bop")
+        manager.shutdown(checkpoint=False)
+
+
+# ----------------------------------------------------------------------
+# Cluster end to end (one shared two-worker fleet; spawns are slow)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    checkpoints = tmp_path_factory.mktemp("cluster-ckpt")
+    with ClusterThread(2, max_inflight_chunks=2, worker_threads=2,
+                       checkpoint_dir=str(checkpoints), tracing=True,
+                       metrics_port=0) as running:
+        yield running
+
+
+@pytest.fixture
+def client(cluster):
+    with ServiceClient.connect(port=cluster.port) as connected:
+        yield connected
+
+
+class TestClusterBitIdentity:
+    def test_session_migrated_twice_under_load_matches_offline(
+            self, cluster, client):
+        """The ISSUE's headline gate: continuous feed + two live
+        migrations, then RunMetrics AND epoch timelines must equal the
+        offline run exactly."""
+        trace = _trace()
+        name = "migrating"
+        client.open(name, "planaria", workload="bench", config=_config(),
+                    warmup_records=_warmup(), epoch_records=EPOCH_RECORDS)
+        moved = []
+        errors = []
+
+        def migrate_twice():
+            try:
+                with ServiceClient.connect(port=cluster.port) as control:
+                    for _ in range(2):
+                        result = control.migrate(name)
+                        assert result["migrated"], result
+                        moved.append(result["worker"])
+            except BaseException as exc:
+                errors.append(exc)
+
+        controller = threading.Thread(target=migrate_twice)
+        controller.start()
+        for start in range(0, len(trace), CHUNK):
+            client.feed(name, trace[start:start + CHUNK])
+        controller.join(timeout=120)
+        assert not errors, errors
+        assert len(moved) == 2 and moved[0] != moved[1]
+
+        epochs, _ = client.timeline(name, include_partial=True)
+        assert epochs == _offline_obs().merged_timeline(include_partial=True)
+        snapshot = client.close_session(name)
+        assert snapshot.metrics == _offline_metrics()
+
+    def test_sessions_spread_and_all_match_offline(self, cluster):
+        plan = [(f"spread-{i}", prefetcher) for i, prefetcher in
+                enumerate(("none", "stride", "planaria"))]
+        results = {}
+
+        def drive(name, prefetcher):
+            with ServiceClient.connect(port=cluster.port) as worker_client:
+                worker_client.open(name, prefetcher, workload="bench",
+                                   config=_config(),
+                                   warmup_records=_warmup())
+                worker_client.feed_trace(name, _trace(), chunk_records=CHUNK)
+                results[name] = worker_client.close_session(name).metrics
+
+        threads = [threading.Thread(target=drive, args=spec)
+                   for spec in plan]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert len(results) == len(plan)
+        for name, prefetcher in plan:
+            assert results[name] == _offline_metrics(prefetcher), name
+
+
+class TestClusterOps:
+    def test_explicit_migrate_to_named_worker(self, client):
+        client.open("pinned", "stride", workload="bench", config=_config(),
+                    warmup_records=_warmup())
+        client.feed("pinned", _trace()[:CHUNK])
+        here = next(entry["worker"] for entry
+                    in client.cluster()["workers"]
+                    if "pinned" in entry["sessions"])
+        target = 1 - here
+        result = client.migrate("pinned", target=target)
+        assert result["migrated"] and result["worker"] == target
+        # Migrating to the current owner is an acknowledged no-op.
+        again = client.migrate("pinned", target=target)
+        assert again["ok"] and not again["migrated"]
+        client.feed("pinned", _trace()[CHUNK:2 * CHUNK])
+        snapshot = client.close_session("pinned")
+        assert snapshot.records_fed == 2 * CHUNK
+
+    def test_migrate_unknown_session_fails(self, client):
+        with pytest.raises(ServiceError, match="no-such"):
+            client.migrate("no-such")
+
+    def test_cluster_topology(self, client):
+        topology = client.cluster()
+        assert [entry["worker"] for entry in topology["workers"]] == [0, 1]
+        assert all(entry["alive"] for entry in topology["workers"])
+        assert topology["router"]["worker_count"] == 2
+
+    def test_stats_aggregate_and_per_worker(self, client):
+        client.open("stat", "none", workload="bench", config=_config())
+        client.feed("stat", _trace()[:CHUNK])
+        stats = client.stats()
+        assert stats["stats"]["workers"] == 2
+        assert set(stats["workers"]) == {"0", "1"}
+        assert stats["stats"]["records_executed"] == sum(
+            entry["records_executed"]
+            for entry in stats["workers"].values())
+        client.close_session("stat")
+
+    def test_merged_metrics_carry_worker_labels(self, client):
+        client.open("metric", "none", workload="bench", config=_config())
+        client.feed("metric", _trace()[:CHUNK])
+        text = client.metrics_text()
+        assert 'worker="0"' in text or 'worker="1"' in text
+        assert "planaria_cluster_workers 2" in text
+        assert "planaria_cluster_migrations" in text
+        assert text.count("# HELP planaria_cluster_workers") == 1
+        client.close_session("metric")
+
+    def test_composed_health(self, client):
+        client.open("healthy", "planaria", workload="bench",
+                    config=_config(), warmup_records=_warmup())
+        client.feed("healthy", _trace()[:5 * CHUNK])
+        report = client.health()
+        assert report.status in ("ok", "degraded")
+        assert "healthy" in report.sessions
+        assert all("worker" in verdict.detail
+                   for verdict in report.verdicts)
+        client.close_session("healthy")
+
+    def test_router_spans_parent_the_worker_request(self, cluster):
+        with ServiceClient.connect(port=cluster.port,
+                                   tracing=True) as traced:
+            traced.open("traced", "none", workload="bench",
+                        config=_config())
+            traced.feed("traced", _trace()[:CHUNK])
+            traced.close_session("traced")
+            spans, summary = traced.server_spans()
+            client_spans = traced.client_spans()
+        forwards = [span for span in spans if span.name == "router.forward"]
+        assert forwards, "router recorded no forward hops"
+        client_feed = next(span for span in client_spans
+                           if span.name == "client.feed")
+        feed_hop = next(span for span in forwards
+                        if span.trace_id == client_feed.trace_id)
+        assert feed_hop.parent_id == client_feed.span_id
+        # The worker's request span continues the same trace under the
+        # router hop: client → router → worker, one causal chain.
+        worker_feed = next(span for span in spans
+                           if span.name == "request.feed"
+                           and span.trace_id == client_feed.trace_id)
+        assert worker_feed.parent_id == feed_hop.span_id
+        assert "router.forward" in summary
+
+    def test_http_metrics_and_healthz(self, cluster, client):
+        client.open("http", "none", workload="bench", config=_config())
+        client.feed("http", _trace()[:CHUNK])
+        base = f"http://127.0.0.1:{cluster.metrics_port}"
+        with urllib.request.urlopen(f"{base}/metrics", timeout=30) as reply:
+            text = reply.read().decode("utf-8")
+        assert "planaria_cluster_workers 2" in text
+        with urllib.request.urlopen(f"{base}/healthz", timeout=30) as reply:
+            payload = json.loads(reply.read().decode("utf-8"))
+        assert payload["status"] in ("ok", "degraded")
+        assert set(payload["workers"]) <= {"0", "1"}
+        assert payload["unreachable_workers"] == []
+        client.close_session("http")
+
+
+# ----------------------------------------------------------------------
+# Scale + drain (own fleets — they mutate topology)
+# ----------------------------------------------------------------------
+class TestScaleAndDrain:
+    def test_scale_up_rebalances_and_scale_down_drains_back(self, tmp_path):
+        with ClusterThread(1, max_inflight_chunks=2, worker_threads=2,
+                           checkpoint_dir=str(tmp_path / "ckpt")) as running:
+            with ServiceClient.connect(port=running.port) as client:
+                sessions = [f"scale-{i}" for i in range(4)]
+                for name in sessions:
+                    client.open(name, "stride", workload="bench",
+                                config=_config(), warmup_records=_warmup())
+                    client.feed(name, _trace()[:CHUNK])
+                grown = client.scale(3)
+                assert grown["workers"] == [0, 1, 2]
+                assert grown["added"] == [1, 2]
+                # Live rebalancing: sessions the ring now assigns to the
+                # joiners moved over via their checkpoints.
+                placed = {entry["worker"]: entry["sessions"]
+                          for entry in client.cluster()["workers"]}
+                assert sorted(sum(placed.values(), [])) == sorted(sessions)
+                for name in sessions:  # fleet survives a feed after move
+                    client.feed(name, _trace()[CHUNK:2 * CHUNK])
+                shrunk = client.scale(1)
+                assert shrunk["workers"] == [0]
+                assert shrunk["removed"] == [2, 1]
+                for name in sessions:
+                    client.feed(name, _trace()[2 * CHUNK:3 * CHUNK])
+                    snapshot = client.close_session(name)
+                    assert snapshot.records_fed == 3 * CHUNK
+                final = client.cluster()
+                assert final["router"]["worker_count"] == 1
+
+    def test_drain_checkpoints_open_sessions(self, tmp_path):
+        checkpoints = tmp_path / "ckpt"
+        with ClusterThread(2, max_inflight_chunks=2, worker_threads=2,
+                           checkpoint_dir=str(checkpoints)) as running:
+            with ServiceClient.connect(port=running.port) as client:
+                for name in ("drain-a", "drain-b", "drain-c"):
+                    client.open(name, "stride", workload="bench",
+                                config=_config(), warmup_records=_warmup())
+                    client.feed(name, _trace()[:CHUNK])
+        # ClusterThread.__exit__ drains the fleet: every open session
+        # must have been checkpointed by its worker on the way down.
+        saved = {path.stem for path in checkpoints.glob("*.ckpt")}
+        assert {"drain-a", "drain-b", "drain-c"} <= saved

@@ -189,11 +189,14 @@ class TestEvictionAndResume:
             assert mgr.snapshot("s").metrics == _offline_metrics("stride")
 
     def test_resume_rejects_prefetcher_mismatch(self, manager):
+        from repro.errors import CheckpointMismatchError
+
         manager.open("s", "stride")
         manager.feed("s", _trace()[:50]).result(timeout=30)
         manager.checkpoint("s")
         manager.close("s", delete_checkpoint=False)
-        with pytest.raises(ServiceError, match="checkpointed with"):
+        with pytest.raises(CheckpointMismatchError,
+                           match="refusing to load_state"):
             manager.open("s", "bop", resume=True)
 
     def test_close_deletes_checkpoint_by_default(self, manager):
