@@ -38,6 +38,7 @@ from repro.cache.block import CacheBlock, EvictionInfo
 from repro.cache.cache import _PLAIN_HIT, _PLAIN_MISS, AccessResult, CacheStats
 from repro.config import CacheConfig
 from repro.errors import SimulationError
+from repro.trace.record import DeviceID
 
 
 class ArrayCache:
@@ -76,6 +77,17 @@ class ArrayCache:
         # :meth:`tag_matrix` rebuilds on demand.
         self._tags_np = np.full(capacity, -1, dtype=np.int64)
         self._tags_stale = False
+        # Tenant way partitions (DeviceID value → local way indices), same
+        # rule as the scalar cache.  The fused batch loop refuses
+        # partitioned configs, but the scalar-API fill keeps the two
+        # classes drop-in interchangeable for direct callers.
+        self._partition_ways: Dict[int, tuple] = {
+            DeviceID[name].value: tuple(
+                way for way in range(config.associativity)
+                if (mask >> way) & 1)
+            for name, mask in (config.partition_masks()
+                               if config.way_partitions else {}).items()
+        }
         self.stats = CacheStats()
         self._occupancy = 0
         self._resident_prefetches = 0
@@ -178,12 +190,24 @@ class ArrayCache:
         prefetched: bool = False,
         source: Optional[str] = None,
         dirty: bool = False,
+        requester: Optional[int] = None,
     ) -> Optional[EvictionInfo]:
-        """Install a block; returns eviction info if a valid block fell out."""
+        """Install a block; returns eviction info if a valid block fell out.
+
+        ``requester`` restricts victim selection to the device's way
+        partition when one is configured — same contract as
+        :meth:`SetAssociativeCache.fill`.
+        """
         if block_addr in self._map:
             raise SimulationError(f"double fill of block {block_addr:#x}")
         set_index = block_addr & self._set_mask
         free = self._free[set_index]
+        allowed = (self._partition_ways.get(requester)
+                   if self._partition_ways else None)
+        if allowed is not None:
+            return self._fill_partitioned(block_addr, set_index, allowed,
+                                          ready_time, prefetched, source,
+                                          dirty)
         eviction: Optional[EvictionInfo] = None
         if free:
             way = free.pop(0)
@@ -192,6 +216,69 @@ class ArrayCache:
             base = set_index * self.associativity
             ages = self._touch[base:base + self.associativity]
             way = base + ages.index(min(ages))
+            victim_tag = self._tags[way]
+            del self._map[victim_tag]
+            eviction = EvictionInfo(
+                tag=victim_tag, dirty=self._dirty[way],
+                prefetched=self._prefetched[way], source=self._source[way],
+            )
+            if self._dirty[way]:
+                self.stats.writebacks += 1
+            if self._prefetched[way]:
+                self._resident_prefetches -= 1
+                if self._source[way] is not None:
+                    self.stats.prefetch_unused_evicted[self._source[way]] = (
+                        self.stats.prefetch_unused_evicted.get(
+                            self._source[way], 0) + 1
+                    )
+        self._tags[way] = block_addr
+        self._tags_np[way] = block_addr
+        self._map[block_addr] = way
+        self._dirty[way] = dirty
+        self._prefetched[way] = prefetched
+        self._source[way] = source if prefetched else None
+        self._ready[way] = ready_time
+        self._tick += 1
+        self._touch[way] = self._tick
+        if prefetched:
+            self._resident_prefetches += 1
+            self.stats.prefetch_fills += 1
+        else:
+            self.stats.demand_fills += 1
+        return eviction
+
+    def _fill_partitioned(
+        self,
+        block_addr: int,
+        set_index: int,
+        allowed: tuple,
+        ready_time: int,
+        prefetched: bool,
+        source: Optional[str],
+        dirty: bool,
+    ) -> Optional[EvictionInfo]:
+        """Fill restricted to a tenant partition: first invalid allowed way
+        wins, else LRU among the allowed ways (mirrors
+        :meth:`SetAssociativeCache._partition_victim`)."""
+        base = set_index * self.associativity
+        way = base + allowed[0]
+        oldest_touch = None
+        found_invalid = False
+        for local in allowed:
+            candidate = base + local
+            if self._tags[candidate] is None:
+                way = candidate
+                found_invalid = True
+                break
+            touch = self._touch[candidate]
+            if oldest_touch is None or touch < oldest_touch:
+                oldest_touch = touch
+                way = candidate
+        eviction: Optional[EvictionInfo] = None
+        if found_invalid:
+            self._free[set_index].remove(way)
+            self._occupancy += 1
+        else:
             victim_tag = self._tags[way]
             del self._map[victim_tag]
             eviction = EvictionInfo(

@@ -21,6 +21,7 @@ from repro.cache.replacement import make_policy
 from repro.cache.replacement.drrip import DRRIPPolicy
 from repro.config import CacheConfig
 from repro.errors import SimulationError
+from repro.trace.record import DeviceID
 
 
 @dataclass(frozen=True)
@@ -150,6 +151,17 @@ class SetAssociativeCache:
         ]
         self._drrip = (self.policy if isinstance(self.policy, DRRIPPolicy)
                        else None)
+        # Tenant way partitions: DeviceID value → tuple of way indices the
+        # device may *fill into* (lookups stay global — a resident block
+        # serves every tenant).  Empty when unpartitioned, which keeps the
+        # shared-mode fill path on the exact pre-partitioning code.
+        self._partition_ways: Dict[int, tuple] = {
+            DeviceID[name].value: tuple(
+                way for way in range(config.associativity)
+                if (mask >> way) & 1)
+            for name, mask in (config.partition_masks()
+                               if config.way_partitions else {}).items()
+        }
         # Incremental occupancy gauges; maintained by access/fill/invalidate
         # so timeline snapshots read them in O(1) instead of scanning
         # sets x ways.  Not checkpointed — load_state recomputes them.
@@ -247,8 +259,15 @@ class SetAssociativeCache:
         prefetched: bool = False,
         source: Optional[str] = None,
         dirty: bool = False,
+        requester: Optional[int] = None,
     ) -> Optional[EvictionInfo]:
         """Install a block; returns eviction info if a valid block fell out.
+
+        ``requester`` is the :class:`DeviceID` value of the tenant the fill
+        serves; when that device has a configured way partition, victim
+        selection is restricted to its allowed ways (LRU within the
+        partition).  Unpartitioned devices — and every fill when no
+        partitions are configured — use the global replacement policy.
 
         Raises:
             SimulationError: if the block is already present (the engine
@@ -259,7 +278,12 @@ class SetAssociativeCache:
         tag_map = self._tag_to_way[set_index]
         if block_addr in tag_map:
             raise SimulationError(f"double fill of block {block_addr:#x}")
-        victim_way = self.policy.victim(set_index, ways)
+        allowed = (self._partition_ways.get(requester)
+                   if self._partition_ways else None)
+        if allowed is None:
+            victim_way = self.policy.victim(set_index, ways)
+        else:
+            victim_way = self._partition_victim(ways, allowed)
         victim = ways[victim_way]
         eviction: Optional[EvictionInfo] = None
         if victim.valid:
@@ -292,6 +316,26 @@ class SetAssociativeCache:
         else:
             self.stats.demand_fills += 1
         return eviction
+
+    @staticmethod
+    def _partition_victim(ways: List[CacheBlock], allowed: tuple) -> int:
+        """LRU victim restricted to a tenant's allowed ways.
+
+        Same selection rule as :meth:`LRUPolicy.victim` (first invalid way
+        wins; otherwise lowest-index way with the minimum last_touch) over
+        the partition's way subset.
+        """
+        oldest_way = allowed[0]
+        oldest_touch = None
+        for index in allowed:
+            block = ways[index]
+            if block.tag is None:
+                return index
+            touch = block.last_touch
+            if oldest_touch is None or touch < oldest_touch:
+                oldest_touch = touch
+                oldest_way = index
+        return oldest_way
 
     # ------------------------------------------------------------------
     # Checkpoint support

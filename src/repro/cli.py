@@ -16,6 +16,9 @@ Commands
 * ``watch``      — poll a live service session's timeline.
 * ``serve``      — run the streaming simulation service (docs/service.md).
 * ``bench-serve``— benchmark the service path, writing BENCH_service.json.
+* ``multitenant``— merged multi-tenant contention study: shared vs
+  way-partitioned SC, per-tenant QoS deltas vs solo baselines, writing
+  BENCH_multitenant.json (docs/multitenant.md).
 
 All commands exit 130 on Ctrl-C (the conventional SIGINT code); ``serve``
 additionally drains and checkpoints open sessions on SIGTERM.
@@ -368,6 +371,51 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro multitenant`` default tenant mix: a CPU-tagged game alongside a
+#: GPU-tagged MOBA, equal lengths, distinct seeds.
+_DEFAULT_TENANTS = ("app=CFM,device=CPU,seed=1", "app=HoK,device=GPU,seed=2")
+
+
+def _cmd_multitenant(args: argparse.Namespace) -> int:
+    from repro.tenancy import TenantSpec, multitenant_experiment, write_bench
+
+    config = None
+    if args.sim_config:
+        from repro.config_io import load_sim_config
+
+        config = load_sim_config(args.sim_config)
+
+    prefetchers = args.prefetchers.split(",")
+    unknown = [name for name in prefetchers if name not in PREFETCHER_FACTORIES]
+    if unknown:
+        print(f"unknown prefetchers: {unknown}; "
+              f"known: {sorted(PREFETCHER_FACTORIES)}", file=sys.stderr)
+        return 2
+
+    texts = args.tenant or list(_DEFAULT_TENANTS)
+    specs = []
+    for text in texts:
+        spec = TenantSpec.parse(text)
+        if "length=" not in text:
+            spec = TenantSpec(app=spec.app, device=spec.device,
+                              length=args.length, seed=spec.seed,
+                              phase_offset=spec.phase_offset,
+                              intensity=spec.intensity)
+        specs.append(spec)
+
+    report = multitenant_experiment(specs, prefetchers, config=config)
+    print(report.format_table())
+    if args.output:
+        written = write_bench(report, args.output)
+        print(f"wrote {written}")
+    if args.export:
+        from repro.experiments.export import export_report
+
+        for written in export_report(report, args.export):
+            print(f"exported {written}")
+    return 0
+
+
 def _cmd_storage(args: argparse.Namespace) -> int:
     budget = planaria_storage_budget()
     print(budget.format_table())
@@ -596,6 +644,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="also dump recorded spans as Chrome "
                                   "trace-event JSON")
     bench_serve.set_defaults(handler=_cmd_bench_serve)
+
+    multitenant = commands.add_parser(
+        "multitenant",
+        help="merged-workload contention study: shared vs partitioned SC")
+    multitenant.add_argument(
+        "--tenant", action="append", metavar="SPEC",
+        help="one tenant as 'app=CFM,device=GPU[,length=N][,seed=N]"
+             "[,phase=N][,intensity=X]'; repeat per tenant (default: "
+             f"{' + '.join(_DEFAULT_TENANTS)})")
+    multitenant.add_argument("--prefetchers", default="none,planaria")
+    multitenant.add_argument("--length", type=int, default=30_000,
+                             help="records per tenant when the spec "
+                                  "doesn't say")
+    multitenant.add_argument("--sim-config", metavar="JSON",
+                             help="SimConfig JSON file (see repro.config_io)")
+    multitenant.add_argument("--output", default="BENCH_multitenant.json",
+                             metavar="FILE", help="report path ('' skips)")
+    multitenant.add_argument("--export", metavar="DIR",
+                             help="also write multitenant.csv/.json/.svg "
+                                  "into DIR")
+    multitenant.set_defaults(handler=_cmd_multitenant)
     return parser
 
 

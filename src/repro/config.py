@@ -39,6 +39,12 @@ class CacheConfig:
     block_size: int = 64
     replacement_policy: str = "lru"
     writeback: bool = True
+    #: Tenant way-partitioning: ``("CPU:0x3", "GPU:0xfffc", ...)`` entries,
+    #: each restricting fills *requested by* that device to the ways set in
+    #: the mask.  Empty (the default) means fully shared — bit-identical to
+    #: the unpartitioned cache.  String entries (rather than nested tuples)
+    #: survive the config JSON round-trip losslessly.
+    way_partitions: tuple = ()
 
     def __post_init__(self) -> None:
         _require(_is_power_of_two(self.block_size), f"block_size must be a power of two: {self.block_size}")
@@ -46,6 +52,45 @@ class CacheConfig:
         _require(self.size_bytes % (self.block_size * self.associativity) == 0,
                  "cache size must be a whole number of sets")
         _require(_is_power_of_two(self.num_sets), f"number of sets must be a power of two: {self.num_sets}")
+        if self.way_partitions:
+            _require(self.replacement_policy == "lru",
+                     "way_partitions require the lru replacement policy")
+            self.partition_masks()  # validate entries eagerly
+
+    def partition_masks(self) -> "dict[str, int]":
+        """Parse ``way_partitions`` into ``{device_name: way_mask}``.
+
+        Raises:
+            UnknownDeviceError: if an entry names a device outside
+                :class:`~repro.trace.record.DeviceID`.
+            ConfigError: on malformed entries, duplicate devices, or masks
+                that are zero / wider than the associativity.
+        """
+        from repro.errors import UnknownDeviceError
+        from repro.trace.record import DeviceID
+
+        valid = tuple(member.name for member in DeviceID)
+        masks: "dict[str, int]" = {}
+        for entry in self.way_partitions:
+            _require(isinstance(entry, str) and ":" in entry,
+                     f"way_partitions entry must be 'DEVICE:mask': {entry!r}")
+            device, _, raw_mask = entry.partition(":")
+            device = device.strip()
+            if device not in valid:
+                raise UnknownDeviceError(device, valid)
+            _require(device not in masks,
+                     f"duplicate way_partitions entry for device {device!r}")
+            try:
+                mask = int(raw_mask.strip(), 0)
+            except ValueError:
+                raise ConfigError(
+                    f"way_partitions mask must be an integer: {entry!r}"
+                ) from None
+            _require(0 < mask < (1 << self.associativity),
+                     f"way mask {raw_mask.strip()} for {device} must select "
+                     f"between 1 and {self.associativity} ways")
+            masks[device] = mask
+        return masks
 
     @property
     def num_sets(self) -> int:

@@ -49,6 +49,27 @@ class UnknownPrefetcherError(ConfigError, KeyError):
         return self.args[0]
 
 
+class UnknownDeviceError(ConfigError, KeyError):
+    """A device / tenant name is not a :class:`~repro.trace.record.DeviceID`.
+
+    Raised at the CLI and trace-merger boundaries (and by way-partition
+    validation) when a tenant is tagged with a device name outside the
+    enum; the message names the unknown device and lists every valid
+    member, mirroring :class:`UnknownPrefetcherError`.
+    """
+
+    def __init__(self, name: str, known: "tuple[str, ...]") -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown device {name!r}; valid devices: {', '.join(self.known)}"
+        )
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the lone argument; keep the message.
+        return self.args[0]
+
+
 class ServiceError(ReproError):
     """The streaming simulation service hit a protocol or session fault."""
 

@@ -30,7 +30,8 @@ TIMELINE_FORMAT = "planaria-timeline"
 
 #: EpochRecord fields holding {str: number} tables (JSON cells in CSV).
 _DICT_FIELDS = ("useful_by_source", "fills_by_source", "device_reads",
-                "device_read_latency_total")
+                "device_read_latency_total", "device_accesses",
+                "device_hits")
 #: EpochRecord fields holding floats; every other scalar field is an int.
 _FLOAT_FIELDS = ("read_latency_total",)
 
@@ -224,6 +225,16 @@ METRIC_HELP: Dict[str, str] = {
         "Sessions with a live routing entry on the router.",
     "cluster_migrations":
         "Checkpoint-based session migrations completed by the router.",
+    "tenant_accesses":
+        "Demand accesses attributed to the tenant device (post-warmup).",
+    "tenant_hits": "Demand hits attributed to the tenant device.",
+    "tenant_hit_rate": "Demand hit rate of the tenant device's accesses.",
+    "tenant_amat_cycles":
+        "Mean demand-read latency of the tenant device, cycles.",
+    "tenant_dram_reads":
+        "DRAM fetches caused by the tenant device's demand misses.",
+    "tenant_useful_prefetches":
+        "Prefetched blocks consumed by the tenant device's accesses.",
 }
 
 
@@ -313,6 +324,18 @@ def snapshot_samples(name: str, snapshot) -> List[Sample]:
     for source, useful in sorted(metrics.prefetch_useful_by_source.items()):
         samples.append(("prefetch_useful_by_source",
                         {**labels, "source": source}, useful, "counter"))
+    for device, stats in sorted(metrics.tenant_stats.items()):
+        tenant_labels = {**labels, "device": device}
+        samples.extend([
+            ("tenant_accesses", tenant_labels, stats["accesses"], "counter"),
+            ("tenant_hits", tenant_labels, stats["hits"], "counter"),
+            ("tenant_hit_rate", tenant_labels, stats["hit_rate"], "gauge"),
+            ("tenant_amat_cycles", tenant_labels, stats["amat"], "gauge"),
+            ("tenant_dram_reads", tenant_labels, stats["dram_reads"],
+             "counter"),
+            ("tenant_useful_prefetches", tenant_labels,
+             stats["useful_prefetches"], "counter"),
+        ])
     return samples
 
 

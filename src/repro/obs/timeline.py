@@ -103,6 +103,11 @@ class EpochRecord:
     fills_by_source: Dict[str, int] = field(default_factory=dict)
     device_reads: Dict[str, int] = field(default_factory=dict)
     device_read_latency_total: Dict[str, float] = field(default_factory=dict)
+    # Per-tenant demand attribution (epoch deltas of
+    # ``MetricSet.device_demand``; defaults keep schema version 1
+    # loading pre-tenancy payloads).
+    device_accesses: Dict[str, int] = field(default_factory=dict)
+    device_hits: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived per-epoch figures
@@ -222,6 +227,12 @@ def capture_channel(sim) -> dict:
         "device_read_latency_total": {
             device: stats.mean * stats.count
             for device, stats in metrics.device_read_latency.items()},
+        "device_accesses": {
+            device: counts[0]
+            for device, counts in metrics.device_demand.items()},
+        "device_hits": {
+            device: counts[1]
+            for device, counts in metrics.device_demand.items()},
     }
     slp_issued = tlp_issued = 0
     coord_slp = coord_tlp = coord_neither = 0
@@ -251,7 +262,8 @@ _INSTANT_KEYS = ("queue_depth", "dram_outstanding", "cache_occupancy",
 #: Capture keys handled explicitly by :func:`_delta_epoch`.
 _SPECIAL_KEYS = _INSTANT_KEYS + (
     "records_seen", "last_time", "useful_by_source", "fills_by_source",
-    "device_reads", "device_read_latency_total")
+    "device_reads", "device_read_latency_total", "device_accesses",
+    "device_hits")
 
 
 def _dict_delta(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
@@ -282,6 +294,10 @@ def _delta_epoch(before: dict, after: dict, epoch: int,
         "device_read_latency_total": _dict_delta(
             before["device_read_latency_total"],
             after["device_read_latency_total"]),
+        "device_accesses": _dict_delta(before.get("device_accesses", {}),
+                                       after.get("device_accesses", {})),
+        "device_hits": _dict_delta(before.get("device_hits", {}),
+                                   after.get("device_hits", {})),
     }
     for key in _INSTANT_KEYS:
         fields[key] = after[key]

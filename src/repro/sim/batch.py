@@ -503,6 +503,12 @@ def _run_passive(sim, block_addrs, times, read_col, device_col,
             dev_m2[value] = seeded._m2
             dev_min[value] = seeded.min
             dev_max[value] = seeded.max
+    # Per-device demand counters ([accesses, hits, useful, dram]): the
+    # count lists live in metrics.device_demand itself, cached here by
+    # device value; first-use insertion reproduces the scalar dict's
+    # first-seen key order by construction.
+    device_demand = metrics.device_demand
+    dev_demand = [device_demand.get(name) for name in device_names]
 
     try:
         if cut:
@@ -646,11 +652,26 @@ def _run_passive(sim, block_addrs, times, read_col, device_col,
                                 dev_m2[device_value] += delta * (
                                     hit_latency - dm)
                                 dev_const[device_value] = True
+                                dd = dev_demand[device_value]
+                                if dd is None:
+                                    dd = [0, 0, 0, 0]
+                                    device_demand[
+                                        device_names[device_value]] = dd
+                                    dev_demand[device_value] = dd
+                                dd[0] += 1
+                                dd[1] += 1
                                 continue
                             # Delayed hit: still in flight — counts as a
                             # miss, latency covers the residual wait.
                             n_delayed += 1
                             latency = hit_latency + (ready_at - now)
+                            dd = dev_demand[device_value]
+                            if dd is None:
+                                dd = [0, 0, 0, 0]
+                                device_demand[
+                                    device_names[device_value]] = dd
+                                dev_demand[device_value] = dd
+                            dd[0] += 1
                         else:
                             dirty[way] = True
                             ready_at = ready[way]
@@ -660,6 +681,14 @@ def _run_passive(sim, block_addrs, times, read_col, device_col,
                                 delta = hit_latency - a_mean
                                 a_mean += delta / a_count
                                 a_m2 += delta * (hit_latency - a_mean)
+                                dd = dev_demand[device_value]
+                                if dd is None:
+                                    dd = [0, 0, 0, 0]
+                                    device_demand[
+                                        device_names[device_value]] = dd
+                                    dev_demand[device_value] = dd
+                                dd[0] += 1
+                                dd[1] += 1
                                 continue
                             n_delayed += 1
                             latency = hit_latency + (ready_at - now)
@@ -671,6 +700,13 @@ def _run_passive(sim, block_addrs, times, read_col, device_col,
                                 a_min = latency
                             if a_max is None or latency > a_max:
                                 a_max = latency
+                            dd = dev_demand[device_value]
+                            if dd is None:
+                                dd = [0, 0, 0, 0]
+                                device_demand[
+                                    device_names[device_value]] = dd
+                                dev_demand[device_value] = dd
+                            dd[0] += 1
                             continue
                     else:
                         # Demand miss → DRAM read (service_scalar inlined;
@@ -858,6 +894,13 @@ def _run_passive(sim, block_addrs, times, read_col, device_col,
                         ready[way] = completion
                         tick += 1
                         touch[way] = tick
+                        dd = dev_demand[device_value]
+                        if dd is None:
+                            dd = [0, 0, 0, 0]
+                            device_demand[device_names[device_value]] = dd
+                            dev_demand[device_value] = dd
+                        dd[0] += 1
+                        dd[3] += 1
                         if not is_read:
                             # Write miss: store buffered, constant latency.
                             const_seen = True
@@ -1080,6 +1123,9 @@ def _run_active(sim, block_addrs, page_col, offset_col, chan_col,
     devices = [_DEVICE_BY_VALUE[value] for value in range(device_count)]
     device_names = [device.name for device in devices]
     dev_stats = [device_latency.get(name) for name in device_names]
+    # Per-device demand counters, direct-dict (see _run_passive).
+    device_demand = metrics.device_demand
+    dev_demand = [device_demand.get(name) for name in device_names]
 
     hit_latency = sim.config.sc_hit_latency
     hit_bucket = int(hit_latency // bucket_width)
@@ -1129,6 +1175,7 @@ def _run_active(sim, block_addrs, page_col, offset_col, chan_col,
                             prefetch_source, 0) + 1
                     else:
                         prefetch_source = None
+                    went_dram = False
                     ready_at = ready[way]
                     if ready_at > now:
                         hit = False
@@ -1143,6 +1190,7 @@ def _run_active(sim, block_addrs, page_col, offset_col, chan_col,
                 else:
                     hit = False
                     prefetch_source = None
+                    went_dram = True
                     completion = dram_service(block_addr, now, 0, "")
                     set_index = block_addr & set_mask
                     free = free_lists[set_index]
@@ -1179,6 +1227,18 @@ def _run_active(sim, block_addrs, page_col, offset_col, chan_col,
                         latency = hit_latency
 
                 if record_metrics:
+                    dd = dev_demand[device_value]
+                    if dd is None:
+                        dd = [0, 0, 0, 0]
+                        device_demand[device_names[device_value]] = dd
+                        dev_demand[device_value] = dd
+                    dd[0] += 1
+                    if hit:
+                        dd[1] += 1
+                    if prefetch_source is not None:
+                        dd[2] += 1
+                    if went_dram:
+                        dd[3] += 1
                     a_count += 1
                     delta = latency - a_mean
                     a_mean += delta / a_count

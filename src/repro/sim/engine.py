@@ -88,9 +88,17 @@ class ChannelSimulator:
                 f"unknown engine_mode {engine_mode!r}; "
                 "expected 'auto', 'scalar' or 'batch'")
         if engine_mode == "auto":
+            # Batch needs LRU and an unpartitioned cache: the fused loops
+            # inline the global free-list/min-touch victim pick, which a
+            # tenant way partition would override per fill.
             engine_mode = ("batch"
                            if config.cache.replacement_policy == "lru"
+                           and not config.cache.way_partitions
                            else "scalar")
+        elif engine_mode == "batch" and config.cache.way_partitions:
+            raise SimulationError(
+                "engine_mode='batch' does not support way_partitions; "
+                "use 'auto' or 'scalar'")
         self.engine_mode = engine_mode
         self.channel = channel
         self.config = config
@@ -159,12 +167,14 @@ class ChannelSimulator:
         result = self.cache.access(access.block_addr, now,
                                    is_write=not access.is_read)
 
+        went_dram = False
         if result.hit:
             latency = self.config.sc_hit_latency
         elif result.delayed:
             # Data already in flight (MSHR merge or late prefetch).
             latency = self.config.sc_hit_latency + result.wait_cycles
         else:
+            went_dram = True
             completion = self.dram.service(MemRequest(
                 block_addr=access.block_addr,
                 arrival_time=now,
@@ -173,6 +183,7 @@ class ChannelSimulator:
             eviction = self.cache.fill(
                 access.block_addr, now, ready_time=completion,
                 dirty=not access.is_read,
+                requester=access.device.value,
             )
             self._handle_eviction(eviction, now)
             if access.is_read:
@@ -183,7 +194,10 @@ class ChannelSimulator:
 
         if record_metrics:
             self.metrics.record(latency, access.is_read,
-                                device=access.device.name)
+                                device=access.device.name,
+                                hit=result.hit,
+                                useful=result.prefetch_source is not None,
+                                dram=went_dram)
 
         if result.prefetch_source is not None:
             self.prefetcher.notify_useful()
@@ -197,10 +211,14 @@ class ChannelSimulator:
         if candidates:
             accepted = self.queue.push(candidates)
             if accepted:
-                self._service_prefetches(now)
+                self._service_prefetches(now, requester=access.device.value)
         return latency
 
-    def _service_prefetches(self, now: int) -> None:
+    def _service_prefetches(self, now: int,
+                            requester: Optional[int] = None) -> None:
+        # Prefetch fills land in the triggering tenant's partition (when
+        # partitions are configured): the prefetcher acted on that
+        # device's demand stream, so the speculative block is its budget.
         if not self.config.prefetch_fill_sc:
             self.queue.pop_all()
             return
@@ -213,6 +231,7 @@ class ChannelSimulator:
             eviction = self.cache.fill(
                 candidate.block_addr, now, ready_time=completion,
                 prefetched=True, source=candidate.source,
+                requester=requester,
             )
             self._handle_eviction(eviction, now)
 
@@ -344,22 +363,34 @@ class ChannelSimulator:
                 result = cache_access(block_addr, now, is_write=not is_read)
                 if result is _PLAIN_HIT:
                     latency = sc_hit_latency
+                    hit_f = True
+                    useful_f = False
+                    dram_f = False
                 elif result is _PLAIN_MISS:
                     completion = dram_service(block_addr, now, demand_read)
                     eviction = cache_fill(block_addr, now, completion,
-                                          False, None, not is_read)
+                                          False, None, not is_read,
+                                          device_value)
                     if eviction is not None:
                         handle_eviction(eviction, now)
                     if is_read:
                         latency = sc_hit_latency + (completion - now)
                     else:
                         latency = sc_hit_latency
+                    hit_f = False
+                    useful_f = False
+                    dram_f = True
                 else:
-                    # Delayed hit (MSHR merge of an in-flight demand fill).
+                    # Delayed hit (MSHR merge of an in-flight demand fill)
+                    # or a prefetched block restored from a checkpoint.
                     latency = sc_hit_latency + result.wait_cycles
+                    hit_f = result.hit
+                    useful_f = result.prefetch_source is not None
+                    dram_f = False
                 if record_metrics:
                     metrics_record(latency, is_read,
-                                   device=device_names[device_value])
+                                   device=device_names[device_value],
+                                   hit=hit_f, useful=useful_f, dram=dram_f)
             self._records_seen = records_seen
             self._last_time = last_time
             self.finish()
@@ -390,13 +421,16 @@ class ChannelSimulator:
             if result is _PLAIN_HIT:
                 hit = True
                 prefetch_source = None
+                went_dram = False
                 latency = sc_hit_latency
             elif result is _PLAIN_MISS:
                 hit = False
                 prefetch_source = None
+                went_dram = True
                 completion = dram_service(block_addr, now, demand_read)
                 eviction = cache_fill(block_addr, now, completion,
-                                      False, None, not is_read)
+                                      False, None, not is_read,
+                                      device_value)
                 if eviction is not None:
                     handle_eviction(eviction, now)
                 if is_read:
@@ -408,14 +442,17 @@ class ChannelSimulator:
                 # decode, mirroring step().
                 hit = result.hit
                 prefetch_source = result.prefetch_source
+                went_dram = False
                 if hit:
                     latency = sc_hit_latency
                 elif result.delayed:
                     latency = sc_hit_latency + result.wait_cycles
                 else:
+                    went_dram = True
                     completion = dram_service(block_addr, now, demand_read)
                     eviction = cache_fill(block_addr, now, completion,
-                                          False, None, not is_read)
+                                          False, None, not is_read,
+                                          device_value)
                     if eviction is not None:
                         handle_eviction(eviction, now)
                     if is_read:
@@ -425,7 +462,10 @@ class ChannelSimulator:
 
             if record_metrics:
                 metrics_record(latency, is_read,
-                               device=device_names[device_value])
+                               device=device_names[device_value],
+                               hit=hit,
+                               useful=prefetch_source is not None,
+                               dram=went_dram)
 
             if prefetch_source is not None:
                 notify_useful()
@@ -434,7 +474,7 @@ class ChannelSimulator:
             candidates = issue(access, hit, hit and prefetch_source is not None)
             if candidates:
                 if queue_push(candidates):
-                    service_prefetches(now)
+                    service_prefetches(now, device_value)
 
         self._records_seen = records_seen
         self._last_time = last_time

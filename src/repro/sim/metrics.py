@@ -40,9 +40,28 @@ class MetricSet:
     all_latency: RunningStats = field(default_factory=RunningStats)
     latency_histogram: Histogram = field(default_factory=lambda: Histogram(25.0))
     device_read_latency: Dict[str, RunningStats] = field(default_factory=dict)
+    #: Per-device demand counters ``[accesses, hits, useful_prefetches,
+    #: dram_reads]`` over *all* post-warmup accesses (reads and writes) —
+    #: the tenant-attribution substrate.  A hit is a plain hit only
+    #: (delayed hits count as misses, matching CacheStats); useful means
+    #: the access consumed a prefetched block; dram means the access
+    #: itself fetched from DRAM (including write fetch-for-ownership).
+    device_demand: Dict[str, list] = field(default_factory=dict)
 
     def record(self, latency: int, is_read: bool,
-               device: Optional[str] = None) -> None:
+               device: Optional[str] = None, hit: bool = False,
+               useful: bool = False, dram: bool = False) -> None:
+        if device is not None:
+            demand = self.device_demand.get(device)
+            if demand is None:
+                demand = self.device_demand[device] = [0, 0, 0, 0]
+            demand[0] += 1
+            if hit:
+                demand[1] += 1
+            if useful:
+                demand[2] += 1
+            if dram:
+                demand[3] += 1
         # The two unconditional RunningStats updates and the histogram are
         # inlined (same Welford operations in the same order as
         # RunningStats.add / Histogram.add, so results are bit-identical):
@@ -97,6 +116,10 @@ class MetricSet:
                 device: stats.state_dict()
                 for device, stats in self.device_read_latency.items()
             },
+            "device_demand": {
+                device: list(counts)
+                for device, counts in self.device_demand.items()
+            },
         }
 
     def load_state(self, state: dict) -> None:
@@ -110,6 +133,11 @@ class MetricSet:
             stats = RunningStats()
             stats.load_state(saved)
             self.device_read_latency[device] = stats
+        # Absent in checkpoints written before tenant attribution existed.
+        self.device_demand = {
+            device: list(counts)
+            for device, counts in state.get("device_demand", {}).items()
+        }
 
     def merge(self, other: "MetricSet") -> None:
         self.demand_reads += other.demand_reads
@@ -122,6 +150,13 @@ class MetricSet:
             if mine is None:
                 mine = self.device_read_latency[device] = RunningStats()
             mine.merge(stats)
+        for device, counts in other.device_demand.items():
+            mine_counts = self.device_demand.get(device)
+            if mine_counts is None:
+                self.device_demand[device] = list(counts)
+            else:
+                for index, value in enumerate(counts):
+                    mine_counts[index] += value
 
 
 @dataclass(frozen=True)
@@ -151,6 +186,13 @@ class RunMetrics:
     #: JSON hop bit-exactly.
     device_read_stats: Dict[str, Dict[str, float]] = field(
         default_factory=dict)
+    #: Per-tenant QoS breakdown keyed by device name: accesses, hits,
+    #: hit_rate, reads, amat (mean demand-read latency), useful_prefetches
+    #: and dram_reads — the multi-tenant companion to the aggregate
+    #: metrics above.  Plain dicts for lossless service JSON transport;
+    #: empty for runs recorded before tenant attribution existed, so old
+    #: payloads still deserialize.
+    tenant_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def accuracy(self) -> float:

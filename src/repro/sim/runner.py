@@ -106,7 +106,33 @@ def _collect(simulator: SystemSimulator, workload: str,
             for device, stats in sorted(
                 channel_metrics.device_read_latency.items())
         },
+        tenant_stats=_tenant_stats(channel_metrics),
     )
+
+
+def _tenant_stats(channel_metrics) -> Dict[str, Dict[str, float]]:
+    """Per-tenant QoS table from the merged per-device demand counters.
+
+    One entry per device seen post-warmup, in sorted device order (same
+    convention as ``device_read_stats``): demand accesses/hits/hit_rate
+    over reads *and* writes, read count + per-tenant AMAT (mean demand-read
+    latency), prefetches the tenant consumed, and DRAM fetches its misses
+    caused.
+    """
+    tenants: Dict[str, Dict[str, float]] = {}
+    for device, counts in sorted(channel_metrics.device_demand.items()):
+        accesses, hits, useful, dram_reads = counts
+        read_stats = channel_metrics.device_read_latency.get(device)
+        tenants[device] = {
+            "accesses": accesses,
+            "hits": hits,
+            "hit_rate": hits / accesses if accesses else 0.0,
+            "reads": read_stats.count if read_stats is not None else 0,
+            "amat": read_stats.mean if read_stats is not None else 0.0,
+            "useful_prefetches": useful,
+            "dram_reads": dram_reads,
+        }
+    return tenants
 
 
 def run_workload(abbr_or_profile, prefetcher_name: str,

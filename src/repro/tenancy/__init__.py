@@ -1,0 +1,45 @@
+"""Multi-tenant workload composition for the shared system cache.
+
+The paper's premise is one SC serving CPU+GPU+NPU+ISP+DSP traffic at
+once; this package composes that mixed traffic from the single-app
+synthetic generators:
+
+* :mod:`repro.tenancy.spec` — :class:`TenantSpec`: one tenant = one app
+  profile pinned to a device ID, with its own length/seed and a phase
+  offset + intensity ratio that reclock its arrival times.
+* :mod:`repro.tenancy.merge` — deterministic trace merging: reclock,
+  retag, stable time-ordered interleave (:func:`merge_traces`), exact
+  per-tenant extraction (:func:`extract_tenant`) and the checkpointable
+  :class:`StreamingTraceMerger` for feeding the service in chunks.
+* :mod:`repro.tenancy.qos` — per-tenant QoS tables from
+  :class:`~repro.sim.metrics.RunMetrics.tenant_stats` and interference
+  deltas vs solo baselines.
+* :mod:`repro.tenancy.experiment` — the shared-vs-partitioned contention
+  study behind the ``repro multitenant`` CLI verb and
+  ``BENCH_multitenant.json``.
+"""
+
+from repro.tenancy.merge import (
+    StreamingTraceMerger,
+    extract_tenant,
+    merge_buffers,
+    merge_traces,
+    tenant_trace,
+)
+from repro.tenancy.qos import interference_deltas, tenant_qos
+from repro.tenancy.spec import TenantSpec, default_way_partitions
+from repro.tenancy.experiment import multitenant_experiment, write_bench
+
+__all__ = [
+    "TenantSpec",
+    "default_way_partitions",
+    "tenant_trace",
+    "merge_buffers",
+    "merge_traces",
+    "extract_tenant",
+    "StreamingTraceMerger",
+    "tenant_qos",
+    "interference_deltas",
+    "multitenant_experiment",
+    "write_bench",
+]

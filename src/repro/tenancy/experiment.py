@@ -1,0 +1,155 @@
+"""The shared-vs-partitioned SC contention study.
+
+For each prefetcher the experiment runs three configurations over the
+same tenant set:
+
+1. **solo** — each tenant alone on the SC (its reclocked trace, nothing
+   else): the per-tenant QoS baseline.
+2. **shared** — the merged workload on the default fully-shared SC.
+3. **partitioned** — the merged workload with the ways split evenly
+   across tenants (:func:`~repro.tenancy.spec.default_way_partitions`).
+
+The report's rows carry each tenant's hit rate / AMAT per mode with
+deltas vs its solo baseline; the ``details`` side-tables hold the full
+interference matrices.  ``repro multitenant`` renders the table and
+:func:`write_bench` freezes the whole document as
+``BENCH_multitenant.json`` for CI trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.config import SimConfig
+from repro.experiments.report import ExperimentReport
+from repro.sim.metrics import RunMetrics
+from repro.sim.runner import simulate
+from repro.tenancy.merge import merge_traces, tenant_trace
+from repro.tenancy.qos import interference_deltas, tenant_qos
+from repro.tenancy.spec import TenantSpec, default_way_partitions
+
+DEFAULT_PREFETCHERS = ("none", "planaria")
+
+COLUMNS = ["run", "tenant", "hit_rate", "amat",
+           "hit_rate_delta", "amat_delta"]
+
+
+def partitioned_config(config: SimConfig,
+                       specs: Sequence[TenantSpec]) -> SimConfig:
+    """``config`` with the SC ways split evenly across ``specs``."""
+    partitions = default_way_partitions(specs, config.cache.associativity)
+    return replace(config, cache=replace(config.cache,
+                                         way_partitions=partitions))
+
+
+def _solo_baselines(specs: Sequence[TenantSpec], prefetcher: str,
+                    config: SimConfig) -> Dict[str, RunMetrics]:
+    return {
+        spec.device: simulate(tenant_trace(spec, config.layout), prefetcher,
+                              workload_name=spec.name,
+                              config=config).metrics
+        for spec in specs
+    }
+
+
+def multitenant_experiment(
+    specs: Sequence[TenantSpec],
+    prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
+    config: Optional[SimConfig] = None,
+) -> ExperimentReport:
+    """Run the contention study and assemble the report.
+
+    One row per (prefetcher, mode, tenant); ``details`` carries the
+    interference matrices and the per-tenant solo QoS tables; ``summary``
+    averages each mode's AMAT/hit-rate interference across prefetchers
+    and tenants, plus the headline ``partition_amat_delta_reduction`` —
+    how much of the shared-mode AMAT interference way-partitioning
+    removes.
+    """
+    config = config or SimConfig.experiment_scale()
+    specs = list(specs)
+    merged = merge_traces(specs, config.layout)
+    part_config = partitioned_config(config, specs)
+    tenant_names = {spec.device: spec.name for spec in specs}
+
+    report = ExperimentReport(
+        experiment_id="multitenant",
+        title="shared vs way-partitioned SC under a merged "
+              f"{len(specs)}-tenant workload",
+        columns=list(COLUMNS),
+    )
+    matrices: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    shared_deltas = {"hit_rate": [], "amat": []}
+    part_deltas = {"hit_rate": [], "amat": []}
+
+    for prefetcher in prefetchers:
+        solo = _solo_baselines(specs, prefetcher, config)
+        shared = simulate(merged, prefetcher, workload_name="merged",
+                          config=config).metrics
+        partitioned = simulate(merged, prefetcher, workload_name="merged",
+                               config=part_config).metrics
+        modes = {
+            "shared": interference_deltas(solo, shared),
+            "partitioned": interference_deltas(solo, partitioned),
+        }
+        matrices[prefetcher] = modes
+        matrices[prefetcher]["solo_qos"] = {
+            device: tenant_qos(metrics).get(device, {})
+            for device, metrics in sorted(solo.items())
+        }
+        for mode, sink in (("shared", shared_deltas),
+                           ("partitioned", part_deltas)):
+            for device in sorted(modes[mode]):
+                entry = modes[mode][device]
+                report.add_row([
+                    f"{prefetcher}/{mode}",
+                    tenant_names.get(device, device),
+                    entry["merged_hit_rate"],
+                    entry["merged_amat"],
+                    entry["hit_rate_delta"],
+                    entry["amat_delta"],
+                ])
+                sink["hit_rate"].append(entry["hit_rate_delta"])
+                sink["amat"].append(entry["amat_delta"])
+
+    def _mean(values):
+        return sum(values) / len(values) if values else 0.0
+
+    shared_amat = _mean(shared_deltas["amat"])
+    part_amat = _mean(part_deltas["amat"])
+    report.summary = {
+        "tenants": len(specs),
+        "shared_hit_rate_delta_mean": _mean(shared_deltas["hit_rate"]),
+        "shared_amat_delta_mean": shared_amat,
+        "partitioned_hit_rate_delta_mean": _mean(part_deltas["hit_rate"]),
+        "partitioned_amat_delta_mean": part_amat,
+        "partition_amat_delta_reduction": shared_amat - part_amat,
+    }
+    report.details["interference"] = matrices
+    report.details["tenants"] = {
+        spec.device: {"app": spec.app, "length": spec.length,
+                      "seed": spec.seed, "phase_offset": spec.phase_offset,
+                      "intensity": spec.intensity}
+        for spec in specs
+    }
+    report.details["way_partitions"] = list(
+        part_config.cache.way_partitions)
+    return report
+
+
+def write_bench(report: ExperimentReport, path) -> Path:
+    """Freeze the report as the ``BENCH_multitenant.json`` artifact."""
+    path = Path(path)
+    document = {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "columns": report.columns,
+        "rows": report.rows,
+        "summary": report.summary,
+        "details": report.details,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,67 @@
+"""Per-tenant QoS views and interference deltas.
+
+The engine attributes demand traffic per device tag
+(:attr:`~repro.sim.metrics.MetricSet.device_demand`), and the runner
+condenses that into :attr:`~repro.sim.metrics.RunMetrics.tenant_stats`.
+This module turns those tables into the numbers the contention study
+reports: each tenant's QoS under a merged workload, and how far it moved
+from the tenant's solo baseline (the interference delta).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.sim.metrics import RunMetrics
+
+#: tenant_stats keys carried through to QoS rows, in report order.
+QOS_FIELDS = ("accesses", "hits", "hit_rate", "reads", "amat",
+              "useful_prefetches", "dram_reads")
+
+
+def tenant_qos(metrics: RunMetrics) -> Dict[str, Dict[str, float]]:
+    """The per-tenant QoS table of one run, keyed by device name.
+
+    A thin, copying accessor over ``metrics.tenant_stats`` (sorted device
+    order) so report code never mutates the run's own payload.
+    """
+    return {
+        device: {field: stats.get(field, 0) for field in QOS_FIELDS}
+        for device, stats in sorted(metrics.tenant_stats.items())
+    }
+
+
+def interference_deltas(
+    solo: Mapping[str, RunMetrics], merged: RunMetrics,
+) -> Dict[str, Dict[str, float]]:
+    """How each tenant's QoS moved from solo to the merged workload.
+
+    Args:
+        solo: per-device baselines — each tenant simulated alone (same
+            reclocked trace it contributes to the merge).
+        merged: the co-scheduled run.
+
+    Returns:
+        Per-device dicts: solo/merged hit_rate and AMAT plus their deltas
+        (``merged - solo``; a positive ``amat_delta`` is a slowdown, a
+        negative ``hit_rate_delta`` is lost hits).  Plain floats, ready
+        for JSON export.
+    """
+    merged_qos = tenant_qos(merged)
+    deltas: Dict[str, Dict[str, float]] = {}
+    for device in sorted(solo):
+        solo_stats = solo[device].tenant_stats.get(device, {})
+        merged_stats = merged_qos.get(device, {})
+        solo_hit = solo_stats.get("hit_rate", 0.0)
+        solo_amat = solo_stats.get("amat", 0.0)
+        merged_hit = merged_stats.get("hit_rate", 0.0)
+        merged_amat = merged_stats.get("amat", 0.0)
+        deltas[device] = {
+            "solo_hit_rate": solo_hit,
+            "merged_hit_rate": merged_hit,
+            "hit_rate_delta": merged_hit - solo_hit,
+            "solo_amat": solo_amat,
+            "merged_amat": merged_amat,
+            "amat_delta": merged_amat - solo_amat,
+        }
+    return deltas

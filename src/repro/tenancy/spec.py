@@ -1,0 +1,143 @@
+"""Tenant descriptions: which app runs as which device, and how hard.
+
+A :class:`TenantSpec` is everything needed to regenerate one tenant's
+(reclocked, device-tagged) trace deterministically — the merger, the
+streaming variant and every worker process rebuild identical columns from
+the spec alone, which is what makes merged workloads checkpointable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, UnknownDeviceError
+from repro.trace.record import DeviceID
+
+_VALID_DEVICES = tuple(member.name for member in DeviceID)
+
+#: ``TenantSpec.parse`` key → attribute, with per-key converters.
+_PARSE_KEYS = {
+    "app": str,
+    "device": str,
+    "length": int,
+    "seed": int,
+    "phase": int,
+    "intensity": float,
+}
+
+
+def parse_device(name: str) -> DeviceID:
+    """Resolve a device/tenant name, naming the valid members on failure.
+
+    Raises:
+        UnknownDeviceError: listing every :class:`DeviceID` member.
+    """
+    try:
+        return DeviceID[name]
+    except KeyError:
+        raise UnknownDeviceError(name, _VALID_DEVICES) from None
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a merged workload.
+
+    Attributes:
+        app: workload abbreviation (Table 2, e.g. ``"CFM"``).
+        device: :class:`DeviceID` member name the tenant's accesses are
+            tagged with — the key all per-tenant attribution uses.
+        length: records to generate for this tenant.
+        seed: generator seed (same spec → bit-identical trace).
+        phase_offset: cycles added to every arrival time — staggers the
+            tenant's activity window against the others.
+        intensity: arrival-rate multiplier (> 0): times are reclocked as
+            ``phase_offset + floor(t / intensity)``, so 2.0 issues twice
+            as fast, 0.5 half as fast.  1.0 with phase 0 is the identity.
+    """
+
+    app: str
+    device: str
+    length: int = 60_000
+    seed: int = 0
+    phase_offset: int = 0
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        parse_device(self.device)
+        if self.length < 1:
+            raise ConfigError(f"tenant length must be >= 1: {self.length}")
+        if self.phase_offset < 0:
+            raise ConfigError(
+                f"tenant phase_offset must be >= 0: {self.phase_offset}")
+        if not self.intensity > 0:
+            raise ConfigError(
+                f"tenant intensity must be > 0: {self.intensity}")
+
+    @property
+    def device_id(self) -> DeviceID:
+        return DeviceID[self.device]
+
+    @property
+    def name(self) -> str:
+        """Display label, e.g. ``"CFM@GPU"``."""
+        return f"{self.app}@{self.device}"
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantSpec":
+        """Parse the CLI form ``app=CFM,device=GPU,length=60000,seed=1``.
+
+        Keys: ``app`` (required), ``device`` (required), ``length``,
+        ``seed``, ``phase``, ``intensity``.
+
+        Raises:
+            ConfigError: malformed entries or unknown keys.
+            UnknownDeviceError: unknown device name.
+        """
+        fields = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in _PARSE_KEYS:
+                raise ConfigError(
+                    f"bad tenant spec field {part!r}; expected "
+                    f"key=value with keys: {', '.join(_PARSE_KEYS)}")
+            try:
+                fields[key] = _PARSE_KEYS[key](value.strip())
+            except ValueError:
+                raise ConfigError(
+                    f"bad value for tenant spec field {part!r}") from None
+        if "app" not in fields or "device" not in fields:
+            raise ConfigError(
+                f"tenant spec {text!r} must name at least app= and device=")
+        if "phase" in fields:
+            fields["phase_offset"] = fields.pop("phase")
+        return cls(**fields)
+
+
+def default_way_partitions(specs, associativity: int) -> tuple:
+    """Even way split over the tenants, as ``CacheConfig.way_partitions``.
+
+    Tenant ``i`` of ``n`` gets ways ``[i*k, (i+1)*k)`` with
+    ``k = associativity // n`` — disjoint contiguous masks in spec order
+    (any ways left by the remainder stay unassigned, hence shared).
+
+    Raises:
+        ConfigError: more tenants than ways, or duplicate devices.
+    """
+    specs = list(specs)
+    if len(specs) > associativity:
+        raise ConfigError(
+            f"{len(specs)} tenants need at least that many ways, "
+            f"cache has {associativity}")
+    devices = [spec.device for spec in specs]
+    if len(set(devices)) != len(devices):
+        raise ConfigError(f"duplicate tenant devices: {devices}")
+    ways_each = associativity // len(specs)
+    mask = (1 << ways_each) - 1
+    return tuple(
+        f"{spec.device}:{hex(mask << (index * ways_each))}"
+        for index, spec in enumerate(specs)
+    )

@@ -1,0 +1,163 @@
+"""Multi-tenant end-to-end bit-identity across execution paths.
+
+The issue's acceptance contract: one 2-tenant merged workload, run
+
+1. offline through the scalar engine,
+2. offline through the vectorized batch engine,
+3. streamed through the service in chunks — with an eviction +
+   checkpoint-resume in the middle, fed by the checkpointable
+   :class:`StreamingTraceMerger`,
+
+must report identical ``RunMetrics`` — including the per-tenant
+``tenant_stats`` QoS table — on every path.  Plus the observability
+surfacing: per-tenant epoch columns and Prometheus tenant samples.
+"""
+
+import functools
+
+import pytest
+
+from repro.config import SimConfig
+from repro.obs.export import prometheus_text, snapshot_samples
+from repro.service.session import SessionManager
+from repro.sim.engine import channel_warmup_counts
+from repro.sim.runner import simulate
+from repro.tenancy import StreamingTraceMerger, TenantSpec, tenant_qos
+from repro.tenancy.experiment import multitenant_experiment, write_bench
+
+CHUNK = 700
+
+
+@functools.lru_cache(maxsize=None)
+def _config():
+    return SimConfig.experiment_scale()
+
+
+def _specs():
+    return [TenantSpec("CFM", "CPU", length=2200, seed=11),
+            TenantSpec("HoK", "GPU", length=1800, seed=12,
+                       phase_offset=64, intensity=2.0)]
+
+
+@functools.lru_cache(maxsize=None)
+def _merged():
+    from repro.tenancy import merge_traces
+    return merge_traces(_specs(), _config().layout)
+
+
+@functools.lru_cache(maxsize=None)
+def _offline(engine_mode):
+    return simulate(_merged(), "planaria", workload_name="stream",
+                    config=_config(), engine_mode=engine_mode).metrics
+
+
+class TestThreePathBitIdentity:
+    def test_scalar_equals_batch_with_tenant_stats(self):
+        scalar = _offline("scalar")
+        batch = _offline("batch")
+        assert batch == scalar
+        assert list(batch.tenant_stats) == ["CPU", "GPU"]
+
+    def test_served_stream_with_checkpoint_resume_matches_offline(
+            self, tmp_path):
+        merged = _merged()
+        warmup = channel_warmup_counts(merged, _config())
+        merger = StreamingTraceMerger(_specs(), _config().layout)
+        ckpt = tmp_path / "ckpt"
+
+        with SessionManager(checkpoint_dir=ckpt,
+                            default_config=_config()) as manager:
+            manager.open("mt", "planaria", warmup_records=warmup)
+            # First half of the merged stream, from the streaming merger.
+            while merger.remaining > len(merger) // 2:
+                manager.feed("mt", merger.next_chunk(CHUNK))
+            manager.snapshot("mt")  # quiesce before checkpointing
+            manager.checkpoint("mt")
+            merger_state = merger.state_dict()
+            assert manager.evict_idle(0.0) == ["mt"]
+
+        # "Crash": new manager + new merger resume from their checkpoints.
+        resumed = StreamingTraceMerger(_specs(), _config().layout)
+        resumed.load_state(merger_state)
+        with SessionManager(checkpoint_dir=ckpt,
+                            default_config=_config()) as manager:
+            snapshot = manager.open("mt", "planaria", resume=True)
+            assert snapshot.records_fed == len(merged) - resumed.remaining
+            while not resumed.exhausted:
+                manager.feed("mt", resumed.next_chunk(CHUNK))
+            final = manager.close("mt")
+
+        assert final.records_fed == len(merged)
+        assert final.metrics == _offline("scalar")
+        assert final.metrics.tenant_stats == _offline("batch").tenant_stats
+
+    def test_tenant_qos_view_is_consistent(self):
+        qos = tenant_qos(_offline("scalar"))
+        assert set(qos) == {"CPU", "GPU"}
+        for device, stats in qos.items():
+            assert stats["accesses"] > 0
+            assert 0.0 <= stats["hit_rate"] <= 1.0
+            assert stats["hits"] == pytest.approx(
+                stats["hit_rate"] * stats["accesses"])
+        # Tenant attribution is post-warmup; the cache-level access count
+        # includes the warmup prefix.
+        total = sum(stats["accesses"] for stats in qos.values())
+        warmup = sum(channel_warmup_counts(_merged(), _config()))
+        assert total == len(_merged()) - warmup
+
+
+class TestObservabilitySurfacing:
+    def test_epoch_timeline_carries_per_tenant_columns(self):
+        from repro.obs import attach_observability
+        from repro.prefetch.registry import make_prefetcher
+        from repro.sim.engine import SystemSimulator
+
+        simulator = SystemSimulator(
+            _config(),
+            lambda layout, channel: make_prefetcher("planaria", layout,
+                                                    channel))
+        obs = attach_observability(simulator, epoch_records=256)
+        simulator.run(_merged())
+        epochs = obs.merged_timeline(include_partial=True)
+        assert epochs
+        accesses = {}
+        for epoch in epochs:
+            for device, count in epoch.device_accesses.items():
+                accesses[device] = accesses.get(device, 0) + count
+            for device, hits in epoch.device_hits.items():
+                assert hits <= epoch.device_accesses.get(device, 0)
+        # Epoch deltas sum back to the run totals.
+        expected = _offline("scalar").tenant_stats
+        assert accesses == {device: stats["accesses"]
+                            for device, stats in expected.items()}
+
+    def test_prometheus_exposes_tenant_series(self):
+        class _Snapshot:
+            records_fed = chunks_fed = 1
+            metrics = _offline("scalar")
+
+        text = prometheus_text(snapshot_samples("mt", _Snapshot()))
+        for device in ("CPU", "GPU"):
+            assert (f'planaria_tenant_hit_rate{{device="{device}",'
+                    f'session="mt"}}') in text
+        assert "# HELP planaria_tenant_amat_cycles" in text
+
+
+class TestContentionExperiment:
+    def test_report_and_bench_artifact(self, tmp_path):
+        specs = [TenantSpec("CFM", "CPU", length=1200, seed=1),
+                 TenantSpec("HoK", "GPU", length=1200, seed=2)]
+        report = multitenant_experiment(specs, prefetchers=("none",))
+        assert report.experiment_id == "multitenant"
+        runs = {row[0] for row in report.rows}
+        assert runs == {"none/shared", "none/partitioned"}
+        assert len(report.rows) == 4  # 2 tenants x 2 modes
+        assert "shared_amat_delta_mean" in report.summary
+        assert "interference" in report.details
+
+        import json
+        path = write_bench(report, tmp_path / "BENCH_multitenant.json")
+        document = json.loads(path.read_text())
+        assert document["rows"] == report.rows
+        assert document["details"]["way_partitions"] == [
+            "CPU:0xff", "GPU:0xff00"]

@@ -186,6 +186,10 @@ class TestHelpTableCoverage:
             prefetch_issued = prefetch_fills = prefetch_useful = 1
             amat = hit_rate = accuracy = coverage = 0.5
             prefetch_useful_by_source = {"slp": 1}
+            tenant_stats = {"CPU": {"accesses": 4, "hits": 3,
+                                    "hit_rate": 0.75, "reads": 2,
+                                    "amat": 40.0, "useful_prefetches": 1,
+                                    "dram_reads": 1}}
 
         class _Snapshot:
             records_fed = chunks_fed = 1

@@ -1,0 +1,202 @@
+"""Multi-tenant trace merging: determinism, invertibility, streaming.
+
+The merger's contract is structural, so most of this file is property
+tests: the merged order is a pure function of the tenant set (permuting
+the input tenants never changes it), per-tenant extraction is
+bit-identical to the tenant's pre-merge trace for any phase/intensity
+reclocking, and the streaming merger reproduces the offline merge
+record-for-record through any chunking — including a checkpoint/resume
+in the middle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, UnknownDeviceError
+from repro.tenancy import (StreamingTraceMerger, TenantSpec,
+                           default_way_partitions, extract_tenant,
+                           merge_buffers, merge_traces, tenant_trace)
+from repro.tenancy.merge import reclock_times
+from repro.trace.buffer import TraceBuffer
+from repro.trace.record import DeviceID
+
+_APPS = ("CFM", "HoK", "Id-V", "QSM")
+_DEVICES = ("CPU", "GPU", "NPU", "ISP", "DSP")
+
+
+def _concat(chunks):
+    return TraceBuffer(
+        np.concatenate([c.addresses for c in chunks]),
+        np.concatenate([c.access_types for c in chunks]),
+        np.concatenate([c.devices for c in chunks]),
+        np.concatenate([c.arrival_times for c in chunks]),
+    )
+
+
+@st.composite
+def tenant_sets(draw, min_size=2, max_size=4):
+    """Distinct-device tenant specs with random reclocking."""
+    count = draw(st.integers(min_size, max_size))
+    devices = draw(st.permutations(_DEVICES))[:count]
+    return [
+        TenantSpec(
+            app=draw(st.sampled_from(_APPS)),
+            device=device,
+            length=draw(st.integers(50, 400)),
+            seed=draw(st.integers(0, 5)),
+            phase_offset=draw(st.integers(0, 2000)),
+            intensity=draw(st.sampled_from((0.25, 0.5, 1.0, 2.0, 3.0))),
+        )
+        for device in devices
+    ]
+
+
+class TestSpec:
+    def test_parse_round_trip(self):
+        spec = TenantSpec.parse(
+            "app=CFM,device=GPU,length=500,seed=3,phase=100,intensity=2.0")
+        assert spec == TenantSpec("CFM", "GPU", length=500, seed=3,
+                                  phase_offset=100, intensity=2.0)
+        assert spec.name == "CFM@GPU"
+        assert spec.device_id is DeviceID.GPU
+
+    def test_parse_defaults(self):
+        spec = TenantSpec.parse("app=HoK,device=NPU")
+        assert spec.length == 60_000
+        assert spec.seed == 0
+        assert spec.phase_offset == 0
+        assert spec.intensity == 1.0
+
+    def test_unknown_device_names_the_valid_members(self):
+        with pytest.raises(UnknownDeviceError) as excinfo:
+            TenantSpec.parse("app=CFM,device=TPU")
+        message = str(excinfo.value)
+        assert "TPU" in message
+        for member in DeviceID:
+            assert member.name in message
+        assert isinstance(excinfo.value, ConfigError)
+        assert isinstance(excinfo.value, KeyError)
+
+    @pytest.mark.parametrize("text", [
+        "app=CFM", "device=GPU", "app=CFM,device=GPU,bogus=1",
+        "app=CFM,device=GPU,length=x", "app=CFM,device=GPU,intensity=0",
+        "app=CFM,device=GPU,phase=-1", "app=CFM,device=GPU,length=0",
+    ])
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ConfigError):
+            TenantSpec.parse(text)
+
+    def test_default_way_partitions_are_disjoint_and_cover(self):
+        specs = [TenantSpec("CFM", "CPU"), TenantSpec("HoK", "GPU"),
+                 TenantSpec("QSM", "NPU")]
+        entries = default_way_partitions(specs, 16)
+        masks = {entry.split(":")[0]: int(entry.split(":")[1], 0)
+                 for entry in entries}
+        assert set(masks) == {"CPU", "GPU", "NPU"}
+        combined = 0
+        for mask in masks.values():
+            assert bin(mask).count("1") == 5  # 16 // 3
+            assert combined & mask == 0
+            combined |= mask
+        assert combined < (1 << 16)
+
+    def test_too_many_tenants_for_the_ways(self):
+        specs = [TenantSpec("CFM", device) for device in _DEVICES[:3]]
+        with pytest.raises(ConfigError, match="tenants need"):
+            default_way_partitions(specs, 2)
+
+
+class TestReclock:
+    def test_identity(self):
+        times = np.arange(10, dtype=np.int64)
+        assert reclock_times(times, 0, 1.0) is times
+
+    @given(phase=st.integers(0, 10_000),
+           intensity=st.sampled_from((0.25, 0.5, 1.0, 2.0, 4.0)))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_and_offset(self, phase, intensity):
+        times = np.sort(np.random.default_rng(0).integers(
+            0, 100_000, 200)).astype(np.int64)
+        out = reclock_times(times, phase, intensity)
+        assert np.all(np.diff(out) >= 0)
+        assert int(out.min()) >= phase
+
+
+class TestMerge:
+    @given(specs=tenant_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_merged_order_is_time_sorted(self, specs):
+        merged = merge_traces(specs)
+        assert len(merged) == sum(spec.length for spec in specs)
+        assert np.all(np.diff(merged.arrival_times) >= 0)
+
+    @given(specs=tenant_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_extraction_is_bit_identical_to_the_input(self, specs):
+        merged = merge_traces(specs)
+        for spec in specs:
+            assert extract_tenant(merged, spec.device) == tenant_trace(spec)
+
+    @given(specs=tenant_sets(), data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_interleave_is_permutation_stable(self, specs, data):
+        shuffled = data.draw(st.permutations(specs))
+        assert merge_traces(specs) == merge_traces(shuffled)
+
+    def test_time_ties_break_by_device_value(self):
+        cpu = TraceBuffer([0], [0], [0], [10])
+        gpu = TraceBuffer([1], [0], [1], [10])
+        # Lowest DeviceID wins the tie in either input order.
+        assert merge_buffers([cpu, gpu]).devices.tolist() == [0, 1]
+        assert merge_buffers([gpu, cpu]).devices.tolist() == [0, 1]
+
+    def test_rejects_single_tenant_and_duplicate_devices(self):
+        with pytest.raises(ConfigError, match=">= 2 tenants"):
+            merge_traces([TenantSpec("CFM", "CPU")])
+        with pytest.raises(ConfigError, match="duplicate"):
+            merge_traces([TenantSpec("CFM", "CPU", length=100),
+                          TenantSpec("HoK", "CPU", length=100)])
+
+    def test_extract_unknown_device(self):
+        merged = merge_traces([TenantSpec("CFM", "CPU", length=100),
+                               TenantSpec("HoK", "GPU", length=100)])
+        with pytest.raises(UnknownDeviceError, match="valid devices"):
+            extract_tenant(merged, "FPGA")
+
+
+class TestStreamingMerger:
+    @given(specs=tenant_sets(max_size=3), chunk=st.integers(1, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_any_chunking_reproduces_the_offline_merge(self, specs, chunk):
+        merger = StreamingTraceMerger(specs)
+        chunks = []
+        while not merger.exhausted:
+            chunks.append(merger.next_chunk(chunk))
+        assert _concat(chunks) == merge_traces(specs)
+
+    def test_checkpoint_resume_is_exact(self):
+        specs = [TenantSpec("CFM", "CPU", length=900, seed=1),
+                 TenantSpec("HoK", "GPU", length=700, seed=2,
+                            phase_offset=50, intensity=2.0)]
+        merger = StreamingTraceMerger(specs)
+        head = merger.next_chunk(333)
+        state = merger.state_dict()
+
+        resumed = StreamingTraceMerger(specs)
+        resumed.load_state(state)
+        assert resumed.remaining == merger.remaining
+        tail_a = merger.next_chunk(10_000)
+        tail_b = resumed.next_chunk(10_000)
+        assert tail_a == tail_b
+        assert _concat([head, tail_a]) == merge_traces(specs)
+
+    def test_load_state_validates_shape(self):
+        specs = [TenantSpec("CFM", "CPU", length=100),
+                 TenantSpec("HoK", "GPU", length=100)]
+        merger = StreamingTraceMerger(specs)
+        with pytest.raises(ConfigError, match="tenant cursors"):
+            merger.load_state({"cursors": [0]})
+        with pytest.raises(ConfigError, match="out of range"):
+            merger.load_state({"cursors": [0, 101]})

@@ -1,0 +1,110 @@
+"""Device-tag preservation through trace filtering and sampling.
+
+Multi-tenant attribution keys everything on the record's device tag, so
+any helper that carves up a trace must pass records through whole — a
+filter that rebuilt records and dropped or defaulted ``device`` would
+silently collapse every tenant into one.  These tests pin that for every
+helper in :mod:`repro.trace.filters` and :mod:`repro.trace.sampling`,
+driving them with a merged multi-tenant trace where the device column
+actually varies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tenancy import TenantSpec, merge_traces
+from repro.trace.buffer import TraceBuffer
+from repro.trace.filters import (filter_by_channel, filter_by_device,
+                                 filter_by_time_window, filter_by_type,
+                                 take)
+from repro.trace.record import AccessType, DeviceID
+from repro.trace.sampling import (downsample_preserving_pages,
+                                  interval_samples, time_slice)
+
+
+@pytest.fixture(scope="module")
+def merged_records():
+    merged = merge_traces([
+        TenantSpec("CFM", "CPU", length=400, seed=1),
+        TenantSpec("HoK", "GPU", length=400, seed=2, phase_offset=37),
+        TenantSpec("QSM", "NPU", length=300, seed=3, intensity=2.0),
+    ])
+    return merged.to_records()
+
+
+def _by_identity(records):
+    """Key records by everything *except* device, to find the original."""
+    return {(r.address, r.arrival_time, r.access_type): r.device
+            for r in records}
+
+
+def _assert_devices_preserved(original, subset):
+    source = _by_identity(original)
+    assert subset, "filter produced nothing to check"
+    for record in subset:
+        key = (record.address, record.arrival_time, record.access_type)
+        assert record.device == source[key]
+
+
+class TestFilters:
+    def test_filter_by_device_keeps_only_and_all_of_that_device(
+            self, merged_records):
+        kept = list(filter_by_device(merged_records, DeviceID.GPU))
+        assert all(r.device == DeviceID.GPU for r in kept)
+        assert len(kept) == sum(1 for r in merged_records
+                                if r.device == DeviceID.GPU) == 400
+
+    def test_filter_by_type_preserves_devices(self, merged_records):
+        kept = list(filter_by_type(merged_records, AccessType.READ))
+        _assert_devices_preserved(merged_records, kept)
+        assert {r.device for r in kept} == {DeviceID.CPU, DeviceID.GPU,
+                                            DeviceID.NPU}
+
+    def test_filter_by_channel_preserves_devices(self, merged_records):
+        kept = list(filter_by_channel(merged_records, 0))
+        _assert_devices_preserved(merged_records, kept)
+
+    def test_filter_by_time_window_preserves_devices(self, merged_records):
+        end = merged_records[len(merged_records) // 2].arrival_time
+        kept = list(filter_by_time_window(merged_records, 0, end + 1))
+        _assert_devices_preserved(merged_records, kept)
+
+    def test_take_preserves_devices_and_order(self, merged_records):
+        kept = list(take(merged_records, 100))
+        assert kept == merged_records[:100]
+
+
+class TestSampling:
+    def test_interval_samples_preserve_devices(self, merged_records):
+        samples = interval_samples(merged_records, interval_length=100,
+                                   keep_every=3, warmup_length=50)
+        assert samples
+        for sample in samples:
+            _assert_devices_preserved(merged_records, sample.records)
+
+    def test_interval_samples_work_on_trace_buffers(self, merged_records):
+        """Buffer slicing hands back views; records keep their tags."""
+        buffer = TraceBuffer.from_records(merged_records)
+        samples = interval_samples(buffer, interval_length=100,
+                                   keep_every=3, warmup_length=50)
+        for sample, reference in zip(
+                samples, interval_samples(merged_records, 100, 3, 50)):
+            assert sample.records == reference.records
+
+    def test_time_slice_preserves_devices(self, merged_records):
+        mid = merged_records[len(merged_records) // 2].arrival_time
+        kept = time_slice(merged_records, 0, mid + 1)
+        _assert_devices_preserved(merged_records, kept)
+
+    def test_page_downsample_preserves_devices(self, merged_records):
+        kept = downsample_preserving_pages(merged_records, 0.5, seed=3)
+        _assert_devices_preserved(merged_records, kept)
+        assert len({r.device for r in kept}) > 1
+
+
+def test_buffer_round_trip_preserves_device_column():
+    merged = merge_traces([TenantSpec("CFM", "ISP", length=150, seed=0),
+                           TenantSpec("HoK", "DSP", length=150, seed=1)])
+    round_tripped = TraceBuffer.from_records(merged.to_records())
+    assert np.array_equal(round_tripped.devices, merged.devices)
+    assert round_tripped == merged

@@ -1,0 +1,181 @@
+"""Tenant way-partitioned system cache.
+
+Three contracts:
+
+* Validation — ``CacheConfig.way_partitions`` entries fail loudly at
+  construction (unknown device, bad mask, wrong policy), with the typed
+  :class:`UnknownDeviceError` naming the valid :class:`DeviceID` members.
+* Mechanism — a tenant's fills only ever displace blocks inside its way
+  mask, while lookups stay global; identical on both cache backends.
+* Equivalence — shared mode (no partitions) is the pre-existing cache
+  bit-for-bit, a full-mask partition is behaviourally identical to no
+  partition, and the batch engine correctly refuses / falls back.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cache.array_state import ArrayCache
+from repro.cache.cache import SetAssociativeCache
+from repro.config import CacheConfig, SimConfig
+from repro.errors import ConfigError, SimulationError, UnknownDeviceError
+from repro.sim.runner import simulate
+from repro.tenancy import TenantSpec, default_way_partitions, merge_traces
+from repro.trace.record import DeviceID
+
+CPU = DeviceID.CPU.value
+GPU = DeviceID.GPU.value
+
+
+def _small_config(**overrides):
+    """2-way, 4-set cache: way 0 is CPU's, way 1 is GPU's."""
+    fields = dict(size_bytes=2 * 4 * 64, associativity=2, block_size=64,
+                  way_partitions=("CPU:0x1", "GPU:0x2"))
+    fields.update(overrides)
+    return CacheConfig(**fields)
+
+
+class TestConfigValidation:
+    def test_unknown_device_is_typed_and_names_the_members(self):
+        with pytest.raises(UnknownDeviceError) as excinfo:
+            _small_config(way_partitions=("TPU:0x1",))
+        message = str(excinfo.value)
+        assert "TPU" in message
+        for member in DeviceID:
+            assert member.name in message
+        assert isinstance(excinfo.value, ConfigError)
+
+    @pytest.mark.parametrize("entry", ["CPU", "CPU:zero", "CPU:0x0",
+                                       "CPU:0x4"])
+    def test_malformed_entries_rejected(self, entry):
+        with pytest.raises(ConfigError):
+            _small_config(way_partitions=(entry,))
+
+    def test_duplicate_device_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            _small_config(way_partitions=("CPU:0x1", "CPU:0x2"))
+
+    def test_partitions_require_lru(self):
+        with pytest.raises(ConfigError, match="lru"):
+            _small_config(replacement_policy="drrip")
+
+    def test_masks_parse_hex_and_decimal(self):
+        config = _small_config(way_partitions=("CPU:0x1", "GPU:2"))
+        assert config.partition_masks() == {"CPU": 0x1, "GPU": 0x2}
+
+    def test_default_is_unpartitioned(self):
+        assert CacheConfig().way_partitions == ()
+        assert CacheConfig().partition_masks() == {}
+
+
+@pytest.mark.parametrize("cache_cls", [SetAssociativeCache, ArrayCache])
+class TestPartitionedFills:
+    def test_tenant_fills_stay_inside_its_ways(self, cache_cls):
+        cache = cache_cls(_small_config())
+        # Blocks 0, 4, 8 all map to set 0 (4 sets).
+        cache.fill(0, now=0, ready_time=0, requester=CPU)
+        cache.fill(4, now=1, ready_time=1, requester=CPU)
+        # CPU owns only way 0: its second fill evicts its own block.
+        assert not cache.contains(0)
+        assert cache.contains(4)
+        cache.fill(8, now=2, ready_time=2, requester=GPU)
+        # GPU fills way 1, leaving CPU's block resident.
+        assert cache.contains(4)
+        assert cache.contains(8)
+
+    def test_partition_victim_is_lru_within_the_mask(self, cache_cls):
+        config = _small_config(size_bytes=4 * 2 * 64, associativity=4,
+                               way_partitions=("CPU:0x3", "GPU:0xc"))
+        cache = cache_cls(config)
+        # Fill CPU's two ways (set 0: blocks 0, 2, 4...; 2 sets).
+        cache.fill(0, now=0, ready_time=0, requester=CPU)
+        cache.fill(2, now=1, ready_time=1, requester=CPU)
+        cache.access(0, now=2)  # block 0 becomes MRU
+        cache.fill(4, now=3, ready_time=3, requester=CPU)
+        assert cache.contains(0)       # MRU survived
+        assert not cache.contains(2)   # LRU within the partition evicted
+        assert cache.contains(4)
+
+    def test_lookups_stay_global_across_partitions(self, cache_cls):
+        cache = cache_cls(_small_config())
+        cache.fill(0, now=0, ready_time=0, requester=CPU)
+        # GPU hits CPU's resident block: partitions bound fills, not hits.
+        result = cache.access(0, now=1)
+        assert result.hit
+
+    def test_unknown_requester_uses_global_replacement(self, cache_cls):
+        cache = cache_cls(_small_config())
+        # NPU has no partition entry: it may fill anywhere (both ways).
+        cache.fill(0, now=0, ready_time=0, requester=DeviceID.NPU.value)
+        cache.fill(4, now=1, ready_time=1, requester=DeviceID.NPU.value)
+        assert cache.contains(0)
+        assert cache.contains(4)
+
+
+def _specs():
+    return [TenantSpec("CFM", "CPU", length=2500, seed=1),
+            TenantSpec("HoK", "GPU", length=2500, seed=2)]
+
+
+def _config(**cache_overrides):
+    base = SimConfig.experiment_scale()
+    if cache_overrides:
+        base = replace(base, cache=replace(base.cache, **cache_overrides))
+    return base
+
+
+class TestEngineEquivalence:
+    def test_full_mask_partition_equals_unpartitioned(self):
+        """Partition code path with an all-ways mask == no partition.
+
+        The restricted victim scan over *all* ways implements the same
+        first-invalid / min-touch rule as LRUPolicy.victim, so metrics
+        (including per-tenant attribution) must be bit-identical.
+        """
+        merged = merge_traces(_specs())
+        full = (1 << 16) - 1
+        partitioned = _config(way_partitions=(f"CPU:{hex(full)}",
+                                              f"GPU:{hex(full)}"))
+        baseline = simulate(merged, "planaria", config=_config(),
+                            engine_mode="scalar").metrics
+        behind_partitions = simulate(merged, "planaria", config=partitioned,
+                                     engine_mode="scalar").metrics
+        assert behind_partitions == baseline
+
+    def test_shared_mode_batch_matches_scalar_with_tenant_stats(self):
+        merged = merge_traces(_specs())
+        scalar = simulate(merged, "planaria", config=_config(),
+                          engine_mode="scalar").metrics
+        batch = simulate(merged, "planaria", config=_config(),
+                         engine_mode="batch").metrics
+        assert batch == scalar
+        assert set(batch.tenant_stats) == {"CPU", "GPU"}
+        # Dict insertion order is part of the contract.
+        assert list(batch.tenant_stats) == list(scalar.tenant_stats)
+
+    def test_partitioned_run_differs_but_conserves_accesses(self):
+        merged = merge_traces(_specs())
+        shared = simulate(merged, "planaria", config=_config()).metrics
+        config = _config(way_partitions=default_way_partitions(_specs(), 16))
+        partitioned = simulate(merged, "planaria", config=config).metrics
+        assert partitioned.demand_accesses == shared.demand_accesses
+        for device in ("CPU", "GPU"):
+            assert (partitioned.tenant_stats[device]["accesses"]
+                    == shared.tenant_stats[device]["accesses"])
+        assert partitioned.hit_rate != shared.hit_rate
+
+    def test_explicit_batch_refuses_partitions(self):
+        config = _config(way_partitions=("CPU:0xff", "GPU:0xff00"))
+        with pytest.raises(SimulationError, match="way_partitions"):
+            simulate(merge_traces(_specs()), "none", config=config,
+                     engine_mode="batch")
+
+    def test_auto_falls_back_to_scalar_under_partitions(self):
+        merged = merge_traces(_specs())
+        config = _config(way_partitions=("CPU:0xff", "GPU:0xff00"))
+        auto = simulate(merged, "none", config=config,
+                        engine_mode="auto").metrics
+        scalar = simulate(merged, "none", config=config,
+                          engine_mode="scalar").metrics
+        assert auto == scalar
