@@ -21,7 +21,6 @@ committed numbers use the defaults below.
 
 import json
 import os
-import platform
 import time
 import warnings
 from dataclasses import asdict
@@ -33,6 +32,7 @@ from repro.prefetch.registry import make_prefetcher
 from repro.sim.engine import SystemSimulator
 from repro.sim.runner import _collect
 from repro.trace.generator import generate_trace_buffer, get_profile
+from repro.utils.provenance import runtime_provenance
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", 60_000))
@@ -101,7 +101,7 @@ def test_obs_overhead_budget():
         "seed": SEED,
         "epoch_records": EPOCH_RECORDS,
         "rounds_per_mode": ROUNDS,
-        "python": platform.python_version(),
+        **runtime_provenance(),
         "budget": {
             "max_enabled_penalty": MAX_ENABLED_PENALTY,
             "disabled_noise_margin": DISABLED_NOISE_MARGIN,

@@ -26,18 +26,16 @@ smoke step does); the committed baseline uses the defaults below.
 
 import json
 import os
-import platform
 import time
 from dataclasses import asdict
 from pathlib import Path
-
-import numpy
 
 from repro.config import SimConfig
 from repro.prefetch.registry import make_prefetcher
 from repro.sim.engine import SystemSimulator
 from repro.sim.runner import _collect
 from repro.trace.generator import generate_trace_buffer, get_profile
+from repro.utils.provenance import runtime_provenance
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", 60_000))
@@ -97,9 +95,7 @@ def test_throughput_baseline():
         "trace_length": LENGTH,
         "seed": SEED,
         "rounds_per_mode": ROUNDS,
-        "python": platform.python_version(),
-        "numpy": numpy.__version__,
-        "cpu_count": os.cpu_count(),
+        **runtime_provenance(),
         "engine_modes": {
             "columnar_serial": "scalar",
             "columnar_parallel": "scalar",

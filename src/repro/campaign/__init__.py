@@ -1,0 +1,43 @@
+"""Declarative sweep campaigns against the service fleet.
+
+A campaign is a YAML file describing a (workload × prefetcher × config)
+grid (:mod:`repro.campaign.spec`), expanded into deterministic cells
+(:mod:`repro.campaign.grid`), dispatched as streaming sessions against
+one or many service endpoints — or an in-process fallback —
+(:mod:`repro.campaign.runner`), and harvested into the standard
+CSV/JSON/SVG export path with per-cell provenance
+(:mod:`repro.campaign.harvest`).  Progress is checkpointed atomically
+after every cell, so a killed campaign resumes exactly where it stopped.
+:mod:`repro.campaign.soak` adds the sustained-rate load-testing mode.
+
+See docs/campaigns.md and ``repro campaign --help``.
+"""
+
+from repro.campaign.grid import CampaignCell, cell_trace, expand_grid
+from repro.campaign.harvest import campaign_report, write_results
+from repro.campaign.runner import (CampaignRunner, CampaignState,
+                                   load_state, state_path)
+from repro.campaign.soak import run_soak
+from repro.campaign.spec import (CampaignSpec, ConfigVariant, DispatchSpec,
+                                 SoakSpec, WorkloadSpec, load_campaign,
+                                 parse_campaign)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignState",
+    "ConfigVariant",
+    "DispatchSpec",
+    "SoakSpec",
+    "WorkloadSpec",
+    "campaign_report",
+    "cell_trace",
+    "expand_grid",
+    "load_campaign",
+    "load_state",
+    "parse_campaign",
+    "run_soak",
+    "state_path",
+    "write_results",
+]

@@ -1,0 +1,150 @@
+"""Grid expansion: spec axes → deterministic campaign cells.
+
+The product runs workload-major, then prefetcher, then config variant —
+the order the axes appear in the YAML — so the cell list (and with it
+the harvested CSV row order) is a pure function of the spec.  Duplicate
+cells (e.g. a prefetcher listed twice) collapse to their first
+occurrence, keeping the grid a set with a stable enumeration.
+
+Each cell carries its fully-resolved :class:`~repro.config.SimConfig`
+(base config + variant overrides, deep-merged through the strict
+``config_io`` round trip, so an override typo fails at expansion time)
+and its provenance fingerprint — the same
+:func:`~repro.utils.provenance.config_fingerprint` hash checkpoint
+restore validation uses, which is how resume re-verifies completed
+cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.config import SimConfig
+from repro.errors import CampaignSpecError, ConfigError
+from repro.utils.provenance import config_fingerprint
+
+from repro.campaign.spec import CampaignSpec, ConfigVariant, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One point of the (workload × prefetcher × config) grid."""
+
+    cell_id: str
+    workload: WorkloadSpec
+    prefetcher: str
+    variant: str
+    seed: int
+    length: int
+    epoch_records: int
+    config: SimConfig
+
+    @property
+    def fingerprint(self) -> str:
+        """Prefetcher/config provenance hash (checkpoint-compatible)."""
+        return config_fingerprint(self.prefetcher, self.config)
+
+    @property
+    def session_name(self) -> str:
+        """A service-session-safe name (doubles as a checkpoint stem)."""
+        return "campaign-" + "".join(
+            ch if ch.isalnum() or ch in "-_." else "-"
+            for ch in self.cell_id)
+
+
+def _deep_merge(base: Dict[str, Any], overrides: Mapping) -> Dict[str, Any]:
+    merged = dict(base)
+    for key, value in overrides.items():
+        if (isinstance(value, Mapping) and isinstance(merged.get(key),
+                                                      Mapping)):
+            merged[key] = _deep_merge(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def apply_overrides(config: SimConfig, overrides: Mapping) -> SimConfig:
+    """Base config + nested override mapping → a new validated SimConfig.
+
+    Goes through the strict ``config_io`` round trip, so unknown keys or
+    values the config tree rejects surface as
+    :class:`~repro.errors.CampaignSpecError` at grid-expansion time.
+    """
+    if not overrides:
+        return config
+    from repro.config_io import from_dict, to_dict
+
+    merged = _deep_merge(to_dict(config), overrides)
+    try:
+        return from_dict(SimConfig, merged)
+    except ConfigError as exc:
+        raise CampaignSpecError(f"config overrides invalid: {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise CampaignSpecError(
+            f"config overrides produced an invalid SimConfig: {exc}"
+        ) from exc
+
+
+def expand_grid(spec: CampaignSpec,
+                base_config: Optional[SimConfig] = None
+                ) -> List[CampaignCell]:
+    """Expand the spec's axes into the deterministic, deduplicated grid.
+
+    ``base_config`` overrides the spec's ``sim_config`` resolution (the
+    runner passes the already-loaded config so the file is read once).
+    """
+    base_config = base_config or spec.load_base_config()
+    variant_configs: Dict[str, SimConfig] = {}
+    for variant in spec.configs:
+        try:
+            variant_configs[variant.name] = apply_overrides(
+                base_config, variant.overrides_dict)
+        except CampaignSpecError as exc:
+            raise CampaignSpecError(
+                f"config variant {variant.name!r}: {exc}") from exc
+
+    cells: List[CampaignCell] = []
+    seen = set()
+    for workload in spec.workloads:
+        seed = workload.seed if workload.seed is not None else spec.seed
+        length = (workload.length if workload.length is not None
+                  else spec.length)
+        for prefetcher in spec.prefetchers:
+            for variant in spec.configs:
+                cell_id = f"{workload.label}/{prefetcher}/{variant.name}"
+                if cell_id in seen:
+                    continue
+                seen.add(cell_id)
+                cells.append(CampaignCell(
+                    cell_id=cell_id,
+                    workload=workload,
+                    prefetcher=prefetcher,
+                    variant=variant.name,
+                    seed=seed,
+                    length=length,
+                    epoch_records=spec.epoch_records,
+                    config=variant_configs[variant.name],
+                ))
+    return cells
+
+
+def cell_trace(cell: CampaignCell):
+    """Regenerate a cell's trace deterministically from its identity.
+
+    Single-app workloads go through the standard generator; tenant
+    mixes through the offline :func:`~repro.tenancy.merge.merge_traces`
+    interleave (bit-identical to the streaming merger the service path
+    would use).
+    """
+    layout = cell.config.layout
+    if cell.workload.app is not None:
+        from repro.trace.generator import generate_trace_buffer, get_profile
+
+        return generate_trace_buffer(get_profile(cell.workload.app),
+                                     cell.length, seed=cell.seed,
+                                     layout=layout)
+    from repro.tenancy.merge import merge_traces
+
+    specs = cell.workload.tenant_specs(cell.length)
+    return merge_traces(specs, layout)

@@ -1,0 +1,108 @@
+"""Harvest completed campaign cells into the standard export path.
+
+Results always come *from the state file*, enumerated in grid-expansion
+order — never in completion or dict-insertion order — and carry no wall
+timestamps (those stay in the state file's ``runtime`` side-channel).
+A campaign that was killed and resumed therefore exports byte-identical
+CSV/JSON to one that ran straight through.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import CampaignError
+from repro.experiments.export import export_report
+from repro.experiments.report import ExperimentReport
+
+from repro.campaign.runner import CampaignRunner, CampaignState
+
+PathLike = Union[str, Path]
+
+#: Per-cell CSV columns, in order.
+RESULT_COLUMNS = [
+    "cell", "workload", "prefetcher", "variant", "seed", "length",
+    "amat", "hit_rate", "accuracy", "coverage",
+    "dram_traffic", "prefetch_issued", "prefetch_useful",
+    "power_mw", "p99_latency", "fingerprint",
+]
+
+
+def campaign_report(runner: CampaignRunner,
+                    state: CampaignState) -> ExperimentReport:
+    """Build the ExperimentReport for a (fully or partially) run campaign.
+
+    Raises:
+        CampaignError: the campaign has no completed cells to harvest.
+    """
+    spec = runner.spec
+    report = ExperimentReport(
+        experiment_id=f"campaign-{spec.name}",
+        title=f"Campaign {spec.name}: "
+              f"{len(spec.workloads)} workload(s) x "
+              f"{len(spec.prefetchers)} prefetcher(s) x "
+              f"{len(spec.configs)} config(s)",
+        columns=list(RESULT_COLUMNS),
+    )
+    harvested = 0
+    amat_by_prefetcher: Dict[str, List[float]] = {}
+    provenance: Dict[str, dict] = {}
+    for cell in runner.cells:  # grid order, not completion order
+        entry = state.cells.get(cell.cell_id)
+        if entry is None:
+            continue
+        harvested += 1
+        metrics = entry["metrics"]
+        issued = metrics["prefetch_issued"]
+        fills = metrics["prefetch_fills"]
+        useful = metrics["prefetch_useful"]
+        accuracy = useful / fills if fills else 0.0
+        base = useful + metrics["demand_misses"]
+        coverage = useful / base if base else 0.0
+        report.add_row([
+            cell.cell_id, cell.workload.label, cell.prefetcher,
+            cell.variant, cell.seed, cell.length,
+            round(metrics["amat"], 4), round(metrics["hit_rate"], 6),
+            round(accuracy, 6), round(coverage, 6),
+            metrics["dram_traffic"], issued, useful,
+            round(metrics["power_mw"], 4),
+            round(metrics["p99_latency"], 4),
+            entry["fingerprint"],
+        ])
+        amat_by_prefetcher.setdefault(cell.prefetcher, []).append(
+            metrics["amat"])
+        provenance[cell.cell_id] = dict(entry["provenance"])
+        if "epochs" in entry:
+            report.details.setdefault("timelines", {})[cell.cell_id] = {
+                "epochs": len(entry["epochs"]),
+            }
+    if not harvested:
+        raise CampaignError(
+            f"campaign {spec.name!r} has no completed cells to harvest")
+    report.summary = {
+        "cells_total": len(runner.cells),
+        "cells_completed": harvested,
+    }
+    for prefetcher in spec.prefetchers:
+        amats = amat_by_prefetcher.get(prefetcher)
+        if amats:
+            report.summary[f"mean_amat_{prefetcher}"] = round(
+                sum(amats) / len(amats), 4)
+    report.details["provenance"] = {
+        "campaign": dict(state.provenance),
+        "cells": provenance,
+        "spec_fingerprint": state.spec_fingerprint,
+    }
+    return report
+
+
+def write_results(runner: CampaignRunner, state: CampaignState,
+                  directory: PathLike) -> List[Path]:
+    """Export the campaign report as CSV/JSON/SVG under ``directory``.
+
+    Returns the written paths, CSV first (the order
+    :func:`~repro.experiments.export.export_report` produces).
+    """
+    report = campaign_report(runner, state)
+    return export_report(report, directory)

@@ -1,0 +1,416 @@
+"""Campaign execution: bounded dispatch, retries, checkpointed resume.
+
+The runner expands the grid once, then drives every not-yet-completed
+cell either against service endpoints (streaming sessions over
+:class:`~repro.service.client.ServiceClient`, endpoints assigned
+round-robin by grid index, per-cell retry with exponential backoff and
+fail-over on connection loss) or through the in-process fallback
+(:func:`~repro.sim.runner.simulate`) when no endpoint is given.  The
+service layer's bit-identity contract means both paths record the same
+metrics — the harvested CSV does not depend on where a cell ran.
+
+Progress is a JSON state file written with the same atomic
+tmp+fsync+rename machinery simulator checkpoints use
+(:func:`~repro.service.checkpoint.atomic_write_bytes`), updated after
+*every* completed cell: a campaign killed at any instant — ``kill -9``
+included — resumes from the last completed cell, never re-runs a
+finished one, and re-verifies each stored cell's config fingerprint
+against the freshly expanded grid before trusting it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import SimConfig
+from repro.errors import CampaignError, ServiceError
+from repro.service.checkpoint import atomic_write_bytes
+from repro.utils.provenance import runtime_provenance
+
+from repro.campaign.grid import CampaignCell, cell_trace, expand_grid
+from repro.campaign.spec import CampaignSpec
+
+PathLike = Union[str, Path]
+
+#: First field of every campaign state file; rejects arbitrary JSON.
+STATE_MAGIC = "planaria-campaign"
+#: Bump on any incompatible change to the state layout.
+STATE_VERSION = 1
+
+#: ``(host, port)`` pair.
+Endpoint = Tuple[str, int]
+
+
+def parse_endpoint(text: str) -> Endpoint:
+    """``"host:port"`` → ``(host, port)``; raises CampaignError on junk."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise CampaignError(
+            f"bad endpoint {text!r}; expected host:port")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise CampaignError(
+            f"bad endpoint port in {text!r}; expected host:port") from None
+
+
+def state_path(spec: CampaignSpec, directory: PathLike) -> Path:
+    """Where a campaign's progress state lives: ``<dir>/<name>.campaign.json``."""
+    return Path(directory) / f"{spec.name}.campaign.json"
+
+
+@dataclass
+class CampaignState:
+    """On-disk campaign progress: which cells are done, with what."""
+
+    name: str
+    spec_fingerprint: str
+    total_cells: int
+    cells: Dict[str, dict] = field(default_factory=dict)
+    provenance: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "magic": STATE_MAGIC,
+            "version": STATE_VERSION,
+            "name": self.name,
+            "spec_fingerprint": self.spec_fingerprint,
+            "total_cells": self.total_cells,
+            "provenance": self.provenance,
+            "cells": self.cells,
+        }
+
+    @property
+    def complete(self) -> bool:
+        return len(self.cells) >= self.total_cells
+
+
+def save_state(path: PathLike, state: CampaignState) -> Path:
+    """Atomically persist the progress state (crash-safe at any point)."""
+    payload = json.dumps(state.to_dict(), indent=2, sort_keys=False)
+    return atomic_write_bytes(path, (payload + "\n").encode("utf-8"))
+
+
+def load_state(path: PathLike) -> CampaignState:
+    """Read and validate a campaign progress file.
+
+    Raises:
+        CampaignError: missing file, not a campaign state, or an
+            incompatible version.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise CampaignError(f"no campaign state at {path}") from None
+    except (OSError, ValueError) as exc:
+        raise CampaignError(
+            f"{path}: not a readable campaign state: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != STATE_MAGIC:
+        raise CampaignError(f"{path}: not a planaria campaign state")
+    if payload.get("version") != STATE_VERSION:
+        raise CampaignError(
+            f"{path}: campaign state version {payload.get('version')}, "
+            f"this build reads version {STATE_VERSION}")
+    return CampaignState(
+        name=str(payload.get("name", "")),
+        spec_fingerprint=str(payload.get("spec_fingerprint", "")),
+        total_cells=int(payload.get("total_cells", 0)),
+        cells=dict(payload.get("cells", {})),
+        provenance=dict(payload.get("provenance", {})),
+    )
+
+
+class CampaignRunner:
+    """Drives one campaign: expand → dispatch → checkpoint → summarize.
+
+    Args:
+        spec: the validated campaign spec.
+        directory: where progress state (and, by default, harvested
+            results) live.
+        endpoints: ``host:port`` strings (or pairs); empty runs every
+            cell through the in-process fallback.
+        config: pre-loaded base :class:`SimConfig` (defaults to the
+            spec's ``sim_config`` resolution).
+    """
+
+    def __init__(self, spec: CampaignSpec, directory: PathLike,
+                 endpoints: Sequence[Union[str, Endpoint]] = (),
+                 config: Optional[SimConfig] = None) -> None:
+        self.spec = spec
+        self.directory = Path(directory)
+        self.endpoints: List[Endpoint] = [
+            parse_endpoint(entry) if isinstance(entry, str) else
+            (entry[0], int(entry[1]))
+            for entry in endpoints
+        ]
+        self.config = config or spec.load_base_config()
+        self.cells: List[CampaignCell] = expand_grid(spec, self.config)
+        #: Cell ids executed by *this* runner (not skipped-from-state) —
+        #: the resume property tests key off this.
+        self.executed: List[str] = []
+        self._state_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # State handling
+    # ------------------------------------------------------------------
+    @property
+    def state_file(self) -> Path:
+        return state_path(self.spec, self.directory)
+
+    def _fresh_state(self) -> CampaignState:
+        return CampaignState(
+            name=self.spec.name,
+            spec_fingerprint=self.spec.fingerprint,
+            total_cells=len(self.cells),
+            provenance=runtime_provenance(),
+        )
+
+    def _load_verified_state(self) -> CampaignState:
+        """Load existing progress and re-verify it against this grid."""
+        state = load_state(self.state_file)
+        if state.spec_fingerprint != self.spec.fingerprint:
+            raise CampaignError(
+                f"campaign state {self.state_file} was recorded for spec "
+                f"fingerprint {state.spec_fingerprint}, but the current "
+                f"spec has fingerprint {self.spec.fingerprint}; refusing "
+                f"to resume a different grid")
+        by_id = {cell.cell_id: cell for cell in self.cells}
+        for cell_id, entry in state.cells.items():
+            cell = by_id.get(cell_id)
+            if cell is None:
+                raise CampaignError(
+                    f"campaign state has completed cell {cell_id!r} that "
+                    f"the spec's grid does not contain")
+            stored = entry.get("fingerprint")
+            if stored != cell.fingerprint:
+                raise CampaignError(
+                    f"completed cell {cell_id!r} was recorded under "
+                    f"config fingerprint {stored}, but the grid now "
+                    f"expands to {cell.fingerprint}; refusing to mix "
+                    f"results across configurations")
+        return state
+
+    def status(self) -> dict:
+        """Progress summary for ``repro campaign status`` (read-only)."""
+        if self.state_file.exists():
+            state = self._load_verified_state()
+        else:
+            state = self._fresh_state()
+        done = [cell.cell_id for cell in self.cells
+                if cell.cell_id in state.cells]
+        pending = [cell.cell_id for cell in self.cells
+                   if cell.cell_id not in state.cells]
+        return {
+            "name": self.spec.name,
+            "state_file": str(self.state_file),
+            "total_cells": len(self.cells),
+            "completed_cells": len(done),
+            "pending_cells": pending,
+            "complete": not pending,
+            "endpoints": [f"{host}:{port}" for host, port in self.endpoints],
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = False,
+            stop_after_cells: Optional[int] = None,
+            progress: Optional[Callable[[str], None]] = None) -> dict:
+        """Execute every pending cell; returns a run summary.
+
+        ``resume=False`` requires a clean slate (an existing state file
+        is an error: delete it or resume).  ``resume=True`` loads and
+        re-verifies existing progress, then runs only the missing cells.
+        ``stop_after_cells`` stops after that many *newly executed*
+        cells (serially), leaving valid resumable state behind — the
+        deterministic stand-in for a mid-grid kill that tests and
+        incremental drivers use; a real ``kill -9`` leaves the same
+        on-disk picture.
+        """
+        log = progress or (lambda line: None)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.state_file.exists():
+            if not resume:
+                raise CampaignError(
+                    f"campaign state already exists at {self.state_file}; "
+                    f"resume it ('repro campaign resume') or delete the "
+                    f"file to start over")
+            state = self._load_verified_state()
+        else:
+            if resume:
+                raise CampaignError(
+                    f"nothing to resume: no campaign state at "
+                    f"{self.state_file}")
+            state = self._fresh_state()
+            save_state(self.state_file, state)
+
+        pending = [(index, cell) for index, cell in enumerate(self.cells)
+                   if cell.cell_id not in state.cells]
+        skipped = len(self.cells) - len(pending)
+        if skipped:
+            log(f"resuming: {skipped}/{len(self.cells)} cells already "
+                f"completed, {len(pending)} to run")
+        if stop_after_cells is not None:
+            pending = pending[:max(0, int(stop_after_cells))]
+
+        def record(cell: CampaignCell, entry: dict) -> None:
+            with self._state_lock:
+                state.cells[cell.cell_id] = entry
+                save_state(self.state_file, state)
+                self.executed.append(cell.cell_id)
+                done = len(state.cells)
+            log(f"[{done}/{len(self.cells)}] {cell.cell_id}: "
+                f"amat={entry['metrics']['amat']:.1f} "
+                f"hit_rate={entry['metrics']['hit_rate']:.3f} "
+                f"({entry['runtime']['endpoint']})")
+
+        workers = min(self.spec.dispatch.max_inflight_cells,
+                      max(1, len(pending)))
+        if workers <= 1 or stop_after_cells is not None:
+            for index, cell in pending:
+                record(cell, self._run_cell(index, cell))
+        else:
+            with ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix="repro-campaign") as pool:
+                futures = {
+                    pool.submit(self._run_cell, index, cell): cell
+                    for index, cell in pending
+                }
+                for future in as_completed(futures):
+                    record(futures[future], future.result())
+
+        return {
+            "name": self.spec.name,
+            "total_cells": len(self.cells),
+            "executed_cells": len(self.executed),
+            "skipped_cells": skipped,
+            "complete": state.complete,
+            "state_file": str(self.state_file),
+        }
+
+    # ------------------------------------------------------------------
+    # Cell execution
+    # ------------------------------------------------------------------
+    def _run_cell(self, index: int, cell: CampaignCell) -> dict:
+        """Run one cell (with retry/fail-over) and build its state entry."""
+        dispatch = self.spec.dispatch
+        started = time.perf_counter()
+        attempts = 0
+        last_error: Optional[BaseException] = None
+        if not self.endpoints:
+            metrics, epochs = self._run_cell_local(cell)
+            endpoint_label = "local"
+            attempts = 1
+        else:
+            metrics = None
+            epochs = None
+            endpoint_label = ""
+            for attempt in range(dispatch.max_retries + 1):
+                attempts = attempt + 1
+                # Round-robin by grid index; fail-over walks the list.
+                host, port = self.endpoints[
+                    (index + attempt) % len(self.endpoints)]
+                try:
+                    metrics, epochs = self._run_cell_service(
+                        cell, host, port)
+                    endpoint_label = f"{host}:{port}"
+                    break
+                except (ServiceError, OSError) as exc:
+                    last_error = exc
+                    if attempt >= dispatch.max_retries:
+                        raise CampaignError(
+                            f"cell {cell.cell_id!r} failed after "
+                            f"{attempts} attempt(s); last endpoint "
+                            f"{host}:{port}: {exc}") from exc
+                    time.sleep(
+                        dispatch.retry_backoff_seconds * (2 ** attempt))
+            assert metrics is not None, last_error
+        entry = {
+            "cell_id": cell.cell_id,
+            "workload": cell.workload.label,
+            "prefetcher": cell.prefetcher,
+            "variant": cell.variant,
+            "seed": cell.seed,
+            "length": cell.length,
+            "fingerprint": cell.fingerprint,
+            "metrics": metrics,
+            "provenance": {
+                "seed": cell.seed,
+                "config_fingerprint": cell.fingerprint,
+            },
+            # Volatile facts (timing, attempts, where it ran) live apart
+            # from the harvested identity/metrics/provenance, so resumed
+            # and uninterrupted runs export byte-identical results.
+            "runtime": {
+                "endpoint": endpoint_label,
+                "attempts": attempts,
+                "elapsed_seconds": round(time.perf_counter() - started, 3),
+            },
+        }
+        if epochs is not None:
+            entry["epochs"] = epochs
+        return entry
+
+    def _run_cell_local(self, cell: CampaignCell):
+        """In-process fallback: offline simulate (+ optional timeline)."""
+        buffer = cell_trace(cell)
+        if not cell.epoch_records:
+            from repro.sim.runner import simulate
+
+            result = simulate(buffer, cell.prefetcher,
+                              workload_name=cell.workload.label,
+                              config=cell.config)
+            return asdict(result.metrics), None
+        from repro.obs import attach_observability
+        from repro.prefetch.registry import make_prefetcher
+        from repro.sim.engine import SystemSimulator
+        from repro.sim.runner import collect_metrics
+
+        simulator = SystemSimulator(
+            cell.config,
+            lambda layout, channel: make_prefetcher(cell.prefetcher,
+                                                    layout, channel))
+        obs = attach_observability(simulator,
+                                   epoch_records=cell.epoch_records)
+        simulator.run(buffer)
+        metrics = collect_metrics(simulator, cell.workload.label,
+                                  cell.prefetcher)
+        epochs = [epoch.to_dict()
+                  for epoch in obs.merged_timeline(include_partial=True)]
+        return asdict(metrics), epochs
+
+    def _run_cell_service(self, cell: CampaignCell, host: str, port: int):
+        """One streaming session against an endpoint (one attempt)."""
+        from repro.service.client import ServiceClient
+        from repro.sim.engine import channel_warmup_counts
+
+        buffer = cell_trace(cell)
+        warmup = channel_warmup_counts(buffer, cell.config)
+        name = cell.session_name
+        with ServiceClient.connect(host, port) as client:
+            try:
+                # A previous attempt may have left the session half-fed;
+                # drop it so this attempt replays from a clean engine.
+                client.close_session(name)
+            except (ServiceError, KeyError):
+                pass
+            client.open(name, cell.prefetcher,
+                        workload=cell.workload.label, config=cell.config,
+                        warmup_records=warmup,
+                        epoch_records=cell.epoch_records or None)
+            client.feed_trace(name, buffer,
+                              chunk_records=self.spec.dispatch.chunk_records)
+            epochs = None
+            if cell.epoch_records:
+                records, _ = client.timeline(name, include_partial=True)
+                epochs = [epoch.to_dict() for epoch in records]
+            snapshot = client.close_session(name)
+        return asdict(snapshot.metrics), epochs

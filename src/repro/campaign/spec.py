@@ -1,0 +1,488 @@
+"""Campaign spec: the YAML schema and its validating parser.
+
+A spec is a plain mapping with three grid axes — ``workloads``,
+``prefetchers``, ``configs`` — plus defaults (seed, length,
+epoch_records), dispatch tuning and an optional ``soak`` section.  The
+parser is strict: every level rejects unknown keys and wrong value types
+with a :class:`~repro.errors.CampaignSpecError` *before* anything runs,
+and the parsed spec round-trips to a canonical dict
+(:meth:`CampaignSpec.to_dict`) whose hash
+(:meth:`CampaignSpec.fingerprint`) ties a progress checkpoint to the
+exact spec that produced it.
+
+Example (see ``examples/campaign.yaml`` for the annotated version)::
+
+    name: quickstart
+    seed: 7
+    length: 12000
+    workloads:
+      - app: CFM
+      - name: cfm+hok
+        tenants:
+          - app=CFM,device=CPU,seed=1
+          - app=HoK,device=GPU,seed=2
+    prefetchers: [none, planaria]
+    configs:
+      - name: base
+      - name: small-sc
+        overrides: {cache: {size_kib: 2048}}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import CampaignSpecError, ConfigError
+from repro.prefetch.registry import PREFETCHER_FACTORIES
+from repro.tenancy.spec import TenantSpec
+
+PathLike = Union[str, Path]
+
+#: Spec schema version; bump on incompatible layout changes.
+SPEC_VERSION = 1
+
+_TOP_KEYS = ("name", "version", "seed", "length", "epoch_records",
+             "sim_config", "workloads", "prefetchers", "configs",
+             "dispatch", "soak")
+_WORKLOAD_KEYS = ("app", "name", "tenants", "length", "seed")
+_CONFIG_KEYS = ("name", "overrides")
+_DISPATCH_KEYS = ("chunk_records", "max_inflight_cells", "max_retries",
+                  "retry_backoff_seconds")
+_SOAK_KEYS = ("duration_seconds", "rate_records_per_second",
+              "sample_interval_seconds", "chunk_records", "prefetcher",
+              "tenants")
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise CampaignSpecError(message)
+
+
+def _mapping(value: Any, where: str) -> Mapping:
+    _expect(isinstance(value, Mapping),
+            f"{where} must be a mapping, got {type(value).__name__}")
+    return value
+
+
+def _no_unknown_keys(data: Mapping, allowed: Sequence[str],
+                     where: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    _expect(not unknown,
+            f"{where}: unknown key(s) {unknown}; allowed: {list(allowed)}")
+
+
+def _typed(data: Mapping, key: str, types, where: str, default=None):
+    if key not in data:
+        return default
+    value = data[key]
+    # bool is an int subclass; reject it where an int is expected.
+    if not isinstance(value, types) or (isinstance(value, bool)
+                                        and bool not in _as_tuple(types)):
+        names = "/".join(t.__name__ for t in _as_tuple(types))
+        raise CampaignSpecError(
+            f"{where}: {key!r} must be {names}, "
+            f"got {type(value).__name__} ({value!r})")
+    return value
+
+
+def _as_tuple(types) -> Tuple[type, ...]:
+    return types if isinstance(types, tuple) else (types,)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload axis entry: a single app trace or a tenant mix."""
+
+    label: str
+    app: Optional[str] = None
+    tenants: Tuple[str, ...] = ()
+    length: Optional[int] = None
+    seed: Optional[int] = None
+
+    def tenant_specs(self, default_length: int) -> List[TenantSpec]:
+        """Parse the tenant strings, defaulting lengths like the
+        ``multitenant`` verb: a spec without ``length=`` gets the
+        workload's (or campaign's) default."""
+        specs = []
+        for text in self.tenants:
+            spec = TenantSpec.parse(text)
+            if "length=" not in text:
+                spec = TenantSpec(app=spec.app, device=spec.device,
+                                  length=self.length or default_length,
+                                  seed=spec.seed,
+                                  phase_offset=spec.phase_offset,
+                                  intensity=spec.intensity)
+            specs.append(spec)
+        return specs
+
+    def to_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {"name": self.label}
+        if self.app is not None:
+            entry["app"] = self.app
+        if self.tenants:
+            entry["tenants"] = list(self.tenants)
+        if self.length is not None:
+            entry["length"] = self.length
+        if self.seed is not None:
+            entry["seed"] = self.seed
+        return entry
+
+
+@dataclass(frozen=True)
+class ConfigVariant:
+    """One config axis entry: a name plus nested SimConfig overrides."""
+
+    name: str
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def overrides_dict(self) -> Dict[str, Any]:
+        return _thaw(self.overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {"name": self.name}
+        if self.overrides:
+            entry["overrides"] = self.overrides_dict
+        return entry
+
+
+def _freeze(value: Any) -> Any:
+    """Mappings/lists → hashable tuples (dataclass stays frozen)."""
+    if isinstance(value, Mapping):
+        return tuple((str(key), _freeze(value[key])) for key in value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    if isinstance(value, tuple) and all(
+            isinstance(item, tuple) and len(item) == 2
+            and isinstance(item[0], str) for item in value):
+        return {key: _thaw(inner) for key, inner in value}
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class DispatchSpec:
+    """Dispatcher tuning: chunking, bounded concurrency, retry policy."""
+
+    chunk_records: int = 1024
+    max_inflight_cells: int = 2
+    max_retries: int = 3
+    retry_backoff_seconds: float = 0.25
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"chunk_records": self.chunk_records,
+                "max_inflight_cells": self.max_inflight_cells,
+                "max_retries": self.max_retries,
+                "retry_backoff_seconds": self.retry_backoff_seconds}
+
+
+#: Soak-mode default tenant mix (mirrors ``repro multitenant``).
+DEFAULT_SOAK_TENANTS = ("app=CFM,device=CPU,seed=1,length=20000",
+                        "app=HoK,device=GPU,seed=2,length=20000")
+
+
+@dataclass(frozen=True)
+class SoakSpec:
+    """Sustained-rate replay parameters (docs/campaigns.md, soak mode)."""
+
+    duration_seconds: float = 30.0
+    rate_records_per_second: int = 0  # 0 = unpaced (as fast as possible)
+    sample_interval_seconds: float = 2.0
+    chunk_records: int = 1024
+    prefetcher: str = "planaria"
+    tenants: Tuple[str, ...] = DEFAULT_SOAK_TENANTS
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"duration_seconds": self.duration_seconds,
+                "rate_records_per_second": self.rate_records_per_second,
+                "sample_interval_seconds": self.sample_interval_seconds,
+                "chunk_records": self.chunk_records,
+                "prefetcher": self.prefetcher,
+                "tenants": list(self.tenants)}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A fully-validated campaign description."""
+
+    name: str
+    seed: int = 7
+    length: int = 20_000
+    epoch_records: int = 0
+    sim_config: Optional[str] = None
+    workloads: Tuple[WorkloadSpec, ...] = ()
+    prefetchers: Tuple[str, ...] = ()
+    configs: Tuple[ConfigVariant, ...] = (ConfigVariant("base"),)
+    dispatch: DispatchSpec = field(default_factory=DispatchSpec)
+    soak: SoakSpec = field(default_factory=SoakSpec)
+    #: Directory the spec file was loaded from; relative ``sim_config``
+    #: paths resolve against it.  Not part of the canonical dict.
+    base_dir: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical (fingerprinted) form of the spec."""
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "length": self.length,
+            "epoch_records": self.epoch_records,
+            "sim_config": self.sim_config,
+            "workloads": [workload.to_dict() for workload in self.workloads],
+            "prefetchers": list(self.prefetchers),
+            "configs": [variant.to_dict() for variant in self.configs],
+            "dispatch": self.dispatch.to_dict(),
+            "soak": self.soak.to_dict(),
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable short hash of the canonical spec — ties a progress
+        checkpoint to the exact grid it was recorded for."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def load_base_config(self):
+        """The campaign's base :class:`~repro.config.SimConfig`.
+
+        ``sim_config`` paths resolve relative to the spec file; without
+        one, :meth:`SimConfig.experiment_scale` (the scale every other
+        surface defaults to).
+        """
+        from repro.config import SimConfig
+
+        if self.sim_config is None:
+            return SimConfig.experiment_scale()
+        from repro.config_io import load_sim_config
+
+        path = Path(self.sim_config)
+        if not path.is_absolute() and self.base_dir:
+            path = Path(self.base_dir) / path
+        return load_sim_config(path)
+
+
+def _parse_workload(data: Any, index: int) -> WorkloadSpec:
+    where = f"workloads[{index}]"
+    data = _mapping(data, where)
+    _no_unknown_keys(data, _WORKLOAD_KEYS, where)
+    app = _typed(data, "app", str, where)
+    tenants_raw = data.get("tenants")
+    _expect((app is None) != (tenants_raw is None),
+            f"{where}: exactly one of 'app' or 'tenants' is required")
+    tenants: Tuple[str, ...] = ()
+    if tenants_raw is not None:
+        _expect(isinstance(tenants_raw, (list, tuple)) and tenants_raw,
+                f"{where}: 'tenants' must be a non-empty list of tenant "
+                f"spec strings")
+        _expect(all(isinstance(item, str) for item in tenants_raw),
+                f"{where}: 'tenants' entries must be strings like "
+                f"'app=CFM,device=CPU,seed=1'")
+        _expect(len(tenants_raw) >= 2,
+                f"{where}: a tenant mix needs >= 2 tenants, "
+                f"got {len(tenants_raw)}")
+        tenants = tuple(tenants_raw)
+        for text in tenants:
+            try:  # validate eagerly; surface as a spec error
+                TenantSpec.parse(text)
+            except ConfigError as exc:
+                raise CampaignSpecError(f"{where}: {exc}") from exc
+    label = _typed(data, "name", str, where)
+    if label is None:
+        label = app if app is not None else "+".join(
+            TenantSpec.parse(text).app for text in tenants)
+    length = _typed(data, "length", int, where)
+    if length is not None:
+        _expect(length >= 1, f"{where}: 'length' must be >= 1, got {length}")
+    seed = _typed(data, "seed", int, where)
+    return WorkloadSpec(label=label, app=app, tenants=tenants,
+                        length=length, seed=seed)
+
+
+def _parse_config_variant(data: Any, index: int) -> ConfigVariant:
+    where = f"configs[{index}]"
+    data = _mapping(data, where)
+    _no_unknown_keys(data, _CONFIG_KEYS, where)
+    name = _typed(data, "name", str, where)
+    _expect(bool(name), f"{where}: 'name' is required and non-empty")
+    overrides = data.get("overrides", {})
+    overrides = _mapping(overrides, f"{where}.overrides")
+    return ConfigVariant(name=name, overrides=_freeze(overrides))
+
+
+def _parse_dispatch(data: Any) -> DispatchSpec:
+    where = "dispatch"
+    data = _mapping(data, where)
+    _no_unknown_keys(data, _DISPATCH_KEYS, where)
+    spec = DispatchSpec(
+        chunk_records=_typed(data, "chunk_records", int, where, 1024),
+        max_inflight_cells=_typed(data, "max_inflight_cells", int, where, 2),
+        max_retries=_typed(data, "max_retries", int, where, 3),
+        retry_backoff_seconds=float(
+            _typed(data, "retry_backoff_seconds", (int, float), where, 0.25)),
+    )
+    _expect(spec.chunk_records >= 1,
+            f"{where}: 'chunk_records' must be >= 1")
+    _expect(spec.max_inflight_cells >= 1,
+            f"{where}: 'max_inflight_cells' must be >= 1")
+    _expect(spec.max_retries >= 0, f"{where}: 'max_retries' must be >= 0")
+    _expect(spec.retry_backoff_seconds >= 0,
+            f"{where}: 'retry_backoff_seconds' must be >= 0")
+    return spec
+
+
+def _parse_soak(data: Any) -> SoakSpec:
+    where = "soak"
+    data = _mapping(data, where)
+    _no_unknown_keys(data, _SOAK_KEYS, where)
+    tenants_raw = data.get("tenants", list(DEFAULT_SOAK_TENANTS))
+    _expect(isinstance(tenants_raw, (list, tuple))
+            and len(tenants_raw) >= 2
+            and all(isinstance(item, str) for item in tenants_raw),
+            f"{where}: 'tenants' must be a list of >= 2 tenant spec strings")
+    for text in tenants_raw:
+        try:
+            TenantSpec.parse(text)
+        except ConfigError as exc:
+            raise CampaignSpecError(f"{where}: {exc}") from exc
+    spec = SoakSpec(
+        duration_seconds=float(
+            _typed(data, "duration_seconds", (int, float), where, 30.0)),
+        rate_records_per_second=_typed(
+            data, "rate_records_per_second", int, where, 0),
+        sample_interval_seconds=float(
+            _typed(data, "sample_interval_seconds", (int, float), where,
+                   2.0)),
+        chunk_records=_typed(data, "chunk_records", int, where, 1024),
+        prefetcher=_typed(data, "prefetcher", str, where, "planaria"),
+        tenants=tuple(tenants_raw),
+    )
+    _expect(spec.duration_seconds > 0,
+            f"{where}: 'duration_seconds' must be > 0")
+    _expect(spec.rate_records_per_second >= 0,
+            f"{where}: 'rate_records_per_second' must be >= 0 (0 = unpaced)")
+    _expect(spec.sample_interval_seconds > 0,
+            f"{where}: 'sample_interval_seconds' must be > 0")
+    _expect(spec.chunk_records >= 1, f"{where}: 'chunk_records' must be >= 1")
+    _expect(spec.prefetcher in PREFETCHER_FACTORIES,
+            f"{where}: unknown prefetcher {spec.prefetcher!r}; "
+            f"known: {sorted(PREFETCHER_FACTORIES)}")
+    return spec
+
+
+def parse_campaign(data: Any,
+                   base_dir: Optional[PathLike] = None) -> CampaignSpec:
+    """Validate an already-decoded mapping into a :class:`CampaignSpec`.
+
+    Raises:
+        CampaignSpecError: unknown keys, wrong types, empty axes,
+            unknown prefetcher/workload names — every schema violation,
+            named precisely, before any cell runs.
+    """
+    data = _mapping(data, "campaign spec")
+    _no_unknown_keys(data, _TOP_KEYS, "campaign spec")
+    version = _typed(data, "version", int, "campaign spec", SPEC_VERSION)
+    _expect(version == SPEC_VERSION,
+            f"campaign spec version {version} not supported "
+            f"(this build reads version {SPEC_VERSION})")
+    name = _typed(data, "name", str, "campaign spec")
+    _expect(bool(name), "campaign spec: 'name' is required and non-empty")
+    _expect(all(ch.isalnum() or ch in "-_." for ch in name),
+            f"campaign spec: 'name' must be filesystem-safe "
+            f"(letters, digits, '-', '_', '.'), got {name!r}")
+
+    seed = _typed(data, "seed", int, "campaign spec", 7)
+    length = _typed(data, "length", int, "campaign spec", 20_000)
+    _expect(length >= 1,
+            f"campaign spec: 'length' must be >= 1, got {length}")
+    epoch_records = _typed(data, "epoch_records", int, "campaign spec", 0)
+    _expect(epoch_records >= 0,
+            f"campaign spec: 'epoch_records' must be >= 0 (0 disables)")
+    sim_config = _typed(data, "sim_config", str, "campaign spec")
+
+    workloads_raw = data.get("workloads")
+    _expect(isinstance(workloads_raw, (list, tuple)) and workloads_raw,
+            "campaign spec: 'workloads' must be a non-empty list")
+    workloads = tuple(_parse_workload(entry, index)
+                      for index, entry in enumerate(workloads_raw))
+
+    prefetchers_raw = data.get("prefetchers")
+    _expect(isinstance(prefetchers_raw, (list, tuple)) and prefetchers_raw,
+            "campaign spec: 'prefetchers' must be a non-empty list")
+    _expect(all(isinstance(item, str) for item in prefetchers_raw),
+            "campaign spec: 'prefetchers' entries must be strings")
+    unknown = [item for item in prefetchers_raw
+               if item not in PREFETCHER_FACTORIES]
+    _expect(not unknown,
+            f"campaign spec: unknown prefetcher(s) {unknown}; "
+            f"known: {sorted(PREFETCHER_FACTORIES)}")
+
+    configs_raw = data.get("configs", [{"name": "base"}])
+    _expect(isinstance(configs_raw, (list, tuple)) and configs_raw,
+            "campaign spec: 'configs' must be a non-empty list")
+    configs = tuple(_parse_config_variant(entry, index)
+                    for index, entry in enumerate(configs_raw))
+    names = [variant.name for variant in configs]
+    _expect(len(set(names)) == len(names),
+            f"campaign spec: duplicate config variant names: {names}")
+
+    dispatch = _parse_dispatch(data.get("dispatch", {}))
+    soak = _parse_soak(data.get("soak", {}))
+
+    # Workload generator names are validated eagerly too.
+    from repro.trace.generator import list_workloads
+
+    known_apps = set(list_workloads())
+    for workload in workloads:
+        if workload.app is not None:
+            _expect(workload.app in known_apps,
+                    f"campaign spec: unknown app {workload.app!r}; "
+                    f"known: {sorted(known_apps)}")
+        for text in workload.tenants:
+            app = TenantSpec.parse(text).app
+            _expect(app in known_apps,
+                    f"campaign spec: unknown app {app!r} in tenant "
+                    f"{text!r}; known: {sorted(known_apps)}")
+
+    return CampaignSpec(
+        name=name, seed=seed, length=length, epoch_records=epoch_records,
+        sim_config=sim_config, workloads=workloads,
+        prefetchers=tuple(prefetchers_raw), configs=configs,
+        dispatch=dispatch, soak=soak,
+        base_dir=str(base_dir) if base_dir is not None else None,
+    )
+
+
+def load_campaign(path: PathLike) -> CampaignSpec:
+    """Load and validate a campaign YAML file.
+
+    Raises:
+        CampaignSpecError: unreadable file, YAML syntax error, or any
+            schema violation (see :func:`parse_campaign`).
+    """
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - PyYAML ships in CI
+        raise CampaignSpecError(
+            "campaign specs need PyYAML (pip install pyyaml)") from exc
+
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CampaignSpecError(f"cannot read campaign spec {path}: "
+                                f"{exc}") from exc
+    try:
+        data = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise CampaignSpecError(f"{path}: invalid YAML: {exc}") from exc
+    return parse_campaign(data, base_dir=path.parent)

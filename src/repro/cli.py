@@ -19,6 +19,9 @@ Commands
 * ``multitenant``— merged multi-tenant contention study: shared vs
   way-partitioned SC, per-tenant QoS deltas vs solo baselines, writing
   BENCH_multitenant.json (docs/multitenant.md).
+* ``campaign``   — declarative YAML sweep grids dispatched to the
+  service fleet with checkpointed resume (``run``/``resume``/``status``)
+  and a sustained-rate ``soak`` mode (docs/campaigns.md).
 
 All commands exit 130 on Ctrl-C (the conventional SIGINT code); ``serve``
 additionally drains and checkpoints open sessions on SIGTERM.
@@ -36,6 +39,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.cli_export import add_export_argument, export_if_requested
 from repro.core.storage import planaria_storage_budget
 from repro.errors import ReproError
 from repro.prefetch.registry import PREFETCHER_FACTORIES
@@ -126,11 +130,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     )
     report = ALL_EXPERIMENTS[args.id](settings)
     print(report.format_table())
-    if args.export:
-        from repro.experiments.export import export_report
-
-        for written in export_report(report, args.export):
-            print(f"exported {written}")
+    export_if_requested(report, args.export)
     return 0
 
 
@@ -408,11 +408,57 @@ def _cmd_multitenant(args: argparse.Namespace) -> int:
     if args.output:
         written = write_bench(report, args.output)
         print(f"wrote {written}")
-    if args.export:
-        from repro.experiments.export import export_report
+    export_if_requested(report, args.export)
+    return 0
 
-        for written in export_report(report, args.export):
-            print(f"exported {written}")
+
+def _campaign_runner(args: argparse.Namespace):
+    from repro.campaign import CampaignRunner, load_campaign
+
+    spec = load_campaign(args.spec)
+    return CampaignRunner(spec, args.state_dir,
+                          endpoints=args.endpoint or ())
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import load_state, write_results
+
+    runner = _campaign_runner(args)
+    summary = runner.run(resume=args.resume, progress=print)
+    print(f"campaign {summary['name']}: {summary['total_cells']} cells "
+          f"({summary['executed_cells']} executed, "
+          f"{summary['skipped_cells']} resumed from state)")
+    state = load_state(runner.state_file)
+    results_dir = args.export or args.state_dir
+    for written in write_results(runner, state, results_dir):
+        print(f"exported {written}")
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    runner = _campaign_runner(args)
+    status = runner.status()
+    print(f"campaign {status['name']}: "
+          f"{status['completed_cells']}/{status['total_cells']} cells "
+          f"completed ({status['state_file']})")
+    for cell_id in status["pending_cells"]:
+        print(f"  pending {cell_id}")
+    if status["complete"]:
+        print("  complete")
+    return 0
+
+
+def _cmd_campaign_soak(args: argparse.Namespace) -> int:
+    from repro.campaign import load_campaign, run_soak
+
+    spec = load_campaign(args.spec)
+    section = run_soak(spec, args.endpoint,
+                       duration_seconds=args.duration,
+                       output=args.output, progress=print)
+    print(f"soak {section['duration_seconds']}s against "
+          f"{section['endpoint']}: {section['records_fed']} records "
+          f"({section['achieved_records_per_second']:,} rec/s, "
+          f"{len(section['samples'])} samples) -> {args.output}")
     return 0
 
 
@@ -517,8 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--length", type=int, default=60_000)
     figure.add_argument("--seed", type=int, default=7)
     figure.add_argument("--apps", help="comma-separated subset, e.g. CFM,Fort")
-    figure.add_argument("--export", metavar="DIR",
-                        help="also write <id>.csv/<id>.svg into DIR")
+    add_export_argument(figure, what="the figure's report")
     _add_parallelism_argument(figure)
     _add_profile_argument(figure)
     figure.set_defaults(handler=_cmd_figure)
@@ -661,10 +706,54 @@ def build_parser() -> argparse.ArgumentParser:
                              help="SimConfig JSON file (see repro.config_io)")
     multitenant.add_argument("--output", default="BENCH_multitenant.json",
                              metavar="FILE", help="report path ('' skips)")
-    multitenant.add_argument("--export", metavar="DIR",
-                             help="also write multitenant.csv/.json/.svg "
-                                  "into DIR")
+    add_export_argument(multitenant, what="the contention report")
     multitenant.set_defaults(handler=_cmd_multitenant)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run a declarative YAML sweep campaign (docs/campaigns.md)")
+    campaign_ops = campaign.add_subparsers(dest="campaign_op", required=True)
+
+    def _add_campaign_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("spec", help="campaign YAML path")
+        sub.add_argument("--state-dir", metavar="DIR", default="campaigns",
+                         help="progress state + default results directory "
+                              "(default: ./campaigns)")
+        sub.add_argument("--endpoint", action="append", metavar="HOST:PORT",
+                         default=None,
+                         help="service endpoint to dispatch against; repeat "
+                              "for a fleet (default: run cells in-process)")
+
+    campaign_run = campaign_ops.add_parser(
+        "run", help="execute every cell of the grid (fresh start)")
+    _add_campaign_common(campaign_run)
+    add_export_argument(campaign_run, what="the harvested results")
+    campaign_run.set_defaults(handler=_cmd_campaign_run, resume=False)
+
+    campaign_resume = campaign_ops.add_parser(
+        "resume", help="continue a killed campaign from its state file")
+    _add_campaign_common(campaign_resume)
+    add_export_argument(campaign_resume, what="the harvested results")
+    campaign_resume.set_defaults(handler=_cmd_campaign_run, resume=True)
+
+    campaign_status = campaign_ops.add_parser(
+        "status", help="show completed/pending cells without running")
+    _add_campaign_common(campaign_status)
+    campaign_status.set_defaults(handler=_cmd_campaign_status)
+
+    campaign_soak = campaign_ops.add_parser(
+        "soak", help="sustained-rate replay against one endpoint, "
+                     "appending a time-series to BENCH_service.json")
+    campaign_soak.add_argument("spec", help="campaign YAML path")
+    campaign_soak.add_argument("endpoint", metavar="HOST:PORT",
+                               help="service endpoint to soak")
+    campaign_soak.add_argument("--duration", type=float, default=None,
+                               metavar="SECONDS",
+                               help="override the spec's soak duration")
+    campaign_soak.add_argument("--output", default="BENCH_service.json",
+                               metavar="FILE",
+                               help="report to append the 'soak' section to")
+    campaign_soak.set_defaults(handler=_cmd_campaign_soak)
     return parser
 
 

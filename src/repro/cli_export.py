@@ -1,0 +1,48 @@
+"""Shared ``--export DIR`` handling for report-producing CLI verbs.
+
+Every verb that can publish an :class:`~repro.experiments.report.ExperimentReport`
+(``figure``, ``multitenant``, ``campaign run/resume``) registers the flag
+through :func:`add_export_argument` and materialises it through
+:func:`export_if_requested`, so flag spelling, help text, and the
+"exported <path>" output lines stay identical across verbs.  Interrupt
+behaviour is likewise uniform: handlers let :class:`KeyboardInterrupt`
+propagate to ``main()``, which maps it to :data:`EXIT_INTERRUPTED`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.report import ExperimentReport
+
+#: 128 + SIGINT — the conventional "killed by Ctrl-C" exit code that
+#: ``repro``'s ``main()`` returns for every verb.
+EXIT_INTERRUPTED = 130
+
+
+def add_export_argument(parser: argparse.ArgumentParser,
+                        what: str = "the report") -> None:
+    """Register the uniform ``--export DIR`` flag on a verb's subparser."""
+    parser.add_argument(
+        "--export", metavar="DIR", default=None,
+        help=f"also write {what} as CSV/JSON (and SVG when plottable) "
+             f"into DIR")
+
+
+def export_if_requested(report: ExperimentReport,
+                        directory: Optional[str]) -> List[Path]:
+    """Export ``report`` when ``--export`` was given; prints each path.
+
+    Returns the written paths (empty when the flag was absent), so
+    handlers can reference them without re-deriving names.
+    """
+    if not directory:
+        return []
+    from repro.experiments.export import export_report
+
+    written = export_report(report, directory)
+    for path in written:
+        print(f"exported {path}")
+    return written

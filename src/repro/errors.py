@@ -74,6 +74,23 @@ class ServiceError(ReproError):
     """The streaming simulation service hit a protocol or session fault."""
 
 
+class CampaignError(ReproError):
+    """A campaign run failed: dispatch exhausted its retries, the progress
+    state does not match the spec, or a completed cell failed fingerprint
+    re-verification on resume."""
+
+
+class CampaignSpecError(CampaignError, ConfigError):
+    """A campaign YAML spec failed schema validation.
+
+    Raised at parse time for unknown keys, wrong value types, empty grid
+    axes or malformed nested sections — always *before* any cell runs,
+    so a typo cannot burn half a sweep.  Subclasses :class:`ConfigError`
+    so config-level handlers (the CLI's ``error:`` path included) catch
+    it uniformly.
+    """
+
+
 class SessionNotFoundError(ServiceError, KeyError):
     """A service request named a session that is not open (or checkpointed)."""
 

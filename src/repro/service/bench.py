@@ -20,7 +20,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
-import platform
+import sys
 import threading
 import time
 from dataclasses import asdict
@@ -37,6 +37,7 @@ from repro.sim.metrics import RunMetrics
 from repro.sim.runner import simulate
 from repro.trace.buffer import TraceBuffer
 from repro.trace.generator import generate_trace_buffer, get_profile
+from repro.utils.provenance import degraded_scaling, runtime_provenance
 
 DEFAULT_RESULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_service.json"
 #: Prefetchers cycled across sessions (2 sessions each at the default 8).
@@ -189,7 +190,7 @@ def run_service_bench(sessions: int = 8, length: int = 20_000, seed: int = 7,
         "chunk_records": chunk_records,
         "max_inflight_chunks": max_inflight_chunks,
         "workers": workers,
-        "python": platform.python_version(),
+        **runtime_provenance(),
         "prefetchers": {name: prefetcher for name, prefetcher in plan},
         "elapsed_seconds": round(elapsed, 3),
         "aggregate_records_per_second": round(total_records / elapsed),
@@ -458,8 +459,7 @@ def run_sharded_bench(workers_sweep: Iterable[int] = DEFAULT_WORKERS_SWEEP,
         "chunk_records": chunk_records,
         "max_inflight_chunks": max_inflight_chunks,
         "worker_threads": worker_threads,
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        **runtime_provenance(),
         "sweep": points,
         "speedup_vs_one_worker": {
             str(point["workers"]): round(
@@ -473,12 +473,17 @@ def run_sharded_bench(workers_sweep: Iterable[int] = DEFAULT_WORKERS_SWEEP,
         },
     }
     cores = os.cpu_count() or 1
-    if cores < max(sweep):
+    warning = degraded_scaling(cores, max(sweep))
+    if warning is not None:
+        # Stamp the report so downstream consumers can filter these
+        # points out of scaling curves, and say so out loud: a sweep on
+        # fewer cores than workers measures sharding overhead, not
+        # scaling.
+        section["degraded_provenance"] = True
         section["note"] = (
-            f"host has {cores} CPU core(s): worker processes time-slice "
-            f"one core, so the sweep measures sharding overhead, not "
-            f"scaling — run on >= {max(sweep)} cores for the speedup curve "
-            f"(docs/service.md)")
+            f"{warning} — run on >= {max(sweep)} cores for the speedup "
+            f"curve (docs/service.md)")
+        print(f"warning: {section['note']}", file=sys.stderr)
     if output is not None:
         existing: dict = {}
         if output.exists():

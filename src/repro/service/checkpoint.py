@@ -15,8 +15,6 @@ readers only ever observe complete files.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
 import pickle
 import tempfile
@@ -28,6 +26,10 @@ from repro.config import SimConfig
 from repro.errors import CheckpointError, CheckpointMismatchError
 from repro.prefetch.registry import make_prefetcher
 from repro.sim.engine import SystemSimulator
+# Re-exported: the fingerprint moved to the shared provenance helper so
+# campaign-cell provenance and BENCH writers use the same hash, but every
+# service-layer caller keeps importing it from here.
+from repro.utils.provenance import config_fingerprint  # noqa: F401
 
 PathLike = Union[str, Path]
 
@@ -37,22 +39,32 @@ CHECKPOINT_MAGIC = "planaria-checkpoint"
 CHECKPOINT_VERSION = 1
 
 
-def config_fingerprint(prefetcher: str, config: SimConfig) -> str:
-    """A stable short hash over (prefetcher name, full config).
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename).
 
-    Two engines share a fingerprint exactly when a checkpoint written by
-    one can be ``load_state()``-ed into the other: same prefetcher
-    registry name, bit-identical configuration.  The hash is computed
-    over the canonical JSON of :func:`repro.config_io.to_dict`, so it is
-    stable across processes and Python versions — the property
-    cross-worker migration relies on.
+    The temporary file lives in the target directory so the final
+    :func:`os.replace` is a same-filesystem rename (atomic on POSIX):
+    a crash — up to and including ``kill -9`` — mid-write leaves the
+    previous file intact, and readers only ever observe complete files.
+    Shared by simulator checkpoints and campaign progress state.
     """
-    from repro.config_io import to_dict as config_to_dict
-
-    canonical = json.dumps({"prefetcher": prefetcher,
-                            "config": config_to_dict(config)},
-                           sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 @dataclass
@@ -105,28 +117,9 @@ def validate_restore(name: str, checkpoint: Checkpoint,
 
 
 def save_checkpoint(path: PathLike, checkpoint: Checkpoint) -> Path:
-    """Atomically write a checkpoint; returns the final path.
-
-    The temporary file lives in the target directory so the final
-    :func:`os.replace` is a same-filesystem rename (atomic on POSIX).
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
-                                    prefix=path.name + ".", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return path
+    """Atomically write a checkpoint; returns the final path."""
+    return atomic_write_bytes(
+        path, pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 def load_checkpoint(path: PathLike) -> Checkpoint:

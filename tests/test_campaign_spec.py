@@ -1,0 +1,177 @@
+"""Campaign spec parsing and grid expansion (repro.campaign.spec/grid)."""
+
+import pytest
+
+from repro.campaign import (expand_grid, load_campaign, parse_campaign)
+from repro.config import SimConfig
+from repro.errors import CampaignError, CampaignSpecError, ConfigError
+
+BASE = {
+    "name": "unit",
+    "length": 4000,
+    "workloads": [{"app": "CFM"}, {"app": "HoK"}],
+    "prefetchers": ["none", "planaria"],
+}
+
+
+def _spec(**overrides):
+    data = dict(BASE)
+    data.update(overrides)
+    return parse_campaign(data)
+
+
+class TestGoldenRoundTrip:
+    """The shipped example expands to a known, order-stable grid."""
+
+    def test_example_grid_golden(self):
+        spec = load_campaign("examples/campaign.yaml")
+        cells = expand_grid(spec)
+        expected = [
+            f"{workload}/{prefetcher}/{variant}"
+            for workload in ("CFM", "HoK", "cfm+hok")
+            for prefetcher in ("none", "bop", "planaria")
+            for variant in ("base", "small-sc")
+        ]
+        assert [cell.cell_id for cell in cells] == expected
+
+    def test_expansion_is_deterministic(self):
+        spec = load_campaign("examples/campaign.yaml")
+        first = [(c.cell_id, c.fingerprint, c.seed, c.length)
+                 for c in expand_grid(spec)]
+        second = [(c.cell_id, c.fingerprint, c.seed, c.length)
+                  for c in expand_grid(spec)]
+        assert first == second
+
+    def test_fingerprint_stable_across_parses(self):
+        assert _spec().fingerprint == _spec().fingerprint
+
+    def test_fingerprint_changes_with_grid(self):
+        assert (_spec().fingerprint
+                != _spec(prefetchers=["none", "bop"]).fingerprint)
+
+    def test_workload_overrides_seed_and_length(self):
+        spec = _spec(workloads=[{"app": "CFM", "seed": 99, "length": 1234},
+                                {"app": "HoK"}])
+        cells = expand_grid(spec)
+        assert (cells[0].seed, cells[0].length) == (99, 1234)
+        assert (cells[2].seed, cells[2].length) == (spec.seed, spec.length)
+
+
+class TestDedup:
+    def test_duplicate_prefetcher_collapses_to_first(self):
+        spec = _spec(prefetchers=["none", "planaria", "none"])
+        cells = expand_grid(spec)
+        ids = [cell.cell_id for cell in cells]
+        assert len(ids) == len(set(ids))
+        assert ids == ["CFM/none/base", "CFM/planaria/base",
+                       "HoK/none/base", "HoK/planaria/base"]
+
+
+class TestSchemaRejection:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(CampaignSpecError, match="bogus"):
+            parse_campaign(dict(BASE, bogus=1))
+
+    def test_unknown_workload_key(self):
+        with pytest.raises(CampaignSpecError, match="frobnicate"):
+            parse_campaign(dict(BASE, workloads=[
+                {"app": "CFM", "frobnicate": True}]))
+
+    def test_unknown_dispatch_key(self):
+        with pytest.raises(CampaignSpecError, match="threads"):
+            parse_campaign(dict(BASE, dispatch={"threads": 4}))
+
+    def test_unknown_soak_key(self):
+        with pytest.raises(CampaignSpecError, match="forever"):
+            parse_campaign(dict(BASE, soak={"forever": True}))
+
+    def test_bool_rejected_where_int_expected(self):
+        with pytest.raises(CampaignSpecError, match="length"):
+            parse_campaign(dict(BASE, length=True))
+
+    def test_unknown_app(self):
+        with pytest.raises(CampaignSpecError, match="NotAGame"):
+            parse_campaign(dict(BASE, workloads=[{"app": "NotAGame"}]))
+
+    def test_unknown_prefetcher(self):
+        with pytest.raises(CampaignSpecError, match="warp-drive"):
+            parse_campaign(dict(BASE, prefetchers=["warp-drive"]))
+
+    def test_empty_axes(self):
+        with pytest.raises(CampaignSpecError):
+            parse_campaign(dict(BASE, workloads=[]))
+        with pytest.raises(CampaignSpecError):
+            parse_campaign(dict(BASE, prefetchers=[]))
+
+    def test_app_xor_tenants(self):
+        with pytest.raises(CampaignSpecError):
+            parse_campaign(dict(BASE, workloads=[
+                {"app": "CFM",
+                 "tenants": ["app=CFM,device=CPU", "app=HoK,device=GPU"]}]))
+
+    def test_tenant_mix_needs_two(self):
+        with pytest.raises(CampaignSpecError):
+            parse_campaign(dict(BASE, workloads=[
+                {"name": "solo", "tenants": ["app=CFM,device=CPU"]}]))
+
+    def test_bad_tenant_string_fails_at_parse_time(self):
+        with pytest.raises(CampaignSpecError):
+            parse_campaign(dict(BASE, workloads=[
+                {"name": "mix", "tenants": ["app=CFM,device=Toaster",
+                                            "app=HoK,device=GPU"]}]))
+
+    def test_duplicate_config_variant_names(self):
+        with pytest.raises(CampaignSpecError, match="base"):
+            parse_campaign(dict(BASE, configs=[{"name": "base"},
+                                               {"name": "base"}]))
+
+    def test_unfriendly_campaign_name(self):
+        with pytest.raises(CampaignSpecError):
+            parse_campaign(dict(BASE, name="no/slashes here"))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises((CampaignSpecError, CampaignError)):
+            load_campaign(tmp_path / "nope.yaml")
+
+    def test_spec_error_is_config_error(self):
+        # the CLI's ConfigError handling must catch spec errors too
+        assert issubclass(CampaignSpecError, ConfigError)
+        assert issubclass(CampaignSpecError, CampaignError)
+
+
+class TestOverrides:
+    def test_override_applies_to_cell_config(self):
+        spec = _spec(configs=[
+            {"name": "base"},
+            {"name": "tiny-sc", "overrides": {"cache": {"size_bytes": 2097152}}},
+        ])
+        cells = expand_grid(spec)
+        by_variant = {cell.variant: cell for cell in cells[:2]}
+        base_size = SimConfig.experiment_scale().cache.size_bytes
+        assert by_variant["base"].config.cache.size_bytes == base_size
+        assert by_variant["tiny-sc"].config.cache.size_bytes == 2097152
+        assert (by_variant["base"].fingerprint
+                != by_variant["tiny-sc"].fingerprint)
+
+    def test_override_typo_fails_at_expansion(self):
+        spec = _spec(configs=[
+            {"name": "typo", "overrides": {"cache": {"size_byte": 1}}}])
+        with pytest.raises(CampaignSpecError, match="typo"):
+            expand_grid(spec)
+
+    def test_non_nested_override(self):
+        spec = _spec(configs=[
+            {"name": "lat", "overrides": {"sc_hit_latency": 12}}])
+        cells = expand_grid(spec)
+        assert cells[0].config.sc_hit_latency == 12
+
+
+class TestSessionNames:
+    def test_session_name_is_service_safe(self):
+        spec = _spec(workloads=[
+            {"name": "cfm+hok", "tenants": ["app=CFM,device=CPU",
+                                            "app=HoK,device=GPU"]}])
+        for cell in expand_grid(spec):
+            assert cell.session_name.startswith("campaign-")
+            assert all(ch.isalnum() or ch in "-_."
+                       for ch in cell.session_name)

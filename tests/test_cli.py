@@ -203,3 +203,61 @@ class TestSimConfigFile:
         assert main(["simulate", "--app", "CFM", "--length", "2000",
                      "--prefetchers", "none", "--sim-config", str(path)]) == 0
         assert "none" in capsys.readouterr().out
+
+
+class TestCampaignVerbs:
+    SPEC_YAML = """\
+name: cli-campaign
+length: 1500
+workloads:
+  - app: CFM
+prefetchers: [none, planaria]
+"""
+
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "c.yaml"
+        path.write_text(self.SPEC_YAML)
+        return str(path)
+
+    def test_run_status_resume(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        state_dir = str(tmp_path / "st")
+        assert main(["campaign", "run", spec, "--state-dir", state_dir,
+                     "--export", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "2 cells (2 executed" in out
+        assert "campaign-cli-campaign.csv" in out
+
+        assert main(["campaign", "status", spec,
+                     "--state-dir", state_dir]) == 0
+        assert "2/2 cells completed" in capsys.readouterr().out
+
+        # run again without resume -> error exit 1 via CampaignError
+        assert main(["campaign", "run", spec,
+                     "--state-dir", state_dir]) == 1
+        assert "resume" in capsys.readouterr().err
+
+        assert main(["campaign", "resume", spec, "--state-dir", state_dir,
+                     "--export", str(tmp_path / "out2")]) == 0
+        assert "0 executed, 2 resumed" in capsys.readouterr().out
+        first = (tmp_path / "out" / "campaign-cli-campaign.csv").read_bytes()
+        second = (tmp_path / "out2" / "campaign-cli-campaign.csv").read_bytes()
+        assert first == second
+
+    def test_bad_spec_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.yaml"
+        path.write_text("name: x\nbogus: true\n")
+        assert main(["campaign", "run", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_interrupt_exits_130(self, tmp_path, monkeypatch, capsys):
+        import repro.campaign.runner as campaign_runner
+
+        def interrupt(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(campaign_runner.CampaignRunner, "run", interrupt)
+        spec = self._write_spec(tmp_path)
+        assert main(["campaign", "run", spec,
+                     "--state-dir", str(tmp_path / "st")]) == 130
+        assert "interrupted" in capsys.readouterr().err
