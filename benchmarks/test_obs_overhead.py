@@ -13,6 +13,18 @@ configuration is within measurement noise of plain, and full collection
 costs at most a few percent (one ~60-scalar capture pass per
 ``epoch_records``-record boundary, nothing per record).
 
+Timing methodology (shared by every budget in this file): runs are
+clocked with ``time.process_time`` — the budgets bound single-threaded
+hook cost, and CPU time is immune to the scheduler preempting a run —
+and each penalty is the **minimum over rounds of the within-round
+ratio** (:func:`_penalties`).  Comparing per-mode bests from different
+rounds reads anywhere from -0% to +20% for identical code on a machine
+with bursty co-tenant contention (measured); within one round the modes
+run back to back under mostly-equal contention, a burst only ever
+inflates one side of the ratio, so the least-contended round biases the
+estimate low, never high — contention cannot produce a false failure,
+while a real regression shows in every round, including the quiet one.
+
     PYTHONPATH=src python -m pytest benchmarks/test_obs_overhead.py -s
 
 Set ``REPRO_BENCH_LENGTH`` to shrink runs (the CI smoke step does); the
@@ -40,7 +52,7 @@ APP = "CFM"
 SEED = 7
 PREFETCHERS = ("none", "planaria")
 EPOCH_RECORDS = 1024
-ROUNDS = 3
+ROUNDS = 5
 
 #: Enabled-collection throughput penalty budget (fraction of plain rps).
 MAX_ENABLED_PENALTY = 0.05
@@ -64,29 +76,57 @@ def _run(buffer, prefetcher_name, mode):
     elif mode == "disabled":
         attach_observability(simulator, epoch_records=EPOCH_RECORDS)
         detach_observability(simulator)
-    start = time.perf_counter()
+    start = time.process_time()
     simulator.run(buffer)
-    elapsed = time.perf_counter() - start
+    elapsed = time.process_time() - start
     metrics = asdict(_collect(simulator, "obs-overhead", prefetcher_name))
     epochs = len(obs.merged_timeline()) if obs is not None else 0
     events = len(obs.events()) if obs is not None else 0
     return elapsed, metrics, epochs, events
 
 
-def _best(buffer, prefetcher_name, modes, runner=None):
-    """Best-of-ROUNDS per mode, with the modes interleaved within each
-    round so slow machine-level drift hits every mode equally."""
+_MODES = ("plain", "plain2", "disabled", "enabled")
+
+
+def _measure(buffer, prefetcher_name, runner=None, rounds=ROUNDS):
+    """Run every mode ``rounds`` times, rotated within each round.
+
+    Returns ``(best, round_times)``: the fastest raw runner result per
+    mode, and one ``{mode: elapsed}`` table per round for the paired
+    penalty estimator (:func:`_penalties`).  The rotation keeps any one
+    mode from systematically running first (interpreter warm-up) or last
+    (accumulated cache heat).
+    """
     runner = runner or _run
     best = {}
-    for _ in range(ROUNDS):
-        for mode in modes:
+    round_times = []
+    for index in range(rounds):
+        shift = index % len(_MODES)
+        times = {}
+        for mode in _MODES[shift:] + _MODES[:shift]:
             result = runner(buffer, prefetcher_name, mode)
+            times[mode] = result[0]
             if mode not in best or result[0] < best[mode][0]:
                 best[mode] = result
-    return {
-        mode: (len(buffer) / elapsed, metrics, epochs, events)
-        for mode, (elapsed, metrics, epochs, events) in best.items()
-    }
+        round_times.append(times)
+    return best, round_times
+
+
+def _penalties(round_times):
+    """Min-over-rounds within-round penalties (see the module docstring).
+
+    Returns ``(enabled_penalty, disabled_penalty, noise)`` where noise is
+    the smallest within-round spread of the two independent plain series
+    — the measured floor for what "identical code" looks like.
+    """
+    def penalty(mode, times):
+        return times[mode] / min(times["plain"], times["plain2"]) - 1.0
+
+    enabled = min(penalty("enabled", times) for times in round_times)
+    disabled = min(penalty("disabled", times) for times in round_times)
+    noise = min(abs(times["plain2"] / times["plain"] - 1.0)
+                for times in round_times)
+    return enabled, disabled, noise
 
 
 def test_obs_overhead_budget():
@@ -110,20 +150,17 @@ def test_obs_overhead_budget():
     }
     print()
     for name in PREFETCHERS:
-        results = _best(buffer, name,
-                        ("plain", "plain2", "disabled", "enabled"))
-        plain_rps, plain_metrics, _, _ = results["plain"]
-        plain2_rps = results["plain2"][0]
-        disabled_rps, disabled_metrics, _, _ = results["disabled"]
-        enabled_rps, enabled_metrics, epochs, events = results["enabled"]
+        best, round_times = _measure(buffer, name)
+        plain_metrics = best["plain"][1]
+        disabled_metrics = best["disabled"][1]
+        _, enabled_metrics, epochs, events = best["enabled"]
         # Correctness before cost: collection never changes results.
         assert enabled_metrics == plain_metrics, name
         assert disabled_metrics == plain_metrics, name
-        noise = abs(1.0 - min(plain_rps, plain2_rps)
-                    / max(plain_rps, plain2_rps))
-        plain_best = max(plain_rps, plain2_rps)
-        disabled_penalty = 1.0 - disabled_rps / plain_best
-        enabled_penalty = 1.0 - enabled_rps / plain_best
+        enabled_penalty, disabled_penalty, noise = _penalties(round_times)
+        plain_best = len(buffer) / min(best["plain"][0], best["plain2"][0])
+        disabled_rps = len(buffer) / best["disabled"][0]
+        enabled_rps = len(buffer) / best["enabled"][0]
         report["prefetchers"][name] = {
             "plain_rps": round(plain_best),
             "disabled_rps": round(disabled_rps),
@@ -148,6 +185,126 @@ def test_obs_overhead_budget():
 
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"  wrote {RESULT_PATH}")
+
+
+# ----------------------------------------------------------------------
+# Prefetch lineage overhead (gating)
+# ----------------------------------------------------------------------
+#: Collecting-lineage throughput penalty budget versus the scalar loop.
+LINEAGE_MAX_ENABLED_PENALTY = 0.05
+LINEAGE_NOISE_MARGIN = 0.01
+#: The lineage gate needs more rounds than the obs one: its estimator is
+#: the *minimum over rounds* of the within-round penalty (see
+#: ``test_lineage_overhead_budget``), and the more rounds, the more
+#: likely one of them lands in a quiet window on a contended machine.
+LINEAGE_ROUNDS = 10
+
+
+def _run_lineage(buffer, prefetcher_name, mode):
+    """One scalar-loop run, with or without a lineage collector."""
+    from repro.obs.lineage import attach_lineage, detach_lineage
+
+    if mode == "plain2":
+        mode = "plain"
+    config = SimConfig.experiment_scale()
+    simulator = SystemSimulator(
+        config,
+        lambda layout, channel: make_prefetcher(prefetcher_name, layout,
+                                                channel),
+        engine_mode="scalar")
+    lineage = None
+    if mode == "enabled":
+        lineage = attach_lineage(simulator)
+    elif mode == "disabled":
+        attach_lineage(simulator)
+        detach_lineage(simulator)
+    start = time.process_time()
+    simulator.run(buffer)
+    elapsed = time.process_time() - start
+    metrics = asdict(_collect(simulator, "lineage-overhead",
+                              prefetcher_name))
+    issued = (lineage.summary()["totals"]["issued"]
+              if lineage is not None else 0)
+    return elapsed, metrics, issued, 0
+
+
+def test_lineage_overhead_budget():
+    """Gate: collecting full per-issue lineage costs <= 5% on the scalar
+    loop, and the disabled hooks sit inside the noise margin (penalty
+    estimator: module docstring).
+
+    Also records (non-gating) how much throughput a batch-mode caller
+    gives up by enabling lineage, since lineage forces the scalar
+    fallback: ``batch_fallback_ratio`` = collecting rps / plain batch rps.
+    """
+    config = SimConfig.experiment_scale()
+    buffer = generate_trace_buffer(get_profile(APP), LENGTH, seed=SEED,
+                                   layout=config.layout)
+    best, round_times = _measure(buffer, "planaria", runner=_run_lineage,
+                                 rounds=LINEAGE_ROUNDS)
+    plain_metrics = best["plain"][1]
+    disabled_metrics = best["disabled"][1]
+    _, enabled_metrics, issued, _ = best["enabled"]
+    # Neutrality before cost: lineage never changes simulated results.
+    assert enabled_metrics == plain_metrics
+    assert disabled_metrics == plain_metrics
+    assert issued > 0
+
+    enabled_penalty, disabled_penalty, noise = _penalties(round_times)
+    plain_best = len(buffer) / min(best["plain"][0], best["plain2"][0])
+    disabled_rps = len(buffer) / best["disabled"][0]
+    enabled_rps = len(buffer) / best["enabled"][0]
+
+    # Informational: what batch-mode callers pay for the scalar fallback.
+    batch_best = None
+    for _ in range(LINEAGE_ROUNDS):
+        simulator = SystemSimulator(
+            config,
+            lambda layout, channel: make_prefetcher("planaria", layout,
+                                                    channel),
+            engine_mode="batch")
+        start = time.process_time()
+        simulator.run(buffer)
+        elapsed = time.process_time() - start
+        if batch_best is None or elapsed < batch_best:
+            batch_best = elapsed
+    batch_rps = len(buffer) / batch_best
+    fallback_ratio = enabled_rps / batch_rps
+
+    print(f"\n  {APP}/planaria scalar: plain {plain_best:,.0f} rec/s "
+          f"(noise ±{noise:.1%}), hooks off {disabled_rps:,.0f} "
+          f"({disabled_penalty:+.1%}), lineage {enabled_rps:,.0f} "
+          f"({enabled_penalty:+.1%}), {issued} issues tracked; "
+          f"batch plain {batch_rps:,.0f} (fallback x{fallback_ratio:.2f})")
+    assert enabled_penalty <= LINEAGE_MAX_ENABLED_PENALTY + noise, (
+        f"lineage collecting cost {enabled_penalty:.1%} "
+        f"(budget {LINEAGE_MAX_ENABLED_PENALTY:.0%} + noise {noise:.1%})")
+    assert disabled_penalty <= LINEAGE_NOISE_MARGIN + noise, (
+        f"lineage disabled hooks cost {disabled_penalty:.1%}, outside "
+        f"the measured noise floor {noise:.1%} "
+        f"(+{LINEAGE_NOISE_MARGIN:.0%} margin)")
+
+    report = (json.loads(RESULT_PATH.read_text())
+              if RESULT_PATH.exists() else {})
+    report["lineage"] = {
+        "mode": "scalar loop, planaria, full per-issue provenance",
+        "gating": True,
+        "budget": {
+            "max_enabled_penalty": LINEAGE_MAX_ENABLED_PENALTY,
+            "disabled_noise_margin": LINEAGE_NOISE_MARGIN,
+        },
+        "plain_rps": round(plain_best),
+        "disabled_rps": round(disabled_rps),
+        "enabled_rps": round(enabled_rps),
+        "measured_noise": round(noise, 4),
+        "disabled_penalty": round(disabled_penalty, 4),
+        "enabled_penalty": round(enabled_penalty, 4),
+        "issues_tracked": issued,
+        "batch_plain_rps": round(batch_rps),
+        "batch_fallback_ratio": round(fallback_ratio, 4),
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  wrote {RESULT_PATH} (lineage section)")
 
 
 # ----------------------------------------------------------------------
@@ -178,10 +335,10 @@ def _run_streaming(buffer, prefetcher_name, mode):
     elif mode == "disabled":
         simulator.spans = NULL_SPANS  # the served tracing-off configuration
     simulator.set_stream_warmup(channel_warmup_counts(buffer, config))
-    start = time.perf_counter()
+    start = time.process_time()
     for begin in range(0, len(buffer), SPAN_CHUNK):
         simulator.feed(buffer[begin:begin + SPAN_CHUNK])
-    elapsed = time.perf_counter() - start
+    elapsed = time.process_time() - start
     metrics = asdict(_collect(simulator, "span-overhead", prefetcher_name))
     recorded = len(simulator.spans) if mode == "enabled" else 0
     return elapsed, metrics, recorded, 0
@@ -198,21 +355,17 @@ def test_span_tracing_overhead_report():
     config = SimConfig.experiment_scale()
     buffer = generate_trace_buffer(get_profile(APP), LENGTH, seed=SEED,
                                    layout=config.layout)
-    results = _best(buffer, "planaria",
-                    ("plain", "plain2", "disabled", "enabled"),
-                    runner=_run_streaming)
-    plain_rps, plain_metrics, _, _ = results["plain"]
-    plain2_rps = results["plain2"][0]
-    disabled_rps, disabled_metrics, _, _ = results["disabled"]
-    enabled_rps, enabled_metrics, recorded, _ = results["enabled"]
+    best, round_times = _measure(buffer, "planaria", runner=_run_streaming)
+    plain_metrics = best["plain"][1]
+    disabled_metrics = best["disabled"][1]
+    _, enabled_metrics, recorded, _ = best["enabled"]
     assert enabled_metrics == plain_metrics
     assert disabled_metrics == plain_metrics
 
-    noise = abs(1.0 - min(plain_rps, plain2_rps)
-                / max(plain_rps, plain2_rps))
-    plain_best = max(plain_rps, plain2_rps)
-    disabled_penalty = 1.0 - disabled_rps / plain_best
-    enabled_penalty = 1.0 - enabled_rps / plain_best
+    enabled_penalty, disabled_penalty, noise = _penalties(round_times)
+    plain_best = len(buffer) / min(best["plain"][0], best["plain2"][0])
+    disabled_rps = len(buffer) / best["disabled"][0]
+    enabled_rps = len(buffer) / best["enabled"][0]
     print(f"\n  {APP}/planaria streaming: plain {plain_best:,.0f} rec/s "
           f"(noise ±{noise:.1%}), NULL_SPANS {disabled_rps:,.0f} "
           f"({disabled_penalty:+.1%}), recording {enabled_rps:,.0f} "

@@ -91,6 +91,9 @@ class ArrayCache:
         self.stats = CacheStats()
         self._occupancy = 0
         self._resident_prefetches = 0
+        #: Lineage collector hook (repro.obs.lineage); consulted only on
+        #: the explicit-invalidate path, same as the scalar cache.
+        self.lineage = None
 
     # ------------------------------------------------------------------
     # Batched views
@@ -373,6 +376,8 @@ class ArrayCache:
         self._occupancy -= 1
         if self._prefetched[way]:
             self._resident_prefetches -= 1
+            if self.lineage is not None:
+                self.lineage.note_invalidated(block_addr, self._source[way])
         self._tags[way] = None
         self._tags_np[way] = -1
         self._dirty[way] = False

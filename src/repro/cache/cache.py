@@ -167,6 +167,11 @@ class SetAssociativeCache:
         # sets x ways.  Not checkpointed — load_state recomputes them.
         self._occupancy = 0
         self._resident_prefetches = 0
+        #: Lineage collector hook (repro.obs.lineage).  Only consulted on
+        #: the explicit-invalidate path — demand/fill fates are resolved
+        #: by the engine from AccessResult/EvictionInfo, keeping this
+        #: class's hot paths hook-free.
+        self.lineage = None
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -389,6 +394,8 @@ class SetAssociativeCache:
         self._occupancy -= 1
         if block.prefetched:
             self._resident_prefetches -= 1
+            if self.lineage is not None:
+                self.lineage.note_invalidated(block_addr, block.source)
         block.invalidate()
         return True
 

@@ -20,12 +20,17 @@ from repro.campaign.runner import CampaignRunner, CampaignState
 
 PathLike = Union[str, Path]
 
-#: Per-cell CSV columns, in order.
+#: Per-cell CSV columns, in order.  The ``lineage_*`` columns come from
+#: the cell's lineage summary (campaigns with ``lineage: true``) and
+#: stay empty otherwise.
 RESULT_COLUMNS = [
     "cell", "workload", "prefetcher", "variant", "seed", "length",
     "amat", "hit_rate", "accuracy", "coverage",
     "dram_traffic", "prefetch_issued", "prefetch_useful",
-    "power_mw", "p99_latency", "fingerprint",
+    "power_mw", "p99_latency",
+    "lineage_issued", "lineage_timely", "lineage_late",
+    "lineage_evicted_unused", "lineage_suppressed",
+    "fingerprint",
 ]
 
 
@@ -60,6 +65,12 @@ def campaign_report(runner: CampaignRunner,
         accuracy = useful / fills if fills else 0.0
         base = useful + metrics["demand_misses"]
         coverage = useful / base if base else 0.0
+        lineage_totals = entry.get("lineage", {}).get("totals", {})
+        lineage_cells = [
+            lineage_totals.get(stage, "")
+            for stage in ("issued", "used_timely", "used_late",
+                          "evicted_unused", "suppressed")
+        ]
         report.add_row([
             cell.cell_id, cell.workload.label, cell.prefetcher,
             cell.variant, cell.seed, cell.length,
@@ -68,6 +79,7 @@ def campaign_report(runner: CampaignRunner,
             metrics["dram_traffic"], issued, useful,
             round(metrics["power_mw"], 4),
             round(metrics["p99_latency"], 4),
+            *lineage_cells,
             entry["fingerprint"],
         ])
         amat_by_prefetcher.setdefault(cell.prefetcher, []).append(

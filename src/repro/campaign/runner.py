@@ -306,12 +306,13 @@ class CampaignRunner:
         attempts = 0
         last_error: Optional[BaseException] = None
         if not self.endpoints:
-            metrics, epochs = self._run_cell_local(cell)
+            metrics, epochs, lineage = self._run_cell_local(cell)
             endpoint_label = "local"
             attempts = 1
         else:
             metrics = None
             epochs = None
+            lineage = None
             endpoint_label = ""
             for attempt in range(dispatch.max_retries + 1):
                 attempts = attempt + 1
@@ -319,7 +320,7 @@ class CampaignRunner:
                 host, port = self.endpoints[
                     (index + attempt) % len(self.endpoints)]
                 try:
-                    metrics, epochs = self._run_cell_service(
+                    metrics, epochs, lineage = self._run_cell_service(
                         cell, host, port)
                     endpoint_label = f"{host}:{port}"
                     break
@@ -357,19 +358,21 @@ class CampaignRunner:
         }
         if epochs is not None:
             entry["epochs"] = epochs
+        if lineage is not None:
+            entry["lineage"] = lineage
         return entry
 
     def _run_cell_local(self, cell: CampaignCell):
-        """In-process fallback: offline simulate (+ optional timeline)."""
+        """In-process fallback: offline simulate (+ optional timeline /
+        lineage)."""
         buffer = cell_trace(cell)
-        if not cell.epoch_records:
+        if not cell.epoch_records and not self.spec.lineage:
             from repro.sim.runner import simulate
 
             result = simulate(buffer, cell.prefetcher,
                               workload_name=cell.workload.label,
                               config=cell.config)
-            return asdict(result.metrics), None
-        from repro.obs import attach_observability
+            return asdict(result.metrics), None, None
         from repro.prefetch.registry import make_prefetcher
         from repro.sim.engine import SystemSimulator
         from repro.sim.runner import collect_metrics
@@ -378,14 +381,26 @@ class CampaignRunner:
             cell.config,
             lambda layout, channel: make_prefetcher(cell.prefetcher,
                                                     layout, channel))
-        obs = attach_observability(simulator,
-                                   epoch_records=cell.epoch_records)
+        obs = None
+        if cell.epoch_records:
+            from repro.obs import attach_observability
+
+            obs = attach_observability(simulator,
+                                       epoch_records=cell.epoch_records)
+        lineage = None
+        if self.spec.lineage:
+            from repro.obs import attach_lineage
+
+            lineage = attach_lineage(simulator)
         simulator.run(buffer)
         metrics = collect_metrics(simulator, cell.workload.label,
                                   cell.prefetcher)
-        epochs = [epoch.to_dict()
-                  for epoch in obs.merged_timeline(include_partial=True)]
-        return asdict(metrics), epochs
+        epochs = None
+        if obs is not None:
+            epochs = [epoch.to_dict()
+                      for epoch in obs.merged_timeline(include_partial=True)]
+        summary = lineage.summary() if lineage is not None else None
+        return asdict(metrics), epochs, summary
 
     def _run_cell_service(self, cell: CampaignCell, host: str, port: int):
         """One streaming session against an endpoint (one attempt)."""
@@ -405,12 +420,14 @@ class CampaignRunner:
             client.open(name, cell.prefetcher,
                         workload=cell.workload.label, config=cell.config,
                         warmup_records=warmup,
-                        epoch_records=cell.epoch_records or None)
+                        epoch_records=cell.epoch_records or None,
+                        lineage=self.spec.lineage)
             client.feed_trace(name, buffer,
                               chunk_records=self.spec.dispatch.chunk_records)
             epochs = None
             if cell.epoch_records:
                 records, _ = client.timeline(name, include_partial=True)
                 epochs = [epoch.to_dict() for epoch in records]
+            summary = (client.lineage(name) if self.spec.lineage else None)
             snapshot = client.close_session(name)
-        return asdict(snapshot.metrics), epochs
+        return asdict(snapshot.metrics), epochs, summary

@@ -46,7 +46,7 @@ PathLike = Union[str, Path]
 SPEC_VERSION = 1
 
 _TOP_KEYS = ("name", "version", "seed", "length", "epoch_records",
-             "sim_config", "workloads", "prefetchers", "configs",
+             "lineage", "sim_config", "workloads", "prefetchers", "configs",
              "dispatch", "soak")
 _WORKLOAD_KEYS = ("app", "name", "tenants", "length", "seed")
 _CONFIG_KEYS = ("name", "overrides")
@@ -218,6 +218,7 @@ class CampaignSpec:
     seed: int = 7
     length: int = 20_000
     epoch_records: int = 0
+    lineage: bool = False
     sim_config: Optional[str] = None
     workloads: Tuple[WorkloadSpec, ...] = ()
     prefetchers: Tuple[str, ...] = ()
@@ -236,6 +237,7 @@ class CampaignSpec:
             "seed": self.seed,
             "length": self.length,
             "epoch_records": self.epoch_records,
+            "lineage": self.lineage,
             "sim_config": self.sim_config,
             "workloads": [workload.to_dict() for workload in self.workloads],
             "prefetchers": list(self.prefetchers),
@@ -407,6 +409,7 @@ def parse_campaign(data: Any,
     epoch_records = _typed(data, "epoch_records", int, "campaign spec", 0)
     _expect(epoch_records >= 0,
             f"campaign spec: 'epoch_records' must be >= 0 (0 disables)")
+    lineage = _typed(data, "lineage", bool, "campaign spec", False)
     sim_config = _typed(data, "sim_config", str, "campaign spec")
 
     workloads_raw = data.get("workloads")
@@ -455,7 +458,7 @@ def parse_campaign(data: Any,
 
     return CampaignSpec(
         name=name, seed=seed, length=length, epoch_records=epoch_records,
-        sim_config=sim_config, workloads=workloads,
+        lineage=lineage, sim_config=sim_config, workloads=workloads,
         prefetchers=tuple(prefetchers_raw), configs=configs,
         dispatch=dispatch, soak=soak,
         base_dir=str(base_dir) if base_dir is not None else None,

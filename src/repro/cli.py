@@ -13,6 +13,9 @@ Commands
 * ``storage``    — print Planaria's bit-level storage budget.
 * ``timeline``   — run one prefetcher with observability on and dump the
   epoch timeline to JSONL/CSV (docs/observability.md).
+* ``explain``    — per-issue prefetch provenance and fate attribution:
+  origin buckets x queue outcomes x final fates, offline or against a
+  live lineage-enabled session (docs/observability.md).
 * ``watch``      — poll a live service session's timeline.
 * ``serve``      — run the streaming simulation service (docs/service.md).
 * ``bench-serve``— benchmark the service path, writing BENCH_service.json.
@@ -217,28 +220,149 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
-def _format_epoch_row(epoch, health: str = "-") -> str:
+#: (summary key, table column header) per lineage pipeline stage, in
+#: pipeline order — shared by ``repro explain``'s table and its export.
+_LINEAGE_STAGES = (
+    ("issued", "issued"),
+    ("accepted", "accept"),
+    ("dropped_duplicate", "dup"),
+    ("dropped_degree", "degree"),
+    ("dropped_full", "full"),
+    ("suppressed", "supp"),
+    ("skipped_resident", "skip"),
+    ("discarded_unfilled", "unfill"),
+    ("filled", "filled"),
+    ("used_timely", "timely"),
+    ("used_late", "late"),
+    ("evicted_unused", "evict"),
+    ("invalidated", "inval"),
+    ("resident", "res"),
+)
+
+
+def _lineage_report(summary: dict, label: str):
+    """Shape a (merged) lineage summary as an ``ExperimentReport``."""
+    from repro.experiments.report import ExperimentReport
+    from repro.obs.lineage import lineage_consistent
+
+    report = ExperimentReport(
+        experiment_id="lineage",
+        title=f"prefetch provenance and fate attribution ({label})",
+        columns=["bucket"] + [header for _, header in _LINEAGE_STAGES],
+    )
+    buckets = summary.get("buckets", {})
+    for bucket in sorted(buckets):
+        stages = buckets[bucket]
+        report.add_row([bucket] + [stages.get(key, 0)
+                                   for key, _ in _LINEAGE_STAGES])
+    totals = summary.get("totals", {})
+    for key, _ in _LINEAGE_STAGES:
+        report.summary[key] = totals.get(key, 0)
+    report.summary["consistent"] = lineage_consistent(summary)
+    if summary.get("pollution_by_device"):
+        report.details["pollution_by_device"] = dict(
+            summary["pollution_by_device"])
+    reuse = summary.get("snapshot_reuse")
+    if reuse and reuse.get("histogram"):
+        report.details["snapshot_reuse"] = dict(reuse["histogram"])
+    return report
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.lineage import lineage_consistent, write_fate_trace
+
+    want_events = bool(args.fate_trace)
+    if args.session:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient.connect(args.host, args.port) as client:
+            summary = client.lineage(args.session, events=want_events)
+        events = summary.pop("events", None)
+        label = f"session {args.session}"
+    else:
+        from repro.config import SimConfig
+        from repro.obs import attach_lineage
+        from repro.prefetch.registry import make_prefetcher
+        from repro.sim.engine import SystemSimulator
+
+        config = None
+        if args.sim_config:
+            from repro.config_io import load_sim_config
+
+            config = load_sim_config(args.sim_config)
+        config = config or SimConfig.experiment_scale()
+        if args.prefetcher not in PREFETCHER_FACTORIES:
+            print(f"unknown prefetcher {args.prefetcher!r}; "
+                  f"known: {sorted(PREFETCHER_FACTORIES)}", file=sys.stderr)
+            return 2
+        if args.trace:
+            from repro.trace.io import (read_trace_binary_buffer,
+                                        read_trace_buffer)
+
+            if args.trace.endswith(".bin"):
+                records = read_trace_binary_buffer(args.trace)
+            else:
+                records = read_trace_buffer(args.trace)
+            workload = args.trace
+        else:
+            from repro.trace.generator import generate_trace_buffer
+
+            profile = get_profile(args.app)
+            records = generate_trace_buffer(profile, args.length,
+                                            seed=args.seed,
+                                            layout=config.layout)
+            workload = profile.abbr
+        simulator = SystemSimulator(
+            config, lambda layout, channel: make_prefetcher(
+                args.prefetcher, layout, channel))
+        lineage = attach_lineage(simulator)
+        simulator.run(records, parallelism=args.parallelism)
+        summary = lineage.summary()
+        events = lineage.events() if want_events else None
+        label = f"{workload} x {args.prefetcher}"
+
+    report = _lineage_report(summary, label)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(report.format_table())
+    export_if_requested(report, args.export)
+    if args.fate_trace:
+        path = write_fate_trace(args.fate_trace, events or [])
+        print(f"wrote {len(events or [])} fate events to {path}")
+    if not lineage_consistent(summary):
+        print("error: lineage accounting is inconsistent "
+              "(stage totals do not reconcile)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _format_epoch_row(epoch, health: str = "-", timely: str = "-") -> str:
     return (f"{epoch.epoch:>6d} {epoch.records:>8d} {epoch.hit_rate:>8.3f} "
             f"{epoch.amat:>8.1f} {epoch.accuracy:>8.2f} "
             f"{epoch.slp_issued:>7d} {epoch.tlp_issued:>7d} "
             f"{epoch.queue_depth:>6d} {epoch.throttle_suspended:>5d} "
-            f"{health:>8}")
+            f"{health:>8} {timely:>7}")
 
 
 _WATCH_HEADER = (f"{'epoch':>6} {'records':>8} {'hitrate':>8} {'amat':>8} "
                  f"{'accuracy':>8} {'slp':>7} {'tlp':>7} {'queue':>6} "
-                 f"{'susp':>5} {'health':>8}")
+                 f"{'susp':>5} {'health':>8} {'timely':>7}")
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
     import time
 
+    from repro.errors import ServiceError
     from repro.service.client import ServiceClient
 
     with ServiceClient.connect(args.host, args.port) as client:
         print(_WATCH_HEADER)
         printed = 0  # epochs already printed and final
         polls = 0
+        lineage_available = True  # until the server says otherwise
         while True:
             epochs, _ = client.timeline(args.session, include_partial=True,
                                         wait=not args.no_wait)
@@ -246,10 +370,19 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             if not args.no_health:
                 report = client.health()
                 health = report.sessions.get(args.session, report.status)
+            timely = "-"
+            if lineage_available:
+                try:
+                    summary = client.lineage(args.session,
+                                             wait=not args.no_wait)
+                    timely = str(summary["totals"]["used_timely"])
+                except ServiceError:
+                    # Opened without lineage — don't ask again.
+                    lineage_available = False
             # Closed epochs print once; the still-growing tail epoch is
             # re-printed (updated) on every poll.
             for epoch in epochs[printed:]:
-                print(_format_epoch_row(epoch, health))
+                print(_format_epoch_row(epoch, health, timely))
             printed = max(printed, len(epochs) - 1)
             polls += 1
             if args.count and polls >= args.count:
@@ -602,6 +735,36 @@ def build_parser() -> argparse.ArgumentParser:
                           help="SimConfig JSON file (see repro.config_io)")
     _add_profile_argument(timeline)
     timeline.set_defaults(handler=_cmd_timeline)
+
+    explain = commands.add_parser(
+        "explain",
+        help="per-issue prefetch provenance and fate attribution "
+             "(docs/observability.md)")
+    explain.add_argument("--app", default="CFM", choices=list_workloads())
+    explain.add_argument("--trace", help="explain a trace file instead")
+    explain.add_argument("--prefetcher", default="planaria")
+    explain.add_argument("--length", type=int, default=60_000)
+    explain.add_argument("--seed", type=int, default=7)
+    explain.add_argument("--sim-config", metavar="JSON",
+                         help="SimConfig JSON file (see repro.config_io)")
+    explain.add_argument("--session", metavar="NAME",
+                         help="query a live service session (opened with "
+                              "lineage) instead of running offline")
+    explain.add_argument("--host", default="127.0.0.1",
+                         help="service host (with --session)")
+    explain.add_argument("--port", type=int, default=8642,
+                         help="service port (with --session)")
+    explain.add_argument("--format", choices=("table", "json"),
+                         default="table",
+                         help="print an aligned table (default) or the raw "
+                              "summary JSON")
+    explain.add_argument("--fate-trace", metavar="FILE",
+                         help="also dump retained fate events as Chrome "
+                              "trace-event JSON (loads in Perfetto)")
+    add_export_argument(explain, what="the lineage report")
+    _add_parallelism_argument(explain)
+    _add_profile_argument(explain)
+    explain.set_defaults(handler=_cmd_explain)
 
     watch = commands.add_parser(
         "watch", help="poll a live service session's epoch timeline")

@@ -202,8 +202,11 @@ class SLPPrefetcher(Prefetcher):
         self._pattern_table.move_to_end(access.page)
         already = self._current_bitmap(access.page) | (1 << access.block_in_segment)
         remaining = pattern & ~already
-        return [self._candidate(access.page, offset)
-                for offset in iter_set_bits(remaining)]
+        candidates = [self._candidate(access.page, offset)
+                      for offset in iter_set_bits(remaining)]
+        if self.lineage is not None and candidates:
+            self.lineage.note_slp_issue(access.page, pattern, candidates)
+        return candidates
 
     def _current_bitmap(self, page: int) -> int:
         """Blocks of this page already demanded in the current generation."""

@@ -198,7 +198,12 @@ class TLPPrefetcher(Prefetcher):
                 self.tracer.emit("tlp_transfer", access.time, page=page,
                                  neighbour_page=neighbour_page,
                                  blocks=remaining.bit_count())
-        return [self._candidate(page, offset) for offset in iter_set_bits(remaining)]
+        candidates = [self._candidate(page, offset)
+                      for offset in iter_set_bits(remaining)]
+        if self.lineage is not None and candidates:
+            self.lineage.note_issue(
+                candidates, f"tlp/{abs(page - neighbour_page)}")
+        return candidates
 
     # ------------------------------------------------------------------
     def storage_bits(self) -> int:

@@ -33,6 +33,11 @@ from repro.obs.events import (EVENT_KINDS, EVENT_SCHEMA_VERSION, EventTracer,
                               wire_tracer)
 from repro.obs.health import (HEALTH_SCHEMA_VERSION, DetectorVerdict,
                               HealthConfig, HealthEngine, HealthReport)
+from repro.obs.lineage import (LINEAGE_SCHEMA_VERSION, LineageCollector,
+                               SystemLineage, attach_lineage, detach_lineage,
+                               fate_events_to_chrome, lineage_consistent,
+                               merge_lineage_summaries, wire_lineage,
+                               write_fate_trace)
 from repro.obs.timeline import (DEFAULT_EPOCH_RECORDS,
                                 TIMELINE_SCHEMA_VERSION, EpochRecord,
                                 TimelineCollector, capture_channel,
@@ -43,14 +48,17 @@ from repro.obs.trace_spans import (NULL_SPANS, SPAN_SCHEMA_VERSION,
 
 __all__ = [
     "DEFAULT_EPOCH_RECORDS", "EVENT_KINDS", "EVENT_SCHEMA_VERSION",
-    "HEALTH_SCHEMA_VERSION", "SPAN_SCHEMA_VERSION", "DetectorVerdict",
-    "EpochRecord", "EventTracer", "HealthConfig", "HealthEngine",
-    "HealthReport", "NULL_SPANS", "NULL_TRACER", "ObsConfig", "SpanRecord",
-    "SpanRecorder", "SystemObservability", "TIMELINE_SCHEMA_VERSION",
-    "TimelineCollector", "TraceEvent", "attach_observability",
-    "capture_channel", "chrome_to_spans", "detach_observability",
-    "merge_events", "merge_timelines", "spans_to_chrome",
-    "write_chrome_trace",
+    "HEALTH_SCHEMA_VERSION", "LINEAGE_SCHEMA_VERSION",
+    "SPAN_SCHEMA_VERSION", "DetectorVerdict", "EpochRecord", "EventTracer",
+    "HealthConfig", "HealthEngine", "HealthReport", "LineageCollector",
+    "NULL_SPANS", "NULL_TRACER", "ObsConfig", "SpanRecord", "SpanRecorder",
+    "SystemLineage", "SystemObservability", "TIMELINE_SCHEMA_VERSION",
+    "TimelineCollector", "TraceEvent", "attach_lineage",
+    "attach_observability", "capture_channel", "chrome_to_spans",
+    "detach_lineage", "detach_observability", "fate_events_to_chrome",
+    "lineage_consistent", "merge_events", "merge_lineage_summaries",
+    "merge_timelines", "spans_to_chrome", "wire_lineage",
+    "write_chrome_trace", "write_fate_trace",
 ]
 
 #: Default ring-buffer capacity per channel tracer.

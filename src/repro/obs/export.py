@@ -35,6 +35,15 @@ _DICT_FIELDS = ("useful_by_source", "fills_by_source", "device_reads",
 #: EpochRecord fields holding floats; every other scalar field is an int.
 _FLOAT_FIELDS = ("read_latency_total",)
 
+#: Dict fields flattened to one CSV column per device instead of a JSON
+#: cell: ``device_<NAME>_accesses`` / ``device_<NAME>_hits``.  An empty
+#: cell means the device is absent from that epoch's table; ``0`` means
+#: an explicit zero entry — the flattening is lossless.
+_DEVICE_FLAT_FIELDS = ("device_accesses", "device_hits")
+# DOTALL + fullmatch: device names are DeviceID.name strings in practice,
+# but the round-trip contract holds for arbitrary table keys.
+_DEVICE_FLAT_RE = re.compile(r"device_(.+)_(accesses|hits)", re.DOTALL)
+
 _FIELD_ORDER = tuple(field.name for field in dataclasses.fields(EpochRecord))
 
 
@@ -91,30 +100,53 @@ def write_timeline_csv(path: PathLike, epochs: Sequence[EpochRecord],
     """A ``#``-prefixed metadata line, a header row, one row per epoch.
 
     Scalar cells print ``repr`` (shortest round-trip for floats);
-    dict-valued fields are embedded as JSON cells with sorted keys.
+    dict-valued fields are embedded as JSON cells with sorted keys —
+    except the per-tenant ``device_accesses``/``device_hits`` tables,
+    which flatten to one stable ``device_<NAME>_accesses`` /
+    ``device_<NAME>_hits`` column per device seen anywhere in the
+    timeline (union over epochs, sorted), so spreadsheet tooling can
+    consume them without JSON parsing.  An empty cell means the device
+    is absent from that epoch's table; ``0`` is an explicit zero.
     """
     path = Path(path)
+    device_names = sorted({
+        name for epoch in epochs for field in _DEVICE_FLAT_FIELDS
+        for name in getattr(epoch, field)})
+    base_fields = [name for name in _FIELD_ORDER
+                   if name not in _DEVICE_FLAT_FIELDS]
+    flat_columns = [f"device_{name}_{kind}" for name in device_names
+                    for kind in ("accesses", "hits")]
     with open(path, "w", encoding="utf-8", newline="") as handle:
         handle.write("# " + json.dumps(_meta_header(meta), sort_keys=True)
                      + "\n")
         writer = csv.writer(handle)
-        writer.writerow(_FIELD_ORDER)
+        writer.writerow(base_fields + flat_columns)
         for epoch in epochs:
             payload = epoch.to_dict()
             row = []
-            for name in _FIELD_ORDER:
+            for name in base_fields:
                 value = payload[name]
                 if name in _DICT_FIELDS:
                     row.append(json.dumps(value, sort_keys=True,
                                           separators=(",", ":")))
                 else:
                     row.append(repr(value))
+            for name in device_names:
+                for field in _DEVICE_FLAT_FIELDS:
+                    value = payload[field].get(name)
+                    row.append("" if value is None else repr(value))
             writer.writerow(row)
     return path
 
 
 def read_timeline_csv(path: PathLike) -> Tuple[dict, List[EpochRecord]]:
-    """Returns ``(metadata, epochs)``; inverse of the writer."""
+    """Returns ``(metadata, epochs)``; inverse of the writer.
+
+    Reassembles the flattened ``device_<NAME>_accesses``/``..._hits``
+    columns into the ``device_accesses``/``device_hits`` dict fields.
+    Files from before the flattening (JSON cells under the plain field
+    names) still read correctly — the header drives the decode.
+    """
     path = Path(path)
     with open(path, "r", encoding="utf-8", newline="") as handle:
         first = handle.readline()
@@ -128,10 +160,16 @@ def read_timeline_csv(path: PathLike) -> Tuple[dict, List[EpochRecord]]:
             raise ValueError(f"{path}: missing timeline header row")
         epochs = []
         for row in reader:
-            payload = {}
+            payload = {field: {} for field in _DEVICE_FLAT_FIELDS}
             for name, cell in zip(header, row):
                 if name in _DICT_FIELDS:
                     payload[name] = json.loads(cell)
+                    continue
+                flat = _DEVICE_FLAT_RE.fullmatch(name)
+                if flat is not None:
+                    if cell != "":
+                        payload[f"device_{flat.group(2)}"][
+                            flat.group(1)] = int(cell)
                 elif name in _FLOAT_FIELDS:
                     payload[name] = float(cell)
                 else:
@@ -235,6 +273,17 @@ METRIC_HELP: Dict[str, str] = {
         "DRAM fetches caused by the tenant device's demand misses.",
     "tenant_useful_prefetches":
         "Prefetched blocks consumed by the tenant device's accesses.",
+    "lineage_issued_total":
+        "Prefetches issued per origin bucket (slp/d<density>, "
+        "tlp/<distance>, src/<name>).",
+    "lineage_fate_total":
+        "Resolved prefetch fates (used_timely, used_late, evicted_unused, "
+        "invalidated).",
+    "lineage_resident":
+        "Filled prefetched blocks still resident awaiting a fate.",
+    "lineage_pollution_total":
+        "Evicted-unused prefetches attributed to the triggering tenant "
+        "device.",
 }
 
 
@@ -368,6 +417,29 @@ def health_samples(report) -> List[Sample]:
                         "gauge"))
         samples.append(("health_detector_threshold", labels,
                         verdict.threshold, "gauge"))
+    return samples
+
+
+def lineage_samples(name: str, summary: dict) -> List[Sample]:
+    """Prometheus samples for a session's merged lineage summary
+    (see :meth:`repro.obs.lineage.SystemLineage.summary`)."""
+    labels = {"session": name}
+    samples: List[Sample] = []
+    buckets = summary["buckets"]
+    for bucket in sorted(buckets):
+        samples.append(("lineage_issued_total",
+                        {**labels, "bucket": bucket},
+                        buckets[bucket].get("issued", 0), "counter"))
+    totals = summary["totals"]
+    for fate in ("used_timely", "used_late", "evicted_unused",
+                 "invalidated"):
+        samples.append(("lineage_fate_total", {**labels, "fate": fate},
+                        totals[fate], "counter"))
+    samples.append(("lineage_resident", labels, totals["resident"],
+                    "gauge"))
+    for device, count in sorted(summary["pollution_by_device"].items()):
+        samples.append(("lineage_pollution_total",
+                        {**labels, "device": device}, count, "counter"))
     return samples
 
 

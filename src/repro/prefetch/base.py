@@ -123,6 +123,12 @@ class Prefetcher(abc.ABC):
     #: on a subclass whose learning and issuing phases touch nothing.
     passive = False
 
+    #: Lineage collector hook (repro.obs.lineage).  A class attribute so
+    #: unwired prefetchers carry no extra per-instance state; issue-path
+    #: hook sites guard with ``self.lineage is not None``, which is off
+    #: the per-record fast loop entirely.
+    lineage = None
+
     def __init__(self, layout: AddressLayout, channel: int) -> None:
         if not 0 <= channel < layout.num_channels:
             raise ValueError(
@@ -173,10 +179,11 @@ class Prefetcher(abc.ABC):
     # ------------------------------------------------------------------
     #: Instance attributes excluded from :meth:`state_dict` — immutable
     #: construction parameters a freshly built prefetcher already carries,
-    #: plus the tracer: event-ring state is checkpointed by the owning
-    #: TimelineCollector, and excluding it here keeps the tracer object
-    #: aliased with that collector across load_state.
-    _STATE_EXCLUDE = ("layout", "tracer", "_page_shift", "_channel_bits")
+    #: plus the observability hooks (tracer, lineage): their state is
+    #: checkpointed by the owning collector, and excluding them here keeps
+    #: the hook objects aliased with those collectors across load_state.
+    _STATE_EXCLUDE = ("layout", "tracer", "lineage", "_page_shift",
+                      "_channel_bits")
 
     def state_dict(self) -> dict:
         """Deep snapshot of all mutable prefetcher state.

@@ -10,8 +10,8 @@ misbehaving prefetcher cannot flood the memory system.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass
-from typing import Deque, List
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List
 
 from repro.config import PrefetchQueueConfig
 from repro.prefetch.base import PrefetchCandidate
@@ -32,21 +32,26 @@ class QueueStats:
     dropped_full: int = 0
     #: High-water mark of pending candidates (cumulative, merges as max).
     peak_pending: int = 0
+    #: Drops (all three kinds) keyed by the candidate's ``source`` tag, so
+    #: composite runs can see *whose* candidates the queue rejected.
+    dropped_by_origin: Dict[str, int] = field(default_factory=dict)
 
     def state_dict(self) -> dict:
         return {"accepted": self.accepted,
                 "dropped_duplicate": self.dropped_duplicate,
                 "dropped_degree": self.dropped_degree,
                 "dropped_full": self.dropped_full,
-                "peak_pending": self.peak_pending}
+                "peak_pending": self.peak_pending,
+                "dropped_by_origin": dict(self.dropped_by_origin)}
 
     def load_state(self, state: dict) -> None:
         self.accepted = state["accepted"]
         self.dropped_duplicate = state["dropped_duplicate"]
         self.dropped_degree = state["dropped_degree"]
         self.dropped_full = state["dropped_full"]
-        # Absent in checkpoints written before the counter existed.
+        # Absent in checkpoints written before the counters existed.
         self.peak_pending = state.get("peak_pending", 0)
+        self.dropped_by_origin = dict(state.get("dropped_by_origin", {}))
 
     def merge(self, other: "QueueStats") -> None:
         self.accepted += other.accepted
@@ -54,6 +59,9 @@ class QueueStats:
         self.dropped_degree += other.dropped_degree
         self.dropped_full += other.dropped_full
         self.peak_pending = max(self.peak_pending, other.peak_pending)
+        for origin, count in other.dropped_by_origin.items():
+            self.dropped_by_origin[origin] = (
+                self.dropped_by_origin.get(origin, 0) + count)
 
     def dropped_total(self) -> int:
         return self.dropped_duplicate + self.dropped_degree + self.dropped_full
@@ -69,6 +77,10 @@ class PrefetchQueue:
         self._recent: OrderedDict = OrderedDict()
         self._recent_capacity = config.depth * 8
         self.stats = QueueStats()
+        #: Lineage collector hook (repro.obs.lineage); the queue is the
+        #: accounting gate where every candidate resolves to accepted or
+        #: one of the drop bins.
+        self.lineage = None
 
     # Counter attributes kept as properties for existing callers.
     @property
@@ -93,24 +105,64 @@ class PrefetchQueue:
         Returns the accepted subset, in order.
         """
         accepted: List[PrefetchCandidate] = []
+        stats = self.stats
+        by_origin = stats.dropped_by_origin
+        lineage = self.lineage
+        single_source = None
+        if lineage is not None and candidates:
+            # Single-source pushes (the overwhelming case: one SLP replay
+            # or one TLP transfer per trigger) report to lineage as one
+            # batched call from the stats-counter deltas instead of a
+            # hook call per candidate.
+            source = candidates[0].source
+            for candidate in candidates:
+                if candidate.source != source:
+                    break
+            else:
+                single_source = source
+                lineage_before = (stats.accepted, stats.dropped_duplicate,
+                                  stats.dropped_degree, stats.dropped_full)
+                lineage = None
         for index, candidate in enumerate(candidates):
             if len(accepted) >= self.config.max_degree:
                 # Only the not-yet-examined tail is degree-dropped; earlier
                 # duplicate/full drops are already counted in their own bins.
-                self.stats.dropped_degree += len(candidates) - index
+                for dropped in candidates[index:]:
+                    stats.dropped_degree += 1
+                    by_origin[dropped.source] = (
+                        by_origin.get(dropped.source, 0) + 1)
+                    if lineage is not None:
+                        lineage.note_drop(dropped, "degree")
                 break
             if self.config.drop_duplicates and candidate.block_addr in self._recent:
-                self.stats.dropped_duplicate += 1
+                stats.dropped_duplicate += 1
+                by_origin[candidate.source] = (
+                    by_origin.get(candidate.source, 0) + 1)
+                if lineage is not None:
+                    lineage.note_drop(candidate, "duplicate")
                 continue
             if len(self._queue) >= self.config.depth:
-                self.stats.dropped_full += 1
+                stats.dropped_full += 1
+                by_origin[candidate.source] = (
+                    by_origin.get(candidate.source, 0) + 1)
+                if lineage is not None:
+                    lineage.note_drop(candidate, "full")
                 continue
             self._remember(candidate.block_addr)
             self._queue.append(candidate)
             accepted.append(candidate)
-            self.stats.accepted += 1
-        if accepted and len(self._queue) > self.stats.peak_pending:
-            self.stats.peak_pending = len(self._queue)
+            stats.accepted += 1
+            if lineage is not None:
+                lineage.note_accept(candidate)
+        if accepted and len(self._queue) > stats.peak_pending:
+            stats.peak_pending = len(self._queue)
+        if single_source is not None:
+            self.lineage.note_gate(
+                single_source,
+                stats.accepted - lineage_before[0],
+                stats.dropped_duplicate - lineage_before[1],
+                stats.dropped_degree - lineage_before[2],
+                stats.dropped_full - lineage_before[3])
         return accepted
 
     def _remember(self, block_addr: int) -> None:

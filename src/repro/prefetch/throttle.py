@@ -128,6 +128,8 @@ class AccuracyThrottle(Prefetcher):
         candidates = self.inner.issue(access, was_hit, prefetched_hit)
         if self._suspended:
             self.dropped_while_suspended += len(candidates)
+            if self.lineage is not None and candidates:
+                self.lineage.note_suppressed(candidates)
             return []
         self.issued_candidates += len(candidates)
         return candidates

@@ -111,7 +111,8 @@ class ServiceClient:
              workload: str = "stream", config: Optional[SimConfig] = None,
              warmup_records: Optional[Iterable[int]] = None,
              resume: bool = False,
-             epoch_records: Optional[int] = None) -> SessionSnapshot:
+             epoch_records: Optional[int] = None,
+             lineage: bool = False) -> SessionSnapshot:
         header = {
             "op": "open",
             "session": session,
@@ -125,6 +126,8 @@ class ServiceClient:
             header["warmup_records"] = [int(n) for n in warmup_records]
         if epoch_records is not None:
             header["epoch_records"] = int(epoch_records)
+        if lineage:
+            header["lineage"] = True
         response = self._request(header)
         return protocol.snapshot_from_dict(response["snapshot"])
 
@@ -171,6 +174,24 @@ class ServiceClient:
         retained = (protocol.events_from_list(response["events"])
                     if "events" in response else None)
         return epochs, retained
+
+    def lineage(self, session: str, events: bool = False,
+                wait: bool = True) -> dict:
+        """Poll a session's merged lineage summary.
+
+        The session must have been opened with ``lineage=True``.  With
+        ``events`` the response also carries the retained fate events
+        under ``"events"``.  The summary is bit-identical to what an
+        offline run over the same records would report (the server
+        quiesces the session first unless ``wait=False``).
+        """
+        response = self._request({
+            "op": "lineage",
+            "session": session,
+            "events": events,
+            "wait": wait,
+        })
+        return dict(response["lineage"])
 
     def metrics_text(self) -> str:
         """The server's Prometheus text exposition (all live sessions)."""

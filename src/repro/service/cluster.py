@@ -65,7 +65,8 @@ logger = logging.getLogger("repro.service.cluster")
 
 #: Session-scoped ops the router proxies to the owning worker.
 SESSION_OPS = frozenset(
-    {"open", "feed", "snapshot", "checkpoint", "close", "timeline"})
+    {"open", "feed", "snapshot", "checkpoint", "close", "timeline",
+     "lineage"})
 #: Default virtual nodes per worker on the hash ring.
 RING_REPLICAS = 64
 _DRAIN_GRACE_SECONDS = 30.0

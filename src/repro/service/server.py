@@ -293,6 +293,8 @@ class SimulationServer:
                 return await self._op_evict(header)
             if op == "timeline":
                 return await self._op_timeline(header)
+            if op == "lineage":
+                return await self._op_lineage(header)
             if op == "metrics":
                 loop = asyncio.get_running_loop()
                 text = await loop.run_in_executor(
@@ -358,7 +360,8 @@ class SimulationServer:
                 config=config,
                 warmup_records=header.get("warmup_records"),
                 resume=bool(header.get("resume", False)),
-                epoch_records=epoch_records))
+                epoch_records=epoch_records,
+                lineage=bool(header.get("lineage", False))))
         logger.info("session opened", extra={
             "session": name, "prefetcher": prefetcher,
             "trace_id": (header.get("_trace") or {}).get("trace_id")})
@@ -415,6 +418,16 @@ class SimulationServer:
         if retained is not None:
             response["events"] = protocol.events_to_list(retained)
         return response
+
+    async def _op_lineage(self, header: dict) -> dict:
+        name = self._session_name(header)
+        events = bool(header.get("events", False))
+        wait = bool(header.get("wait", True))
+        loop = asyncio.get_running_loop()
+        summary = await loop.run_in_executor(
+            None, lambda: self.manager.lineage(
+                name, events=events, wait=wait))
+        return {"ok": True, "lineage": summary}
 
     async def _op_checkpoint(self, header: dict) -> dict:
         name = self._session_name(header)

@@ -39,7 +39,8 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 from repro.config import SimConfig
 from repro.errors import (ServiceError, SessionExistsError,
                           SessionNotFoundError)
-from repro.obs import SystemObservability, attach_observability
+from repro.obs import (SystemLineage, SystemObservability, attach_lineage,
+                       attach_observability)
 from repro.obs.events import TraceEvent
 from repro.obs.health import HealthConfig, HealthEngine, HealthReport
 from repro.obs.timeline import EpochRecord
@@ -75,7 +76,8 @@ class Session:
     def __init__(self, name: str, prefetcher: str, workload: str,
                  config: SimConfig,
                  warmup_records: Optional[Sequence[int]] = None,
-                 epoch_records: Optional[int] = None) -> None:
+                 epoch_records: Optional[int] = None,
+                 lineage: bool = False) -> None:
         self.name = name
         self.prefetcher = prefetcher
         self.workload = workload
@@ -88,6 +90,8 @@ class Session:
         if epoch_records:
             self.obs = attach_observability(self.simulator,
                                             epoch_records=int(epoch_records))
+        self.lineage: Optional[SystemLineage] = (
+            attach_lineage(self.simulator) if lineage else None)
         if warmup_records is not None:
             self.simulator.set_stream_warmup(warmup_records)
         self.records_fed = 0
@@ -125,6 +129,10 @@ class Session:
         if session.epoch_records:
             session.obs = attach_observability(
                 session.simulator, epoch_records=int(session.epoch_records))
+        # Lineage, like obs, attaches before load_state so each channel's
+        # "lineage" state entry restores into a live collector.
+        session.lineage = (attach_lineage(session.simulator)
+                           if checkpoint.extra.get("lineage") else None)
         session.simulator.load_state(checkpoint.state)
         if session.obs is not None and session.obs.system_tracer.enabled:
             session.obs.system_tracer.emit(
@@ -151,6 +159,8 @@ class Session:
         extra = {}
         if self.epoch_records:
             extra["epoch_records"] = int(self.epoch_records)
+        if self.lineage is not None:
+            extra["lineage"] = True
         checkpoint = Checkpoint(
             prefetcher=self.prefetcher,
             workload=self.workload,
@@ -262,7 +272,8 @@ class SessionManager:
              config: Optional[SimConfig] = None,
              warmup_records: Optional[Sequence[int]] = None,
              resume: bool = False,
-             epoch_records: Optional[int] = None) -> SessionSnapshot:
+             epoch_records: Optional[int] = None,
+             lineage: bool = False) -> SessionSnapshot:
         """Create a session (or, with ``resume``, restore its checkpoint).
 
         ``warmup_records`` fixes per-channel warmup windows up front (see
@@ -271,6 +282,10 @@ class SessionManager:
         enables observability: the session then answers ``timeline``
         queries with epochs of that many records per channel (a resumed
         session keeps the epoch size stored in its checkpoint).
+        ``lineage`` enables prefetch provenance/fate accounting
+        (:mod:`repro.obs.lineage`): the session then answers ``lineage``
+        queries and exports ``planaria_lineage_*`` Prometheus series
+        (a resumed session keeps the flag stored in its checkpoint).
         """
         if not name or "/" in name or "\x00" in name:
             raise ServiceError(f"invalid session name {name!r}")
@@ -295,7 +310,8 @@ class SessionManager:
                     name, prefetcher, workload,
                     config or self.default_config or SimConfig.experiment_scale(),
                     warmup_records=warmup_records,
-                    epoch_records=epoch_records)
+                    epoch_records=epoch_records,
+                    lineage=lineage)
                 self.sessions_opened += 1
             if self.spans.enabled:
                 session.simulator.spans = self.spans
@@ -462,10 +478,36 @@ class SessionManager:
         retained = session.obs.events() if events else None
         return epochs, retained
 
+    def lineage(self, name: str, events: bool = False,
+                wait: bool = True) -> dict:
+        """Live lineage accounting for one session.
+
+        Returns the merged per-channel summary (see
+        :meth:`repro.obs.lineage.SystemLineage.summary`), with the
+        retained fate events under ``"events"`` when requested.  With
+        ``wait`` (default) the summary covers every chunk fed so far.
+        """
+        session = self._get(name)
+        if wait:
+            self._quiesce(session)
+        if session.error is not None:
+            raise ServiceError(
+                f"session {name!r} failed on an earlier chunk: "
+                f"{session.error}")
+        if session.lineage is None:
+            raise ServiceError(
+                f"session {name!r} was opened without lineage; "
+                f"no provenance is being collected")
+        summary = session.lineage.summary()
+        if events:
+            summary["events"] = session.lineage.events()
+        return summary
+
     def metrics_text(self) -> str:
         """Prometheus text exposition covering every live session."""
         from repro.obs.export import (epoch_samples, health_samples,
-                                      prometheus_text, snapshot_samples)
+                                      lineage_samples, prometheus_text,
+                                      snapshot_samples)
 
         with self._lock:
             sessions = [self._sessions[name]
@@ -479,6 +521,9 @@ class SessionManager:
                 timeline = session.obs.merged_timeline(include_partial=True)
                 if timeline:
                     samples.extend(epoch_samples(session.name, timeline[-1]))
+            if session.lineage is not None:
+                samples.extend(lineage_samples(session.name,
+                                               session.lineage.summary()))
         samples.extend(health_samples(self.health_report()))
         if self.spans.enabled:
             from repro.obs.export import span_samples

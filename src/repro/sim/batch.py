@@ -362,6 +362,11 @@ def run_buffer_batch(sim, buffer, warmup_records: int = 0) -> bool:
     cache = sim.cache
     if passive and cache._resident_prefetches:
         return False
+    if sim.lineage is not None:
+        # Lineage needs the scalar per-candidate queue/fill path; the
+        # run_buffer gate already routes around this loop, kept here as
+        # defence in depth for direct callers.
+        return False
 
     sim.set_warmup(warmup_records, records_seen_hint=sim._records_seen)
     total = len(buffer)

@@ -116,6 +116,13 @@ class ChannelSimulator:
         #: Checked once per chunk, never per record — the disabled state
         #: costs one attribute load per run()/run_buffer() call.
         self.obs = None
+        #: Lineage hook (a LineageCollector, see repro.obs.lineage) or
+        #: None.  All engine-side hook sites sit on rare branches
+        #: (prefetch-served access, prefetch service, eviction of a
+        #: prefetched block), so the common per-record path is untouched;
+        #: attaching also routes run_buffer() to the scalar loop (the
+        #: batch loop's fused fill path elides per-candidate accounting).
+        self.lineage = None
         self._warmup_until = 0
         self._records_seen = 0
         self._last_time = 0
@@ -201,6 +208,10 @@ class ChannelSimulator:
 
         if result.prefetch_source is not None:
             self.prefetcher.notify_useful()
+            if self.lineage is not None:
+                self.lineage.note_used(access.block_addr,
+                                       result.prefetch_source,
+                                       result.late_prefetch, now)
 
         # Learning phase: always on, sees the complete stream (Section 2).
         self.prefetcher.observe(access)
@@ -219,11 +230,18 @@ class ChannelSimulator:
         # Prefetch fills land in the triggering tenant's partition (when
         # partitions are configured): the prefetcher acted on that
         # device's demand stream, so the speculative block is its budget.
+        lineage = self.lineage
         if not self.config.prefetch_fill_sc:
-            self.queue.pop_all()
+            if lineage is None:
+                self.queue.pop_all()
+            else:
+                for candidate in self.queue.pop_all():
+                    lineage.note_unfilled(candidate)
             return
         for candidate in self.queue.pop_all():
             if self.cache.contains(candidate.block_addr):
+                if lineage is not None:
+                    lineage.note_skip_resident(candidate)
                 continue
             completion = self.dram.service_scalar(
                 candidate.block_addr, now, RequestKind.PREFETCH,
@@ -233,6 +251,8 @@ class ChannelSimulator:
                 prefetched=True, source=candidate.source,
                 requester=requester,
             )
+            if lineage is not None:
+                lineage.note_fill(candidate, requester, now)
             self._handle_eviction(eviction, now)
 
     def _handle_eviction(self, eviction, now: int) -> None:
@@ -240,6 +260,8 @@ class ChannelSimulator:
             return
         if eviction.prefetched:
             self.prefetcher.notify_unused()
+            if self.lineage is not None:
+                self.lineage.note_evicted(eviction, now)
         if eviction.dirty:
             self.dram.service_scalar(eviction.tag, now, RequestKind.WRITEBACK)
 
@@ -307,7 +329,10 @@ class ChannelSimulator:
         if self.obs is not None:
             self._run_observed(buffer, warmup_records)
             return
-        if self.engine_mode == "batch":
+        if self.engine_mode == "batch" and self.lineage is None:
+            # Lineage attached forces the scalar loop: the fused batch
+            # loops elide the per-candidate queue/fill path lineage
+            # observes.  Bit-identical by the batch-oracle contract.
             from repro.sim.batch import run_buffer_batch
             if run_buffer_batch(self, buffer, warmup_records=warmup_records):
                 return
@@ -340,6 +365,7 @@ class ChannelSimulator:
         queue_push = self.queue.push
         handle_eviction = self._handle_eviction
         service_prefetches = self._service_prefetches
+        lineage = self.lineage
         demand_read = RequestKind.DEMAND_READ
         devices = [_DEVICE_BY_VALUE[value] for value in range(
             max(_DEVICE_BY_VALUE) + 1)]
@@ -387,6 +413,10 @@ class ChannelSimulator:
                     hit_f = result.hit
                     useful_f = result.prefetch_source is not None
                     dram_f = False
+                    if useful_f and lineage is not None:
+                        lineage.note_used(block_addr,
+                                          result.prefetch_source,
+                                          result.late_prefetch, now)
                 if record_metrics:
                     metrics_record(latency, is_read,
                                    device=device_names[device_value],
@@ -469,6 +499,9 @@ class ChannelSimulator:
 
             if prefetch_source is not None:
                 notify_useful()
+                if lineage is not None:
+                    lineage.note_used(block_addr, prefetch_source,
+                                      result.late_prefetch, now)
 
             observe(access)
             candidates = issue(access, hit, hit and prefetch_source is not None)
@@ -517,6 +550,8 @@ class ChannelSimulator:
         }
         if self.obs is not None:
             state["obs"] = self.obs.state_dict()
+        if self.lineage is not None:
+            state["lineage"] = self.lineage.state_dict()
         return state
 
     def load_state(self, state: dict) -> None:
@@ -541,6 +576,15 @@ class ChannelSimulator:
             # Restoring replaced nested sub-prefetcher objects; point the
             # chain back at the live tracer so no events land in orphans.
             self.obs.rewire(self)
+        if self.lineage is not None:
+            lineage_state = state.get("lineage")
+            if lineage_state is not None:
+                self.lineage.load_state(lineage_state)
+            # Same rewire concern as obs: load_state replaced nested
+            # sub-prefetcher objects, whose deep-copied lineage attrs now
+            # point at orphan collector copies.
+            from repro.obs.lineage import wire_lineage
+            wire_lineage(self.prefetcher, self.lineage)
 
 
 def channel_warmup_counts(records: TraceLike, config: SimConfig) -> List[int]:

@@ -38,7 +38,8 @@ def epoch_records(draw):
         elif field_.name == "device_read_latency_total":
             fields[field_.name] = draw(float_tables)
         elif field_.name in ("useful_by_source", "fills_by_source",
-                             "device_reads"):
+                             "device_reads", "device_accesses",
+                             "device_hits"):
             fields[field_.name] = draw(int_tables)
         else:
             fields[field_.name] = draw(counters)
@@ -77,6 +78,41 @@ class TestTimelineRoundTrip:
     def test_csv(self, epochs, tmp_path_factory):
         path = tmp_path_factory.mktemp("obs") / "timeline.csv"
         write_timeline_csv(path, epochs)
+        _, decoded = read_timeline_csv(path)
+        assert decoded == epochs
+
+    def test_csv_flattens_device_tables_to_stable_columns(self, tmp_path):
+        """The per-tenant dict fields become one ``device_<NAME>_accesses``
+        / ``device_<NAME>_hits`` column per device seen anywhere in the
+        timeline; an empty cell means absent-from-epoch, ``0`` is an
+        explicit zero, and the read side reassembles the dicts exactly."""
+        epochs = [
+            EpochRecord(epoch=0, channel=-1, start_record=0,
+                        end_record=10, start_time=0, end_time=5,
+                        device_accesses={"CPU": 7, "GPU": 3},
+                        device_hits={"CPU": 0}),
+            EpochRecord(epoch=1, channel=-1, start_record=10,
+                        end_record=20, start_time=5, end_time=9,
+                        device_accesses={"NPU": 4},
+                        device_hits={"NPU": 4}),
+        ]
+        path = tmp_path / "timeline.csv"
+        write_timeline_csv(path, epochs)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        header = lines[1].split(",")
+        assert header[-6:] == [
+            "device_CPU_accesses", "device_CPU_hits",
+            "device_GPU_accesses", "device_GPU_hits",
+            "device_NPU_accesses", "device_NPU_hits",
+        ]
+        assert "device_accesses" not in header
+        assert "device_hits" not in header
+        # Epoch 0 has no NPU entries (empty cells), an explicit CPU-hits
+        # zero, and a GPU-hits absence despite GPU accesses.
+        row0 = lines[2].split(",")
+        assert row0[-6:] == ["7", "0", "3", "", "", ""]
+        row1 = lines[3].split(",")
+        assert row1[-6:] == ["", "", "", "", "4", "4"]
         _, decoded = read_timeline_csv(path)
         assert decoded == epochs
 

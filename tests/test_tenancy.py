@@ -159,6 +159,41 @@ class TestMerge:
             merge_traces([TenantSpec("CFM", "CPU", length=100),
                           TenantSpec("HoK", "CPU", length=100)])
 
+    def test_rejects_empty_tenant_list(self):
+        """Both entry points name the count they saw — ``got 0``."""
+        with pytest.raises(ConfigError, match="got 0"):
+            merge_traces([])
+        with pytest.raises(ConfigError, match="got 0"):
+            StreamingTraceMerger([])
+        with pytest.raises(ConfigError, match="got 1"):
+            StreamingTraceMerger([TenantSpec("CFM", "CPU")])
+
+    def test_zero_length_tenant_fails_at_spec_validation(self):
+        """A zero-length tenant is a *spec* error: it never reaches the
+        merge layer, so neither merge entry point needs a degenerate
+        empty-buffer path."""
+        with pytest.raises(ConfigError, match="tenant length must be >= 1: 0"):
+            TenantSpec("CFM", "CPU", length=0)
+        with pytest.raises(ConfigError,
+                           match="tenant length must be >= 1: -3"):
+            TenantSpec("CFM", "CPU", length=-3)
+
+    def test_minimum_viable_workload_two_single_record_tenants(self):
+        """Two length-1 tenants is the smallest legal workload, and the
+        streaming merger agrees with the offline merge even there."""
+        specs = [TenantSpec("CFM", "CPU", length=1, seed=1),
+                 TenantSpec("HoK", "GPU", length=1, seed=2)]
+        merged = merge_traces(specs)
+        assert len(merged) == 2
+        assert sorted(merged.devices.tolist()) == [
+            DeviceID.CPU.value, DeviceID.GPU.value]
+        merger = StreamingTraceMerger(specs)
+        assert len(merger) == 2
+        chunks = []
+        while not merger.exhausted:
+            chunks.append(merger.next_chunk(1))
+        assert _concat(chunks) == merged
+
     def test_extract_unknown_device(self):
         merged = merge_traces([TenantSpec("CFM", "CPU", length=100),
                                TenantSpec("HoK", "GPU", length=100)])
